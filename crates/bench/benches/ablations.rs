@@ -1,0 +1,20 @@
+//! Ablation bench: evaluates every §III optimization toggle and prints
+//! the modeled slowdowns (shape check for the DESIGN.md ablation index).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fem_accel::experiments::run_ablations;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    group.bench_function("run_ablations_200k", |b| {
+        b.iter(|| run_ablations(200_000).unwrap());
+    });
+    group.finish();
+
+    let r = run_ablations(200_000).unwrap();
+    println!("\n{r}");
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

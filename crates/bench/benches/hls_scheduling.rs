@@ -1,0 +1,42 @@
+//! Benchmarks of the HLS model itself: scheduling the paper's kernels
+//! and running the §III-D optimizer (the EDA-tool cost of the flow).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fem_accel::designs::{proposed_design, vitis_baseline_design};
+use fem_accel::optimizer::{optimize_design, OptimizerConfig};
+use fem_accel::workload::RklWorkload;
+use hls_kernel::resources::estimate_resources;
+use hls_kernel::schedule::schedule_kernel;
+
+fn bench_scheduling(c: &mut Criterion) {
+    let w = RklWorkload::with_nodes(4_200_000, 1);
+    let proposed = proposed_design(&w);
+    let baseline = vitis_baseline_design(&w);
+
+    c.bench_function("schedule_proposed_compute", |b| {
+        b.iter(|| schedule_kernel(&proposed.rkl_tasks[1]).unwrap());
+    });
+    c.bench_function("schedule_baseline_all_tasks", |b| {
+        b.iter(|| {
+            for k in &baseline.rkl_tasks {
+                schedule_kernel(k).unwrap();
+            }
+        });
+    });
+    c.bench_function("estimate_resources_proposed", |b| {
+        let s = schedule_kernel(&proposed.rkl_tasks[1]).unwrap();
+        b.iter(|| estimate_resources(&proposed.rkl_tasks[1], &s));
+    });
+    let mut group = c.benchmark_group("optimizer");
+    group.sample_size(10);
+    group.bench_function("optimize_proposed_design", |b| {
+        b.iter(|| {
+            let mut d = proposed_design(&w);
+            optimize_design(&mut d, &OptimizerConfig::for_u200_slr()).unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduling);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Fig 2 bench: wall-clock phase breakdown of the reference solver.
+//!
+//! Measures one RK4 step of the instrumented solver at several mesh
+//! sizes and reports the per-phase split alongside the paper's numbers
+//! (the `repro fig2` harness prints the full table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fem_mesh::generator::BoxMeshBuilder;
+use fem_numerics::rk::StateOps;
+use fem_solver::driver::Simulation;
+use fem_solver::profile::Phase;
+use fem_solver::tgv::TgvConfig;
+
+fn bench_rk_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rk_step");
+    group.sample_size(10);
+    for edge in [8usize, 12, 16] {
+        let mesh = BoxMeshBuilder::tgv_box(edge).build().unwrap();
+        // Criterion repeats the step thousands of times; a well-resolved
+        // Reynolds number keeps the long pseudo-trajectory stable, and a
+        // blow-up (under-resolved turbulence is chaotic) just resets the
+        // state rather than aborting the bench.
+        let cfg = TgvConfig::new(0.1, 200.0);
+        let initial = cfg.initial_state(&mesh);
+        let nodes = mesh.num_nodes();
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial.clone()).unwrap();
+        let dt = sim.suggest_dt(0.25);
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, _| {
+            b.iter(|| {
+                if sim.step(dt).is_err() {
+                    sim.conserved_mut().copy_from(&initial);
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn report_breakdown(_c: &mut Criterion) {
+    // Not a statistical benchmark: prints the measured Fig 2 shape once
+    // so `cargo bench` output contains the phase split.
+    let mesh = BoxMeshBuilder::tgv_box(16).build().unwrap();
+    let cfg = TgvConfig::standard();
+    let initial = cfg.initial_state(&mesh);
+    let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+    sim.set_profiling(true);
+    let dt = sim.suggest_dt(0.3);
+    for _ in 0..3 {
+        sim.step(dt).unwrap();
+        sim.diagnostics();
+    }
+    println!("\nmeasured Fig 2 breakdown (16³ nodes):");
+    println!("{}", sim.profiler());
+    println!(
+        "paper: RK(Diffusion) 39.20 | RK(Convection) 21.04 | RK(Other) 16.13 | Non-RK 23.63"
+    );
+    let diff = sim.profiler().total(Phase::RkDiffusion);
+    assert!(diff.as_nanos() > 0);
+}
+
+criterion_group!(benches, bench_rk_step, report_breakdown);
+criterion_main!(benches);

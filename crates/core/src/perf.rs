@@ -1,0 +1,458 @@
+//! End-to-end performance estimation.
+//!
+//! Chains every model: HLS schedules give each task's per-element cycle
+//! cost; cross-task AXI bundle sharing inflates the memory-bound tasks;
+//! the dataflow model (DES for small meshes, the validated analytic
+//! steady-state formula for paper-scale meshes) turns task IIs into an
+//! RKL stage makespan; the placement + congestion model picks the clock;
+//! DDR bandwidth bounds the streaming rate; PCIe and the host's non-RK
+//! share complete the end-to-end time.
+
+use crate::calibration::{CpuCalibration, NON_RK_FRACTION, RK_STAGES};
+use crate::designs::AcceleratorDesign;
+use crate::optimizer::region_resources;
+use fpga_platform::axi::{transfer_seconds, ChannelMap};
+use fpga_platform::fmax::{achievable_fmax_mhz, place_two};
+use fpga_platform::u200::U200;
+use hls_kernel::ir::ArrayKind;
+use hls_kernel::resources::{estimate_resources, ResourceUsage};
+use hls_kernel::schedule::schedule_kernel;
+use hls_kernel::HlsError;
+use hls_dataflow::analytic::analytic_makespan;
+use hls_dataflow::network::{ChannelKind, NetworkBuilder};
+use hls_dataflow::sim::simulate;
+use std::collections::BTreeMap;
+
+/// Estimation options.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfOptions {
+    /// RK4 steps of the simulated run.
+    pub rk_steps: usize,
+    /// Use the discrete-event simulator when the element count is at or
+    /// below this (above it, the property-tested analytic model).
+    pub des_element_threshold: usize,
+    /// Include per-step host↔card transfers (the host executes the
+    /// non-RK phase between steps).
+    pub host_in_the_loop: bool,
+}
+
+impl Default for PerfOptions {
+    fn default() -> Self {
+        PerfOptions {
+            rk_steps: crate::calibration::DEFAULT_RK_STEPS,
+            des_element_threshold: 50_000,
+            host_in_the_loop: true,
+        }
+    }
+}
+
+/// Per-task performance facts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskPerf {
+    /// Task name.
+    pub name: String,
+    /// Cycles per element from the kernel schedule alone.
+    pub cycles_per_element: u64,
+    /// Cycles per element after cross-task AXI bundle contention.
+    pub effective_cycles_per_element: u64,
+    /// Pipeline fill latency (cycles).
+    pub fill_latency: u64,
+}
+
+/// The complete performance estimate of a design.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerformanceReport {
+    /// Design name.
+    pub design: String,
+    /// Achievable kernel clock (MHz).
+    pub fmax_mhz: f64,
+    /// Per-task breakdown.
+    pub tasks: Vec<TaskPerf>,
+    /// Name of the bottleneck RKL task.
+    pub bottleneck: String,
+    /// RKL cycles per stage (dataflow makespan, or sequential sum).
+    pub rkl_cycles_per_stage: u64,
+    /// RKU cycles per stage.
+    pub rku_cycles_per_stage: u64,
+    /// Seconds per RK stage (kernel time vs DDR streaming, whichever
+    /// binds).
+    pub stage_seconds: f64,
+    /// Seconds per RK4 step (4 stages + host transfers if enabled).
+    pub step_seconds: f64,
+    /// Seconds for the whole run (`rk_steps` steps + initial PCIe load).
+    pub total_seconds: f64,
+    /// RK-method-only seconds for the whole run (the Fig 5 metric).
+    pub rk_method_seconds: f64,
+    /// Combined resource usage (RKL region + RKU).
+    pub resources: ResourceUsage,
+    /// Whether the timing came from the DES (true) or the analytic model.
+    pub used_des: bool,
+}
+
+/// Per-element cycle cost of one task kernel.
+fn per_element_cycles(design: &AcceleratorDesign, task_idx: usize) -> Result<(u64, u64), HlsError> {
+    let k = &design.rkl_tasks[task_idx];
+    let s = schedule_kernel(k)?;
+    let elements = design.workload.num_elements as u64;
+    let total = s.total_latency_cycles;
+    let per_elem = total.div_ceil(elements.max(1));
+    // Fill latency: depth of the deepest pipelined loop.
+    let fill = s
+        .loops
+        .iter()
+        .filter(|l| l.ii.is_some())
+        .map(|l| l.depth as u64)
+        .max()
+        .unwrap_or(1);
+    Ok((per_elem.max(1), fill))
+}
+
+/// Total AXI beats per bundle over one whole stage of one kernel,
+/// walking the loop nest with ancestor trip multiplicity.
+fn axi_beats_total(k: &hls_kernel::ir::Kernel) -> BTreeMap<String, u64> {
+    fn walk(
+        k: &hls_kernel::ir::Kernel,
+        lp: &hls_kernel::ir::Loop,
+        mult: u64,
+        out: &mut BTreeMap<String, u64>,
+    ) {
+        let m = mult * lp.trip_count;
+        for a in &lp.accesses {
+            if let Some(decl) = k.array(&a.array) {
+                if let ArrayKind::Axi { bundle } = &decl.kind {
+                    *out.entry(bundle.clone()).or_insert(0) += a.count * m;
+                }
+            }
+        }
+        for inner in &lp.inner {
+            walk(k, inner, m, out);
+        }
+    }
+    let mut out = BTreeMap::new();
+    for lp in k.body() {
+        walk(k, lp, 1, &mut out);
+    }
+    out
+}
+
+/// Per-element AXI beats of each bundle across all RKL tasks.
+fn bundle_beats_per_element(design: &AcceleratorDesign) -> Result<BTreeMap<String, u64>, HlsError> {
+    let mut beats: BTreeMap<String, u64> = BTreeMap::new();
+    let elements = design.workload.num_elements as u64;
+    for k in &design.rkl_tasks {
+        for (bundle, total) in axi_beats_total(k) {
+            *beats.entry(bundle).or_insert(0) += total.div_ceil(elements.max(1));
+        }
+    }
+    Ok(beats)
+}
+
+/// DDR bytes per RKL stage, grouped by bundle.
+fn bundle_bytes_per_stage(design: &AcceleratorDesign) -> Vec<u64> {
+    let w = &design.workload;
+    let mut by_bundle: BTreeMap<String, u64> = BTreeMap::new();
+    for k in &design.rkl_tasks {
+        for a in k.arrays() {
+            if let ArrayKind::Axi { bundle } = &a.kind {
+                // Each streamed array moves one f64 per element node.
+                let bytes = (w.num_elements * w.nodes_per_element * 8) as u64;
+                *by_bundle.entry(bundle.clone()).or_insert(0) += bytes;
+            }
+        }
+    }
+    by_bundle.into_values().collect()
+}
+
+/// Estimates the performance of `design`.
+///
+/// # Errors
+///
+/// Propagates HLS scheduling errors and dataflow design-rule violations
+/// (neither occurs for designs produced by [`crate::designs`]).
+pub fn estimate_performance(
+    design: &AcceleratorDesign,
+    opts: &PerfOptions,
+) -> Result<PerformanceReport, Box<dyn std::error::Error>> {
+    let device = U200::new();
+    let w = &design.workload;
+    let elements = w.num_elements as u64;
+
+    // ---- Per-task cycle costs with cross-task bundle contention. ----
+    let beats = bundle_beats_per_element(design)?;
+    let mut tasks = Vec::new();
+    for (idx, k) in design.rkl_tasks.iter().enumerate() {
+        let (own, fill) = per_element_cycles(design, idx)?;
+        // A task is at least as slow as the total per-element demand on
+        // every bundle it touches (the interconnect time-multiplexes
+        // concurrent tasks).
+        let mut eff = own;
+        for a in k.arrays() {
+            if let ArrayKind::Axi { bundle } = &a.kind {
+                if let Some(&b) = beats.get(bundle) {
+                    eff = eff.max(b);
+                }
+            }
+        }
+        tasks.push(TaskPerf {
+            name: k.name().to_string(),
+            cycles_per_element: own,
+            effective_cycles_per_element: eff,
+            fill_latency: fill,
+        });
+    }
+
+    // ---- RKL stage makespan (cycles). ----
+    let (rkl_cycles, used_des) = if design.config.task_level_pipelining {
+        // Dataflow pipeline of the tasks in order.
+        let mut b = NetworkBuilder::new();
+        let n = tasks.len();
+        let mut chans = Vec::new();
+        for i in 0..n - 1 {
+            // Element tokens stream through FIFOs deep enough to cover
+            // the deepest task pipeline's in-flight tokens (the batch
+            // ping-pong buffers of §III-B hold many elements; at element
+            // granularity they behave as a stream with slack).
+            chans.push(b.channel(format!("stream_{i}"), 8, ChannelKind::Fifo));
+        }
+        for (i, t) in tasks.iter().enumerate() {
+            let inputs = if i == 0 { vec![] } else { vec![chans[i - 1]] };
+            let outputs = if i + 1 == n { vec![] } else { vec![chans[i]] };
+            b.task(
+                &t.name,
+                t.effective_cycles_per_element,
+                t.effective_cycles_per_element + t.fill_latency,
+                inputs,
+                outputs,
+            );
+        }
+        let net = b.build(elements)?;
+        if w.num_elements <= opts.des_element_threshold {
+            (simulate(&net)?.makespan, true)
+        } else {
+            (analytic_makespan(&net), false)
+        }
+    } else {
+        // No TLP: each element traverses every task sequentially.
+        let per_elem: u64 = tasks.iter().map(|t| t.effective_cycles_per_element).sum();
+        (per_elem * elements, false)
+    };
+    let bottleneck = tasks
+        .iter()
+        .max_by_key(|t| t.effective_cycles_per_element)
+        .map(|t| t.name.clone())
+        .unwrap_or_default();
+
+    // ---- RKU cycles. ----
+    let rku_schedule = schedule_kernel(&design.rku)?;
+    let rku_cycles = rku_schedule.total_latency_cycles;
+
+    // ---- Resources, placement, clock. ----
+    let rkl_res = region_resources(design)?;
+    let rku_res = estimate_resources(&design.rku, &rku_schedule);
+    let placements = place_two(rkl_res, rku_res, design.config.slr_split);
+    let fmax = achievable_fmax_mhz(&device, &placements, design.config.slr_split);
+    let cycle = 1.0 / (fmax * 1.0e6);
+
+    // ---- Seconds per stage: kernel cycles vs DDR streaming. ----
+    let bundle_bytes = bundle_bytes_per_stage(design);
+    let map = if design.config.bundle_per_array {
+        ChannelMap::round_robin(bundle_bytes.len(), &device)
+    } else {
+        ChannelMap::single_channel(bundle_bytes.len())
+    };
+    let ddr_seconds = transfer_seconds(&bundle_bytes, &map, &device, fmax);
+    let rkl_seconds = (rkl_cycles as f64 * cycle).max(ddr_seconds);
+    let rku_bytes = design.workload.rku_bytes_per_stage();
+    let rku_ddr = rku_bytes as f64 / (device.ddr_peak_bw() * fpga_platform::axi::DDR_EFFICIENCY);
+    let rku_seconds = (rku_cycles as f64 * cycle).max(rku_ddr);
+    let stage_seconds = rkl_seconds + rku_seconds;
+
+    // ---- Per-step and total. ----
+    let mut step_seconds = stage_seconds * RK_STAGES as f64;
+    if opts.host_in_the_loop {
+        step_seconds += fpga_platform::pcie::transfer_seconds(w.host_transfer_bytes_per_step());
+    }
+    let init = fpga_platform::pcie::transfer_seconds(11 * w.num_nodes as u64 * 8);
+    let rk_method_seconds = stage_seconds * RK_STAGES as f64 * opts.rk_steps as f64;
+    let total_seconds = step_seconds * opts.rk_steps as f64 + init;
+
+    Ok(PerformanceReport {
+        design: design.name.clone(),
+        fmax_mhz: fmax,
+        tasks,
+        bottleneck,
+        rkl_cycles_per_stage: rkl_cycles,
+        rku_cycles_per_stage: rku_cycles,
+        stage_seconds,
+        step_seconds,
+        total_seconds,
+        rk_method_seconds,
+        resources: rkl_res + rku_res,
+        used_des,
+    })
+}
+
+/// CPU time of the full RK method for the same run (Fig 5's software
+/// reference and Table II's baseline).
+pub fn cpu_rk_method_seconds(
+    workload: &crate::workload::RklWorkload,
+    cal: &CpuCalibration,
+    rk_steps: usize,
+) -> f64 {
+    let stage = cal.stage_seconds(workload.num_elements);
+    // RKU on CPU: roofline on its sweep.
+    let cpu = fpga_platform::cpu::CpuModel::xeon_silver_4210();
+    let rku = cpu.time_seconds(workload.rku_flops_per_stage(), workload.rku_bytes_per_stage());
+    (stage + rku) * (RK_STAGES * rk_steps) as f64
+}
+
+/// End-to-end CPU time: RK method plus the non-RK share (Fig 2: the RK
+/// method is 76.5% of the total ⇒ total = RK / 0.765).
+pub fn cpu_end_to_end_seconds(
+    workload: &crate::workload::RklWorkload,
+    cal: &CpuCalibration,
+    rk_steps: usize,
+) -> f64 {
+    cpu_rk_method_seconds(workload, cal, rk_steps) / (1.0 - NON_RK_FRACTION)
+}
+
+/// End-to-end accelerated-system time: FPGA runs the RK method, the host
+/// keeps the non-RK phase (unchanged from the CPU run) plus transfers.
+pub fn fpga_end_to_end_seconds(
+    report: &PerformanceReport,
+    workload: &crate::workload::RklWorkload,
+    cal: &CpuCalibration,
+    rk_steps: usize,
+) -> f64 {
+    let cpu_total = cpu_end_to_end_seconds(workload, cal, rk_steps);
+    let non_rk = cpu_total * NON_RK_FRACTION;
+    report.total_seconds + non_rk
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs::{proposed_design, vitis_baseline_design};
+    use crate::optimizer::{optimize_design, OptimizerConfig};
+    use crate::workload::RklWorkload;
+
+    fn optimized_proposed(nodes: usize) -> AcceleratorDesign {
+        let w = RklWorkload::with_nodes(nodes, 1);
+        let mut d = proposed_design(&w);
+        optimize_design(&mut d, &OptimizerConfig::for_u200_slr()).unwrap();
+        d
+    }
+
+    #[test]
+    fn proposed_clocks_faster_than_baseline() {
+        let d = optimized_proposed(100_000);
+        let b = vitis_baseline_design(&RklWorkload::with_nodes(100_000, 1));
+        let rp = estimate_performance(&d, &PerfOptions::default()).unwrap();
+        let rb = estimate_performance(&b, &PerfOptions::default()).unwrap();
+        assert!(
+            rp.fmax_mhz > rb.fmax_mhz,
+            "proposed {} MHz vs baseline {} MHz",
+            rp.fmax_mhz,
+            rb.fmax_mhz
+        );
+    }
+
+    #[test]
+    fn fig5_speedup_band() {
+        // The headline: proposed ≈ 7.9× faster than the Vitis baseline.
+        let nodes = 200_000;
+        let d = optimized_proposed(nodes);
+        let b = vitis_baseline_design(&RklWorkload::with_nodes(nodes, 1));
+        let opts = PerfOptions {
+            host_in_the_loop: false,
+            ..Default::default()
+        };
+        let rp = estimate_performance(&d, &opts).unwrap();
+        let rb = estimate_performance(&b, &opts).unwrap();
+        let speedup = rb.rk_method_seconds / rp.rk_method_seconds;
+        assert!(
+            (4.0..=14.0).contains(&speedup),
+            "speedup {speedup:.2} outside the plausible band around the paper's 7.9×"
+        );
+    }
+
+    #[test]
+    fn des_and_analytic_agree_across_the_threshold() {
+        let w_small = RklWorkload::with_nodes(20_000, 1);
+        let mut d = proposed_design(&w_small);
+        optimize_design(&mut d, &OptimizerConfig::for_u200_slr()).unwrap();
+        let des = estimate_performance(
+            &d,
+            &PerfOptions {
+                des_element_threshold: usize::MAX,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ana = estimate_performance(
+            &d,
+            &PerfOptions {
+                des_element_threshold: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(des.used_des && !ana.used_des);
+        let rel = (des.rkl_cycles_per_stage as f64 - ana.rkl_cycles_per_stage as f64).abs()
+            / ana.rkl_cycles_per_stage as f64;
+        assert!(rel < 0.05, "DES vs analytic relative gap {rel}");
+    }
+
+    #[test]
+    fn scaling_is_roughly_linear_in_elements() {
+        let opts = PerfOptions {
+            des_element_threshold: 0,
+            host_in_the_loop: false,
+            ..Default::default()
+        };
+        let t1 = estimate_performance(&optimized_proposed(1_000_000), &opts)
+            .unwrap()
+            .rk_method_seconds;
+        let t3 = estimate_performance(&optimized_proposed(3_000_000), &opts)
+            .unwrap()
+            .rk_method_seconds;
+        let growth = t3 / t1;
+        assert!(
+            (2.5..=3.6).contains(&growth),
+            "3× nodes should be ≈3× time, got {growth:.2}"
+        );
+    }
+
+    #[test]
+    fn baseline_bottleneck_is_memory() {
+        let b = vitis_baseline_design(&RklWorkload::with_nodes(100_000, 1));
+        let r = estimate_performance(&b, &PerfOptions::default()).unwrap();
+        // Load and store share `gmem`: one of them must be the bottleneck.
+        assert!(
+            r.bottleneck.contains("load") || r.bottleneck.contains("store"),
+            "baseline bottleneck {}",
+            r.bottleneck
+        );
+    }
+
+    #[test]
+    fn proposed_beats_cpu_on_rk_method() {
+        let nodes = 1_000_000;
+        let d = optimized_proposed(nodes);
+        let opts = PerfOptions {
+            des_element_threshold: 0,
+            host_in_the_loop: false,
+            ..Default::default()
+        };
+        let rp = estimate_performance(&d, &opts).unwrap();
+        let w = RklWorkload::with_nodes(nodes, 1);
+        let cal = CpuCalibration::roofline_default(&w);
+        let cpu = cpu_rk_method_seconds(&w, &cal, opts.rk_steps);
+        assert!(
+            rp.rk_method_seconds < cpu,
+            "FPGA {} s vs CPU {} s",
+            rp.rk_method_seconds,
+            cpu
+        );
+    }
+}

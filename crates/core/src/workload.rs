@@ -1,0 +1,193 @@
+//! The FEM workload descriptor the accelerator designs are built from.
+//!
+//! Captures everything the HLS kernels need to know about a mesh + basis
+//! combination *without* materializing the mesh (the paper evaluates up
+//! to 4.2M nodes; the performance model must scale there even though the
+//! functional simulator runs on small meshes).
+
+use fem_mesh::HexMesh;
+use fem_numerics::tensor::HexBasis;
+use fem_solver::kernels::KernelOpCounts;
+
+/// Field arrays the accelerator streams per node, in the paper's Fig 4
+/// spirit (`rho`, `Tem`, `mu_fluid`, `E`, ...).
+pub const INPUT_ARRAYS: [&str; 12] = [
+    "rho", "ux", "uy", "uz", "Tem", "pres", "E", "mu_fluid", "coord_x", "coord_y", "coord_z",
+    "conn",
+];
+
+/// Residual-contribution arrays written back per element node.
+pub const OUTPUT_ARRAYS: [&str; 5] = ["res_rho", "res_mx", "res_my", "res_mz", "res_E"];
+
+/// Per-node operation counts of the merged Diffusion & Convection
+/// compute stage (f64 ops), derived from the solver's element kernels at
+/// order 1 (8-node hexahedra): tensor-product gradients, Jacobian
+/// transforms, τ, convective+viscous fluxes and the weak-divergence
+/// contraction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeOpCounts {
+    /// Fused multiply-adds.
+    pub muladd: u64,
+    /// Multiplies.
+    pub mul: u64,
+    /// Adds/subtracts.
+    pub add: u64,
+    /// Divides (Jacobian inverse, primitive recovery).
+    pub div: u64,
+}
+
+impl NodeOpCounts {
+    /// Total f64 FLOPs (MulAdd = 2).
+    pub fn flops(&self) -> u64 {
+        2 * self.muladd + self.mul + self.add + self.div
+    }
+}
+
+/// A sized RKL/RKU workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RklWorkload {
+    /// Mesh nodes.
+    pub num_nodes: usize,
+    /// Mesh elements.
+    pub num_elements: usize,
+    /// Nodes per element, `(p+1)³`.
+    pub nodes_per_element: usize,
+    /// Polynomial order.
+    pub order: usize,
+    /// Merged compute-stage op counts per element node.
+    pub compute_ops: NodeOpCounts,
+    /// RKU flops per mesh node.
+    pub rku_flops_per_node: u64,
+    /// Reference FLOP counts from the solver's kernel model.
+    pub solver_ops: KernelOpCounts,
+}
+
+impl RklWorkload {
+    /// Builds the workload descriptor for `num_nodes` nodes at polynomial
+    /// `order` (fully periodic box ⇒ elements ≈ nodes/p³).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order == 0`.
+    pub fn with_nodes(num_nodes: usize, order: usize) -> Self {
+        assert!(order >= 1, "order must be ≥ 1");
+        let basis = HexBasis::new(order).expect("order validated");
+        let npe = basis.nodes_per_element();
+        let num_elements = num_nodes / order.pow(3);
+        let solver_ops = KernelOpCounts::for_basis(&basis);
+        // Split per-element counts down to per-node and into op classes.
+        let per_elem =
+            solver_ops.rkl_flops_per_element() as u64;
+        let per_node = per_elem / npe as u64;
+        // Mix observed in the solver kernels: ≈45% of flops in MAC pairs,
+        // 25% multiplies, 28% adds, ~2% divides.
+        let muladd = (per_node as f64 * 0.45 / 2.0) as u64;
+        let mul = (per_node as f64 * 0.25) as u64;
+        let add = (per_node as f64 * 0.28) as u64;
+        let div = ((per_node as f64 * 0.02) as u64).max(1);
+        RklWorkload {
+            num_nodes,
+            num_elements,
+            nodes_per_element: npe,
+            order,
+            compute_ops: NodeOpCounts {
+                muladd,
+                mul,
+                add,
+                div,
+            },
+            rku_flops_per_node: solver_ops.rku_flops_per_node as u64,
+            solver_ops,
+        }
+    }
+
+    /// Builds the descriptor from an actual mesh.
+    pub fn from_mesh(mesh: &HexMesh) -> Self {
+        let mut w = Self::with_nodes(mesh.num_nodes(), mesh.order());
+        w.num_elements = mesh.num_elements();
+        w
+    }
+
+    /// Bytes read from DDR per element per RK stage (all input arrays,
+    /// one value per node each).
+    pub fn bytes_in_per_element(&self) -> u64 {
+        (INPUT_ARRAYS.len() * self.nodes_per_element * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Bytes written to DDR per element per RK stage.
+    pub fn bytes_out_per_element(&self) -> u64 {
+        (OUTPUT_ARRAYS.len() * self.nodes_per_element * std::mem::size_of::<f64>()) as u64
+    }
+
+    /// Total DDR traffic of one RKL stage.
+    pub fn rkl_bytes_per_stage(&self) -> u64 {
+        self.num_elements as u64 * (self.bytes_in_per_element() + self.bytes_out_per_element())
+    }
+
+    /// Total f64 FLOPs of one RKL stage.
+    pub fn rkl_flops_per_stage(&self) -> u64 {
+        self.num_elements as u64 * self.nodes_per_element as u64 * self.compute_ops.flops()
+    }
+
+    /// Total f64 FLOPs of one RKU sweep.
+    pub fn rku_flops_per_stage(&self) -> u64 {
+        self.num_nodes as u64 * self.rku_flops_per_node
+    }
+
+    /// Bytes the RKU sweep moves (read 10 arrays, write 10).
+    pub fn rku_bytes_per_stage(&self) -> u64 {
+        20 * self.num_nodes as u64 * std::mem::size_of::<f64>() as u64
+    }
+
+    /// Bytes moved host↔card per time step when the host runs the non-RK
+    /// phase (all primary fields down and residual-updated fields back).
+    pub fn host_transfer_bytes_per_step(&self) -> u64 {
+        2 * 11 * self.num_nodes as u64 * std::mem::size_of::<f64>() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fem_mesh::generator::BoxMeshBuilder;
+
+    #[test]
+    fn node_budget_matches_mesh() {
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let w = RklWorkload::from_mesh(&mesh);
+        assert_eq!(w.num_nodes, 216);
+        assert_eq!(w.num_elements, 216);
+        assert_eq!(w.nodes_per_element, 8);
+    }
+
+    #[test]
+    fn op_counts_are_plausible() {
+        let w = RklWorkload::with_nodes(1_000_000, 1);
+        // A few hundred flops per node.
+        let f = w.compute_ops.flops();
+        assert!(f > 100 && f < 2000, "flops per node {f}");
+        // Stage totals scale with elements.
+        let w2 = RklWorkload::with_nodes(2_000_000, 1);
+        let ratio = w2.rkl_flops_per_stage() as f64 / w.rkl_flops_per_stage() as f64;
+        assert!((ratio - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let w = RklWorkload::with_nodes(8_000, 1);
+        assert_eq!(w.bytes_in_per_element(), 12 * 8 * 8);
+        assert_eq!(w.bytes_out_per_element(), 5 * 8 * 8);
+        assert_eq!(
+            w.rkl_bytes_per_stage(),
+            8_000 * (768 + 320)
+        );
+    }
+
+    #[test]
+    fn higher_order_has_fewer_elements() {
+        let w1 = RklWorkload::with_nodes(1_000_000, 1);
+        let w2 = RklWorkload::with_nodes(1_000_000, 2);
+        assert!(w2.num_elements < w1.num_elements);
+        assert_eq!(w2.nodes_per_element, 27);
+    }
+}

@@ -1,0 +1,192 @@
+//! FIFO depth sizing: how deep must each inter-task buffer be for the
+//! pipeline to run at the bottleneck rate?
+//!
+//! Too-shallow buffers let backpressure throttle tasks below the
+//! steady-state II (exactly the stall the paper's ping-pong buffers
+//! avoid); too-deep buffers waste BRAM. [`advise_depths`] computes, per
+//! channel, the smallest depth that keeps throughput within a chosen
+//! margin of the bottleneck — by analytic seed plus verification against
+//! the discrete-event simulator.
+
+use crate::network::{ChannelKind, Network, NetworkBuilder};
+use crate::sim::simulate;
+use crate::DataflowError;
+
+/// The advice for one channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepthAdvice {
+    /// Channel name.
+    pub channel: String,
+    /// Minimal verified depth.
+    pub depth: usize,
+}
+
+/// Rebuilds `net` with every channel set to the depths in `depths`.
+fn with_depths(net: &Network, depths: &[usize]) -> Result<Network, DataflowError> {
+    let mut b = NetworkBuilder::new();
+    for (ch, &d) in net.channels().iter().zip(depths) {
+        b.channel(ch.name.clone(), d, ch.kind);
+    }
+    for t in net.tasks() {
+        b.task(t.name.clone(), t.ii, t.latency, t.inputs.clone(), t.outputs.clone());
+    }
+    b.build(net.tokens())
+}
+
+/// The analytic lower bound on a producer-side channel depth: enough
+/// slots to cover the consumer's in-flight window at the bottleneck
+/// rate.
+pub fn analytic_depth_bound(net: &Network, channel: usize) -> usize {
+    let consumer = net
+        .tasks()
+        .iter()
+        .find(|t| t.inputs.contains(&channel))
+        .expect("validated network");
+    let bottleneck = net.bottleneck_ii().max(1);
+    let base = consumer.latency.div_ceil(bottleneck) as usize + 1;
+    match net.channels()[channel].kind {
+        ChannelKind::Fifo => base,
+        // PIPO holds the consumer's bank for its whole execution.
+        ChannelKind::Pipo => base + 1,
+    }
+}
+
+/// Finds, per channel, the smallest depth whose simulated makespan is
+/// within `margin` (e.g. 0.02 = 2%) of the deep-buffer reference.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+///
+/// # Example
+///
+/// ```
+/// use hls_dataflow::network::{ChannelKind, NetworkBuilder};
+/// use hls_dataflow::buffer::advise_depths;
+///
+/// let mut b = NetworkBuilder::new();
+/// let c = b.channel("c", 64, ChannelKind::Fifo);
+/// b.task("fast", 2, 4, vec![], vec![c]);
+/// b.task("slow", 10, 40, vec![c], vec![]);
+/// let net = b.build(300).unwrap();
+/// let advice = advise_depths(&net, 0.02).unwrap();
+/// // latency 40 at II 10 → about 5 slots needed, far below 64.
+/// assert!(advice[0].depth <= 8);
+/// ```
+pub fn advise_depths(net: &Network, margin: f64) -> Result<Vec<DepthAdvice>, DataflowError> {
+    let nch = net.channels().len();
+    // Reference: everything deep.
+    let deep = vec![256usize; nch];
+    let reference = simulate(&with_depths(net, &deep)?)?.makespan;
+    let budget = (reference as f64 * (1.0 + margin)) as u64;
+    let mut depths: Vec<usize> = (0..nch).map(|c| analytic_depth_bound(net, c)).collect();
+    // Verify; grow any channel that still throttles (rare: the analytic
+    // bound is usually sufficient).
+    for _ in 0..16 {
+        let makespan = simulate(&with_depths(net, &depths)?)?.makespan;
+        if makespan <= budget {
+            break;
+        }
+        for d in depths.iter_mut() {
+            *d += 1;
+        }
+    }
+    // Shrink each channel individually while the margin holds.
+    for c in 0..nch {
+        while depths[c] > 1 {
+            depths[c] -= 1;
+            let makespan = simulate(&with_depths(net, &depths)?)?.makespan;
+            if makespan > budget {
+                depths[c] += 1;
+                break;
+            }
+        }
+    }
+    Ok(net
+        .channels()
+        .iter()
+        .zip(&depths)
+        .map(|(ch, &depth)| DepthAdvice {
+            channel: ch.name.clone(),
+            depth,
+        })
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chain(iis: &[u64], lats: &[u64], kind: ChannelKind, tokens: u64) -> Network {
+        let mut b = NetworkBuilder::new();
+        let n = iis.len();
+        let mut chans = Vec::new();
+        for i in 0..n - 1 {
+            chans.push(b.channel(format!("c{i}"), 64, kind));
+        }
+        for i in 0..n {
+            let inputs = if i == 0 { vec![] } else { vec![chans[i - 1]] };
+            let outputs = if i + 1 == n { vec![] } else { vec![chans[i]] };
+            b.task(format!("t{i}"), iis[i], lats[i], inputs, outputs);
+        }
+        b.build(tokens).unwrap()
+    }
+
+    #[test]
+    fn matched_pipeline_needs_shallow_buffers() {
+        let net = chain(&[4, 4, 4], &[8, 8, 8], ChannelKind::Fifo, 200);
+        let advice = advise_depths(&net, 0.02).unwrap();
+        for a in &advice {
+            assert!(a.depth <= 4, "{}: depth {}", a.channel, a.depth);
+        }
+    }
+
+    #[test]
+    fn deep_pipelines_need_inflight_coverage() {
+        // Consumer latency 60 at bottleneck II 6 → ~10 in flight.
+        let net = chain(&[6, 6], &[10, 60], ChannelKind::Fifo, 300);
+        let advice = advise_depths(&net, 0.02).unwrap();
+        assert!(
+            advice[0].depth >= 2,
+            "deep consumer needs buffering, got {}",
+            advice[0].depth
+        );
+        // And the advice must actually deliver the rate.
+        let depths: Vec<usize> = advice.iter().map(|a| a.depth).collect();
+        let tuned = simulate(&with_depths(&net, &depths).unwrap())
+            .unwrap()
+            .makespan;
+        let reference = simulate(&with_depths(&net, &vec![256; depths.len()]).unwrap())
+            .unwrap()
+            .makespan;
+        assert!((tuned as f64) <= reference as f64 * 1.03);
+    }
+
+    #[test]
+    fn pipo_needs_one_more_than_fifo() {
+        let fifo = chain(&[5, 5], &[10, 10], ChannelKind::Fifo, 100);
+        let pipo = chain(&[5, 5], &[10, 10], ChannelKind::Pipo, 100);
+        assert!(analytic_depth_bound(&pipo, 0) >= analytic_depth_bound(&fifo, 0));
+    }
+
+    proptest! {
+        /// Advised depths always reach within 5% of the deep-buffer rate.
+        #[test]
+        fn prop_advice_preserves_throughput(
+            iis in proptest::collection::vec(1u64..12, 2..4),
+            tokens in 50u64..200,
+        ) {
+            let lats: Vec<u64> = iis.iter().map(|&ii| ii * 3 + 2).collect();
+            let net = chain(&iis, &lats, ChannelKind::Fifo, tokens);
+            let advice = advise_depths(&net, 0.02).unwrap();
+            let depths: Vec<usize> = advice.iter().map(|a| a.depth).collect();
+            let tuned = simulate(&with_depths(&net, &depths).unwrap()).unwrap().makespan;
+            let deep = simulate(&with_depths(&net, &vec![256; depths.len()]).unwrap())
+                .unwrap()
+                .makespan;
+            prop_assert!((tuned as f64) <= deep as f64 * 1.05,
+                "tuned {tuned} vs deep {deep}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! ASCII Gantt rendering of a simulation trace — the §III-B pipeline
+//! overlap made visible in a terminal.
+
+use crate::network::Network;
+use crate::sim::SimulationReport;
+
+/// Renders the trace of `report` (produced with
+/// [`crate::sim::simulate_with_trace`]) as one row per task.
+///
+/// `width` is the target chart width in characters; cycles are scaled to
+/// fit. Each invocation is drawn with the digit `token % 10`.
+///
+/// # Example
+///
+/// ```
+/// use hls_dataflow::network::{ChannelKind, NetworkBuilder};
+/// use hls_dataflow::sim::simulate_with_trace;
+/// use hls_dataflow::gantt::render_gantt;
+///
+/// let mut b = NetworkBuilder::new();
+/// let c = b.channel("c", 4, ChannelKind::Fifo);
+/// b.task("producer", 2, 4, vec![], vec![c]);
+/// b.task("consumer", 3, 5, vec![c], vec![]);
+/// let net = b.build(6).unwrap();
+/// let rep = simulate_with_trace(&net, true).unwrap();
+/// let chart = render_gantt(&net, &rep, 40);
+/// assert!(chart.contains("producer"));
+/// assert!(chart.contains('0'));
+/// ```
+pub fn render_gantt(net: &Network, report: &SimulationReport, width: usize) -> String {
+    let width = width.max(10);
+    let scale = (report.makespan as usize / width).max(1);
+    let cols = report.makespan as usize / scale + 2;
+    let name_width = net
+        .tasks()
+        .iter()
+        .map(|t| t.name.len())
+        .max()
+        .unwrap_or(4)
+        .max(4);
+    let mut out = String::new();
+    for (tid, task) in net.tasks().iter().enumerate() {
+        let mut line = vec![b' '; cols];
+        for ev in report.trace.iter().filter(|e| e.task == tid) {
+            let s = ev.start as usize / scale;
+            let e = (ev.finish as usize / scale).max(s + 1).min(cols);
+            let glyph = b'0' + (ev.token % 10) as u8;
+            for slot in line.iter_mut().take(e).skip(s) {
+                *slot = glyph;
+            }
+        }
+        out.push_str(&format!(
+            "{:>width$} |{}|\n",
+            task.name,
+            String::from_utf8_lossy(&line),
+            width = name_width
+        ));
+    }
+    out.push_str(&format!(
+        "{:>width$}  (1 col = {scale} cycles, makespan {} cycles)\n",
+        "",
+        report.makespan,
+        width = name_width
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ChannelKind, NetworkBuilder};
+    use crate::sim::simulate_with_trace;
+
+    fn chain() -> Network {
+        let mut b = NetworkBuilder::new();
+        let c1 = b.channel("c1", 4, ChannelKind::Fifo);
+        let c2 = b.channel("c2", 4, ChannelKind::Fifo);
+        b.task("load", 4, 8, vec![], vec![c1]);
+        b.task("compute", 10, 20, vec![c1], vec![c2]);
+        b.task("store", 4, 8, vec![c2], vec![]);
+        b.build(9).unwrap()
+    }
+
+    #[test]
+    fn chart_has_one_row_per_task_plus_footer() {
+        let net = chain();
+        let rep = simulate_with_trace(&net, true).unwrap();
+        let chart = render_gantt(&net, &rep, 60);
+        assert_eq!(chart.lines().count(), 4);
+        for name in ["load", "compute", "store"] {
+            assert!(chart.contains(name));
+        }
+    }
+
+    #[test]
+    fn all_tokens_appear() {
+        let net = chain();
+        let rep = simulate_with_trace(&net, true).unwrap();
+        let chart = render_gantt(&net, &rep, 120);
+        for d in 0..9u8 {
+            assert!(
+                chart.contains(char::from(b'0' + d)),
+                "token {d} missing from chart"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_trace_renders_blank_rows() {
+        let net = chain();
+        let rep = crate::sim::simulate(&net).unwrap(); // no trace
+        let chart = render_gantt(&net, &rep, 40);
+        assert_eq!(chart.lines().count(), 4);
+        assert!(!chart.contains('0'));
+    }
+}

@@ -1,0 +1,343 @@
+//! Process-network description and design-rule checks.
+
+use crate::DataflowError;
+
+/// Inter-task buffer discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// Streaming FIFO: the consumer drains elements as it runs, so the
+    /// buffer slot frees when the consumer *starts* the token.
+    Fifo,
+    /// Ping-pong buffer: the consumer holds its bank for its entire
+    /// execution, so the slot frees when the consumer *finishes*.
+    Pipo,
+}
+
+/// A bounded channel between two tasks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Token capacity (PIPO is conventionally 2).
+    pub capacity: usize,
+    /// Buffer discipline.
+    pub kind: ChannelKind,
+}
+
+/// A pipelined task: accepts one token from every input, `latency` cycles
+/// later emits one token to every output, and can start a new token every
+/// `ii` cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskSpec {
+    /// Name (diagnostics).
+    pub name: String,
+    /// Initiation interval in cycles (≥ 1).
+    pub ii: u64,
+    /// Per-token latency in cycles (≥ 1).
+    pub latency: u64,
+    /// Input channel ids (one token consumed from each per invocation).
+    pub inputs: Vec<usize>,
+    /// Output channel ids (one token produced to each per invocation).
+    pub outputs: Vec<usize>,
+}
+
+/// A validated dataflow network with a fixed token count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    channels: Vec<ChannelSpec>,
+    tasks: Vec<TaskSpec>,
+    tokens: u64,
+    topo_level: Vec<usize>,
+}
+
+impl Network {
+    /// Channels in declaration order.
+    pub fn channels(&self) -> &[ChannelSpec] {
+        &self.channels
+    }
+
+    /// Tasks in declaration order.
+    pub fn tasks(&self) -> &[TaskSpec] {
+        &self.tasks
+    }
+
+    /// Tokens every task must process.
+    pub fn tokens(&self) -> u64 {
+        self.tokens
+    }
+
+    /// Topological level of each task (sources at level 0).
+    pub fn topo_levels(&self) -> &[usize] {
+        &self.topo_level
+    }
+
+    /// Channels whose producer and consumer are more than one topological
+    /// level apart — the "bypass" pattern §III-B requires avoiding. The
+    /// builder accepts them (they are legal if capacities are deep
+    /// enough), but designs can assert this list is empty.
+    pub fn bypass_channels(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for (cid, ch) in self.channels.iter().enumerate() {
+            let producer = self
+                .tasks
+                .iter()
+                .position(|t| t.outputs.contains(&cid))
+                .expect("validated");
+            let consumer = self
+                .tasks
+                .iter()
+                .position(|t| t.inputs.contains(&cid))
+                .expect("validated");
+            if self.topo_level[consumer] > self.topo_level[producer] + 1 {
+                out.push(ch.name.as_str());
+            }
+        }
+        out
+    }
+
+    /// The largest task II — the steady-state initiation interval of the
+    /// whole region (the paper's "most time-consuming task determines the
+    /// II", §III-B).
+    pub fn bottleneck_ii(&self) -> u64 {
+        self.tasks.iter().map(|t| t.ii).max().unwrap_or(1)
+    }
+}
+
+/// Builder for [`Network`].
+#[derive(Debug, Clone, Default)]
+pub struct NetworkBuilder {
+    channels: Vec<ChannelSpec>,
+    tasks: Vec<TaskSpec>,
+}
+
+impl NetworkBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares a channel; returns its id.
+    pub fn channel(&mut self, name: impl Into<String>, capacity: usize, kind: ChannelKind) -> usize {
+        self.channels.push(ChannelSpec {
+            name: name.into(),
+            capacity,
+            kind,
+        });
+        self.channels.len() - 1
+    }
+
+    /// Declares a task.
+    pub fn task(
+        &mut self,
+        name: impl Into<String>,
+        ii: u64,
+        latency: u64,
+        inputs: Vec<usize>,
+        outputs: Vec<usize>,
+    ) -> usize {
+        self.tasks.push(TaskSpec {
+            name: name.into(),
+            ii: ii.max(1),
+            latency: latency.max(1),
+            inputs,
+            outputs,
+        });
+        self.tasks.len() - 1
+    }
+
+    /// Validates and freezes the network for `tokens` tokens.
+    ///
+    /// # Errors
+    ///
+    /// Any [`DataflowError`] design-rule violation: zero-capacity channel,
+    /// multiple producers/consumers (the paper's SPSC rule), dangling
+    /// channels, cycles, unknown channel ids, or an empty network.
+    pub fn build(self, tokens: u64) -> Result<Network, DataflowError> {
+        if self.tasks.is_empty() {
+            return Err(DataflowError::Empty);
+        }
+        let nch = self.channels.len();
+        let mut producers = vec![0usize; nch];
+        let mut consumers = vec![0usize; nch];
+        for t in &self.tasks {
+            for &c in &t.outputs {
+                if c >= nch {
+                    return Err(DataflowError::UnknownChannel(c));
+                }
+                producers[c] += 1;
+            }
+            for &c in &t.inputs {
+                if c >= nch {
+                    return Err(DataflowError::UnknownChannel(c));
+                }
+                consumers[c] += 1;
+            }
+        }
+        for (cid, ch) in self.channels.iter().enumerate() {
+            if ch.capacity == 0 {
+                return Err(DataflowError::ZeroCapacity(ch.name.clone()));
+            }
+            if producers[cid] > 1 {
+                return Err(DataflowError::MultipleProducers(ch.name.clone()));
+            }
+            if consumers[cid] > 1 {
+                return Err(DataflowError::MultipleConsumers(ch.name.clone()));
+            }
+            if producers[cid] == 0 || consumers[cid] == 0 {
+                return Err(DataflowError::Dangling(ch.name.clone()));
+            }
+        }
+        // Topological levels via Kahn's algorithm on the task DAG.
+        let nt = self.tasks.len();
+        // channel -> producer task
+        let mut chan_producer = vec![usize::MAX; nch];
+        for (tid, t) in self.tasks.iter().enumerate() {
+            for &c in &t.outputs {
+                chan_producer[c] = tid;
+            }
+        }
+        let mut indeg = vec![0usize; nt];
+        let mut succ: Vec<Vec<usize>> = vec![Vec::new(); nt];
+        for (tid, t) in self.tasks.iter().enumerate() {
+            for &c in &t.inputs {
+                let p = chan_producer[c];
+                succ[p].push(tid);
+                indeg[tid] += 1;
+            }
+        }
+        let mut level = vec![0usize; nt];
+        let mut queue: std::collections::VecDeque<usize> = (0..nt)
+            .filter(|&t| indeg[t] == 0)
+            .collect();
+        let mut seen = 0;
+        while let Some(t) = queue.pop_front() {
+            seen += 1;
+            for &s in &succ[t] {
+                level[s] = level[s].max(level[t] + 1);
+                indeg[s] -= 1;
+                if indeg[s] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if seen != nt {
+            return Err(DataflowError::Cyclic);
+        }
+        Ok(Network {
+            channels: self.channels,
+            tasks: self.tasks,
+            tokens,
+            topo_level: level,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> NetworkBuilder {
+        let mut b = NetworkBuilder::new();
+        let mut prev: Option<usize> = None;
+        for i in 0..n {
+            let out = if i + 1 < n {
+                Some(b.channel(format!("c{i}"), 2, ChannelKind::Fifo))
+            } else {
+                None
+            };
+            let inputs = prev.map(|c| vec![c]).unwrap_or_default();
+            let outputs = out.map(|c| vec![c]).unwrap_or_default();
+            b.task(format!("t{i}"), (i as u64 + 1) * 2, 10, inputs, outputs);
+            prev = out;
+        }
+        b
+    }
+
+    #[test]
+    fn valid_chain_builds() {
+        let net = chain(4).build(100).unwrap();
+        assert_eq!(net.tasks().len(), 4);
+        assert_eq!(net.channels().len(), 3);
+        assert_eq!(net.topo_levels(), &[0, 1, 2, 3]);
+        assert_eq!(net.bottleneck_ii(), 8);
+        assert!(net.bypass_channels().is_empty());
+    }
+
+    #[test]
+    fn spsc_violations_are_rejected() {
+        // Two producers into one channel.
+        let mut b = NetworkBuilder::new();
+        let c = b.channel("shared", 2, ChannelKind::Fifo);
+        b.task("p1", 1, 1, vec![], vec![c]);
+        b.task("p2", 1, 1, vec![], vec![c]);
+        b.task("consumer", 1, 1, vec![c], vec![]);
+        assert!(matches!(
+            b.build(10),
+            Err(DataflowError::MultipleProducers(_))
+        ));
+
+        // Two consumers from one channel.
+        let mut b = NetworkBuilder::new();
+        let c = b.channel("shared", 2, ChannelKind::Fifo);
+        b.task("p", 1, 1, vec![], vec![c]);
+        b.task("c1", 1, 1, vec![c], vec![]);
+        b.task("c2", 1, 1, vec![c], vec![]);
+        assert!(matches!(
+            b.build(10),
+            Err(DataflowError::MultipleConsumers(_))
+        ));
+    }
+
+    #[test]
+    fn dangling_and_zero_capacity_rejected() {
+        let mut b = NetworkBuilder::new();
+        let _ = b.channel("orphan", 2, ChannelKind::Fifo);
+        b.task("lonely", 1, 1, vec![], vec![]);
+        assert!(matches!(b.build(10), Err(DataflowError::Dangling(_))));
+
+        let mut b = NetworkBuilder::new();
+        let c = b.channel("tight", 0, ChannelKind::Fifo);
+        b.task("p", 1, 1, vec![], vec![c]);
+        b.task("q", 1, 1, vec![c], vec![]);
+        assert!(matches!(b.build(10), Err(DataflowError::ZeroCapacity(_))));
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut b = NetworkBuilder::new();
+        let c1 = b.channel("fwd", 2, ChannelKind::Fifo);
+        let c2 = b.channel("back", 2, ChannelKind::Fifo);
+        b.task("a", 1, 1, vec![c2], vec![c1]);
+        b.task("b", 1, 1, vec![c1], vec![c2]);
+        assert!(matches!(b.build(10), Err(DataflowError::Cyclic)));
+    }
+
+    #[test]
+    fn unknown_channel_rejected() {
+        let mut b = NetworkBuilder::new();
+        b.task("t", 1, 1, vec![5], vec![]);
+        assert!(matches!(b.build(10), Err(DataflowError::UnknownChannel(5))));
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert!(matches!(
+            NetworkBuilder::new().build(10),
+            Err(DataflowError::Empty)
+        ));
+    }
+
+    #[test]
+    fn bypass_detection() {
+        // a → b → c with an extra a → c channel (skips b).
+        let mut b = NetworkBuilder::new();
+        let ab = b.channel("ab", 2, ChannelKind::Fifo);
+        let bc = b.channel("bc", 2, ChannelKind::Fifo);
+        let ac = b.channel("ac_bypass", 8, ChannelKind::Fifo);
+        b.task("a", 1, 1, vec![], vec![ab, ac]);
+        b.task("b", 1, 1, vec![ab], vec![bc]);
+        b.task("c", 1, 1, vec![bc, ac], vec![]);
+        let net = b.build(10).unwrap();
+        assert_eq!(net.bypass_channels(), vec!["ac_bypass"]);
+    }
+}

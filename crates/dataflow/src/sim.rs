@@ -1,0 +1,521 @@
+//! The discrete-event engine.
+//!
+//! Simulates a [`Network`] cycle-accurately: each task starts token `k`
+//! as soon as (a) its own II allows, (b) every input channel holds a ready
+//! token, and (c) every output channel has a free slot. FIFO slots free
+//! when the consumer starts; PIPO slots free when the consumer finishes
+//! (it holds its bank for the whole computation).
+
+use crate::network::{ChannelKind, Network};
+use crate::DataflowError;
+use std::collections::BinaryHeap;
+
+/// Per-task simulation statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskStats {
+    /// Task name.
+    pub name: String,
+    /// Tokens processed.
+    pub invocations: u64,
+    /// First token start cycle.
+    pub first_start: u64,
+    /// Last token finish cycle.
+    pub last_finish: u64,
+    /// Cycles the task spent unable to start although its II had elapsed
+    /// (starved on inputs or blocked on outputs).
+    pub stall_cycles: u64,
+}
+
+impl TaskStats {
+    /// Fraction of the steady window the task was initiating tokens:
+    /// `invocations · ii / (last_finish − first_start)`.
+    pub fn utilization(&self, ii: u64) -> f64 {
+        let span = self.last_finish.saturating_sub(self.first_start).max(1);
+        (self.invocations * ii) as f64 / span as f64
+    }
+}
+
+/// Per-channel simulation statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Channel name.
+    pub name: String,
+    /// Peak simultaneous occupancy observed.
+    pub peak_occupancy: usize,
+    /// Total tokens transferred.
+    pub tokens_transferred: u64,
+}
+
+/// One row of the execution trace: task `task` started token `token` at
+/// cycle `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Task index.
+    pub task: usize,
+    /// Token index.
+    pub token: u64,
+    /// Start cycle.
+    pub start: u64,
+    /// Finish cycle.
+    pub finish: u64,
+}
+
+/// The outcome of a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimulationReport {
+    /// Total cycles from 0 to the last task finish.
+    pub makespan: u64,
+    /// Per-task statistics (same order as the network's tasks).
+    pub task_stats: Vec<TaskStats>,
+    /// Per-channel statistics.
+    pub channel_stats: Vec<ChannelStats>,
+    /// Optional full trace (when requested).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimulationReport {
+    /// Observed steady-state initiation interval of the sink task
+    /// (makespan slope); equals the bottleneck II once pipelined.
+    pub fn observed_ii(&self, tokens: u64) -> f64 {
+        if tokens < 2 {
+            return self.makespan as f64;
+        }
+        let sink = self
+            .task_stats
+            .iter()
+            .max_by_key(|t| t.last_finish)
+            .expect("non-empty");
+        (sink.last_finish - sink.first_start) as f64 / (tokens - 1) as f64
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ChannelState {
+    /// Ready times of queued tokens (FIFO order).
+    queue: std::collections::VecDeque<u64>,
+    /// Occupied slots (reservations included).
+    occupancy: usize,
+    peak: usize,
+    transferred: u64,
+}
+
+#[derive(Debug, Clone)]
+struct TaskState {
+    started: u64,
+    finished: u64,
+    next_allowed_start: u64,
+    first_start: u64,
+    last_finish: u64,
+    ready_since: Option<u64>,
+    stall: u64,
+}
+
+/// Runs the simulation to completion.
+///
+/// # Errors
+///
+/// [`DataflowError::Deadlock`] if no task can make progress while work
+/// remains (cannot happen for networks that pass the builder's
+/// design-rule checks, but returned rather than looping forever).
+pub fn simulate(net: &Network) -> Result<SimulationReport, DataflowError> {
+    simulate_with_trace(net, false)
+}
+
+/// Runs the simulation, optionally recording every task invocation.
+///
+/// # Errors
+///
+/// See [`simulate`].
+pub fn simulate_with_trace(net: &Network, trace_on: bool) -> Result<SimulationReport, DataflowError> {
+    let tokens = net.tokens();
+    let nt = net.tasks().len();
+    let mut channels: Vec<ChannelState> = net
+        .channels()
+        .iter()
+        .map(|_| ChannelState {
+            queue: std::collections::VecDeque::new(),
+            occupancy: 0,
+            peak: 0,
+            transferred: 0,
+        })
+        .collect();
+    let mut tasks: Vec<TaskState> = (0..nt)
+        .map(|_| TaskState {
+            started: 0,
+            finished: 0,
+            next_allowed_start: 0,
+            first_start: u64::MAX,
+            last_finish: 0,
+            ready_since: None,
+            stall: 0,
+        })
+        .collect();
+    let mut trace = Vec::new();
+
+    // Pending "slot release" / "token ready" / "task finish" events.
+    #[derive(PartialEq, Eq)]
+    struct Ev(u64);
+    impl Ord for Ev {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            other.0.cmp(&self.0) // min-heap
+        }
+    }
+    impl PartialOrd for Ev {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    let mut events: BinaryHeap<Ev> = BinaryHeap::new();
+    // Deferred releases: (time, channel) slot frees; (time,) handled by
+    // scanning at each event time.
+    let mut releases: Vec<(u64, usize)> = Vec::new(); // (time, channel)
+    let mut finishes: Vec<(u64, usize)> = Vec::new(); // (time, task)
+    let mut ready_pushes: Vec<(u64, usize)> = Vec::new(); // (time, channel)
+
+    let mut now = 0u64;
+    events.push(Ev(0));
+    let total_needed: u64 = tokens * nt as u64;
+    let mut total_done = 0u64;
+
+    while total_done < total_needed {
+        // Advance time to the next event.
+        let Some(Ev(t)) = events.pop() else {
+            return Err(DataflowError::Deadlock {
+                at_cycle: now,
+                stuck_tasks: net
+                    .tasks()
+                    .iter()
+                    .zip(&tasks)
+                    .filter(|(_, s)| s.started < tokens)
+                    .map(|(t, _)| t.name.clone())
+                    .collect(),
+            });
+        };
+        // Coalesce same-time events.
+        while let Some(Ev(t2)) = events.peek() {
+            if *t2 == t {
+                events.pop();
+            } else {
+                break;
+            }
+        }
+        now = t;
+
+        // Apply matured releases / finishes / token arrivals.
+        releases.retain(|&(rt, c)| {
+            if rt <= now {
+                channels[c].occupancy -= 1;
+                false
+            } else {
+                true
+            }
+        });
+        finishes.retain(|&(ft, tid)| {
+            if ft <= now {
+                tasks[tid].finished += 1;
+                tasks[tid].last_finish = tasks[tid].last_finish.max(ft);
+                total_done += 1;
+                false
+            } else {
+                true
+            }
+        });
+        ready_pushes.retain(|&(rt, c)| {
+            if rt <= now {
+                channels[c].queue.push_back(rt);
+                false
+            } else {
+                true
+            }
+        });
+
+        // Greedily start every task that can run at `now`; repeat until a
+        // fixed point (a start may free an input slot for an upstream
+        // task at the same cycle).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (tid, spec) in net.tasks().iter().enumerate() {
+                let st = &tasks[tid];
+                if st.started >= tokens || st.next_allowed_start > now {
+                    continue;
+                }
+                // Inputs ready?
+                let inputs_ready = spec
+                    .inputs
+                    .iter()
+                    .all(|&c| channels[c].queue.front().is_some_and(|&rt| rt <= now));
+                // Output space?
+                let outputs_free = spec
+                    .outputs
+                    .iter()
+                    .all(|&c| channels[c].occupancy < net.channels()[c].capacity);
+                if !(inputs_ready && outputs_free) {
+                    if tasks[tid].ready_since.is_none() {
+                        tasks[tid].ready_since = Some(now);
+                    }
+                    continue;
+                }
+                // Start token.
+                let st = &mut tasks[tid];
+                if let Some(since) = st.ready_since.take() {
+                    st.stall += now - since;
+                }
+                let token = st.started;
+                st.started += 1;
+                st.first_start = st.first_start.min(now);
+                st.next_allowed_start = now + spec.ii;
+                events.push(Ev(st.next_allowed_start));
+                let finish = now + spec.latency;
+                finishes.push((finish, tid));
+                events.push(Ev(finish));
+                if trace_on {
+                    trace.push(TraceEvent {
+                        task: tid,
+                        token,
+                        start: now,
+                        finish,
+                    });
+                }
+                // Consume inputs.
+                for &c in &spec.inputs {
+                    channels[c].queue.pop_front();
+                    channels[c].transferred += 1;
+                    match net.channels()[c].kind {
+                        ChannelKind::Fifo => {
+                            // Slot frees immediately at consumer start.
+                            channels[c].occupancy -= 1;
+                        }
+                        ChannelKind::Pipo => {
+                            // Slot held until the consumer finishes.
+                            releases.push((finish, c));
+                        }
+                    }
+                }
+                // Reserve outputs; data ready at finish.
+                for &c in &spec.outputs {
+                    channels[c].occupancy += 1;
+                    channels[c].peak = channels[c].peak.max(channels[c].occupancy);
+                    ready_pushes.push((finish, c));
+                }
+                changed = true;
+            }
+        }
+    }
+
+    let makespan = tasks.iter().map(|t| t.last_finish).max().unwrap_or(0);
+    Ok(SimulationReport {
+        makespan,
+        task_stats: net
+            .tasks()
+            .iter()
+            .zip(&tasks)
+            .map(|(spec, st)| TaskStats {
+                name: spec.name.clone(),
+                invocations: st.started,
+                first_start: if st.first_start == u64::MAX {
+                    0
+                } else {
+                    st.first_start
+                },
+                last_finish: st.last_finish,
+                stall_cycles: st.stall,
+            })
+            .collect(),
+        channel_stats: net
+            .channels()
+            .iter()
+            .zip(&channels)
+            .map(|(spec, st)| ChannelStats {
+                name: spec.name.clone(),
+                peak_occupancy: st.peak,
+                tokens_transferred: st.transferred,
+            })
+            .collect(),
+        trace,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{ChannelKind, NetworkBuilder};
+    use proptest::prelude::*;
+
+    fn chain(iis: &[u64], lats: &[u64], cap: usize, kind: ChannelKind, tokens: u64) -> Network {
+        let mut b = NetworkBuilder::new();
+        let n = iis.len();
+        let mut chans = Vec::new();
+        for i in 0..n - 1 {
+            chans.push(b.channel(format!("c{i}"), cap, kind));
+        }
+        for i in 0..n {
+            let inputs = if i == 0 { vec![] } else { vec![chans[i - 1]] };
+            let outputs = if i + 1 == n { vec![] } else { vec![chans[i]] };
+            b.task(format!("t{i}"), iis[i], lats[i], inputs, outputs);
+        }
+        b.build(tokens).unwrap()
+    }
+
+    #[test]
+    fn single_task_timing_is_exact() {
+        let net = chain(&[3], &[10], 2, ChannelKind::Fifo, 100);
+        let r = simulate(&net).unwrap();
+        // starts at 0, 3, 6, ..., 297; finish = 297 + 10.
+        assert_eq!(r.makespan, 3 * 99 + 10);
+        assert_eq!(r.task_stats[0].invocations, 100);
+        assert_eq!(r.task_stats[0].stall_cycles, 0);
+    }
+
+    #[test]
+    fn bottleneck_sets_steady_state_rate() {
+        let net = chain(&[2, 11, 3], &[5, 30, 7], 4, ChannelKind::Fifo, 500);
+        let r = simulate(&net).unwrap();
+        let ii = r.observed_ii(500);
+        assert!(
+            (ii - 11.0).abs() < 0.2,
+            "observed II {ii}, expected ~11 (bottleneck)"
+        );
+        // Makespan ≈ fill + 11·(N−1).
+        let fill: u64 = 5 + 30 + 7;
+        let expect = fill + 11 * 499;
+        assert!(
+            (r.makespan as i64 - expect as i64).unsigned_abs() < 40,
+            "makespan {} vs expected ≈{expect}",
+            r.makespan
+        );
+    }
+
+    #[test]
+    fn fifo_vs_pipo_backpressure() {
+        // Slow consumer with capacity-1 channels: PIPO holds its slot
+        // through execution so the producer is throttled harder.
+        let fifo = chain(&[1, 10], &[2, 10], 1, ChannelKind::Fifo, 200);
+        let pipo = chain(&[1, 10], &[2, 10], 1, ChannelKind::Pipo, 200);
+        let rf = simulate(&fifo).unwrap();
+        let rp = simulate(&pipo).unwrap();
+        assert!(
+            rp.makespan >= rf.makespan,
+            "pipo {} must not beat fifo {}",
+            rp.makespan,
+            rf.makespan
+        );
+        // With capacity 2 (double buffering) PIPO recovers the FIFO rate.
+        let pipo2 = chain(&[1, 10], &[2, 10], 2, ChannelKind::Pipo, 200);
+        let rp2 = simulate(&pipo2).unwrap();
+        assert!(
+            (rp2.observed_ii(200) - rf.observed_ii(200)).abs() < 0.5,
+            "double-buffered PIPO should match FIFO"
+        );
+    }
+
+    #[test]
+    fn stalls_are_attributed_to_the_starved_task() {
+        // Fast downstream task starved by a slow producer.
+        let net = chain(&[20, 1], &[5, 2], 2, ChannelKind::Fifo, 50);
+        let r = simulate(&net).unwrap();
+        assert_eq!(r.task_stats[0].stall_cycles, 0);
+        assert!(r.task_stats[1].stall_cycles > 0);
+    }
+
+    #[test]
+    fn channel_stats_are_recorded() {
+        let net = chain(&[1, 5], &[2, 5], 3, ChannelKind::Fifo, 100);
+        let r = simulate(&net).unwrap();
+        assert_eq!(r.channel_stats[0].tokens_transferred, 100);
+        assert!(r.channel_stats[0].peak_occupancy >= 1);
+        assert!(r.channel_stats[0].peak_occupancy <= 3);
+    }
+
+    #[test]
+    fn trace_records_all_invocations() {
+        let net = chain(&[2, 3], &[4, 4], 2, ChannelKind::Fifo, 25);
+        let r = simulate_with_trace(&net, true).unwrap();
+        assert_eq!(r.trace.len(), 50);
+        // Token order per task is monotone.
+        for tid in 0..2 {
+            let starts: Vec<u64> = r
+                .trace
+                .iter()
+                .filter(|e| e.task == tid)
+                .map(|e| e.start)
+                .collect();
+            assert!(starts.windows(2).all(|w| w[0] < w[1]));
+        }
+        // A token is consumed only after it was produced.
+        for e in r.trace.iter().filter(|e| e.task == 1) {
+            let produced = r
+                .trace
+                .iter()
+                .find(|p| p.task == 0 && p.token == e.token)
+                .unwrap();
+            assert!(e.start >= produced.finish);
+        }
+    }
+
+    #[test]
+    fn fan_out_fan_in_diamond() {
+        // a → (b, c) → d : two parallel branches, no SPSC violation
+        // because each branch has its own channels.
+        let mut bld = NetworkBuilder::new();
+        let ab = bld.channel("ab", 2, ChannelKind::Fifo);
+        let ac = bld.channel("ac", 2, ChannelKind::Fifo);
+        let bd = bld.channel("bd", 2, ChannelKind::Fifo);
+        let cd = bld.channel("cd", 2, ChannelKind::Fifo);
+        bld.task("a", 2, 3, vec![], vec![ab, ac]);
+        bld.task("b", 5, 9, vec![ab], vec![bd]);
+        bld.task("c", 7, 8, vec![ac], vec![cd]);
+        bld.task("d", 2, 4, vec![bd, cd], vec![]);
+        let net = bld.build(300).unwrap();
+        let r = simulate(&net).unwrap();
+        // Bottleneck is c (II 7).
+        assert!((r.observed_ii(300) - 7.0).abs() < 0.2);
+        assert_eq!(r.task_stats[3].invocations, 300);
+    }
+
+    proptest! {
+        /// Makespan is bounded below by the bottleneck and above by fully
+        /// sequential execution.
+        #[test]
+        fn prop_makespan_bounds(
+            iis in proptest::collection::vec(1u64..20, 2..5),
+            cap in 1usize..4,
+            tokens in 1u64..200,
+        ) {
+            let lats: Vec<u64> = iis.iter().map(|&ii| ii + 5).collect();
+            let net = chain(&iis, &lats, cap, ChannelKind::Fifo, tokens);
+            let r = simulate(&net).unwrap();
+            let bottleneck = *iis.iter().max().unwrap();
+            let lower = bottleneck * (tokens - 1);
+            let upper: u64 = tokens * lats.iter().sum::<u64>() + 100;
+            prop_assert!(r.makespan >= lower, "{} < {lower}", r.makespan);
+            prop_assert!(r.makespan <= upper, "{} > {upper}", r.makespan);
+        }
+
+        /// Larger channel capacity never slows the pipeline down.
+        #[test]
+        fn prop_capacity_monotone(
+            iis in proptest::collection::vec(1u64..16, 2..5),
+            tokens in 1u64..150,
+        ) {
+            let lats: Vec<u64> = iis.iter().map(|&ii| ii * 2 + 3).collect();
+            let small = simulate(&chain(&iis, &lats, 1, ChannelKind::Pipo, tokens)).unwrap();
+            let large = simulate(&chain(&iis, &lats, 4, ChannelKind::Pipo, tokens)).unwrap();
+            prop_assert!(large.makespan <= small.makespan);
+        }
+
+        /// Every task processes every token exactly once.
+        #[test]
+        fn prop_all_tokens_processed(
+            iis in proptest::collection::vec(1u64..10, 1..5),
+            tokens in 1u64..100,
+        ) {
+            let lats: Vec<u64> = iis.iter().map(|&ii| ii + 2).collect();
+            let net = chain(&iis, &lats, 2, ChannelKind::Fifo, tokens);
+            let r = simulate(&net).unwrap();
+            for t in &r.task_stats {
+                prop_assert_eq!(t.invocations, tokens);
+            }
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! The kernel intermediate representation.
+//!
+//! A [`Kernel`] is the model of one HLS top function (one accelerator
+//! task): arrays (on-chip memories or `m_axi` ports), and a forest of
+//! [`Loop`] nests whose bodies are summarized as typed operation counts
+//! and memory access counts per iteration — exactly the information the
+//! Vitis scheduler uses to derive initiation intervals and resource
+//! binding.
+
+use crate::ops::{DataType, OpKind};
+use crate::HlsError;
+use std::collections::BTreeMap;
+
+/// On-chip storage binding of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StorageKind {
+    /// Let the tool decide (modeled as BRAM).
+    Auto,
+    /// 18Kb block RAM.
+    Bram,
+    /// 288Kb UltraRAM (the paper's design uses URAM for matrices that
+    /// exceed BRAM capacity, §III-D).
+    Uram,
+    /// Distributed LUT RAM.
+    Lutram,
+}
+
+/// Array partitioning directive (`#pragma HLS array_partition`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Partition {
+    /// Single memory, two ports.
+    None,
+    /// Fully dissolved into registers.
+    Complete,
+    /// `factor` banks, elements striped round-robin.
+    Cyclic(u32),
+    /// `factor` banks, contiguous blocks.
+    Block(u32),
+}
+
+impl Partition {
+    /// Number of independent banks this partitioning yields for an array
+    /// of `elems` elements (`Complete` → one per element).
+    pub fn banks(self, elems: usize) -> usize {
+        match self {
+            Partition::None => 1,
+            Partition::Complete => elems.max(1),
+            Partition::Cyclic(f) | Partition::Block(f) => (f as usize).max(1),
+        }
+    }
+
+    /// Concurrent port count available to a pipelined loop body
+    /// (`None` when unlimited, i.e. registers).
+    pub fn ports(self, elems: usize) -> Option<u64> {
+        match self {
+            Partition::Complete => None,
+            _ => Some(2 * self.banks(elems) as u64),
+        }
+    }
+}
+
+/// Where an array lives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrayKind {
+    /// On the programmable logic (BRAM/URAM/LUTRAM/registers).
+    OnChip {
+        /// Storage binding.
+        storage: StorageKind,
+        /// Partitioning directive.
+        partition: Partition,
+    },
+    /// Behind an `m_axi` interface bundle (off-chip DDR).
+    Axi {
+        /// The bundle (`gmem_1`, ... in the paper's Fig 4) this port maps
+        /// to. Arrays sharing a bundle contend for its data path.
+        bundle: String,
+    },
+}
+
+/// An array declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArrayDecl {
+    /// Array name (unique within the kernel).
+    pub name: String,
+    /// Element count.
+    pub elems: usize,
+    /// Element type.
+    pub dtype: DataType,
+    /// Placement.
+    pub kind: ArrayKind,
+}
+
+/// Typed operation count inside one loop iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpCount {
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Operand type.
+    pub dtype: DataType,
+    /// Occurrences per iteration.
+    pub count: u64,
+}
+
+impl OpCount {
+    /// Convenience constructor.
+    pub fn new(kind: OpKind, dtype: DataType, count: u64) -> Self {
+        OpCount { kind, dtype, count }
+    }
+}
+
+/// A memory access count inside one loop iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Target array.
+    pub array: String,
+    /// Accesses per iteration.
+    pub count: u64,
+    /// Write (true) or read (false).
+    pub write: bool,
+}
+
+/// A loop-carried dependence: a value produced in iteration `i` is needed
+/// in iteration `i + distance` after `latency` cycles of computation.
+/// Bounds the initiation interval from below by `⌈latency/distance⌉`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CarriedDep {
+    /// Cycles of computation on the dependence cycle.
+    pub latency: u32,
+    /// Iteration distance.
+    pub distance: u32,
+    /// What carries the dependence (for diagnostics).
+    pub through: String,
+}
+
+/// A counted loop with directives and a summarized body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    /// Unique label (used to address directives).
+    pub label: String,
+    /// Trip count.
+    pub trip_count: u64,
+    /// Pipeline directive: target II.
+    pub pipeline: Option<u32>,
+    /// Unroll factor (`Some(trip_count)` = complete unroll).
+    pub unroll: Option<u32>,
+    /// Straight-line ops per iteration (excluding inner loops).
+    pub ops: Vec<OpCount>,
+    /// Memory accesses per iteration (excluding inner loops).
+    pub accesses: Vec<MemAccess>,
+    /// Loop-carried dependences.
+    pub deps: Vec<CarriedDep>,
+    /// Nested loops, executed sequentially inside each iteration.
+    pub inner: Vec<Loop>,
+    /// Optional explicit pipeline-depth estimate (cycles); when absent the
+    /// scheduler derives one from the op latencies.
+    pub depth_hint: Option<u32>,
+}
+
+impl Loop {
+    /// Whether every iteration is materialized in parallel hardware.
+    pub fn is_fully_unrolled(&self) -> bool {
+        self.unroll == Some(self.trip_count as u32) || self.trip_count <= 1
+    }
+
+    /// Depth-first traversal of this loop and its nest.
+    pub fn walk<'a>(&'a self, out: &mut Vec<&'a Loop>) {
+        out.push(self);
+        for l in &self.inner {
+            l.walk(out);
+        }
+    }
+
+    fn walk_mut<'a>(&'a mut self, label: &str) -> Option<&'a mut Loop> {
+        if self.label == label {
+            return Some(self);
+        }
+        for l in &mut self.inner {
+            if let Some(found) = l.walk_mut(label) {
+                return Some(found);
+            }
+        }
+        None
+    }
+}
+
+/// Fluent builder for [`Loop`].
+///
+/// # Example
+///
+/// ```
+/// use hls_kernel::ir::{LoopBuilder, OpCount};
+/// use hls_kernel::ops::{DataType, OpKind};
+///
+/// let inner = LoopBuilder::new("inner", 8)
+///     .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 2)])
+///     .unroll_complete()
+///     .build();
+/// let outer = LoopBuilder::new("outer", 4096)
+///     .nest(inner)
+///     .pipeline(1)
+///     .build();
+/// assert_eq!(outer.inner.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoopBuilder {
+    lp: Loop,
+}
+
+impl LoopBuilder {
+    /// Starts a loop with `label` and `trip_count`.
+    pub fn new(label: impl Into<String>, trip_count: u64) -> Self {
+        LoopBuilder {
+            lp: Loop {
+                label: label.into(),
+                trip_count,
+                pipeline: None,
+                unroll: None,
+                ops: Vec::new(),
+                accesses: Vec::new(),
+                deps: Vec::new(),
+                inner: Vec::new(),
+                depth_hint: None,
+            },
+        }
+    }
+
+    /// Adds straight-line ops per iteration.
+    pub fn ops(mut self, ops: Vec<OpCount>) -> Self {
+        self.lp.ops.extend(ops);
+        self
+    }
+
+    /// Adds `count` reads per iteration from `array`.
+    pub fn reads(mut self, array: impl Into<String>, count: u64) -> Self {
+        self.lp.accesses.push(MemAccess {
+            array: array.into(),
+            count,
+            write: false,
+        });
+        self
+    }
+
+    /// Adds `count` writes per iteration to `array`.
+    pub fn writes(mut self, array: impl Into<String>, count: u64) -> Self {
+        self.lp.accesses.push(MemAccess {
+            array: array.into(),
+            count,
+            write: true,
+        });
+        self
+    }
+
+    /// Declares a loop-carried dependence.
+    pub fn carried_dep(mut self, latency: u32, distance: u32, through: impl Into<String>) -> Self {
+        self.lp.deps.push(CarriedDep {
+            latency,
+            distance,
+            through: through.into(),
+        });
+        self
+    }
+
+    /// Requests pipelining with a target II.
+    pub fn pipeline(mut self, target_ii: u32) -> Self {
+        self.lp.pipeline = Some(target_ii.max(1));
+        self
+    }
+
+    /// Requests partial unrolling.
+    pub fn unroll(mut self, factor: u32) -> Self {
+        self.lp.unroll = Some(factor.max(1));
+        self
+    }
+
+    /// Requests complete unrolling.
+    pub fn unroll_complete(mut self) -> Self {
+        self.lp.unroll = Some(self.lp.trip_count as u32);
+        self
+    }
+
+    /// Nests an inner loop.
+    pub fn nest(mut self, inner: Loop) -> Self {
+        self.lp.inner.push(inner);
+        self
+    }
+
+    /// Sets an explicit pipeline-depth estimate.
+    pub fn depth_hint(mut self, cycles: u32) -> Self {
+        self.lp.depth_hint = Some(cycles);
+        self
+    }
+
+    /// Finishes the loop.
+    pub fn build(self) -> Loop {
+        self.lp
+    }
+}
+
+/// One HLS top function (accelerator task).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Kernel {
+    name: String,
+    arrays: BTreeMap<String, ArrayDecl>,
+    body: Vec<Loop>,
+}
+
+impl Kernel {
+    /// Creates an empty kernel.
+    pub fn new(name: impl Into<String>) -> Self {
+        Kernel {
+            name: name.into(),
+            arrays: BTreeMap::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declares an on-chip array (auto storage, no partitioning).
+    ///
+    /// # Errors
+    ///
+    /// [`HlsError::DuplicateName`] if the name is taken.
+    pub fn add_array(
+        &mut self,
+        name: impl Into<String>,
+        elems: usize,
+        dtype: DataType,
+    ) -> Result<(), HlsError> {
+        let name = name.into();
+        self.insert_array(ArrayDecl {
+            name,
+            elems,
+            dtype,
+            kind: ArrayKind::OnChip {
+                storage: StorageKind::Auto,
+                partition: Partition::None,
+            },
+        })
+    }
+
+    /// Declares an array behind an `m_axi` bundle (the paper's
+    /// `#pragma HLS interface mode=m_axi bundle=...`, Fig 4).
+    ///
+    /// # Errors
+    ///
+    /// [`HlsError::DuplicateName`] if the name is taken.
+    pub fn add_axi_array(
+        &mut self,
+        name: impl Into<String>,
+        elems: usize,
+        dtype: DataType,
+        bundle: impl Into<String>,
+    ) -> Result<(), HlsError> {
+        let name = name.into();
+        self.insert_array(ArrayDecl {
+            name,
+            elems,
+            dtype,
+            kind: ArrayKind::Axi {
+                bundle: bundle.into(),
+            },
+        })
+    }
+
+    fn insert_array(&mut self, decl: ArrayDecl) -> Result<(), HlsError> {
+        if self.arrays.contains_key(&decl.name) {
+            return Err(HlsError::DuplicateName(decl.name));
+        }
+        self.arrays.insert(decl.name.clone(), decl);
+        Ok(())
+    }
+
+    /// All declared arrays (sorted by name).
+    pub fn arrays(&self) -> impl Iterator<Item = &ArrayDecl> {
+        self.arrays.values()
+    }
+
+    /// Looks up one array.
+    pub fn array(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.get(name)
+    }
+
+    /// Mutable access to one array declaration (directive application).
+    pub fn array_mut(&mut self, name: &str) -> Option<&mut ArrayDecl> {
+        self.arrays.get_mut(name)
+    }
+
+    /// Distinct AXI bundles referenced by the kernel's arrays.
+    pub fn bundles(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = self
+            .arrays
+            .values()
+            .filter_map(|a| match &a.kind {
+                ArrayKind::Axi { bundle } => Some(bundle.as_str()),
+                _ => None,
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Appends a top-level loop (top-level loops run sequentially).
+    pub fn push_loop(&mut self, lp: Loop) {
+        self.body.push(lp);
+    }
+
+    /// Top-level loops.
+    pub fn body(&self) -> &[Loop] {
+        &self.body
+    }
+
+    /// Mutable access to the top-level loops (crate-internal; directive
+    /// passes use this).
+    pub(crate) fn body_mut(&mut self) -> &mut Vec<Loop> {
+        &mut self.body
+    }
+
+    /// All loops, depth-first.
+    pub fn loops(&self) -> Vec<&Loop> {
+        let mut out = Vec::new();
+        for l in &self.body {
+            l.walk(&mut out);
+        }
+        out
+    }
+
+    /// Finds a loop by label.
+    pub fn find_loop_mut(&mut self, label: &str) -> Option<&mut Loop> {
+        for l in &mut self.body {
+            if let Some(f) = l.walk_mut(label) {
+                return Some(f);
+            }
+        }
+        None
+    }
+
+    /// Validates internal consistency: unique loop labels, every access
+    /// targets a declared array, positive trip counts, unroll factors
+    /// divide trip counts.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, as an [`HlsError`].
+    pub fn validate(&self) -> Result<(), HlsError> {
+        let loops = self.loops();
+        let mut labels = std::collections::BTreeSet::new();
+        for l in &loops {
+            if !labels.insert(l.label.as_str()) {
+                return Err(HlsError::DuplicateName(l.label.clone()));
+            }
+            if l.trip_count == 0 {
+                return Err(HlsError::InvalidDirective(format!(
+                    "loop `{}` has zero trip count",
+                    l.label
+                )));
+            }
+            if let Some(f) = l.unroll {
+                if f == 0 || l.trip_count % f as u64 != 0 {
+                    return Err(HlsError::UnrollMismatch {
+                        label: l.label.clone(),
+                        factor: f,
+                        trip: l.trip_count,
+                    });
+                }
+            }
+            for a in &l.accesses {
+                if !self.arrays.contains_key(&a.array) {
+                    return Err(HlsError::UnknownName(a.array.clone()));
+                }
+            }
+            for d in &l.deps {
+                if d.distance == 0 {
+                    return Err(HlsError::InvalidDirective(format!(
+                        "dependence through `{}` has zero distance",
+                        d.through
+                    )));
+                }
+            }
+        }
+        for a in self.arrays.values() {
+            if let ArrayKind::OnChip { partition, .. } = &a.kind {
+                if let Partition::Cyclic(0) | Partition::Block(0) = partition {
+                    return Err(HlsError::InvalidDirective(format!(
+                        "array `{}` has zero partition factor",
+                        a.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_kernel() -> Kernel {
+        let mut k = Kernel::new("k");
+        k.add_array("buf", 256, DataType::F64).unwrap();
+        k.add_axi_array("x", 4096, DataType::F64, "gmem_0").unwrap();
+        let inner = LoopBuilder::new("inner", 8)
+            .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 3)])
+            .reads("buf", 2)
+            .build();
+        let outer = LoopBuilder::new("outer", 512)
+            .reads("x", 1)
+            .nest(inner)
+            .build();
+        k.push_loop(outer);
+        k
+    }
+
+    #[test]
+    fn arrays_and_bundles() {
+        let k = simple_kernel();
+        assert_eq!(k.arrays().count(), 2);
+        assert_eq!(k.bundles(), vec!["gmem_0"]);
+        assert!(k.array("buf").is_some());
+        assert!(k.array("nope").is_none());
+    }
+
+    #[test]
+    fn duplicate_array_rejected() {
+        let mut k = Kernel::new("k");
+        k.add_array("a", 1, DataType::F32).unwrap();
+        assert!(matches!(
+            k.add_array("a", 2, DataType::F32),
+            Err(HlsError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn loop_lookup_and_walk() {
+        let mut k = simple_kernel();
+        assert_eq!(k.loops().len(), 2);
+        assert!(k.find_loop_mut("inner").is_some());
+        assert!(k.find_loop_mut("outer").is_some());
+        assert!(k.find_loop_mut("ghost").is_none());
+    }
+
+    #[test]
+    fn validation_catches_problems() {
+        let k = simple_kernel();
+        assert!(k.validate().is_ok());
+
+        let mut bad = simple_kernel();
+        bad.push_loop(LoopBuilder::new("outer", 4).build()); // duplicate label
+        assert!(matches!(
+            bad.validate(),
+            Err(HlsError::DuplicateName(_))
+        ));
+
+        let mut bad = simple_kernel();
+        bad.push_loop(LoopBuilder::new("l2", 10).unroll(3).build());
+        assert!(matches!(
+            bad.validate(),
+            Err(HlsError::UnrollMismatch { .. })
+        ));
+
+        let mut bad = simple_kernel();
+        bad.push_loop(LoopBuilder::new("l3", 4).reads("ghost", 1).build());
+        assert!(matches!(bad.validate(), Err(HlsError::UnknownName(_))));
+
+        let mut bad = simple_kernel();
+        bad.push_loop(LoopBuilder::new("l4", 4).carried_dep(10, 0, "acc").build());
+        assert!(matches!(bad.validate(), Err(HlsError::InvalidDirective(_))));
+    }
+
+    #[test]
+    fn partition_bank_math() {
+        assert_eq!(Partition::None.banks(100), 1);
+        assert_eq!(Partition::Cyclic(4).banks(100), 4);
+        assert_eq!(Partition::Complete.banks(100), 100);
+        assert_eq!(Partition::None.ports(100), Some(2));
+        assert_eq!(Partition::Block(8).ports(100), Some(16));
+        assert_eq!(Partition::Complete.ports(100), None);
+    }
+
+    #[test]
+    fn fully_unrolled_detection() {
+        let l = LoopBuilder::new("l", 8).unroll_complete().build();
+        assert!(l.is_fully_unrolled());
+        let l = LoopBuilder::new("l", 8).unroll(4).build();
+        assert!(!l.is_fully_unrolled());
+        let l = LoopBuilder::new("l", 1).build();
+        assert!(l.is_fully_unrolled());
+    }
+}

@@ -1,0 +1,112 @@
+//! High-Level Synthesis kernel model: loop-nest IR, modulo scheduling,
+//! directives, and resource estimation.
+//!
+//! The paper designs its accelerator with Vitis HLS 2021.1 and tunes it
+//! through three directive families (§III-D): loop **pipelining**, loop
+//! **unrolling**, and **array partitioning**, plus `m_axi` interface
+//! bundling for off-chip parallelism (§III-C). This crate models how those
+//! directives turn a C-like loop nest into hardware:
+//!
+//! * [`ir`] — the kernel intermediate representation: typed operation
+//!   bundles, arrays with storage/partitioning, AXI bundles, loop nests.
+//! * [`ops`] — latency and resource profiles of floating-point operators
+//!   (UltraScale+-class numbers).
+//! * [`schedule`] — the initiation-interval model
+//!   `II = max(target, RecMII, MemMII, AxiMII)` and loop-nest latency
+//!   computation, mirroring Vitis behaviour (pipelining an outer loop
+//!   requires fully unrolled inner loops, §III-B).
+//! * [`resources`] — LUT/FF/DSP/BRAM/URAM estimation from the schedule.
+//! * [`directives`] — programmatic directive application, including the
+//!   Vitis default optimization recipe the paper benchmarks against
+//!   (`config_compile -pipeline_loops`, trip-count-threshold unrolling,
+//!   small-array complete partitioning, §IV-A).
+//!
+//! # Example
+//!
+//! ```
+//! use hls_kernel::ir::{Kernel, LoopBuilder, OpCount};
+//! use hls_kernel::ops::{DataType, OpKind};
+//! use hls_kernel::schedule::schedule_kernel;
+//!
+//! let mut k = Kernel::new("saxpy");
+//! k.add_array("x", 1024, DataType::F32).unwrap();
+//! let body = LoopBuilder::new("main", 1024)
+//!     .ops(vec![
+//!         OpCount::new(OpKind::Mul, DataType::F32, 1),
+//!         OpCount::new(OpKind::Add, DataType::F32, 1),
+//!     ])
+//!     .reads("x", 1)
+//!     .writes("x", 1)
+//!     .pipeline(1)
+//!     .build();
+//! k.push_loop(body);
+//! let schedule = schedule_kernel(&k).unwrap();
+//! assert!(schedule.total_latency_cycles >= 1024);
+//! ```
+
+#![deny(missing_docs)]
+
+pub mod codegen;
+pub mod directives;
+pub mod ir;
+pub mod ops;
+pub mod report;
+pub mod resources;
+pub mod schedule;
+
+pub use ir::{Kernel, Loop, LoopBuilder, OpCount};
+pub use ops::{DataType, OpKind};
+pub use resources::ResourceUsage;
+pub use schedule::{schedule_kernel, KernelSchedule};
+
+/// Errors produced by the HLS model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HlsError {
+    /// A name (array, loop label, bundle) was declared twice.
+    DuplicateName(String),
+    /// A statement references an undeclared array or bundle.
+    UnknownName(String),
+    /// A directive parameter is invalid (zero factor, zero II, ...).
+    InvalidDirective(String),
+    /// A loop marked for pipelining contains an inner loop that is not
+    /// fully unrolled — Vitis cannot pipeline across it (§III-B).
+    PipelineAcrossLoop {
+        /// The pipelined outer loop.
+        outer: String,
+        /// The blocking inner loop.
+        inner: String,
+    },
+    /// An unroll factor does not divide the loop trip count.
+    UnrollMismatch {
+        /// The loop label.
+        label: String,
+        /// The requested factor.
+        factor: u32,
+        /// The loop trip count.
+        trip: u64,
+    },
+}
+
+impl std::fmt::Display for HlsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HlsError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            HlsError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            HlsError::InvalidDirective(msg) => write!(f, "invalid directive: {msg}"),
+            HlsError::PipelineAcrossLoop { outer, inner } => write!(
+                f,
+                "cannot pipeline loop `{outer}`: inner loop `{inner}` is not fully unrolled"
+            ),
+            HlsError::UnrollMismatch {
+                label,
+                factor,
+                trip,
+            } => write!(
+                f,
+                "unroll factor {factor} does not divide trip count {trip} of loop `{label}`"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for HlsError {}

@@ -1,0 +1,161 @@
+//! Operator latency and resource profiles.
+//!
+//! Per-operator implementation costs of the Vitis HLS floating-point
+//! operator library on an UltraScale+ device (Alveo U200 class), at a
+//! 300 MHz-ish target clock. Exact numbers vary with core configuration;
+//! these are representative of the medium-latency fully-pipelined cores
+//! and drive both the initiation-interval model and the resource
+//! estimator.
+
+/// Scalar datatype of an operation or array element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DataType {
+    /// IEEE-754 single precision.
+    F32,
+    /// IEEE-754 double precision.
+    F64,
+    /// 32-bit integer (indices, counters).
+    U32,
+    /// 64-bit integer.
+    U64,
+}
+
+impl DataType {
+    /// Width in bits.
+    pub fn bits(self) -> u32 {
+        match self {
+            DataType::F32 | DataType::U32 => 32,
+            DataType::F64 | DataType::U64 => 64,
+        }
+    }
+}
+
+/// Kinds of arithmetic operations the kernels perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Addition / subtraction.
+    Add,
+    /// Multiplication.
+    Mul,
+    /// Fused multiply-add (counted as one op).
+    MulAdd,
+    /// Division.
+    Div,
+    /// Square root.
+    Sqrt,
+    /// Comparison / select / integer glue.
+    Logic,
+}
+
+impl OpKind {
+    /// All modeled op kinds.
+    pub const ALL: [OpKind; 6] = [
+        OpKind::Add,
+        OpKind::Mul,
+        OpKind::MulAdd,
+        OpKind::Div,
+        OpKind::Sqrt,
+        OpKind::Logic,
+    ];
+}
+
+/// Implementation cost of one operator instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpProfile {
+    /// Pipeline latency in cycles (fully pipelined: II=1 per instance).
+    pub latency: u32,
+    /// DSP48 slices.
+    pub dsp: u32,
+    /// Lookup tables.
+    pub lut: u32,
+    /// Flip-flops.
+    pub ff: u32,
+}
+
+/// Cost profile of `kind` at `dtype`.
+///
+/// # Example
+///
+/// ```
+/// use hls_kernel::ops::{op_profile, DataType, OpKind};
+/// let f64_mul = op_profile(OpKind::Mul, DataType::F64);
+/// let f32_mul = op_profile(OpKind::Mul, DataType::F32);
+/// assert!(f64_mul.dsp > f32_mul.dsp);
+/// ```
+pub fn op_profile(kind: OpKind, dtype: DataType) -> OpProfile {
+    use DataType::*;
+    use OpKind::*;
+    match (kind, dtype) {
+        (Add, F32) => OpProfile { latency: 7, dsp: 2, lut: 214, ff: 324 },
+        (Add, F64) => OpProfile { latency: 7, dsp: 3, lut: 654, ff: 800 },
+        (Mul, F32) => OpProfile { latency: 4, dsp: 3, lut: 135, ff: 252 },
+        (Mul, F64) => OpProfile { latency: 7, dsp: 11, lut: 285, ff: 588 },
+        (MulAdd, F32) => OpProfile { latency: 9, dsp: 5, lut: 349, ff: 576 },
+        (MulAdd, F64) => OpProfile { latency: 12, dsp: 14, lut: 939, ff: 1388 },
+        (Div, F32) => OpProfile { latency: 15, dsp: 0, lut: 792, ff: 1446 },
+        (Div, F64) => OpProfile { latency: 30, dsp: 0, lut: 3247, ff: 6266 },
+        (Sqrt, F32) => OpProfile { latency: 16, dsp: 0, lut: 458, ff: 810 },
+        (Sqrt, F64) => OpProfile { latency: 30, dsp: 0, lut: 1799, ff: 3554 },
+        (Logic, F32 | U32) => OpProfile { latency: 1, dsp: 0, lut: 32, ff: 32 },
+        (Logic, F64 | U64) => OpProfile { latency: 1, dsp: 0, lut: 64, ff: 64 },
+        // Integer arithmetic maps onto fabric adders / DSP multipliers.
+        (Add, U32) => OpProfile { latency: 1, dsp: 0, lut: 32, ff: 32 },
+        (Add, U64) => OpProfile { latency: 2, dsp: 0, lut: 64, ff: 64 },
+        (Mul, U32) => OpProfile { latency: 3, dsp: 3, lut: 20, ff: 60 },
+        (Mul, U64) => OpProfile { latency: 5, dsp: 10, lut: 40, ff: 160 },
+        (MulAdd, U32) => OpProfile { latency: 4, dsp: 3, lut: 52, ff: 92 },
+        (MulAdd, U64) => OpProfile { latency: 6, dsp: 10, lut: 104, ff: 224 },
+        (Div, U32) => OpProfile { latency: 34, dsp: 0, lut: 600, ff: 1200 },
+        (Div, U64) => OpProfile { latency: 66, dsp: 0, lut: 1800, ff: 3600 },
+        (Sqrt, U32) => OpProfile { latency: 17, dsp: 0, lut: 450, ff: 800 },
+        (Sqrt, U64) => OpProfile { latency: 33, dsp: 0, lut: 1750, ff: 3500 },
+    }
+}
+
+/// Round-trip latency (cycles) of an AXI read over the platform
+/// interconnect before burst pipelining hides it.
+pub const AXI_READ_LATENCY: u32 = 30;
+
+/// Cycles per data beat on an AXI interface once a burst is streaming.
+pub const AXI_BEAT_CYCLES: u32 = 1;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_are_defined_and_sane() {
+        for kind in OpKind::ALL {
+            for dtype in [DataType::F32, DataType::F64, DataType::U32, DataType::U64] {
+                let p = op_profile(kind, dtype);
+                assert!(p.latency >= 1, "{kind:?}/{dtype:?}");
+                assert!(p.lut + p.ff + p.dsp > 0, "{kind:?}/{dtype:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn f64_costs_dominate_f32() {
+        for kind in [OpKind::Add, OpKind::Mul, OpKind::MulAdd, OpKind::Div, OpKind::Sqrt] {
+            let a = op_profile(kind, DataType::F32);
+            let b = op_profile(kind, DataType::F64);
+            assert!(b.latency >= a.latency, "{kind:?} latency");
+            assert!(b.lut >= a.lut, "{kind:?} lut");
+            assert!(b.dsp >= a.dsp, "{kind:?} dsp");
+        }
+    }
+
+    #[test]
+    fn division_avoids_dsps() {
+        assert_eq!(op_profile(OpKind::Div, DataType::F64).dsp, 0);
+        assert_eq!(op_profile(OpKind::Sqrt, DataType::F32).dsp, 0);
+    }
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(DataType::F32.bits(), 32);
+        assert_eq!(DataType::F64.bits(), 64);
+        assert_eq!(DataType::U32.bits(), 32);
+        assert_eq!(DataType::U64.bits(), 64);
+    }
+}

@@ -1,0 +1,152 @@
+//! Synthesis-style text reports — the `csynth.rpt` equivalent of the
+//! kernel model: per-loop II/latency/bound tables and a resource
+//! summary, so a design review reads like a Vitis report.
+
+use crate::ir::Kernel;
+use crate::resources::{estimate_resources, ResourceUsage};
+use crate::schedule::{schedule_kernel, KernelSchedule};
+use crate::HlsError;
+use std::fmt::Write as _;
+
+/// A schedule + resource report for one kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelReport {
+    /// Kernel name.
+    pub name: String,
+    /// The schedule the report describes.
+    pub schedule: KernelSchedule,
+    /// Estimated resources.
+    pub resources: ResourceUsage,
+}
+
+impl KernelReport {
+    /// Schedules `kernel` and assembles its report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduling errors.
+    pub fn generate(kernel: &Kernel) -> Result<KernelReport, HlsError> {
+        let schedule = schedule_kernel(kernel)?;
+        let resources = estimate_resources(kernel, &schedule);
+        Ok(KernelReport {
+            name: kernel.name().to_string(),
+            schedule,
+            resources,
+        })
+    }
+
+    /// The total latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.schedule.total_latency_cycles
+    }
+}
+
+impl std::fmt::Display for KernelReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== kernel `{}` ==", self.name)?;
+        writeln!(
+            f,
+            "{:<28} {:>6} {:>12} {:>14} {:>8}  bound",
+            "loop", "II", "trips", "latency", "depth"
+        )?;
+        for l in &self.schedule.loops {
+            let ii = l
+                .ii
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            let bound = l
+                .bound
+                .as_ref()
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "sequential".to_string());
+            writeln!(
+                f,
+                "{:<28} {:>6} {:>12} {:>14} {:>8}  {}",
+                l.label, ii, l.effective_trips, l.latency, l.depth, bound
+            )?;
+        }
+        writeln!(f, "total latency: {} cycles", self.latency())?;
+        write!(f, "resources: {}", self.resources)
+    }
+}
+
+/// Renders a side-by-side comparison of several kernel reports (the
+/// design-review view of an RKL task region).
+pub fn comparison_table(reports: &[KernelReport]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>10} {:>10} {:>8} {:>8} {:>6}",
+        "kernel", "latency", "LUT", "FF", "DSP", "BRAM", "URAM"
+    );
+    for r in reports {
+        let _ = writeln!(
+            out,
+            "{:<18} {:>14} {:>10} {:>10} {:>8} {:>8} {:>6}",
+            r.name,
+            r.latency(),
+            r.resources.lut,
+            r.resources.ff,
+            r.resources.dsp,
+            r.resources.bram18k,
+            r.resources.uram
+        );
+    }
+    let total = reports
+        .iter()
+        .fold(ResourceUsage::ZERO, |acc, r| acc + r.resources);
+    let _ = writeln!(
+        out,
+        "{:<18} {:>14} {:>10} {:>10} {:>8} {:>8} {:>6}",
+        "TOTAL", "-", total.lut, total.ff, total.dsp, total.bram18k, total.uram
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{LoopBuilder, OpCount};
+    use crate::ops::{DataType, OpKind};
+
+    fn kernel(name: &str, trips: u64) -> Kernel {
+        let mut k = Kernel::new(name);
+        k.push_loop(
+            LoopBuilder::new(format!("{name}_main"), trips)
+                .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 2)])
+                .pipeline(1)
+                .build(),
+        );
+        k
+    }
+
+    #[test]
+    fn report_contains_loop_rows_and_totals() {
+        let r = KernelReport::generate(&kernel("k", 1000)).unwrap();
+        let text = format!("{r}");
+        assert!(text.contains("kernel `k`"));
+        assert!(text.contains("k_main"));
+        assert!(text.contains("total latency"));
+        assert!(r.latency() >= 1000);
+    }
+
+    #[test]
+    fn comparison_sums_resources() {
+        let a = KernelReport::generate(&kernel("a", 10)).unwrap();
+        let b = KernelReport::generate(&kernel("b", 10)).unwrap();
+        let table = comparison_table(&[a.clone(), b.clone()]);
+        assert!(table.contains("TOTAL"));
+        let total = a.resources + b.resources;
+        assert!(table.contains(&total.dsp.to_string()));
+    }
+
+    #[test]
+    fn invalid_kernel_fails() {
+        let mut k = Kernel::new("bad");
+        let inner = LoopBuilder::new("inner", 64)
+            .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
+            .build();
+        k.push_loop(LoopBuilder::new("outer", 10).nest(inner).pipeline(1).build());
+        assert!(KernelReport::generate(&k).is_err());
+    }
+}

@@ -1,0 +1,397 @@
+//! Resource estimation: LUT / FF / DSP / BRAM18K / URAM from a schedule.
+//!
+//! Follows the Vitis binding model closely enough to reproduce the
+//! *trade-offs* the paper's Table I reports:
+//!
+//! * each pipelined loop needs `⌈ops_per_initiation / II⌉` instances of
+//!   every operator kind (lower II ⇒ more parallel hardware);
+//! * sequential loops reuse one instance per kind; operator instances are
+//!   shared **across** the loops of one kernel (max, not sum) because the
+//!   loops execute sequentially;
+//! * arrays cost BRAM18K / URAM banks as a function of their partitioning
+//!   (partitioning multiplies bank count — the BRAM% growth in Table I),
+//!   `Complete` partitioning spills into FF/LUT;
+//! * every `m_axi` bundle pays a fixed adapter cost (the price of the
+//!   §III-C bundle-per-array optimization).
+
+use crate::ir::{ArrayKind, Kernel, Partition, StorageKind};
+use crate::ops::{op_profile, DataType, OpKind};
+use crate::schedule::KernelSchedule;
+use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign};
+
+/// FPGA resource vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResourceUsage {
+    /// Lookup tables.
+    pub lut: u64,
+    /// Flip-flops.
+    pub ff: u64,
+    /// DSP48 slices.
+    pub dsp: u64,
+    /// 18Kb block RAMs.
+    pub bram18k: u64,
+    /// 288Kb UltraRAMs.
+    pub uram: u64,
+}
+
+impl ResourceUsage {
+    /// The zero vector.
+    pub const ZERO: ResourceUsage = ResourceUsage {
+        lut: 0,
+        ff: 0,
+        dsp: 0,
+        bram18k: 0,
+        uram: 0,
+    };
+
+    /// Whether every component fits inside `budget`.
+    pub fn fits_in(&self, budget: &ResourceUsage) -> bool {
+        self.lut <= budget.lut
+            && self.ff <= budget.ff
+            && self.dsp <= budget.dsp
+            && self.bram18k <= budget.bram18k
+            && self.uram <= budget.uram
+    }
+
+    /// Component-wise maximum.
+    pub fn max(&self, other: &ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            lut: self.lut.max(other.lut),
+            ff: self.ff.max(other.ff),
+            dsp: self.dsp.max(other.dsp),
+            bram18k: self.bram18k.max(other.bram18k),
+            uram: self.uram.max(other.uram),
+        }
+    }
+
+    /// Largest utilization fraction across components, against `budget`
+    /// (0.0 when the budget is zero everywhere).
+    pub fn peak_utilization(&self, budget: &ResourceUsage) -> f64 {
+        let frac = |used: u64, avail: u64| {
+            if avail == 0 {
+                if used == 0 {
+                    0.0
+                } else {
+                    f64::INFINITY
+                }
+            } else {
+                used as f64 / avail as f64
+            }
+        };
+        [
+            frac(self.lut, budget.lut),
+            frac(self.ff, budget.ff),
+            frac(self.dsp, budget.dsp),
+            frac(self.bram18k, budget.bram18k),
+            frac(self.uram, budget.uram),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+
+    /// Scales every component by `f` (for replicated hardware).
+    pub fn scaled(&self, f: u64) -> ResourceUsage {
+        ResourceUsage {
+            lut: self.lut * f,
+            ff: self.ff * f,
+            dsp: self.dsp * f,
+            bram18k: self.bram18k * f,
+            uram: self.uram * f,
+        }
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+    fn add(self, o: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            lut: self.lut + o.lut,
+            ff: self.ff + o.ff,
+            dsp: self.dsp + o.dsp,
+            bram18k: self.bram18k + o.bram18k,
+            uram: self.uram + o.uram,
+        }
+    }
+}
+
+impl AddAssign for ResourceUsage {
+    fn add_assign(&mut self, o: ResourceUsage) {
+        *self = *self + o;
+    }
+}
+
+impl std::fmt::Display for ResourceUsage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LUT {} | FF {} | DSP {} | BRAM18K {} | URAM {}",
+            self.lut, self.ff, self.dsp, self.bram18k, self.uram
+        )
+    }
+}
+
+/// Fixed cost of one `m_axi` bundle adapter (burst buffers, address
+/// channels, alignment logic).
+pub const AXI_ADAPTER: ResourceUsage = ResourceUsage {
+    lut: 3200,
+    ff: 5400,
+    dsp: 0,
+    bram18k: 4,
+    uram: 0,
+};
+
+/// Control overhead per loop (FSM, counters).
+pub const LOOP_CONTROL: ResourceUsage = ResourceUsage {
+    lut: 120,
+    ff: 150,
+    dsp: 0,
+    bram18k: 0,
+    uram: 0,
+};
+
+/// Storage cost of one array declaration.
+pub fn array_cost(elems: usize, dtype: DataType, storage: StorageKind, partition: Partition) -> ResourceUsage {
+    let bits = dtype.bits() as u64;
+    match partition {
+        Partition::Complete => {
+            // Registers + access muxing.
+            let total_bits = bits * elems as u64;
+            ResourceUsage {
+                lut: total_bits / 2,
+                ff: total_bits,
+                dsp: 0,
+                bram18k: 0,
+                uram: 0,
+            }
+        }
+        _ => {
+            let banks = partition.banks(elems) as u64;
+            let elems_per_bank = (elems as u64).div_ceil(banks);
+            match storage {
+                StorageKind::Uram => {
+                    // URAM: 4096 × 72b.
+                    let per_bank = bits.div_ceil(72) * elems_per_bank.div_ceil(4096);
+                    ResourceUsage {
+                        uram: banks * per_bank.max(1),
+                        ..ResourceUsage::ZERO
+                    }
+                }
+                StorageKind::Lutram => ResourceUsage {
+                    lut: bits * elems_per_bank / 2 * banks,
+                    ff: 64 * banks,
+                    ..ResourceUsage::ZERO
+                },
+                StorageKind::Auto | StorageKind::Bram => {
+                    // BRAM18K: 512 × 36b.
+                    let per_bank = bits.div_ceil(36) * elems_per_bank.div_ceil(512);
+                    ResourceUsage {
+                        bram18k: banks * per_bank.max(1),
+                        ..ResourceUsage::ZERO
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Estimates the resources of a scheduled kernel.
+///
+/// Operator instances are shared across loops (sequential execution ⇒
+/// per-kind maximum); arrays, AXI adapters, and loop control are summed.
+pub fn estimate_resources(kernel: &Kernel, schedule: &KernelSchedule) -> ResourceUsage {
+    // Operator instances: per (kind, dtype), max over loops.
+    let mut instances: BTreeMap<(OpKind, DataType), u64> = BTreeMap::new();
+    for ls in &schedule.loops {
+        if let Some(agg) = &ls.aggregate {
+            for (&(kind, dtype), &count) in &agg.ops {
+                let needed = match ls.ii {
+                    Some(ii) => count.div_ceil(ii as u64),
+                    None => {
+                        if ls.effective_trips == 1 && ls.replication == 1 {
+                            // Fully unrolled combinational block.
+                            count
+                        } else {
+                            // Sequential loop: one shared instance, times
+                            // unroll replication.
+                            ls.replication
+                        }
+                    }
+                };
+                let slot = instances.entry((kind, dtype)).or_insert(0);
+                *slot = (*slot).max(needed);
+            }
+        }
+    }
+    let mut total = ResourceUsage::ZERO;
+    for ((kind, dtype), n) in instances {
+        let p = op_profile(kind, dtype);
+        total += ResourceUsage {
+            lut: p.lut as u64,
+            ff: p.ff as u64,
+            dsp: p.dsp as u64,
+            bram18k: 0,
+            uram: 0,
+        }
+        .scaled(n);
+    }
+
+    // Arrays.
+    for a in kernel.arrays() {
+        match &a.kind {
+            ArrayKind::OnChip { storage, partition } => {
+                total += array_cost(a.elems, a.dtype, *storage, *partition);
+            }
+            ArrayKind::Axi { .. } => {}
+        }
+    }
+
+    // AXI adapters (one per distinct bundle).
+    total += AXI_ADAPTER.scaled(kernel.bundles().len() as u64);
+
+    // Loop control.
+    total += LOOP_CONTROL.scaled(schedule.loops.len() as u64);
+
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{Kernel, LoopBuilder, OpCount};
+    use crate::schedule::schedule_kernel;
+    use proptest::prelude::*;
+
+    fn kernel_with_ii(target_ii: u32, muladds: u64) -> (Kernel, KernelSchedule) {
+        let mut k = Kernel::new("k");
+        k.push_loop(
+            LoopBuilder::new("l", 1024)
+                .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, muladds)])
+                .pipeline(target_ii)
+                .build(),
+        );
+        let s = schedule_kernel(&k).unwrap();
+        (k, s)
+    }
+
+    #[test]
+    fn lower_ii_needs_more_operators() {
+        let (k1, s1) = kernel_with_ii(1, 8);
+        let (k8, s8) = kernel_with_ii(8, 8);
+        assert_eq!(s1.loop_schedule("l").unwrap().ii, Some(1));
+        assert_eq!(s8.loop_schedule("l").unwrap().ii, Some(8));
+        let r1 = estimate_resources(&k1, &s1);
+        let r8 = estimate_resources(&k8, &s8);
+        assert!(r1.dsp > r8.dsp, "II=1 must replicate MulAdd units");
+        // 8 ops at II=1 → 8 units; at II=8 → 1 unit.
+        let unit = op_profile(OpKind::MulAdd, DataType::F64).dsp as u64;
+        assert_eq!(r1.dsp - r8.dsp, 7 * unit);
+    }
+
+    #[test]
+    fn partitioning_multiplies_brams() {
+        let base = array_cost(4096, DataType::F64, StorageKind::Bram, Partition::None);
+        let split = array_cost(4096, DataType::F64, StorageKind::Bram, Partition::Cyclic(8));
+        assert!(split.bram18k >= base.bram18k);
+        // 4096 f64 = 8 banks of 512 × 64b = 8 × 2 BRAM18K.
+        assert_eq!(split.bram18k, 16);
+        assert_eq!(base.bram18k, 16); // 8 deep-blocks × 2 wide
+    }
+
+    #[test]
+    fn small_array_partitioning_costs_brams() {
+        // A small array fits one BRAM pair; partitioning forces one bank
+        // minimum per partition.
+        let base = array_cost(256, DataType::F64, StorageKind::Bram, Partition::None);
+        let split = array_cost(256, DataType::F64, StorageKind::Bram, Partition::Cyclic(16));
+        assert_eq!(base.bram18k, 2);
+        assert_eq!(split.bram18k, 32);
+    }
+
+    #[test]
+    fn complete_partition_uses_registers() {
+        let r = array_cost(64, DataType::F64, StorageKind::Bram, Partition::Complete);
+        assert_eq!(r.bram18k, 0);
+        assert_eq!(r.ff, 64 * 64);
+        assert!(r.lut > 0);
+    }
+
+    #[test]
+    fn uram_binding() {
+        // 32768 f64 = 2Mb: URAM 4096×72 → 8 URAMs (width 64 ≤ 72).
+        let r = array_cost(32768, DataType::F64, StorageKind::Uram, Partition::None);
+        assert_eq!(r.uram, 8);
+        assert_eq!(r.bram18k, 0);
+    }
+
+    #[test]
+    fn bundles_cost_adapters() {
+        let mut k1 = Kernel::new("a");
+        k1.add_axi_array("x", 128, DataType::F64, "gmem_0").unwrap();
+        k1.add_axi_array("y", 128, DataType::F64, "gmem_0").unwrap();
+        k1.push_loop(
+            LoopBuilder::new("l", 16)
+                .reads("x", 1)
+                .reads("y", 1)
+                .pipeline(1)
+                .build(),
+        );
+        let mut k2 = Kernel::new("b");
+        k2.add_axi_array("x", 128, DataType::F64, "gmem_0").unwrap();
+        k2.add_axi_array("y", 128, DataType::F64, "gmem_1").unwrap();
+        k2.push_loop(
+            LoopBuilder::new("l", 16)
+                .reads("x", 1)
+                .reads("y", 1)
+                .pipeline(1)
+                .build(),
+        );
+        let r1 = estimate_resources(&k1, &schedule_kernel(&k1).unwrap());
+        let r2 = estimate_resources(&k2, &schedule_kernel(&k2).unwrap());
+        assert!(r2.lut > r1.lut, "extra bundle must cost an adapter");
+        assert_eq!(r2.lut - r1.lut, AXI_ADAPTER.lut);
+    }
+
+    #[test]
+    fn fits_and_peak_utilization() {
+        let used = ResourceUsage {
+            lut: 100,
+            ff: 200,
+            dsp: 10,
+            bram18k: 4,
+            uram: 0,
+        };
+        let budget = ResourceUsage {
+            lut: 1000,
+            ff: 1000,
+            dsp: 20,
+            bram18k: 8,
+            uram: 10,
+        };
+        assert!(used.fits_in(&budget));
+        assert!((used.peak_utilization(&budget) - 0.5).abs() < 1e-12);
+        let over = ResourceUsage { dsp: 21, ..used };
+        assert!(!over.fits_in(&budget));
+    }
+
+    proptest! {
+        /// Resource estimates are monotone in op count.
+        #[test]
+        fn prop_resources_monotone_in_ops(ops in 1u64..32) {
+            let (k1, s1) = kernel_with_ii(1, ops);
+            let (k2, s2) = kernel_with_ii(1, ops + 1);
+            let r1 = estimate_resources(&k1, &s1);
+            let r2 = estimate_resources(&k2, &s2);
+            prop_assert!(r2.dsp >= r1.dsp && r2.lut >= r1.lut);
+        }
+
+        /// Bank math: total capacity of banks covers the array.
+        #[test]
+        fn prop_bram_capacity_sufficient(elems in 1usize..100_000, factor in 1u32..32) {
+            let r = array_cost(elems, DataType::F64, StorageKind::Bram, Partition::Cyclic(factor));
+            // Each BRAM18K stores 18Kib.
+            prop_assert!(r.bram18k * 18 * 1024 >= (elems as u64) * 64 / 2, // /2: width packing slack
+                "bram {} elems {elems} factor {factor}", r.bram18k);
+        }
+    }
+}

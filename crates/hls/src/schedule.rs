@@ -1,0 +1,603 @@
+//! Loop scheduling: initiation intervals and latency.
+//!
+//! Models the Vitis HLS scheduler's observable behaviour:
+//!
+//! * A pipelined loop achieves `II = max(target, RecMII, MemMII, AxiMII)`:
+//!   - `RecMII = ⌈latency/distance⌉` over loop-carried dependences,
+//!   - `MemMII = ⌈accesses/ports⌉` per on-chip array (ports grow with
+//!     array partitioning — the §III-D lever),
+//!   - `AxiMII = beats` per AXI bundle (arrays sharing a bundle contend —
+//!     the §III-C lever).
+//! * Pipelining a loop **requires every inner loop to be fully unrolled**
+//!   (§III-B: "applying loop pipelining to the outer loop ... often
+//!   requires fully unrolling the inner loops").
+//! * A read-modify-write of an AXI array inside one pipelined loop incurs
+//!   a carried dependence of the AXI round-trip latency — the bottleneck
+//!   the paper removes by decoupling load and store interfaces (§III-C).
+
+use crate::ir::{ArrayKind, Kernel, Loop};
+use crate::ops::{op_profile, DataType, OpKind, AXI_BEAT_CYCLES, AXI_READ_LATENCY};
+use crate::HlsError;
+use std::collections::BTreeMap;
+
+/// What limited a pipelined loop's achieved II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IiBound {
+    /// The requested target was achievable.
+    Target,
+    /// A loop-carried dependence (name of the carrier).
+    Recurrence(String),
+    /// On-chip memory ports of the named array.
+    MemoryPorts(String),
+    /// Contention on the named AXI bundle.
+    AxiContention(String),
+}
+
+impl std::fmt::Display for IiBound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IiBound::Target => write!(f, "target"),
+            IiBound::Recurrence(s) => write!(f, "recurrence through `{s}`"),
+            IiBound::MemoryPorts(a) => write!(f, "memory ports of `{a}`"),
+            IiBound::AxiContention(b) => write!(f, "AXI contention on `{b}`"),
+        }
+    }
+}
+
+/// Flattened per-iteration content of a (possibly nested) loop body.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Aggregate {
+    /// Operation counts by (kind, type).
+    pub ops: BTreeMap<(OpKind, DataType), u64>,
+    /// Read counts per array.
+    pub reads: BTreeMap<String, u64>,
+    /// Write counts per array.
+    pub writes: BTreeMap<String, u64>,
+    /// Worst carried dependence bound `⌈latency/distance⌉` and its carrier.
+    pub rec_mii: u32,
+    /// Carrier description for `rec_mii`.
+    pub rec_through: Option<String>,
+    /// Estimated pipeline depth (cycles).
+    pub depth: u32,
+}
+
+impl Aggregate {
+    fn absorb_own(&mut self, lp: &Loop, multiplier: u64) {
+        for oc in &lp.ops {
+            *self.ops.entry((oc.kind, oc.dtype)).or_insert(0) += oc.count * multiplier;
+        }
+        for a in &lp.accesses {
+            let slot = if a.write {
+                self.writes.entry(a.array.clone()).or_insert(0)
+            } else {
+                self.reads.entry(a.array.clone()).or_insert(0)
+            };
+            *slot += a.count * multiplier;
+        }
+        for d in &lp.deps {
+            let bound = d.latency.div_ceil(d.distance);
+            if bound > self.rec_mii {
+                self.rec_mii = bound;
+                self.rec_through = Some(d.through.clone());
+            }
+        }
+        let own_depth = lp.depth_hint.unwrap_or_else(|| {
+            // Default: one of each distinct op kind chained, plus memory
+            // access setup.
+            let chain: u32 = lp
+                .ops
+                .iter()
+                .map(|oc| op_profile(oc.kind, oc.dtype).latency)
+                .sum();
+            chain + 4
+        });
+        self.depth = self.depth.max(own_depth);
+    }
+
+    /// Total op count of one (kind, dtype).
+    pub fn op_count(&self, kind: OpKind, dtype: DataType) -> u64 {
+        self.ops.get(&(kind, dtype)).copied().unwrap_or(0)
+    }
+}
+
+/// Recursively flattens `lp` (body ops plus fully unrolled inner loops)
+/// into `agg`, scaled by `multiplier` iterations.
+fn collect_aggregate(
+    lp: &Loop,
+    multiplier: u64,
+    outer: &str,
+    agg: &mut Aggregate,
+) -> Result<(), HlsError> {
+    agg.absorb_own(lp, multiplier);
+    for inner in &lp.inner {
+        if !inner.is_fully_unrolled() {
+            return Err(HlsError::PipelineAcrossLoop {
+                outer: outer.to_string(),
+                inner: inner.label.clone(),
+            });
+        }
+        collect_aggregate(inner, multiplier * inner.trip_count, outer, agg)?;
+    }
+    Ok(())
+}
+
+/// Schedule of one loop in the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoopSchedule {
+    /// Loop label.
+    pub label: String,
+    /// Achieved II (None for non-pipelined loops).
+    pub ii: Option<u32>,
+    /// What bound the II.
+    pub bound: Option<IiBound>,
+    /// Pipeline depth / body latency in cycles.
+    pub depth: u32,
+    /// Effective trip count after unrolling.
+    pub effective_trips: u64,
+    /// Total latency of the loop in cycles.
+    pub latency: u64,
+    /// Flattened body aggregate (for resource estimation). `None` for
+    /// sequential loops with inner loops (their resources come from the
+    /// inner schedules).
+    pub aggregate: Option<Aggregate>,
+    /// Unroll replication factor applied to resources.
+    pub replication: u64,
+}
+
+/// The schedule of a whole kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSchedule {
+    /// Kernel name.
+    pub name: String,
+    /// Per-loop schedules, outer loops after their inner loops.
+    pub loops: Vec<LoopSchedule>,
+    /// Total kernel latency (sum over sequential top-level loops).
+    pub total_latency_cycles: u64,
+}
+
+impl KernelSchedule {
+    /// Finds a loop schedule by label.
+    pub fn loop_schedule(&self, label: &str) -> Option<&LoopSchedule> {
+        self.loops.iter().find(|l| l.label == label)
+    }
+
+    /// The loop with the largest total latency (the optimizer's critical
+    /// task selector, §III-D).
+    pub fn critical_loop(&self) -> Option<&LoopSchedule> {
+        self.loops.iter().max_by_key(|l| l.latency)
+    }
+}
+
+/// Derives the II lower bounds of a flattened body against the kernel's
+/// array declarations. Returns `(ii, bound)`.
+fn ii_bounds(kernel: &Kernel, agg: &Aggregate, target: u32) -> (u32, IiBound) {
+    let mut ii = target.max(1);
+    let mut bound = IiBound::Target;
+
+    // Recurrences declared on the loops.
+    if agg.rec_mii > ii {
+        ii = agg.rec_mii;
+        bound = IiBound::Recurrence(
+            agg.rec_through
+                .clone()
+                .unwrap_or_else(|| "carried dependence".into()),
+        );
+    }
+
+    // On-chip memory ports & per-bundle AXI beats.
+    let mut bundle_beats: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut bundle_rmw: BTreeMap<&str, (bool, bool, &str)> = BTreeMap::new();
+    for (name, decl) in kernel.arrays().map(|a| (a.name.as_str(), a)) {
+        let reads = agg.reads.get(name).copied().unwrap_or(0);
+        let writes = agg.writes.get(name).copied().unwrap_or(0);
+        if reads + writes == 0 {
+            continue;
+        }
+        match &decl.kind {
+            ArrayKind::OnChip { partition, .. } => {
+                if let Some(ports) = partition.ports(decl.elems) {
+                    let mem_mii = (reads + writes).div_ceil(ports) as u32;
+                    if mem_mii > ii {
+                        ii = mem_mii;
+                        bound = IiBound::MemoryPorts(name.to_string());
+                    }
+                }
+            }
+            ArrayKind::Axi { bundle } => {
+                *bundle_beats.entry(bundle.as_str()).or_insert(0) +=
+                    (reads + writes) * AXI_BEAT_CYCLES as u64;
+                let e = bundle_rmw.entry(bundle.as_str()).or_insert((false, false, name));
+                if reads > 0 && writes > 0 {
+                    // Same array read and written through one port: a
+                    // read-modify-write recurrence (§III-C).
+                    let rmw = AXI_READ_LATENCY;
+                    if rmw > ii {
+                        ii = rmw;
+                        bound = IiBound::Recurrence(format!("AXI read-modify-write of `{name}`"));
+                    }
+                }
+                e.0 |= reads > 0;
+                e.1 |= writes > 0;
+            }
+        }
+    }
+    for (bundle, beats) in bundle_beats {
+        let axi_mii = beats as u32;
+        if axi_mii > ii {
+            ii = axi_mii;
+            bound = IiBound::AxiContention(bundle.to_string());
+        }
+    }
+
+    (ii, bound)
+}
+
+fn schedule_loop(
+    kernel: &Kernel,
+    lp: &Loop,
+    out: &mut Vec<LoopSchedule>,
+) -> Result<u64, HlsError> {
+    let unroll = lp.unroll.unwrap_or(1).max(1) as u64;
+    let effective_trips = lp.trip_count / unroll;
+
+    if let Some(target) = lp.pipeline {
+        // Pipelined: body (with fully unrolled inner loops) flattened; the
+        // unroll factor multiplies the per-initiation work.
+        let mut agg = Aggregate::default();
+        collect_aggregate(lp, unroll, &lp.label, &mut agg)?;
+        let (ii, bound) = ii_bounds(kernel, &agg, target);
+        let depth = agg.depth + ii; // fill + issue
+        let latency = depth as u64 + ii as u64 * effective_trips.saturating_sub(1);
+        out.push(LoopSchedule {
+            label: lp.label.clone(),
+            ii: Some(ii),
+            bound: Some(bound),
+            depth,
+            effective_trips,
+            latency,
+            aggregate: Some(agg),
+            replication: 1,
+        });
+        Ok(latency)
+    } else if lp.is_fully_unrolled() {
+        // Completely unrolled, not pipelined: all iterations in parallel.
+        let mut agg = Aggregate::default();
+        collect_aggregate(lp, lp.trip_count, &lp.label, &mut agg)
+            .unwrap_or_else(|_| unreachable!("fully unrolled loops flatten"));
+        let latency = agg.depth as u64;
+        out.push(LoopSchedule {
+            label: lp.label.clone(),
+            ii: None,
+            bound: None,
+            depth: agg.depth,
+            effective_trips: 1,
+            latency,
+            aggregate: Some(agg),
+            replication: 1,
+        });
+        Ok(latency)
+    } else {
+        // Sequential (possibly partially unrolled): body latency = own ops
+        // + inner loop latencies, repeated `effective_trips` times.
+        let mut own = Aggregate::default();
+        own.absorb_own(lp, unroll);
+        let mut body_latency = if lp.ops.is_empty() { 0 } else { own.depth as u64 };
+        for inner in &lp.inner {
+            body_latency += schedule_loop(kernel, inner, out)?;
+        }
+        let latency = effective_trips * body_latency.max(1);
+        out.push(LoopSchedule {
+            label: lp.label.clone(),
+            ii: None,
+            bound: None,
+            depth: own.depth,
+            effective_trips,
+            latency,
+            aggregate: if lp.ops.is_empty() && lp.accesses.is_empty() {
+                None
+            } else {
+                Some(own)
+            },
+            replication: unroll,
+        });
+        Ok(latency)
+    }
+}
+
+/// Schedules every loop of `kernel` and returns II, latency, and
+/// flattened aggregates.
+///
+/// # Errors
+///
+/// Any [`HlsError`] from validation, plus
+/// [`HlsError::PipelineAcrossLoop`] when a pipelined loop contains a
+/// not-fully-unrolled inner loop.
+pub fn schedule_kernel(kernel: &Kernel) -> Result<KernelSchedule, HlsError> {
+    kernel.validate()?;
+    let mut loops = Vec::new();
+    let mut total = 0u64;
+    for lp in kernel.body() {
+        total += schedule_loop(kernel, lp, &mut loops)?;
+    }
+    Ok(KernelSchedule {
+        name: kernel.name().to_string(),
+        loops,
+        total_latency_cycles: total,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{LoopBuilder, OpCount, Partition, StorageKind};
+    use proptest::prelude::*;
+
+    fn pipelined_kernel(partition: Partition, bundles: usize) -> Kernel {
+        let mut k = Kernel::new("k");
+        k.add_array("buf", 512, DataType::F64).unwrap();
+        if let Some(a) = k.array_mut("buf") {
+            a.kind = ArrayKind::OnChip {
+                storage: StorageKind::Bram,
+                partition,
+            };
+        }
+        for i in 0..4 {
+            let bundle = format!("gmem_{}", i % bundles.max(1));
+            k.add_axi_array(format!("x{i}"), 4096, DataType::F64, bundle)
+                .unwrap();
+        }
+        let mut lb = LoopBuilder::new("main", 1024)
+            .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 4)])
+            .reads("buf", 4)
+            .pipeline(1);
+        for i in 0..4 {
+            lb = lb.reads(format!("x{i}"), 1);
+        }
+        k.push_loop(lb.build());
+        k
+    }
+
+    #[test]
+    fn ii_limited_by_memory_ports() {
+        // 4 reads of an unpartitioned dual-port BRAM → MemMII 2; with 4
+        // AXI arrays on 4 bundles AXI MII = 1.
+        let k = pipelined_kernel(Partition::None, 4);
+        let s = schedule_kernel(&k).unwrap();
+        let main = s.loop_schedule("main").unwrap();
+        assert_eq!(main.ii, Some(2));
+        assert_eq!(main.bound, Some(IiBound::MemoryPorts("buf".into())));
+        // Partitioning by 2 lifts the bound (4 ports ≥ 4 accesses).
+        let k = pipelined_kernel(Partition::Cyclic(2), 4);
+        let s = schedule_kernel(&k).unwrap();
+        assert_eq!(s.loop_schedule("main").unwrap().ii, Some(1));
+    }
+
+    #[test]
+    fn ii_limited_by_axi_bundle_sharing() {
+        // All 4 AXI arrays on one bundle → 4 beats per iteration (Fig 4's
+        // contention scenario).
+        let k = pipelined_kernel(Partition::Cyclic(4), 1);
+        let s = schedule_kernel(&k).unwrap();
+        let main = s.loop_schedule("main").unwrap();
+        assert_eq!(main.ii, Some(4));
+        assert!(matches!(main.bound, Some(IiBound::AxiContention(_))));
+    }
+
+    #[test]
+    fn axi_read_modify_write_recurrence() {
+        // x[i] = f(x[i], y[i]) through one interface: II jumps to the AXI
+        // round-trip latency (§III-C motivation).
+        let mut k = Kernel::new("k");
+        k.add_axi_array("x", 1024, DataType::F64, "gmem_0").unwrap();
+        k.add_axi_array("y", 1024, DataType::F64, "gmem_1").unwrap();
+        let lp = LoopBuilder::new("update", 1024)
+            .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 1)])
+            .reads("x", 1)
+            .reads("y", 1)
+            .writes("x", 1)
+            .pipeline(1)
+            .build();
+        k.push_loop(lp);
+        let s = schedule_kernel(&k).unwrap();
+        let main = s.loop_schedule("update").unwrap();
+        assert_eq!(main.ii, Some(AXI_READ_LATENCY));
+        assert!(matches!(main.bound, Some(IiBound::Recurrence(_))));
+
+        // Decoupled: read through x_rd, write through x_wr (separate
+        // bundles) → II back to the beat bound.
+        let mut k = Kernel::new("k");
+        k.add_axi_array("x_rd", 1024, DataType::F64, "gmem_0").unwrap();
+        k.add_axi_array("x_wr", 1024, DataType::F64, "gmem_2").unwrap();
+        k.add_axi_array("y", 1024, DataType::F64, "gmem_1").unwrap();
+        let lp = LoopBuilder::new("update", 1024)
+            .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 1)])
+            .reads("x_rd", 1)
+            .reads("y", 1)
+            .writes("x_wr", 1)
+            .pipeline(1)
+            .build();
+        k.push_loop(lp);
+        let s = schedule_kernel(&k).unwrap();
+        assert_eq!(s.loop_schedule("update").unwrap().ii, Some(1));
+    }
+
+    #[test]
+    fn declared_recurrence_bounds_ii() {
+        let mut k = Kernel::new("k");
+        let lp = LoopBuilder::new("acc", 100)
+            .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
+            .carried_dep(7, 1, "accumulator")
+            .pipeline(1)
+            .build();
+        k.push_loop(lp);
+        let s = schedule_kernel(&k).unwrap();
+        let main = s.loop_schedule("acc").unwrap();
+        assert_eq!(main.ii, Some(7));
+        assert_eq!(main.bound, Some(IiBound::Recurrence("accumulator".into())));
+        // Distance 2 halves the bound.
+        let mut k = Kernel::new("k");
+        let lp = LoopBuilder::new("acc", 100)
+            .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
+            .carried_dep(7, 2, "accumulator")
+            .pipeline(1)
+            .build();
+        k.push_loop(lp);
+        let s = schedule_kernel(&k).unwrap();
+        assert_eq!(s.loop_schedule("acc").unwrap().ii, Some(4));
+    }
+
+    #[test]
+    fn pipeline_across_inner_loop_is_rejected() {
+        let mut k = Kernel::new("k");
+        let inner = LoopBuilder::new("inner", 8)
+            .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
+            .build(); // NOT unrolled
+        let outer = LoopBuilder::new("outer", 64).nest(inner).pipeline(1).build();
+        k.push_loop(outer);
+        assert!(matches!(
+            schedule_kernel(&k),
+            Err(HlsError::PipelineAcrossLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn pipelining_with_unrolled_inner_succeeds() {
+        let mut k = Kernel::new("k");
+        let inner = LoopBuilder::new("inner", 8)
+            .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 1)])
+            .unroll_complete()
+            .build();
+        let outer = LoopBuilder::new("outer", 64).nest(inner).pipeline(1).build();
+        k.push_loop(outer);
+        let s = schedule_kernel(&k).unwrap();
+        let outer = s.loop_schedule("outer").unwrap();
+        assert_eq!(outer.ii, Some(1));
+        let agg = outer.aggregate.as_ref().unwrap();
+        assert_eq!(agg.op_count(OpKind::MulAdd, DataType::F64), 8);
+    }
+
+    #[test]
+    fn sequential_nest_latency_multiplies() {
+        let mut k = Kernel::new("k");
+        let inner = LoopBuilder::new("inner", 10)
+            .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
+            .pipeline(1)
+            .build();
+        let outer = LoopBuilder::new("outer", 5).nest(inner).build();
+        k.push_loop(outer.clone());
+        let s = schedule_kernel(&k).unwrap();
+        let inner_lat = s.loop_schedule("inner").unwrap().latency;
+        let outer_lat = s.loop_schedule("outer").unwrap().latency;
+        assert_eq!(outer_lat, 5 * inner_lat);
+        assert_eq!(s.total_latency_cycles, outer_lat);
+    }
+
+    #[test]
+    fn pipelining_beats_sequential_execution() {
+        // The core TLP claim: same work, pipelined vs not.
+        let body_ops = vec![OpCount::new(OpKind::MulAdd, DataType::F64, 6)];
+        let mut seq = Kernel::new("seq");
+        seq.push_loop(LoopBuilder::new("l", 10_000).ops(body_ops.clone()).build());
+        let mut pip = Kernel::new("pip");
+        pip.push_loop(
+            LoopBuilder::new("l", 10_000)
+                .ops(body_ops)
+                .pipeline(1)
+                .build(),
+        );
+        let s_seq = schedule_kernel(&seq).unwrap().total_latency_cycles;
+        let s_pip = schedule_kernel(&pip).unwrap().total_latency_cycles;
+        assert!(
+            s_pip * 5 < s_seq,
+            "pipelining should dominate: {s_pip} vs {s_seq}"
+        );
+    }
+
+    #[test]
+    fn critical_loop_is_found() {
+        let mut k = Kernel::new("k");
+        k.push_loop(
+            LoopBuilder::new("small", 10)
+                .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
+                .pipeline(1)
+                .build(),
+        );
+        k.push_loop(
+            LoopBuilder::new("big", 100_000)
+                .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
+                .pipeline(1)
+                .build(),
+        );
+        let s = schedule_kernel(&k).unwrap();
+        assert_eq!(s.critical_loop().unwrap().label, "big");
+    }
+
+    proptest! {
+        /// Latency is monotone in trip count.
+        #[test]
+        fn prop_latency_monotone_in_trips(trip in 2u64..100_000, pipeline in proptest::bool::ANY) {
+            let build = |t: u64| {
+                let mut k = Kernel::new("k");
+                let mut lb = LoopBuilder::new("l", t)
+                    .ops(vec![OpCount::new(OpKind::Mul, DataType::F64, 3)]);
+                if pipeline { lb = lb.pipeline(1); }
+                k.push_loop(lb.build());
+                schedule_kernel(&k).unwrap().total_latency_cycles
+            };
+            prop_assert!(build(trip) <= build(trip * 2));
+        }
+
+        /// Achieved II never beats the request and partitioning never hurts.
+        #[test]
+        fn prop_partition_never_increases_ii(
+            accesses in 1u64..16,
+            factor in 1u32..16,
+        ) {
+            let build = |p: Partition| {
+                let mut k = Kernel::new("k");
+                k.add_array("buf", 1024, DataType::F64).unwrap();
+                if let Some(a) = k.array_mut("buf") {
+                    a.kind = ArrayKind::OnChip { storage: StorageKind::Bram, partition: p };
+                }
+                k.push_loop(
+                    LoopBuilder::new("l", 512)
+                        .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
+                        .reads("buf", accesses)
+                        .pipeline(1)
+                        .build(),
+                );
+                schedule_kernel(&k).unwrap().loop_schedule("l").unwrap().ii.unwrap()
+            };
+            let base = build(Partition::None);
+            let part = build(Partition::Cyclic(factor));
+            prop_assert!(part <= base);
+            prop_assert!(build(Partition::Complete) <= part);
+        }
+
+        /// More bundle sharing never decreases II.
+        #[test]
+        fn prop_bundle_sharing_monotone(arrays in 1usize..8) {
+            let build = |bundles: usize| {
+                let mut k = Kernel::new("k");
+                for i in 0..arrays {
+                    k.add_axi_array(
+                        format!("x{i}"),
+                        1024,
+                        DataType::F64,
+                        format!("gmem_{}", i % bundles),
+                    )
+                    .unwrap();
+                }
+                let mut lb = LoopBuilder::new("l", 512)
+                    .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
+                    .pipeline(1);
+                for i in 0..arrays {
+                    lb = lb.reads(format!("x{i}"), 1);
+                }
+                k.push_loop(lb.build());
+                schedule_kernel(&k).unwrap().loop_schedule("l").unwrap().ii.unwrap()
+            };
+            prop_assert!(build(1) >= build(arrays.max(1)));
+        }
+    }
+}

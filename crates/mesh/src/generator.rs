@@ -1,0 +1,427 @@
+//! Mesh generation: structured boxes of hexahedral spectral elements.
+//!
+//! The paper's evaluation sweeps Taylor-Green Vortex meshes from 5K to 4.2M
+//! nodes (Fig 5). [`BoxMeshBuilder`] generates those meshes: a periodic
+//! `[0, 2π]³` box subdivided into `n³` hex elements, with GLL node layouts
+//! for any polynomial order. Non-periodic (walled) boxes with boundary tags
+//! are supported for the wall-bounded example flows.
+
+use crate::hex::{BoundaryTag, HexMesh};
+use crate::MeshError;
+use fem_numerics::linalg::Vec3;
+use rayon::prelude::*;
+
+/// Builder for structured boxes of hexahedral elements.
+///
+/// # Example
+///
+/// ```
+/// use fem_mesh::generator::BoxMeshBuilder;
+///
+/// // Walled (non-periodic) unit box, 2×3×4 elements, quadratic elements.
+/// let mesh = BoxMeshBuilder::new()
+///     .elements(2, 3, 4)
+///     .order(2)
+///     .origin(0.0, 0.0, 0.0)
+///     .extent(1.0, 1.0, 1.0)
+///     .periodic(false, false, false)
+///     .build()
+///     .unwrap();
+/// assert_eq!(mesh.num_elements(), 24);
+/// assert_eq!(mesh.num_nodes(), 5 * 7 * 9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxMeshBuilder {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    order: usize,
+    origin: Vec3,
+    extent: Vec3,
+    periodic: [bool; 3],
+}
+
+impl Default for BoxMeshBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BoxMeshBuilder {
+    /// A periodic `[0, 2π]³` box with 4³ trilinear elements (TGV defaults).
+    pub fn new() -> Self {
+        BoxMeshBuilder {
+            nx: 4,
+            ny: 4,
+            nz: 4,
+            order: 1,
+            origin: Vec3::ZERO,
+            extent: Vec3::new(
+                std::f64::consts::TAU,
+                std::f64::consts::TAU,
+                std::f64::consts::TAU,
+            ),
+            periodic: [true, true, true],
+        }
+    }
+
+    /// The canonical Taylor-Green Vortex box: periodic `[0, 2π]³` with
+    /// `n` trilinear elements per axis (`n³` nodes).
+    pub fn tgv_box(n: usize) -> Self {
+        let mut b = Self::new();
+        b.nx = n;
+        b.ny = n;
+        b.nz = n;
+        b
+    }
+
+    /// A TGV box sized to approximately `target_nodes` total nodes — used
+    /// for the paper's mesh-size sweep (5K, 275K, 1.4M, … nodes).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fem_mesh::generator::BoxMeshBuilder;
+    /// let b = BoxMeshBuilder::with_node_budget(5_000);
+    /// let n = b.node_count();
+    /// assert!(n >= 4_000 && n <= 6_200, "{n}");
+    /// ```
+    pub fn with_node_budget(target_nodes: usize) -> Self {
+        let n = (target_nodes as f64).cbrt().round().max(3.0) as usize;
+        Self::tgv_box(n)
+    }
+
+    /// Sets the number of elements per axis.
+    pub fn elements(&mut self, nx: usize, ny: usize, nz: usize) -> &mut Self {
+        self.nx = nx;
+        self.ny = ny;
+        self.nz = nz;
+        self
+    }
+
+    /// Sets the polynomial order (nodes per element edge = order + 1).
+    pub fn order(&mut self, order: usize) -> &mut Self {
+        self.order = order;
+        self
+    }
+
+    /// Sets the domain minimum corner.
+    pub fn origin(&mut self, x: f64, y: f64, z: f64) -> &mut Self {
+        self.origin = Vec3::new(x, y, z);
+        self
+    }
+
+    /// Sets the domain side lengths.
+    pub fn extent(&mut self, lx: f64, ly: f64, lz: f64) -> &mut Self {
+        self.extent = Vec3::new(lx, ly, lz);
+        self
+    }
+
+    /// Sets per-axis periodicity.
+    pub fn periodic(&mut self, x: bool, y: bool, z: bool) -> &mut Self {
+        self.periodic = [x, y, z];
+        self
+    }
+
+    /// Nodes per axis given the current configuration.
+    fn nodes_per_axis(&self) -> [usize; 3] {
+        let p = self.order;
+        let count = |n: usize, per: bool| if per { n * p } else { n * p + 1 };
+        [
+            count(self.nx, self.periodic[0]),
+            count(self.ny, self.periodic[1]),
+            count(self.nz, self.periodic[2]),
+        ]
+    }
+
+    /// Predicted total node count without building the mesh.
+    pub fn node_count(&self) -> usize {
+        let [a, b, c] = self.nodes_per_axis();
+        a * b * c
+    }
+
+    /// Predicted total element count without building the mesh.
+    pub fn element_count(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Generates the mesh.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::InvalidParameter`] for a zero element count, zero order,
+    /// or non-positive extent.
+    pub fn build(&self) -> Result<HexMesh, MeshError> {
+        if self.nx == 0 || self.ny == 0 || self.nz == 0 {
+            return Err(MeshError::InvalidParameter(
+                "element counts must be positive".into(),
+            ));
+        }
+        if self.order == 0 {
+            return Err(MeshError::InvalidParameter("order must be ≥ 1".into()));
+        }
+        if self.extent.x <= 0.0 || self.extent.y <= 0.0 || self.extent.z <= 0.0 {
+            return Err(MeshError::InvalidParameter(
+                "domain extent must be positive".into(),
+            ));
+        }
+        for (axis, &per) in self.periodic.iter().enumerate() {
+            let n = [self.nx, self.ny, self.nz][axis];
+            // With fewer than 3 elements an element spans ≥ half the domain
+            // and the nearest-image unwrapping in `HexMesh::element_coords`
+            // becomes ambiguous.
+            if per && n < 3 {
+                return Err(MeshError::InvalidParameter(format!(
+                    "periodic axis {axis} needs at least 3 elements, got {n}"
+                )));
+            }
+        }
+        let p = self.order;
+        let [ndx, ndy, ndz] = self.nodes_per_axis();
+        let total_nodes = ndx * ndy * ndz;
+        // Node spacing (uniform sub-grid; GLL clustering is applied in
+        // reference space by the basis, physical nodes are equispaced for
+        // order 1 and mapped GLL points for higher orders).
+        let gll = fem_numerics::quadrature::GllRule::new(p + 1)?;
+        // Physical offset of local node i within an element, per unit cell.
+        let local_frac: Vec<f64> = gll.points().iter().map(|&x| (x + 1.0) / 2.0).collect();
+
+        let hx = self.extent.x / self.nx as f64;
+        let hy = self.extent.y / self.ny as f64;
+        let hz = self.extent.z / self.nz as f64;
+
+        // Coordinates: global grid index (gi, gj, gk) → element + local part.
+        let coord_1d = |g: usize, h: f64, orig: f64, frac: &[f64]| -> f64 {
+            let e = g / p;
+            let l = g % p;
+            orig + e as f64 * h + frac[l] * h
+        };
+        let origin = self.origin;
+        let coords: Vec<Vec3> = (0..total_nodes)
+            .into_par_iter()
+            .map(|flat| {
+                let gi = flat % ndx;
+                let gj = (flat / ndx) % ndy;
+                let gk = flat / (ndx * ndy);
+                Vec3::new(
+                    coord_1d(gi, hx, origin.x, &local_frac),
+                    coord_1d(gj, hy, origin.y, &local_frac),
+                    coord_1d(gk, hz, origin.z, &local_frac),
+                )
+            })
+            .collect();
+
+        // Connectivity.
+        let npe = (p + 1).pow(3);
+        let num_elems = self.element_count();
+        let periodic = self.periodic;
+        let wrap = |g: usize, nd: usize, per: bool| if per { g % nd } else { g };
+        let mut connectivity = Vec::with_capacity(num_elems * npe);
+        for ez in 0..self.nz {
+            for ey in 0..self.ny {
+                for ex in 0..self.nx {
+                    for k in 0..=p {
+                        for j in 0..=p {
+                            for i in 0..=p {
+                                let gi = wrap(ex * p + i, ndx, periodic[0]);
+                                let gj = wrap(ey * p + j, ndy, periodic[1]);
+                                let gk = wrap(ez * p + k, ndz, periodic[2]);
+                                let flat = gi + ndx * (gj + ndy * gk);
+                                connectivity.push(flat as u32);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Boundary tags on non-periodic faces.
+        let mut tags = Vec::new();
+        if periodic.iter().any(|&b| !b) {
+            tags = vec![BoundaryTag::INTERIOR; total_nodes];
+            for (flat, tag) in tags.iter_mut().enumerate() {
+                let gi = flat % ndx;
+                let gj = (flat / ndx) % ndy;
+                let gk = flat / (ndx * ndy);
+                let mut t = BoundaryTag::INTERIOR;
+                if !periodic[0] {
+                    if gi == 0 {
+                        t = t.union(BoundaryTag::X_MIN);
+                    }
+                    if gi == ndx - 1 {
+                        t = t.union(BoundaryTag::X_MAX);
+                    }
+                }
+                if !periodic[1] {
+                    if gj == 0 {
+                        t = t.union(BoundaryTag::Y_MIN);
+                    }
+                    if gj == ndy - 1 {
+                        t = t.union(BoundaryTag::Y_MAX);
+                    }
+                }
+                if !periodic[2] {
+                    if gk == 0 {
+                        t = t.union(BoundaryTag::Z_MIN);
+                    }
+                    if gk == ndz - 1 {
+                        t = t.union(BoundaryTag::Z_MAX);
+                    }
+                }
+                *tag = t;
+            }
+        }
+
+        let ext = |axis: usize| -> Option<f64> {
+            if periodic[axis] {
+                Some(self.extent.component(axis))
+            } else {
+                None
+            }
+        };
+        HexMesh::new(
+            self.order,
+            coords,
+            connectivity,
+            tags,
+            [ext(0), ext(1), ext(2)],
+        )
+    }
+}
+
+/// The mesh-size sweep of the paper's Fig 5, as (label, target node count).
+///
+/// `1.4M` means 1.4 million nodes, etc. Use with
+/// [`BoxMeshBuilder::with_node_budget`] to regenerate the x-axis of Fig 5.
+pub const FIG5_MESH_SIZES: [(&str, usize); 6] = [
+    ("5K", 5_000),
+    ("275K", 275_000),
+    ("1.4M", 1_400_000),
+    ("2.1M", 2_100_000),
+    ("3M", 3_000_000),
+    ("4.2M", 4_200_000),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn tgv_box_counts() {
+        for n in [3, 5, 8] {
+            let b = BoxMeshBuilder::tgv_box(n);
+            let mesh = b.build().unwrap();
+            assert_eq!(mesh.num_elements(), n * n * n);
+            assert_eq!(mesh.num_nodes(), n * n * n);
+            assert_eq!(mesh.num_nodes(), b.node_count());
+        }
+    }
+
+    #[test]
+    fn walled_box_counts_and_tags() {
+        let mesh = BoxMeshBuilder::new()
+            .elements(3, 3, 3)
+            .periodic(false, false, false)
+            .extent(1.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        assert_eq!(mesh.num_nodes(), 64);
+        // Boundary of a 4×4×4 grid: 64 - 2³ interior = 56 nodes.
+        assert_eq!(mesh.boundary_nodes().len(), 56);
+    }
+
+    #[test]
+    fn mixed_periodicity() {
+        // Channel-like: periodic in x, walls in y and z.
+        let mesh = BoxMeshBuilder::new()
+            .elements(4, 3, 3)
+            .periodic(true, false, false)
+            .build()
+            .unwrap();
+        assert_eq!(mesh.num_nodes(), 4 * 4 * 4);
+        for &n in &mesh.boundary_nodes() {
+            let t = mesh.boundary_tag(n as usize);
+            assert!(!t.contains(BoundaryTag::X_MIN) && !t.contains(BoundaryTag::X_MAX));
+        }
+    }
+
+    #[test]
+    fn high_order_node_count() {
+        let b = {
+            let mut b = BoxMeshBuilder::tgv_box(3);
+            b.order(2);
+            b
+        };
+        let mesh = b.build().unwrap();
+        // Periodic: (3*2)³ = 216 nodes, 27 elements of 27 nodes.
+        assert_eq!(mesh.num_nodes(), 216);
+        assert_eq!(mesh.num_elements(), 27);
+        assert_eq!(mesh.nodes_per_element(), 27);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(BoxMeshBuilder::new().elements(0, 1, 1).build().is_err());
+        assert!(BoxMeshBuilder::new().order(0).build().is_err());
+        assert!(BoxMeshBuilder::new().extent(-1.0, 1.0, 1.0).build().is_err());
+        // Periodic axes with fewer than 3 elements are rejected (nearest-
+        // image unwrapping would be ambiguous).
+        assert!(BoxMeshBuilder::new().elements(1, 4, 4).build().is_err());
+        assert!(BoxMeshBuilder::new().elements(2, 4, 4).build().is_err());
+    }
+
+    #[test]
+    fn fig5_budgets_are_close() {
+        for (label, target) in FIG5_MESH_SIZES {
+            let b = BoxMeshBuilder::with_node_budget(target);
+            let got = b.node_count();
+            let rel = (got as f64 - target as f64).abs() / target as f64;
+            assert!(rel < 0.12, "{label}: target {target}, got {got}");
+        }
+    }
+
+    #[test]
+    fn each_node_appears_in_eight_elements_when_periodic_trilinear() {
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let mut count = vec![0usize; mesh.num_nodes()];
+        for &n in mesh.connectivity() {
+            count[n as usize] += 1;
+        }
+        // Fully periodic trilinear grid: every node belongs to 8 elements.
+        assert!(count.iter().all(|&c| c == 8));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_builder_counts_match_built_mesh(
+            nx in 3usize..6,
+            ny in 3usize..6,
+            nz in 3usize..6,
+            order in 1usize..3,
+            per in proptest::collection::vec(proptest::bool::ANY, 3),
+        ) {
+            let mut b = BoxMeshBuilder::new();
+            b.elements(nx, ny, nz).order(order).periodic(per[0], per[1], per[2]);
+            let mesh = b.build().unwrap();
+            prop_assert_eq!(mesh.num_nodes(), b.node_count());
+            prop_assert_eq!(mesh.num_elements(), b.element_count());
+        }
+
+        #[test]
+        fn prop_coordinates_inside_domain(
+            n in 3usize..6,
+            order in 1usize..3,
+        ) {
+            let mut b = BoxMeshBuilder::tgv_box(n);
+            b.order(order);
+            let mesh = b.build().unwrap();
+            let tau = std::f64::consts::TAU;
+            for c in mesh.coords() {
+                prop_assert!(c.x >= -1e-12 && c.x < tau);
+                prop_assert!(c.y >= -1e-12 && c.y < tau);
+                prop_assert!(c.z >= -1e-12 && c.z < tau);
+            }
+        }
+    }
+}

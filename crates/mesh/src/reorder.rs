@@ -1,0 +1,182 @@
+//! Reverse Cuthill-McKee (RCM) node reordering.
+//!
+//! The accelerator streams node data from off-chip DDR (§III-C); a low
+//! connectivity bandwidth keeps the per-element gather windows compact,
+//! which improves burst efficiency in the Load-Element task and cache
+//! locality in the CPU baseline. RCM is the classic bandwidth-reduction
+//! ordering for FEM meshes.
+
+use crate::hex::HexMesh;
+use crate::MeshError;
+
+/// Computes the reverse Cuthill-McKee permutation for `mesh`.
+///
+/// Returns `perm` with `perm[old] = new`, a valid input to
+/// [`HexMesh::renumber_nodes`]. All connected components are traversed,
+/// each started from a minimum-degree node.
+///
+/// # Example
+///
+/// ```
+/// use fem_mesh::{generator::BoxMeshBuilder, reorder::rcm_permutation};
+/// let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+/// let perm = rcm_permutation(&mesh);
+/// let reordered = mesh.renumber_nodes(&perm).unwrap();
+/// assert_eq!(reordered.num_nodes(), mesh.num_nodes());
+/// ```
+pub fn rcm_permutation(mesh: &HexMesh) -> Vec<u32> {
+    let adj = mesh.node_adjacency();
+    let n = adj.len();
+    let mut visited = vec![false; n];
+    let mut order: Vec<u32> = Vec::with_capacity(n);
+    let mut queue: std::collections::VecDeque<u32> = std::collections::VecDeque::new();
+
+    // Degree-sorted node list for picking component seeds.
+    let mut by_degree: Vec<u32> = (0..n as u32).collect();
+    by_degree.sort_by_key(|&v| adj[v as usize].len());
+
+    for &seed in &by_degree {
+        if visited[seed as usize] {
+            continue;
+        }
+        visited[seed as usize] = true;
+        queue.push_back(seed);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            let mut children: Vec<u32> = adj[v as usize]
+                .iter()
+                .copied()
+                .filter(|&w| !visited[w as usize])
+                .collect();
+            children.sort_by_key(|&w| adj[w as usize].len());
+            for w in children {
+                visited[w as usize] = true;
+                queue.push_back(w);
+            }
+        }
+    }
+
+    // Reverse the Cuthill-McKee order.
+    let mut perm = vec![0u32; n];
+    for (rank, &old) in order.iter().rev().enumerate() {
+        perm[old as usize] = rank as u32;
+    }
+    perm
+}
+
+/// Reorders `mesh` nodes with RCM and returns the new mesh together with
+/// the (before, after) connectivity bandwidths.
+///
+/// # Errors
+///
+/// Propagates [`MeshError`] from renumbering (cannot occur for a
+/// permutation produced by [`rcm_permutation`]).
+pub fn rcm_reorder(mesh: &HexMesh) -> Result<(HexMesh, usize, usize), MeshError> {
+    let before = mesh.bandwidth();
+    let perm = rcm_permutation(mesh);
+    let reordered = mesh.renumber_nodes(&perm)?;
+    let after = reordered.bandwidth();
+    Ok((reordered, before, after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::BoxMeshBuilder;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rcm_produces_valid_permutation() {
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let perm = rcm_permutation(&mesh);
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn rcm_does_not_increase_bandwidth_after_shuffle() {
+        // Scramble the mesh with a pseudo-random permutation, then check RCM
+        // recovers a bandwidth no worse than the scrambled one.
+        let mesh = BoxMeshBuilder::new()
+            .elements(6, 6, 6)
+            .periodic(false, false, false)
+            .extent(1.0, 1.0, 1.0)
+            .build()
+            .unwrap();
+        let n = mesh.num_nodes() as u32;
+        // Multiplicative shuffle (343 is coprime with 7³ grid count 343? use
+        // a safe LCG-style map): new = (old * 181 + 7) mod n with 181 coprime.
+        let mut perm: Vec<u32> = (0..n).collect();
+        let mut x = 1u64;
+        for p in perm.iter_mut() {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            *p = (x >> 33) as u32 % n;
+        }
+        // Fix duplicates: fall back to identity-completing permutation.
+        let mut used = vec![false; n as usize];
+        let mut free: Vec<u32> = Vec::new();
+        for p in perm.iter_mut() {
+            if used[*p as usize] {
+                *p = u32::MAX;
+            } else {
+                used[*p as usize] = true;
+            }
+        }
+        for (i, &u) in used.iter().enumerate() {
+            if !u {
+                free.push(i as u32);
+            }
+        }
+        let mut fi = 0;
+        for p in perm.iter_mut() {
+            if *p == u32::MAX {
+                *p = free[fi];
+                fi += 1;
+            }
+        }
+        let scrambled = mesh.renumber_nodes(&perm).unwrap();
+        let (_, before, after) = rcm_reorder(&scrambled).unwrap();
+        assert!(
+            after <= before,
+            "RCM increased bandwidth: {before} -> {after}"
+        );
+        // For this structured case RCM should do substantially better.
+        assert!(
+            (after as f64) < 0.8 * before as f64,
+            "RCM too weak: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn rcm_preserves_geometry() {
+        let mesh = BoxMeshBuilder::tgv_box(3).build().unwrap();
+        let (reordered, _, _) = rcm_reorder(&mesh).unwrap();
+        // Sort both coordinate sets and compare.
+        let key = |v: &fem_numerics::linalg::Vec3| (v.x * 1e6) as i64 * 1_000_000_000
+            + (v.y * 1e6) as i64 * 1_000
+            + (v.z * 1e6) as i64;
+        let mut a: Vec<i64> = mesh.coords().iter().map(key).collect();
+        let mut b: Vec<i64> = reordered.coords().iter().map(key).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_rcm_permutation_is_bijective(n in 3usize..6, order in 1usize..3) {
+            let mut b = BoxMeshBuilder::tgv_box(n);
+            b.order(order);
+            let mesh = b.build().unwrap();
+            let perm = rcm_permutation(&mesh);
+            let mut sorted = perm.clone();
+            sorted.sort_unstable();
+            let expect: Vec<u32> = (0..mesh.num_nodes() as u32).collect();
+            prop_assert_eq!(sorted, expect);
+        }
+    }
+}

@@ -1,0 +1,309 @@
+//! Lagrange interpolation bases and spectral differentiation matrices.
+//!
+//! A spectral element represents a field inside an element as a Lagrange
+//! interpolant through the GLL nodes (the paper's trial functions
+//! `x_e = Σ x_i N_i`, §II-B). Differentiating the interpolant at the nodes is
+//! a dense matrix-vector product with the differentiation matrix `D`, where
+//! `D[i][j] = N_j'(x_i)` — this is the "COMPUTE Gradients" stage of the
+//! accelerator's node pipeline.
+
+use crate::NumericsError;
+
+/// A 1D Lagrange basis over a set of strictly increasing nodes.
+///
+/// # Example
+///
+/// ```
+/// use fem_numerics::lagrange::LagrangeBasis;
+/// // Basis on the 3-point GLL nodes {-1, 0, 1}.
+/// let basis = LagrangeBasis::new(vec![-1.0, 0.0, 1.0]).unwrap();
+/// // Cardinal property: N_j(x_i) = δ_ij.
+/// let vals = basis.eval(0.0);
+/// assert!((vals[1] - 1.0).abs() < 1e-14);
+/// assert!(vals[0].abs() < 1e-14 && vals[2].abs() < 1e-14);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagrangeBasis {
+    nodes: Vec<f64>,
+    /// Barycentric weights b_j = 1 / Π_{k≠j} (x_j - x_k).
+    bary: Vec<f64>,
+}
+
+impl LagrangeBasis {
+    /// Builds a Lagrange basis through `nodes`.
+    ///
+    /// # Errors
+    ///
+    /// * [`NumericsError::OrderTooLow`] if fewer than two nodes are given.
+    /// * [`NumericsError::NodesNotSorted`] if nodes are not strictly
+    ///   increasing (which also rules out duplicates).
+    pub fn new(nodes: Vec<f64>) -> Result<Self, NumericsError> {
+        if nodes.len() < 2 {
+            return Err(NumericsError::OrderTooLow {
+                requested: nodes.len(),
+                minimum: 2,
+            });
+        }
+        if nodes.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(NumericsError::NodesNotSorted);
+        }
+        let n = nodes.len();
+        let mut bary = vec![1.0; n];
+        for j in 0..n {
+            for k in 0..n {
+                if k != j {
+                    bary[j] /= nodes[j] - nodes[k];
+                }
+            }
+        }
+        Ok(LagrangeBasis { nodes, bary })
+    }
+
+    /// The interpolation nodes.
+    pub fn nodes(&self) -> &[f64] {
+        &self.nodes
+    }
+
+    /// Number of basis functions (= number of nodes).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the basis is empty (never true for a constructed basis).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Evaluates all basis functions at `x` (barycentric form, stable even
+    /// very close to a node).
+    pub fn eval(&self, x: f64) -> Vec<f64> {
+        let n = self.len();
+        let mut vals = vec![0.0; n];
+        // Exact hit on a node: cardinal property.
+        for j in 0..n {
+            if (x - self.nodes[j]).abs() < 1e-14 {
+                vals[j] = 1.0;
+                return vals;
+            }
+        }
+        let mut denom = 0.0;
+        for j in 0..n {
+            let term = self.bary[j] / (x - self.nodes[j]);
+            vals[j] = term;
+            denom += term;
+        }
+        for v in &mut vals {
+            *v /= denom;
+        }
+        vals
+    }
+
+    /// Evaluates the derivative of every basis function at `x`.
+    ///
+    /// Uses the product-rule form on top of [`eval`](Self::eval); exact node
+    /// hits fall back to the differentiation-matrix row.
+    pub fn eval_derivative(&self, x: f64) -> Vec<f64> {
+        let n = self.len();
+        for i in 0..n {
+            if (x - self.nodes[i]).abs() < 1e-14 {
+                return self.derivative_row(i);
+            }
+        }
+        (0..n).map(|j| self.derivative_via_products(j, x)).collect()
+    }
+
+    /// Direct product-rule evaluation of `N_j'(x)`; O(n²) but exact.
+    fn derivative_via_products(&self, j: usize, x: f64) -> f64 {
+        let n = self.len();
+        let mut total = 0.0;
+        for m in 0..n {
+            if m == j {
+                continue;
+            }
+            let mut prod = 1.0;
+            for k in 0..n {
+                if k != j && k != m {
+                    prod *= (x - self.nodes[k]) / (self.nodes[j] - self.nodes[k]);
+                }
+            }
+            total += prod / (self.nodes[j] - self.nodes[m]);
+        }
+        total
+    }
+
+    /// Row `i` of the differentiation matrix: `N_j'(x_i)` for all `j`.
+    fn derivative_row(&self, i: usize) -> Vec<f64> {
+        let n = self.len();
+        let mut row = vec![0.0; n];
+        for j in 0..n {
+            if j != i {
+                row[j] = (self.bary[j] / self.bary[i]) / (self.nodes[i] - self.nodes[j]);
+            }
+        }
+        // Diagonal from the "negative sum trick" (rows of D sum to zero
+        // because constants have zero derivative).
+        row[i] = -row.iter().sum::<f64>();
+        row
+    }
+
+    /// The full differentiation matrix `D` with `D[i][j] = N_j'(x_i)`,
+    /// row-major.
+    ///
+    /// Applying `D` to nodal values of a function yields nodal values of its
+    /// derivative, exactly for polynomials of degree `< n`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fem_numerics::lagrange::LagrangeBasis;
+    /// let basis = LagrangeBasis::new(vec![-1.0, 0.0, 1.0]).unwrap();
+    /// let d = basis.differentiation_matrix();
+    /// // Differentiate f(x) = x² at the nodes: f' = 2x.
+    /// let f = [1.0, 0.0, 1.0];
+    /// for i in 0..3 {
+    ///     let df: f64 = (0..3).map(|j| d[i * 3 + j] * f[j]).sum();
+    ///     assert!((df - 2.0 * basis.nodes()[i]).abs() < 1e-13);
+    /// }
+    /// ```
+    pub fn differentiation_matrix(&self) -> Vec<f64> {
+        let n = self.len();
+        let mut d = vec![0.0; n * n];
+        for i in 0..n {
+            let row = self.derivative_row(i);
+            d[i * n..(i + 1) * n].copy_from_slice(&row);
+        }
+        d
+    }
+
+    /// Interpolates nodal values `f` to the point `x`.
+    pub fn interpolate(&self, f: &[f64], x: f64) -> f64 {
+        assert_eq!(f.len(), self.len(), "nodal value count must match basis");
+        self.eval(x).iter().zip(f).map(|(n, v)| n * v).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quadrature::GllRule;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_nodes() {
+        assert!(matches!(
+            LagrangeBasis::new(vec![0.0]),
+            Err(NumericsError::OrderTooLow { .. })
+        ));
+        assert!(matches!(
+            LagrangeBasis::new(vec![0.0, 0.0]),
+            Err(NumericsError::NodesNotSorted)
+        ));
+        assert!(matches!(
+            LagrangeBasis::new(vec![1.0, -1.0]),
+            Err(NumericsError::NodesNotSorted)
+        ));
+    }
+
+    #[test]
+    fn cardinal_property_at_nodes() {
+        let basis = LagrangeBasis::new(GllRule::new(6).unwrap().points().to_vec()).unwrap();
+        for (i, &xi) in basis.nodes().iter().enumerate() {
+            let vals = basis.eval(xi);
+            for (j, &v) in vals.iter().enumerate() {
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((v - expect).abs() < 1e-13, "i={i} j={j} v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_of_unity_off_nodes() {
+        let basis = LagrangeBasis::new(GllRule::new(5).unwrap().points().to_vec()).unwrap();
+        for &x in &[-0.93, -0.51, -0.17, 0.05, 0.33, 0.78, 0.99] {
+            let sum: f64 = basis.eval(x).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "x={x} sum={sum}");
+        }
+    }
+
+    #[test]
+    fn differentiation_matrix_rows_sum_to_zero() {
+        for n in 2..9 {
+            let basis = LagrangeBasis::new(GllRule::new(n).unwrap().points().to_vec()).unwrap();
+            let d = basis.differentiation_matrix();
+            for i in 0..n {
+                let row_sum: f64 = d[i * n..(i + 1) * n].iter().sum();
+                assert!(row_sum.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn differentiates_polynomials_exactly() {
+        let n = 5;
+        let basis = LagrangeBasis::new(GllRule::new(n).unwrap().points().to_vec()).unwrap();
+        let d = basis.differentiation_matrix();
+        // f(x) = 3x⁴ - 2x² + x, f'(x) = 12x³ - 4x + 1 (degree 4 < n = 5 ✓)
+        let f: Vec<f64> = basis
+            .nodes()
+            .iter()
+            .map(|&x| 3.0 * x.powi(4) - 2.0 * x * x + x)
+            .collect();
+        for i in 0..n {
+            let df: f64 = (0..n).map(|j| d[i * n + j] * f[j]).sum();
+            let x = basis.nodes()[i];
+            let exact = 12.0 * x.powi(3) - 4.0 * x + 1.0;
+            assert!((df - exact).abs() < 1e-11, "i={i}: {df} vs {exact}");
+        }
+    }
+
+    #[test]
+    fn derivative_off_nodes_matches_finite_difference() {
+        let basis = LagrangeBasis::new(GllRule::new(4).unwrap().points().to_vec()).unwrap();
+        let h = 1e-6;
+        for &x in &[-0.77, -0.2, 0.44, 0.9] {
+            let derivs = basis.eval_derivative(x);
+            let hi = basis.eval(x + h);
+            let lo = basis.eval(x - h);
+            for j in 0..basis.len() {
+                let fd = (hi[j] - lo[j]) / (2.0 * h);
+                assert!((derivs[j] - fd).abs() < 1e-6, "j={j}");
+            }
+        }
+    }
+
+    proptest! {
+        /// Interpolation reproduces polynomials of degree < n at random points.
+        #[test]
+        fn prop_interpolation_reproduces_polynomials(
+            n in 3usize..8,
+            coeffs in proptest::collection::vec(-3.0f64..3.0, 1..6),
+            x in -1.0f64..1.0,
+        ) {
+            let rule = GllRule::new(n).unwrap();
+            let basis = LagrangeBasis::new(rule.points().to_vec()).unwrap();
+            let degree = (coeffs.len() - 1).min(n - 1);
+            let coeffs = &coeffs[..=degree];
+            let poly = |x: f64| coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c);
+            let nodal: Vec<f64> = basis.nodes().iter().map(|&t| poly(t)).collect();
+            let interp = basis.interpolate(&nodal, x);
+            prop_assert!((interp - poly(x)).abs() < 1e-10);
+        }
+
+        /// D applied twice equals the second-derivative for low-degree polys.
+        #[test]
+        fn prop_differentiation_matrix_composes(n in 4usize..8, a in -2.0f64..2.0) {
+            let rule = GllRule::new(n).unwrap();
+            let basis = LagrangeBasis::new(rule.points().to_vec()).unwrap();
+            let d = basis.differentiation_matrix();
+            // f = a x³, f'' = 6 a x; degree 3 ≤ n-1 and f' has degree 2 ≤ n-1.
+            let f: Vec<f64> = basis.nodes().iter().map(|&x| a * x.powi(3)).collect();
+            let df: Vec<f64> = (0..n)
+                .map(|i| (0..n).map(|j| d[i * n + j] * f[j]).sum())
+                .collect();
+            for i in 0..n {
+                let ddf: f64 = (0..n).map(|j| d[i * n + j] * df[j]).sum();
+                prop_assert!((ddf - 6.0 * a * basis.nodes()[i]).abs() < 1e-9);
+            }
+        }
+    }
+}

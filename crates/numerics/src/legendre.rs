@@ -1,0 +1,158 @@
+//! Legendre polynomials `P_n` and derivatives via the three-term recurrence.
+//!
+//! These are the kernels behind the GLL quadrature rule construction in
+//! [`crate::quadrature`]: the interior GLL nodes are the roots of
+//! `P'_{n-1}` and the weights involve `P_{n-1}` evaluated at the nodes.
+
+/// Evaluates the Legendre polynomial `P_n(x)`.
+///
+/// Uses the stable three-term recurrence
+/// `(k+1) P_{k+1}(x) = (2k+1) x P_k(x) - k P_{k-1}(x)`.
+///
+/// # Example
+///
+/// ```
+/// use fem_numerics::legendre::legendre;
+/// // P_2(x) = (3x² - 1)/2
+/// assert!((legendre(2, 0.5) - (-0.125)).abs() < 1e-15);
+/// ```
+pub fn legendre(n: usize, x: f64) -> f64 {
+    legendre_with_derivative(n, x).0
+}
+
+/// Evaluates `P_n(x)` together with its first derivative `P'_n(x)`.
+///
+/// The derivative uses the standard relation
+/// `(x² - 1) P'_n(x) = n (x P_n(x) - P_{n-1}(x))`, with a recurrence-based
+/// fallback at the endpoints `x = ±1` where the relation degenerates.
+pub fn legendre_with_derivative(n: usize, x: f64) -> (f64, f64) {
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    if n == 1 {
+        return (x, 1.0);
+    }
+    let mut p_prev = 1.0; // P_0
+    let mut p = x; // P_1
+    for k in 1..n {
+        let kf = k as f64;
+        let p_next = ((2.0 * kf + 1.0) * x * p - kf * p_prev) / (kf + 1.0);
+        p_prev = p;
+        p = p_next;
+    }
+    let nf = n as f64;
+    let denom = x * x - 1.0;
+    let dp = if denom.abs() > 1e-12 {
+        nf * (x * p - p_prev) / denom
+    } else {
+        // At x = ±1: P'_n(±1) = (±1)^{n-1} n(n+1)/2.
+        let sign = if x > 0.0 || n % 2 == 1 { 1.0 } else { -1.0 };
+        sign * nf * (nf + 1.0) / 2.0
+    };
+    (p, dp)
+}
+
+/// Evaluates `q(x) = P'_n(x)` and `q'(x) = P''_n(x)`.
+///
+/// Used by the Newton iteration for interior GLL nodes, which are the roots
+/// of `P'_{n}`. The second derivative comes from the Legendre ODE
+/// `(1 - x²) P''_n = 2x P'_n - n(n+1) P_n`.
+pub fn legendre_derivative_pair(n: usize, x: f64) -> (f64, f64) {
+    let (p, dp) = legendre_with_derivative(n, x);
+    let nf = n as f64;
+    let one_minus_x2 = 1.0 - x * x;
+    if one_minus_x2.abs() > 1e-12 {
+        let ddp = (2.0 * x * dp - nf * (nf + 1.0) * p) / one_minus_x2;
+        (dp, ddp)
+    } else {
+        // Endpoint second derivative (rarely needed: Newton stays interior).
+        let sign = if x > 0.0 || n % 2 == 0 { 1.0 } else { -1.0 };
+        let ddp = sign * (nf - 1.0) * nf * (nf + 1.0) * (nf + 2.0) / 8.0;
+        (dp, ddp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn low_order_values_match_closed_forms() {
+        for &x in &[-1.0, -0.7, -0.2, 0.0, 0.3, 0.9, 1.0] {
+            assert_close(legendre(0, x), 1.0, 1e-15);
+            assert_close(legendre(1, x), x, 1e-15);
+            assert_close(legendre(2, x), 0.5 * (3.0 * x * x - 1.0), 1e-14);
+            assert_close(legendre(3, x), 0.5 * (5.0 * x * x * x - 3.0 * x), 1e-14);
+            assert_close(
+                legendre(4, x),
+                (35.0 * x.powi(4) - 30.0 * x * x + 3.0) / 8.0,
+                1e-14,
+            );
+        }
+    }
+
+    #[test]
+    fn endpoint_identities() {
+        for n in 0..12 {
+            assert_close(legendre(n, 1.0), 1.0, 1e-13);
+            let expect = if n % 2 == 0 { 1.0 } else { -1.0 };
+            assert_close(legendre(n, -1.0), expect, 1e-13);
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 1e-6;
+        for n in 1..10 {
+            for &x in &[-0.9, -0.35, 0.0, 0.41, 0.88] {
+                let (_, dp) = legendre_with_derivative(n, x);
+                let fd = (legendre(n, x + h) - legendre(n, x - h)) / (2.0 * h);
+                assert_close(dp, fd, 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn derivative_at_endpoints() {
+        for n in 1..10 {
+            let nf = n as f64;
+            let (_, dp) = legendre_with_derivative(n, 1.0);
+            assert_close(dp, nf * (nf + 1.0) / 2.0, 1e-11);
+            let (_, dm) = legendre_with_derivative(n, -1.0);
+            let sign = if n % 2 == 1 { 1.0 } else { -1.0 };
+            assert_close(dm, sign * nf * (nf + 1.0) / 2.0, 1e-11);
+        }
+    }
+
+    #[test]
+    fn second_derivative_matches_finite_difference() {
+        let h = 1e-5;
+        for n in 2..9 {
+            for &x in &[-0.8, -0.25, 0.1, 0.6] {
+                let (_, ddp) = legendre_derivative_pair(n, x);
+                let (_, d_hi) = legendre_with_derivative(n, x + h);
+                let (_, d_lo) = legendre_with_derivative(n, x - h);
+                let fd = (d_hi - d_lo) / (2.0 * h);
+                assert_close(ddp, fd, 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn legendre_ode_is_satisfied() {
+        // (1-x²) P''_n - 2x P'_n + n(n+1) P_n = 0
+        for n in 2..10 {
+            for &x in &[-0.9, -0.4, 0.2, 0.7] {
+                let (p, dp) = legendre_with_derivative(n, x);
+                let (_, ddp) = legendre_derivative_pair(n, x);
+                let nf = n as f64;
+                let residual = (1.0 - x * x) * ddp - 2.0 * x * dp + nf * (nf + 1.0) * p;
+                assert!(residual.abs() < 1e-9, "n={n} x={x} residual={residual}");
+            }
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Numerical foundations for the FEM-based CFD accelerator reproduction.
+//!
+//! This crate provides the building blocks that the spectral finite-element
+//! solver ([`fem-solver`]) and the mesh layer ([`fem-mesh`]) are built on:
+//!
+//! * [`legendre`] — Legendre polynomials and their derivatives,
+//! * [`quadrature`] — Gauss-Lobatto-Legendre (GLL) quadrature rules of
+//!   arbitrary order (the paper integrates the weak form with GLL, §II-B),
+//! * [`lagrange`] — 1D Lagrange interpolation bases on arbitrary node sets
+//!   with spectral differentiation matrices,
+//! * [`tensor`] — tensor-product index arithmetic for 3D hexahedral elements,
+//! * [`linalg`] — small dense linear algebra (`Vec3`, `Mat3`) used for
+//!   element Jacobians and flux tensors,
+//! * [`rk`] — explicit Runge-Kutta integrators (Butcher tableaus; the paper
+//!   uses classical RK4, §II-B).
+//!
+//! # Example
+//!
+//! Integrate a cubic exactly with a 2-point GLL rule per direction:
+//!
+//! ```
+//! use fem_numerics::quadrature::GllRule;
+//!
+//! let rule = GllRule::new(3).unwrap();
+//! let integral: f64 = rule
+//!     .points()
+//!     .iter()
+//!     .zip(rule.weights())
+//!     .map(|(&x, &w)| w * (x * x * x + x * x))
+//!     .sum();
+//! // ∫_{-1}^{1} x³ + x² dx = 2/3
+//! assert!((integral - 2.0 / 3.0).abs() < 1e-13);
+//! ```
+//!
+//! [`fem-solver`]: ../fem_solver/index.html
+//! [`fem-mesh`]: ../fem_mesh/index.html
+
+#![deny(missing_docs)]
+
+pub mod lagrange;
+pub mod legendre;
+pub mod linalg;
+pub mod quadrature;
+pub mod rk;
+pub mod tensor;
+
+pub use lagrange::LagrangeBasis;
+pub use linalg::{Mat3, Vec3};
+pub use quadrature::GllRule;
+pub use rk::{ButcherTableau, ExplicitRk, OdeSystem, StateOps};
+
+/// Errors produced by the numerics layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumericsError {
+    /// A quadrature rule or basis was requested with fewer than two nodes.
+    OrderTooLow {
+        /// The number of nodes requested.
+        requested: usize,
+        /// The minimum number of nodes supported.
+        minimum: usize,
+    },
+    /// Newton iteration for quadrature nodes failed to converge.
+    NewtonDiverged {
+        /// Index of the node that failed to converge.
+        node: usize,
+        /// Residual magnitude when iteration stopped.
+        residual: f64,
+    },
+    /// Input nodes for a Lagrange basis were not strictly increasing.
+    NodesNotSorted,
+    /// Input nodes for a Lagrange basis contained duplicates.
+    DuplicateNodes,
+}
+
+impl std::fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NumericsError::OrderTooLow { requested, minimum } => write!(
+                f,
+                "requested {requested} nodes but at least {minimum} are required"
+            ),
+            NumericsError::NewtonDiverged { node, residual } => write!(
+                f,
+                "newton iteration for node {node} stalled with residual {residual:e}"
+            ),
+            NumericsError::NodesNotSorted => write!(f, "basis nodes must be strictly increasing"),
+            NumericsError::DuplicateNodes => write!(f, "basis nodes must be distinct"),
+        }
+    }
+}
+
+impl std::error::Error for NumericsError {}

@@ -1,0 +1,287 @@
+//! Gauss-Lobatto-Legendre (GLL) quadrature rules.
+//!
+//! The paper (§II-B) evaluates the FEM weak-form integrals with GLL
+//! quadrature, which places quadrature points at the element nodes of a
+//! spectral element (endpoints included). An `n`-point GLL rule integrates
+//! polynomials up to degree `2n - 3` exactly on `[-1, 1]`.
+
+use crate::legendre::{legendre, legendre_derivative_pair};
+use crate::NumericsError;
+
+/// Maximum Newton iterations when locating interior GLL nodes.
+const MAX_NEWTON_ITERS: usize = 100;
+/// Convergence threshold on the Newton update.
+const NEWTON_TOL: f64 = 1e-15;
+
+/// An `n`-point Gauss-Lobatto-Legendre quadrature rule on `[-1, 1]`.
+///
+/// Nodes are the endpoints `±1` together with the roots of `P'_{n-1}`;
+/// weights are `w_i = 2 / (n (n-1) P_{n-1}(x_i)²)`.
+///
+/// # Example
+///
+/// ```
+/// use fem_numerics::quadrature::GllRule;
+/// let rule = GllRule::new(4).unwrap();
+/// assert_eq!(rule.len(), 4);
+/// // Weights sum to the length of the interval.
+/// let total: f64 = rule.weights().iter().sum();
+/// assert!((total - 2.0).abs() < 1e-13);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GllRule {
+    points: Vec<f64>,
+    weights: Vec<f64>,
+}
+
+impl GllRule {
+    /// Builds the `n`-point GLL rule.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::OrderTooLow`] if `n < 2` (Lobatto rules need
+    /// both endpoints) and [`NumericsError::NewtonDiverged`] if root finding
+    /// fails (not observed for any practical order).
+    pub fn new(n: usize) -> Result<Self, NumericsError> {
+        if n < 2 {
+            return Err(NumericsError::OrderTooLow {
+                requested: n,
+                minimum: 2,
+            });
+        }
+        let mut points = vec![0.0; n];
+        points[0] = -1.0;
+        points[n - 1] = 1.0;
+        // Interior nodes: roots of P'_{n-1}, seeded from Chebyshev-Lobatto.
+        for i in 1..n - 1 {
+            let mut x = -(std::f64::consts::PI * i as f64 / (n - 1) as f64).cos();
+            let mut converged = false;
+            for _ in 0..MAX_NEWTON_ITERS {
+                let (q, dq) = legendre_derivative_pair(n - 1, x);
+                let dx = q / dq;
+                x -= dx;
+                if dx.abs() < NEWTON_TOL {
+                    converged = true;
+                    break;
+                }
+            }
+            if !converged {
+                let (q, _) = legendre_derivative_pair(n - 1, x);
+                return Err(NumericsError::NewtonDiverged {
+                    node: i,
+                    residual: q.abs(),
+                });
+            }
+            points[i] = x;
+        }
+        // Symmetrize to kill round-off drift: x_i = -x_{n-1-i}.
+        for i in 0..n / 2 {
+            let avg = 0.5 * (points[i] - points[n - 1 - i]);
+            points[i] = avg;
+            points[n - 1 - i] = -avg;
+        }
+        if n % 2 == 1 {
+            points[n / 2] = 0.0;
+        }
+        let nf = n as f64;
+        let weights = points
+            .iter()
+            .map(|&x| {
+                let p = legendre(n - 1, x);
+                2.0 / (nf * (nf - 1.0) * p * p)
+            })
+            .collect();
+        Ok(GllRule { points, weights })
+    }
+
+    /// The quadrature points, sorted ascending, endpoints included.
+    pub fn points(&self) -> &[f64] {
+        &self.points
+    }
+
+    /// The quadrature weights, matching [`points`](Self::points) by index.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of points in the rule.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the rule is empty (never true for a constructed rule).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Highest polynomial degree integrated exactly: `2n - 3`.
+    pub fn exact_degree(&self) -> usize {
+        2 * self.len() - 3
+    }
+
+    /// Integrates `f` over `[-1, 1]` with this rule.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fem_numerics::quadrature::GllRule;
+    /// let rule = GllRule::new(5).unwrap();
+    /// let integral = rule.integrate(|x| x.powi(6));
+    /// assert!((integral - 2.0 / 7.0).abs() < 1e-12);
+    /// ```
+    pub fn integrate<F: FnMut(f64) -> f64>(&self, mut f: F) -> f64 {
+        self.points
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_order_below_two() {
+        assert!(matches!(
+            GllRule::new(1),
+            Err(NumericsError::OrderTooLow { .. })
+        ));
+        assert!(matches!(
+            GllRule::new(0),
+            Err(NumericsError::OrderTooLow { .. })
+        ));
+    }
+
+    #[test]
+    fn two_point_rule_is_trapezoid() {
+        let rule = GllRule::new(2).unwrap();
+        assert_eq!(rule.points(), &[-1.0, 1.0]);
+        assert!((rule.weights()[0] - 1.0).abs() < 1e-15);
+        assert!((rule.weights()[1] - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn three_point_rule_matches_reference() {
+        let rule = GllRule::new(3).unwrap();
+        let expect_pts = [-1.0, 0.0, 1.0];
+        let expect_wts = [1.0 / 3.0, 4.0 / 3.0, 1.0 / 3.0];
+        for i in 0..3 {
+            assert!((rule.points()[i] - expect_pts[i]).abs() < 1e-14);
+            assert!((rule.weights()[i] - expect_wts[i]).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn five_point_rule_matches_reference() {
+        // Reference values from Abramowitz & Stegun 25.4.33.
+        let rule = GllRule::new(5).unwrap();
+        let sqrt_3_7 = (3.0f64 / 7.0).sqrt();
+        let expect_pts = [-1.0, -sqrt_3_7, 0.0, sqrt_3_7, 1.0];
+        let expect_wts = [0.1, 49.0 / 90.0, 32.0 / 45.0, 49.0 / 90.0, 0.1];
+        for i in 0..5 {
+            assert!((rule.points()[i] - expect_pts[i]).abs() < 1e-13);
+            assert!((rule.weights()[i] - expect_wts[i]).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn points_are_symmetric_and_sorted() {
+        for n in 2..=12 {
+            let rule = GllRule::new(n).unwrap();
+            for i in 0..n {
+                assert!(
+                    (rule.points()[i] + rule.points()[n - 1 - i]).abs() < 1e-14,
+                    "asymmetry at order {n}"
+                );
+                if i > 0 {
+                    assert!(rule.points()[i] > rule.points()[i - 1]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn weights_positive_and_sum_to_two() {
+        for n in 2..=16 {
+            let rule = GllRule::new(n).unwrap();
+            assert!(rule.weights().iter().all(|&w| w > 0.0));
+            let sum: f64 = rule.weights().iter().sum();
+            assert!((sum - 2.0).abs() < 1e-12, "order {n}: sum {sum}");
+        }
+    }
+
+    #[test]
+    fn integrates_monomials_exactly_up_to_2n_minus_3() {
+        for n in 2..=10 {
+            let rule = GllRule::new(n).unwrap();
+            for degree in 0..=rule.exact_degree() {
+                let integral = rule.integrate(|x| x.powi(degree as i32));
+                let exact = if degree % 2 == 1 {
+                    0.0
+                } else {
+                    2.0 / (degree as f64 + 1.0)
+                };
+                assert!(
+                    (integral - exact).abs() < 1e-11,
+                    "n={n} degree={degree}: {integral} vs {exact}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn degree_2n_minus_2_is_not_exact() {
+        // Lobatto rules lose exactly one degree vs Gauss; the first even
+        // monomial above the exactness bound must show an error.
+        for n in 2..=8 {
+            let rule = GllRule::new(n).unwrap();
+            let degree = (rule.exact_degree() + 1).next_multiple_of(2);
+            let integral = rule.integrate(|x| x.powi(degree as i32));
+            let exact = 2.0 / (degree as f64 + 1.0);
+            assert!(
+                (integral - exact).abs() > 1e-6,
+                "n={n} unexpectedly exact at degree {degree}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Random polynomials up to the exactness bound integrate exactly.
+        #[test]
+        fn prop_random_polynomials_integrate_exactly(
+            n in 2usize..9,
+            coeffs in proptest::collection::vec(-10.0f64..10.0, 1..12),
+        ) {
+            let rule = GllRule::new(n).unwrap();
+            let degree = (coeffs.len() - 1).min(rule.exact_degree());
+            let coeffs = &coeffs[..=degree];
+            let integral = rule.integrate(|x| {
+                coeffs.iter().rev().fold(0.0, |acc, &c| acc * x + c)
+            });
+            let exact: f64 = coeffs
+                .iter()
+                .enumerate()
+                .map(|(k, &c)| if k % 2 == 0 { 2.0 * c / (k as f64 + 1.0) } else { 0.0 })
+                .sum();
+            prop_assert!((integral - exact).abs() < 1e-9 * (1.0 + exact.abs()));
+        }
+
+        /// The rule is linear in the integrand.
+        #[test]
+        fn prop_integration_is_linear(
+            n in 2usize..10,
+            a in -5.0f64..5.0,
+            b in -5.0f64..5.0,
+        ) {
+            let rule = GllRule::new(n).unwrap();
+            let f = |x: f64| x.sin();
+            let g = |x: f64| (2.0 * x).cos();
+            let lhs = rule.integrate(|x| a * f(x) + b * g(x));
+            let rhs = a * rule.integrate(f) + b * rule.integrate(g);
+            prop_assert!((lhs - rhs).abs() < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Explicit Runge-Kutta time integration.
+//!
+//! The paper integrates the semi-discrete FEM system with the classical
+//! fourth-order Runge-Kutta method (RK4, §II-B). The integrator here is
+//! generic over a [`StateOps`] vector space so the solver can drive its
+//! multi-field solution state through it, while tests exercise scalar ODEs.
+
+/// Vector-space operations an ODE state must support.
+///
+/// Implemented for `Vec<f64>` and usable for any struct-of-arrays state.
+pub trait StateOps: Clone {
+    /// Returns a zero state with the same shape as `self`.
+    fn zeros_like(&self) -> Self;
+    /// Copies `other` into `self` (shapes must match).
+    fn copy_from(&mut self, other: &Self);
+    /// `self += a * x`.
+    fn axpy(&mut self, a: f64, x: &Self);
+    /// `self *= a`.
+    fn scale(&mut self, a: f64);
+}
+
+impl StateOps for Vec<f64> {
+    fn zeros_like(&self) -> Self {
+        vec![0.0; self.len()]
+    }
+
+    fn copy_from(&mut self, other: &Self) {
+        debug_assert_eq!(self.len(), other.len());
+        self.copy_from_slice(other);
+    }
+
+    fn axpy(&mut self, a: f64, x: &Self) {
+        debug_assert_eq!(self.len(), x.len());
+        for (s, &v) in self.iter_mut().zip(x) {
+            *s += a * v;
+        }
+    }
+
+    fn scale(&mut self, a: f64) {
+        for s in self.iter_mut() {
+            *s *= a;
+        }
+    }
+}
+
+/// A right-hand-side provider `dy/dt = f(t, y)`.
+pub trait OdeSystem {
+    /// The state type being integrated.
+    type State: StateOps;
+
+    /// Evaluates the RHS into `dydt`.
+    ///
+    /// The solver's implementation of this is exactly the paper's RKL step:
+    /// diffusion + convection residual evaluation, preceded by the RKU-style
+    /// primitive-variable update.
+    fn rhs(&mut self, t: f64, y: &Self::State, dydt: &mut Self::State);
+}
+
+/// Butcher tableau of an explicit Runge-Kutta scheme.
+///
+/// `a` is the strictly lower-triangular stage matrix stored by rows
+/// (row `i` has `i` entries), `b` the output weights, `c` the abscissae.
+///
+/// # Example
+///
+/// ```
+/// use fem_numerics::rk::ButcherTableau;
+/// let rk4 = ButcherTableau::rk4();
+/// assert_eq!(rk4.stages(), 4);
+/// assert!(rk4.is_consistent());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ButcherTableau {
+    /// Scheme name for reporting.
+    name: &'static str,
+    a: Vec<Vec<f64>>,
+    b: Vec<f64>,
+    c: Vec<f64>,
+    order: usize,
+}
+
+impl ButcherTableau {
+    /// Forward Euler (1 stage, order 1).
+    pub fn euler() -> Self {
+        ButcherTableau {
+            name: "euler",
+            a: vec![vec![]],
+            b: vec![1.0],
+            c: vec![0.0],
+            order: 1,
+        }
+    }
+
+    /// Heun's method (2 stages, order 2).
+    pub fn heun2() -> Self {
+        ButcherTableau {
+            name: "heun2",
+            a: vec![vec![], vec![1.0]],
+            b: vec![0.5, 0.5],
+            c: vec![0.0, 1.0],
+            order: 2,
+        }
+    }
+
+    /// Kutta's third-order method (3 stages, order 3).
+    pub fn kutta3() -> Self {
+        ButcherTableau {
+            name: "kutta3",
+            a: vec![vec![], vec![0.5], vec![-1.0, 2.0]],
+            b: vec![1.0 / 6.0, 2.0 / 3.0, 1.0 / 6.0],
+            c: vec![0.0, 0.5, 1.0],
+            order: 3,
+        }
+    }
+
+    /// The classical RK4 scheme used by the paper (4 stages, order 4).
+    pub fn rk4() -> Self {
+        ButcherTableau {
+            name: "rk4",
+            a: vec![vec![], vec![0.5], vec![0.0, 0.5], vec![0.0, 0.0, 1.0]],
+            b: vec![1.0 / 6.0, 1.0 / 3.0, 1.0 / 3.0, 1.0 / 6.0],
+            c: vec![0.0, 0.5, 0.5, 1.0],
+            order: 4,
+        }
+    }
+
+    /// Scheme name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of stages.
+    pub fn stages(&self) -> usize {
+        self.b.len()
+    }
+
+    /// Formal order of accuracy.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Stage matrix row `i` (length `i`).
+    pub fn a_row(&self, i: usize) -> &[f64] {
+        &self.a[i]
+    }
+
+    /// Output weights.
+    pub fn b(&self) -> &[f64] {
+        &self.b
+    }
+
+    /// Abscissae.
+    pub fn c(&self) -> &[f64] {
+        &self.c
+    }
+
+    /// Checks the row-sum condition `c_i = Σ_j a_ij` and `Σ b_i = 1`.
+    pub fn is_consistent(&self) -> bool {
+        let b_ok = (self.b.iter().sum::<f64>() - 1.0).abs() < 1e-12;
+        let c_ok = self
+            .a
+            .iter()
+            .zip(&self.c)
+            .all(|(row, &ci)| (row.iter().sum::<f64>() - ci).abs() < 1e-12);
+        b_ok && c_ok
+    }
+}
+
+/// An explicit Runge-Kutta integrator with preallocated stage storage.
+///
+/// # Example
+///
+/// Integrate `dy/dt = -y` and compare against `e^{-t}`:
+///
+/// ```
+/// use fem_numerics::rk::{ButcherTableau, ExplicitRk, OdeSystem};
+///
+/// struct Decay;
+/// impl OdeSystem for Decay {
+///     type State = Vec<f64>;
+///     fn rhs(&mut self, _t: f64, y: &Vec<f64>, dydt: &mut Vec<f64>) {
+///         dydt[0] = -y[0];
+///     }
+/// }
+///
+/// let mut rk = ExplicitRk::new(ButcherTableau::rk4(), &vec![1.0f64]);
+/// let mut y = vec![1.0];
+/// let mut sys = Decay;
+/// let dt = 0.01;
+/// for step in 0..100 {
+///     rk.step(&mut sys, step as f64 * dt, dt, &mut y);
+/// }
+/// assert!((y[0] - (-1.0f64).exp()).abs() < 1e-10);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ExplicitRk<S: StateOps> {
+    tableau: ButcherTableau,
+    stage_derivatives: Vec<S>,
+    stage_state: S,
+}
+
+impl<S: StateOps> ExplicitRk<S> {
+    /// Creates an integrator; `prototype` fixes the state shape for the
+    /// preallocated stage buffers.
+    pub fn new(tableau: ButcherTableau, prototype: &S) -> Self {
+        let stage_derivatives = (0..tableau.stages())
+            .map(|_| prototype.zeros_like())
+            .collect();
+        ExplicitRk {
+            tableau,
+            stage_derivatives,
+            stage_state: prototype.zeros_like(),
+        }
+    }
+
+    /// The tableau in use.
+    pub fn tableau(&self) -> &ButcherTableau {
+        &self.tableau
+    }
+
+    /// Advances `y` from `t` to `t + dt` in place.
+    pub fn step<Sys: OdeSystem<State = S>>(
+        &mut self,
+        system: &mut Sys,
+        t: f64,
+        dt: f64,
+        y: &mut S,
+    ) {
+        let stages = self.tableau.stages();
+        for i in 0..stages {
+            self.stage_state.copy_from(y);
+            let a_row = self.tableau.a[i].clone();
+            for (j, &aij) in a_row.iter().enumerate() {
+                if aij != 0.0 {
+                    self.stage_state.axpy(dt * aij, &self.stage_derivatives[j]);
+                }
+            }
+            let ti = t + self.tableau.c[i] * dt;
+            system.rhs(ti, &self.stage_state, &mut self.stage_derivatives[i]);
+        }
+        for i in 0..stages {
+            let bi = self.tableau.b[i];
+            if bi != 0.0 {
+                y.axpy(dt * bi, &self.stage_derivatives[i]);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    struct Decay {
+        lambda: f64,
+    }
+
+    impl OdeSystem for Decay {
+        type State = Vec<f64>;
+        fn rhs(&mut self, _t: f64, y: &Vec<f64>, dydt: &mut Vec<f64>) {
+            for (d, &v) in dydt.iter_mut().zip(y) {
+                *d = -self.lambda * v;
+            }
+        }
+    }
+
+    struct Oscillator;
+
+    impl OdeSystem for Oscillator {
+        type State = Vec<f64>;
+        fn rhs(&mut self, _t: f64, y: &Vec<f64>, dydt: &mut Vec<f64>) {
+            dydt[0] = y[1];
+            dydt[1] = -y[0];
+        }
+    }
+
+    #[test]
+    fn all_tableaus_are_consistent() {
+        for t in [
+            ButcherTableau::euler(),
+            ButcherTableau::heun2(),
+            ButcherTableau::kutta3(),
+            ButcherTableau::rk4(),
+        ] {
+            assert!(t.is_consistent(), "{} inconsistent", t.name());
+            assert_eq!(t.a.len(), t.stages());
+            assert_eq!(t.c().len(), t.stages());
+            for (i, row) in t.a.iter().enumerate() {
+                assert_eq!(row.len(), i, "{}: row {i} length", t.name());
+            }
+        }
+    }
+
+    fn integrate_decay(tableau: ButcherTableau, dt: f64, t_end: f64) -> f64 {
+        let mut sys = Decay { lambda: 1.0 };
+        let mut y = vec![1.0];
+        let mut rk = ExplicitRk::new(tableau, &y);
+        let steps = (t_end / dt).round() as usize;
+        for s in 0..steps {
+            rk.step(&mut sys, s as f64 * dt, dt, &mut y);
+        }
+        y[0]
+    }
+
+    #[test]
+    fn observed_convergence_orders() {
+        // Halving dt should reduce error by ~2^order.
+        for tableau in [
+            ButcherTableau::euler(),
+            ButcherTableau::heun2(),
+            ButcherTableau::kutta3(),
+            ButcherTableau::rk4(),
+        ] {
+            let order = tableau.order() as f64;
+            let exact = (-1.0f64).exp();
+            let e1 = (integrate_decay(tableau.clone(), 0.1, 1.0) - exact).abs();
+            let e2 = (integrate_decay(tableau.clone(), 0.05, 1.0) - exact).abs();
+            let observed = (e1 / e2).log2();
+            assert!(
+                (observed - order).abs() < 0.35,
+                "{}: observed order {observed}, expected {order}",
+                tableau.name()
+            );
+        }
+    }
+
+    #[test]
+    fn rk4_conserves_oscillator_energy_well() {
+        let mut sys = Oscillator;
+        let mut y = vec![1.0, 0.0];
+        let mut rk = ExplicitRk::new(ButcherTableau::rk4(), &y);
+        let dt = 0.01;
+        for s in 0..10_000 {
+            rk.step(&mut sys, s as f64 * dt, dt, &mut y);
+        }
+        let energy = y[0] * y[0] + y[1] * y[1];
+        assert!((energy - 1.0).abs() < 1e-8, "energy drift: {energy}");
+    }
+
+    #[test]
+    fn vec_state_ops() {
+        let a = vec![1.0, 2.0, 3.0];
+        let mut b = a.zeros_like();
+        assert_eq!(b, vec![0.0; 3]);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        b.axpy(2.0, &a);
+        assert_eq!(b, vec![3.0, 6.0, 9.0]);
+        b.scale(0.5);
+        assert_eq!(b, vec![1.5, 3.0, 4.5]);
+    }
+
+    proptest! {
+        /// Linearity of the flow for the scalar linear ODE: integrating a
+        /// scaled initial condition scales the result.
+        #[test]
+        fn prop_linear_ode_flow_is_linear(scale in 0.1f64..10.0, lambda in 0.1f64..3.0) {
+            let mut sys = Decay { lambda };
+            let dt = 0.02;
+            let mut y1 = vec![1.0];
+            let mut y2 = vec![scale];
+            let mut rk = ExplicitRk::new(ButcherTableau::rk4(), &y1);
+            for s in 0..50 {
+                rk.step(&mut sys, s as f64 * dt, dt, &mut y1);
+            }
+            let mut rk2 = ExplicitRk::new(ButcherTableau::rk4(), &y2);
+            for s in 0..50 {
+                rk2.step(&mut sys, s as f64 * dt, dt, &mut y2);
+            }
+            prop_assert!((y2[0] - scale * y1[0]).abs() < 1e-10 * scale.max(1.0));
+        }
+
+        /// RK4 on decay stays within the analytic solution's envelope.
+        #[test]
+        fn prop_rk4_decay_accurate(lambda in 0.1f64..5.0) {
+            let mut sys = Decay { lambda };
+            let mut y = vec![1.0];
+            let dt = 0.01;
+            let mut rk = ExplicitRk::new(ButcherTableau::rk4(), &y);
+            for s in 0..100 {
+                rk.step(&mut sys, s as f64 * dt, dt, &mut y);
+            }
+            let exact = (-lambda).exp();
+            prop_assert!((y[0] - exact).abs() < 1e-7);
+        }
+    }
+}

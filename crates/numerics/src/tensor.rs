@@ -1,0 +1,317 @@
+//! Tensor-product index arithmetic for hexahedral spectral elements.
+//!
+//! A hexahedral element of polynomial order `p` carries `(p+1)³` nodes laid
+//! out on the tensor product of 1D GLL nodes. Derivatives along each
+//! reference direction are 1D differentiation-matrix applications along the
+//! corresponding index line — the structure the accelerator's
+//! "COMPUTE Gradients" stage exploits.
+
+use crate::lagrange::LagrangeBasis;
+use crate::linalg::Vec3;
+use crate::quadrature::GllRule;
+use crate::NumericsError;
+
+/// Node numbering and reference-space operators of a hexahedral element
+/// of a given polynomial order.
+///
+/// Nodes are numbered lexicographically: `flat = i + n*(j + n*k)` where
+/// `i/j/k` run along reference directions ξ/η/ζ and `n = order + 1`.
+///
+/// # Example
+///
+/// ```
+/// use fem_numerics::tensor::HexBasis;
+/// let hex = HexBasis::new(1).unwrap(); // trilinear, 8 nodes
+/// assert_eq!(hex.nodes_per_element(), 8);
+/// assert_eq!(hex.flat_index(1, 1, 1), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HexBasis {
+    order: usize,
+    rule: GllRule,
+    basis: LagrangeBasis,
+    /// 1D differentiation matrix, row-major `(n × n)`.
+    dmat: Vec<f64>,
+}
+
+impl HexBasis {
+    /// Builds the hex basis of polynomial order `order ≥ 1` on GLL nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::OrderTooLow`] if `order == 0`.
+    pub fn new(order: usize) -> Result<Self, NumericsError> {
+        if order == 0 {
+            return Err(NumericsError::OrderTooLow {
+                requested: 1,
+                minimum: 2,
+            });
+        }
+        let rule = GllRule::new(order + 1)?;
+        let basis = LagrangeBasis::new(rule.points().to_vec())?;
+        let dmat = basis.differentiation_matrix();
+        Ok(HexBasis {
+            order,
+            rule,
+            basis,
+            dmat,
+        })
+    }
+
+    /// Polynomial order `p`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Nodes per direction, `n = p + 1`.
+    pub fn nodes_per_dim(&self) -> usize {
+        self.order + 1
+    }
+
+    /// Total nodes per element, `n³`.
+    pub fn nodes_per_element(&self) -> usize {
+        let n = self.nodes_per_dim();
+        n * n * n
+    }
+
+    /// The underlying 1D GLL rule.
+    pub fn rule(&self) -> &GllRule {
+        &self.rule
+    }
+
+    /// The underlying 1D Lagrange basis.
+    pub fn basis(&self) -> &LagrangeBasis {
+        &self.basis
+    }
+
+    /// The 1D differentiation matrix, row-major.
+    pub fn dmat(&self) -> &[f64] {
+        &self.dmat
+    }
+
+    /// Lexicographic flattening `(i, j, k) → flat`.
+    pub fn flat_index(&self, i: usize, j: usize, k: usize) -> usize {
+        let n = self.nodes_per_dim();
+        debug_assert!(i < n && j < n && k < n);
+        i + n * (j + n * k)
+    }
+
+    /// Inverse of [`flat_index`](Self::flat_index).
+    pub fn ijk(&self, flat: usize) -> (usize, usize, usize) {
+        let n = self.nodes_per_dim();
+        let i = flat % n;
+        let j = (flat / n) % n;
+        let k = flat / (n * n);
+        (i, j, k)
+    }
+
+    /// 3D quadrature weight at node `(i, j, k)`: `w_i w_j w_k`.
+    pub fn weight_3d(&self, i: usize, j: usize, k: usize) -> f64 {
+        let w = self.rule.weights();
+        w[i] * w[j] * w[k]
+    }
+
+    /// Reference coordinates `(ξ, η, ζ)` of node `(i, j, k)`.
+    pub fn ref_coords(&self, i: usize, j: usize, k: usize) -> Vec3 {
+        let x = self.rule.points();
+        Vec3::new(x[i], x[j], x[k])
+    }
+
+    /// Gradient of a nodal scalar field in *reference* coordinates at every
+    /// node: `out[q] = (∂f/∂ξ, ∂f/∂η, ∂f/∂ζ)` at node `q`.
+    ///
+    /// `field` and `out` are indexed by flat node index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if slices are not `nodes_per_element()` long.
+    pub fn reference_gradient(&self, field: &[f64], out: &mut [Vec3]) {
+        let n = self.nodes_per_dim();
+        let nn = self.nodes_per_element();
+        assert_eq!(field.len(), nn, "field length");
+        assert_eq!(out.len(), nn, "output length");
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let mut g = Vec3::ZERO;
+                    for m in 0..n {
+                        g.x += self.dmat[i * n + m] * field[self.flat_index(m, j, k)];
+                        g.y += self.dmat[j * n + m] * field[self.flat_index(i, m, k)];
+                        g.z += self.dmat[k * n + m] * field[self.flat_index(i, j, m)];
+                    }
+                    out[self.flat_index(i, j, k)] = g;
+                }
+            }
+        }
+    }
+
+    /// Number of fused multiply-add pairs in one `reference_gradient` call:
+    /// `3 n⁴` MACs per scalar field. Used by the performance model.
+    pub fn gradient_mac_count(&self) -> usize {
+        let n = self.nodes_per_dim();
+        3 * n * n * n * n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn order_zero_is_rejected() {
+        assert!(HexBasis::new(0).is_err());
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        let hex = HexBasis::new(3).unwrap();
+        for flat in 0..hex.nodes_per_element() {
+            let (i, j, k) = hex.ijk(flat);
+            assert_eq!(hex.flat_index(i, j, k), flat);
+        }
+    }
+
+    #[test]
+    fn weights_sum_to_reference_volume() {
+        for order in 1..5 {
+            let hex = HexBasis::new(order).unwrap();
+            let n = hex.nodes_per_dim();
+            let mut total = 0.0;
+            for k in 0..n {
+                for j in 0..n {
+                    for i in 0..n {
+                        total += hex.weight_3d(i, j, k);
+                    }
+                }
+            }
+            assert!((total - 8.0).abs() < 1e-11, "order {order}: {total}");
+        }
+    }
+
+    #[test]
+    fn gradient_of_linear_field_is_constant() {
+        let hex = HexBasis::new(2).unwrap();
+        let nn = hex.nodes_per_element();
+        let n = hex.nodes_per_dim();
+        let mut field = vec![0.0; nn];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let p = hex.ref_coords(i, j, k);
+                    field[hex.flat_index(i, j, k)] = 2.0 * p.x - 3.0 * p.y + 0.5 * p.z + 1.0;
+                }
+            }
+        }
+        let mut grad = vec![Vec3::ZERO; nn];
+        hex.reference_gradient(&field, &mut grad);
+        for g in grad {
+            assert!((g - Vec3::new(2.0, -3.0, 0.5)).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gradient_of_trilinear_product_field() {
+        // f = ξηζ, ∂f = (ηζ, ξζ, ξη): trilinear, exact at order ≥ 1.
+        let hex = HexBasis::new(1).unwrap();
+        let nn = hex.nodes_per_element();
+        let n = hex.nodes_per_dim();
+        let mut field = vec![0.0; nn];
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let p = hex.ref_coords(i, j, k);
+                    field[hex.flat_index(i, j, k)] = p.x * p.y * p.z;
+                }
+            }
+        }
+        let mut grad = vec![Vec3::ZERO; nn];
+        hex.reference_gradient(&field, &mut grad);
+        for k in 0..n {
+            for j in 0..n {
+                for i in 0..n {
+                    let p = hex.ref_coords(i, j, k);
+                    let g = grad[hex.flat_index(i, j, k)];
+                    let exact = Vec3::new(p.y * p.z, p.x * p.z, p.x * p.y);
+                    assert!((g - exact).norm() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "field length")]
+    fn gradient_panics_on_wrong_length() {
+        let hex = HexBasis::new(1).unwrap();
+        let mut out = vec![Vec3::ZERO; 8];
+        hex.reference_gradient(&[0.0; 4], &mut out);
+    }
+
+    proptest! {
+        /// Gradient is exact for random polynomials of per-direction degree ≤ p.
+        #[test]
+        fn prop_gradient_exact_for_tensor_polynomials(
+            order in 1usize..4,
+            ax in -2.0f64..2.0,
+            ay in -2.0f64..2.0,
+            az in -2.0f64..2.0,
+        ) {
+            let hex = HexBasis::new(order).unwrap();
+            let n = hex.nodes_per_dim();
+            let nn = hex.nodes_per_element();
+            let p = order as i32;
+            let f = |v: Vec3| ax * v.x.powi(p) + ay * v.y.powi(p) + az * v.z.powi(p);
+            let df = |v: Vec3| {
+                let pf = p as f64;
+                Vec3::new(
+                    ax * pf * v.x.powi(p - 1),
+                    ay * pf * v.y.powi(p - 1),
+                    az * pf * v.z.powi(p - 1),
+                )
+            };
+            let mut field = vec![0.0; nn];
+            for k in 0..n {
+                for j in 0..n {
+                    for i in 0..n {
+                        field[hex.flat_index(i, j, k)] = f(hex.ref_coords(i, j, k));
+                    }
+                }
+            }
+            let mut grad = vec![Vec3::ZERO; nn];
+            hex.reference_gradient(&field, &mut grad);
+            for k in 0..n {
+                for j in 0..n {
+                    for i in 0..n {
+                        let g = grad[hex.flat_index(i, j, k)];
+                        let exact = df(hex.ref_coords(i, j, k));
+                        prop_assert!((g - exact).norm() < 1e-10);
+                    }
+                }
+            }
+        }
+
+        /// Gradient is linear in the field.
+        #[test]
+        fn prop_gradient_linear(
+            field_a in proptest::collection::vec(-3.0f64..3.0, 8),
+            field_b in proptest::collection::vec(-3.0f64..3.0, 8),
+            s in -2.0f64..2.0,
+        ) {
+            let hex = HexBasis::new(1).unwrap();
+            let combined: Vec<f64> = field_a
+                .iter()
+                .zip(&field_b)
+                .map(|(a, b)| a + s * b)
+                .collect();
+            let mut ga = vec![Vec3::ZERO; 8];
+            let mut gb = vec![Vec3::ZERO; 8];
+            let mut gc = vec![Vec3::ZERO; 8];
+            hex.reference_gradient(&field_a, &mut ga);
+            hex.reference_gradient(&field_b, &mut gb);
+            hex.reference_gradient(&combined, &mut gc);
+            for q in 0..8 {
+                prop_assert!((gc[q] - (ga[q] + s * gb[q])).norm() < 1e-10);
+            }
+        }
+    }
+}

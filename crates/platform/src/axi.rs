@@ -1,0 +1,147 @@
+//! DDR channel bandwidth and AXI transfer-time model.
+//!
+//! The paper's accelerator streams element data through multiple AXI
+//! interfaces into four DDR4 channels (§III-C). Transfer time is bounded
+//! by (a) the kernel-side interface width × clock and (b) the DDR
+//! channel's effective bandwidth shared by the bundles mapped to it.
+
+use crate::u200::U200;
+
+/// Fraction of DDR4 peak bandwidth that random-ish FEM gather traffic
+/// sustains (burst efficiency after row misses and read/write turnaround).
+pub const DDR_EFFICIENCY: f64 = 0.80;
+
+/// Kernel-side width of one AXI data beat, in bits (Vitis default
+/// maximum).
+pub const AXI_DATA_WIDTH_BITS: u32 = 512;
+
+/// Effective bandwidth of one AXI bundle at the kernel clock
+/// (bytes/second): one `AXI_DATA_WIDTH_BITS` beat per cycle.
+pub fn bundle_bandwidth(f_mhz: f64) -> f64 {
+    (AXI_DATA_WIDTH_BITS as f64 / 8.0) * f_mhz * 1.0e6
+}
+
+/// Mapping of AXI bundles onto DDR channels (round-robin by default).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelMap {
+    /// `assignment[i]` = DDR channel of bundle `i`.
+    pub assignment: Vec<usize>,
+    /// Number of DDR channels.
+    pub channels: usize,
+}
+
+impl ChannelMap {
+    /// Spreads `bundles` across the device's DDR channels round-robin.
+    pub fn round_robin(bundles: usize, device: &U200) -> Self {
+        let channels = device.ddr_channels();
+        ChannelMap {
+            assignment: (0..bundles).map(|b| b % channels).collect(),
+            channels,
+        }
+    }
+
+    /// Maps every bundle to channel 0 (the unoptimized single-channel
+    /// configuration).
+    pub fn single_channel(bundles: usize) -> Self {
+        ChannelMap {
+            assignment: vec![0; bundles],
+            channels: 1,
+        }
+    }
+
+    /// Number of bundles mapped.
+    pub fn bundles(&self) -> usize {
+        self.assignment.len()
+    }
+}
+
+/// Time to move `bytes_per_bundle[i]` through bundle `i`, accounting for
+/// kernel-side width limits and DDR channel sharing.
+///
+/// Bundles move data concurrently; each DDR channel serves its bundles'
+/// aggregate traffic at `peak × DDR_EFFICIENCY`; each bundle is
+/// additionally limited by its own kernel-side bandwidth. The transfer
+/// finishes when the slowest channel (or bundle) finishes.
+///
+/// # Panics
+///
+/// Panics if `bytes_per_bundle.len() != map.bundles()`.
+pub fn transfer_seconds(
+    bytes_per_bundle: &[u64],
+    map: &ChannelMap,
+    device: &U200,
+    f_mhz: f64,
+) -> f64 {
+    assert_eq!(bytes_per_bundle.len(), map.bundles(), "bundle count");
+    let chan_bw = device.ddr_peak_bw() * DDR_EFFICIENCY;
+    let bundle_bw = bundle_bandwidth(f_mhz);
+    // Per-channel aggregate.
+    let mut per_channel = vec![0u64; map.channels.max(1)];
+    for (b, &bytes) in bytes_per_bundle.iter().enumerate() {
+        per_channel[map.assignment[b]] += bytes;
+    }
+    let channel_time = per_channel
+        .iter()
+        .map(|&bytes| bytes as f64 / chan_bw)
+        .fold(0.0, f64::max);
+    let bundle_time = bytes_per_bundle
+        .iter()
+        .map(|&bytes| bytes as f64 / bundle_bw)
+        .fold(0.0, f64::max);
+    channel_time.max(bundle_time)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bundle_bandwidth_scales_with_clock() {
+        let b150 = bundle_bandwidth(150.0);
+        let b300 = bundle_bandwidth(300.0);
+        assert!((b300 / b150 - 2.0).abs() < 1e-12);
+        // 64 B/cycle at 150 MHz = 9.6 GB/s.
+        assert!((b150 - 9.6e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn spreading_bundles_beats_single_channel() {
+        let dev = U200::new();
+        let bytes = vec![1 << 30; 4]; // 1 GiB per bundle
+        let spread = transfer_seconds(&bytes, &ChannelMap::round_robin(4, &dev), &dev, 300.0);
+        let packed = transfer_seconds(&bytes, &ChannelMap::single_channel(4), &dev, 300.0);
+        assert!(
+            packed > 3.5 * spread,
+            "packed {packed} vs spread {spread}"
+        );
+    }
+
+    #[test]
+    fn kernel_clock_can_be_the_bottleneck() {
+        let dev = U200::new();
+        // One bundle: at 100 MHz the 6.4 GB/s interface is slower than
+        // the 15.4 GB/s effective DDR channel.
+        let bytes = vec![1 << 30];
+        let map = ChannelMap::round_robin(1, &dev);
+        let slow = transfer_seconds(&bytes, &map, &dev, 100.0);
+        let fast = transfer_seconds(&bytes, &map, &dev, 300.0);
+        assert!(slow > fast);
+        let expect = (1u64 << 30) as f64 / bundle_bandwidth(100.0);
+        assert!((slow - expect).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Transfer time is monotone in bytes and never beats the ideal.
+        #[test]
+        fn prop_transfer_monotone(bytes in 1u64..u64::from(u32::MAX), extra in 1u64..1_000_000) {
+            let dev = U200::new();
+            let map = ChannelMap::round_robin(2, &dev);
+            let t1 = transfer_seconds(&[bytes, bytes], &map, &dev, 200.0);
+            let t2 = transfer_seconds(&[bytes + extra, bytes], &map, &dev, 200.0);
+            prop_assert!(t2 >= t1);
+            let ideal = (2 * bytes) as f64 / (2.0 * dev.ddr_peak_bw());
+            prop_assert!(t1 >= ideal);
+        }
+    }
+}

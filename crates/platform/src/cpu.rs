@@ -1,0 +1,87 @@
+//! The CPU baseline model: Intel Xeon Silver 4210.
+//!
+//! The paper's software baseline is "the exact same C++ implementation
+//! running in single-threaded mode on ... an Intel Xeon Silver 4210 CPU
+//! @ 2.20GHz with 32K L1D/I, 1M L2 and 14M L3 cache", drawing an average
+//! of 120.42 W (§IV-B). This module provides a roofline-style timing
+//! model for extrapolating the measured Rust solver to paper-scale
+//! meshes, and the measured package power.
+
+/// A single-threaded CPU performance/power model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuModel {
+    /// Marketing name.
+    pub name: String,
+    /// Core clock (Hz).
+    pub freq_hz: f64,
+    /// Effective double-precision FLOPs retired per cycle in FEM kernels
+    /// (includes issue limits, dependency stalls and the scalar/SSE mix —
+    /// far below the 16/cycle AVX-512 peak).
+    pub flops_per_cycle: f64,
+    /// Effective single-thread memory bandwidth (bytes/s) for the gather/
+    /// scatter access pattern.
+    pub mem_bandwidth: f64,
+    /// Average package power under the CFD workload (W) — the paper's
+    /// measured 120.42 W.
+    pub package_power_w: f64,
+}
+
+impl CpuModel {
+    /// The paper's Xeon Silver 4210 configuration.
+    pub fn xeon_silver_4210() -> Self {
+        CpuModel {
+            name: "Intel Xeon Silver 4210 @ 2.20GHz".into(),
+            freq_hz: 2.2e9,
+            flops_per_cycle: 2.0,
+            mem_bandwidth: 12.0e9,
+            package_power_w: 120.42,
+        }
+    }
+
+    /// Roofline execution time for a phase with `flops` floating-point
+    /// operations touching `bytes` of memory: the slower of the compute
+    /// and memory roofs (no overlap credit beyond the max).
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use fpga_platform::cpu::CpuModel;
+    /// let cpu = CpuModel::xeon_silver_4210();
+    /// // 4.4 GFLOP at 2 flops/cycle on 2.2 GHz = 1 s compute-bound.
+    /// let t = cpu.time_seconds(4_400_000_000, 1_000_000);
+    /// assert!((t - 1.0).abs() < 1e-9);
+    /// ```
+    pub fn time_seconds(&self, flops: u64, bytes: u64) -> f64 {
+        let compute = flops as f64 / (self.freq_hz * self.flops_per_cycle);
+        let memory = bytes as f64 / self.mem_bandwidth;
+        compute.max(memory)
+    }
+
+    /// Energy for a phase of duration `seconds`.
+    pub fn energy_joules(&self, seconds: f64) -> f64 {
+        self.package_power_w * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roofline_picks_the_binding_constraint() {
+        let cpu = CpuModel::xeon_silver_4210();
+        // Memory-bound: 12 GB at 12 GB/s = 1 s despite trivial flops.
+        let t = cpu.time_seconds(1000, 12_000_000_000);
+        assert!((t - 1.0).abs() < 1e-9);
+        // Compute-bound case dominates when flops are heavy.
+        let t2 = cpu.time_seconds(44_000_000_000, 1000);
+        assert!((t2 - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_power_is_recorded() {
+        let cpu = CpuModel::xeon_silver_4210();
+        assert!((cpu.package_power_w - 120.42).abs() < 1e-9);
+        assert!((cpu.energy_joules(2.0) - 240.84).abs() < 1e-9);
+    }
+}

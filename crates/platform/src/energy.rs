@@ -1,0 +1,141 @@
+//! Energy accounting: turns the §IV-B latency and power numbers into
+//! energy-to-solution and energy-delay-product comparisons — the metric
+//! that actually decides accelerator deployments.
+
+use crate::power::FpgaPowerBreakdown;
+
+/// Energy spent by one execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyReport {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Average power (W).
+    pub watts: f64,
+}
+
+impl EnergyReport {
+    /// Energy in joules.
+    pub fn joules(&self) -> f64 {
+        self.seconds * self.watts
+    }
+
+    /// Energy-delay product (J·s).
+    pub fn edp(&self) -> f64 {
+        self.joules() * self.seconds
+    }
+}
+
+/// CPU-vs-FPGA energy comparison for the same simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyComparison {
+    /// CPU run.
+    pub cpu: EnergyReport,
+    /// FPGA-accelerated run (whole card power).
+    pub fpga: EnergyReport,
+}
+
+impl EnergyComparison {
+    /// Builds the comparison from run times and power models.
+    pub fn new(
+        cpu_seconds: f64,
+        cpu_watts: f64,
+        fpga_seconds: f64,
+        fpga_power: &FpgaPowerBreakdown,
+    ) -> Self {
+        EnergyComparison {
+            cpu: EnergyReport {
+                seconds: cpu_seconds,
+                watts: cpu_watts,
+            },
+            fpga: EnergyReport {
+                seconds: fpga_seconds,
+                watts: fpga_power.total_w(),
+            },
+        }
+    }
+
+    /// Energy ratio CPU / FPGA (> 1 means the FPGA saves energy).
+    pub fn energy_ratio(&self) -> f64 {
+        self.cpu.joules() / self.fpga.joules()
+    }
+
+    /// EDP ratio CPU / FPGA.
+    pub fn edp_ratio(&self) -> f64 {
+        self.cpu.edp() / self.fpga.edp()
+    }
+}
+
+impl std::fmt::Display for EnergyComparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "  CPU : {:.2} s × {:.1} W = {:.1} kJ",
+            self.cpu.seconds,
+            self.cpu.watts,
+            self.cpu.joules() / 1e3
+        )?;
+        writeln!(
+            f,
+            "  FPGA: {:.2} s × {:.1} W = {:.1} kJ",
+            self.fpga.seconds,
+            self.fpga.watts,
+            self.fpga.joules() / 1e3
+        )?;
+        write!(
+            f,
+            "  energy ratio {:.2}× | EDP ratio {:.2}×",
+            self.energy_ratio(),
+            self.edp_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::power::FpgaPowerModel;
+    use hls_kernel::resources::ResourceUsage;
+    use proptest::prelude::*;
+
+    fn fpga_power() -> FpgaPowerBreakdown {
+        FpgaPowerModel::default().breakdown(
+            &ResourceUsage {
+                lut: 200_000,
+                ff: 300_000,
+                dsp: 1000,
+                bram18k: 800,
+                uram: 20,
+            },
+            150.0,
+            4,
+        )
+    }
+
+    #[test]
+    fn paper_like_case_saves_energy() {
+        // 45% latency cut and ~2.4× lower card power ⇒ ~4× less energy.
+        let cmp = EnergyComparison::new(100.0, 120.42, 55.0, &fpga_power());
+        assert!(cmp.energy_ratio() > 3.0, "{}", cmp.energy_ratio());
+        assert!(cmp.edp_ratio() > cmp.energy_ratio());
+    }
+
+    #[test]
+    fn display_mentions_both_sides() {
+        let cmp = EnergyComparison::new(10.0, 120.0, 5.0, &fpga_power());
+        let s = format!("{cmp}");
+        assert!(s.contains("CPU"));
+        assert!(s.contains("FPGA"));
+        assert!(s.contains("EDP"));
+    }
+
+    proptest! {
+        /// Energy is bilinear: scaling time scales joules.
+        #[test]
+        fn prop_energy_scales(t in 0.1f64..1e4, w in 1.0f64..500.0) {
+            let e = EnergyReport { seconds: t, watts: w };
+            let e2 = EnergyReport { seconds: 2.0 * t, watts: w };
+            prop_assert!((e2.joules() - 2.0 * e.joules()).abs() < 1e-9 * e.joules());
+            prop_assert!((e2.edp() - 4.0 * e.edp()).abs() < 1e-9 * e.edp());
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! Congestion-driven achievable clock frequency.
+//!
+//! The paper's §IV-A attributes part of the baseline's loss to clocking:
+//! "the Vitis-optimized kernel being restricted to a 100 MHz clock
+//! frequency, whereas the proposed design operates at 150 MHz ... arises
+//! from both the RKL and RKU modules being mapped onto the same SLR,
+//! which caused significant routing congestion". This module models that
+//! effect: place-and-route closes timing at a frequency that degrades
+//! superlinearly with the *most congested* SLR's utilization, quantized
+//! to the 25 MHz kernel-clock steps platform shells typically offer.
+
+use crate::u200::{Placement, SlrId, U200};
+
+/// Maximum kernel clock the toolchain would target on this device family.
+pub const BASE_FMAX_MHZ: f64 = 300.0;
+
+/// Ceiling imposed by registered SLL crossings (an inter-SLR path cannot
+/// close faster than this).
+pub const SLL_FMAX_CAP_MHZ: f64 = 250.0;
+
+/// Kernel clock quantization step.
+pub const FMAX_STEP_MHZ: f64 = 25.0;
+
+/// Raw (unquantized) congestion curve: achievable MHz at peak-SLR
+/// utilization `u ∈ [0, 1+]`.
+///
+/// `f(u) = BASE / (1 + 2.5 u²)` — mild degradation while routing is
+/// uncongested, steep beyond ~60% where detours dominate.
+pub fn congestion_curve_mhz(u: f64) -> f64 {
+    BASE_FMAX_MHZ / (1.0 + 2.5 * u * u)
+}
+
+/// Utilization multiplier when two or more kernels share one SLR: their
+/// interleaved routing demand congests the region well beyond the sum of
+/// their areas (calibrated so the paper's same-SLR baseline lands at
+/// 100 MHz, §IV-A).
+pub const CO_LOCATION_FACTOR: f64 = 1.6;
+
+/// Flat utilization-equivalent penalty of an SLL crossing (registered
+/// detours through the crossing columns; calibrated so the paper's
+/// split design lands at 150 MHz).
+pub const CROSSING_PENALTY: f64 = 0.10;
+
+/// Achievable kernel clock (MHz) for a set of placements on `device`.
+///
+/// Takes the worst SLR's congestion — inflated by [`CO_LOCATION_FACTOR`]
+/// where kernels share an SLR and by [`CROSSING_PENALTY`] when the design
+/// spans SLRs — caps by the SLL ceiling when crossing, and floors to the
+/// 25 MHz grid (minimum 50 MHz).
+///
+/// # Example
+///
+/// ```
+/// use fpga_platform::u200::{Placement, SlrId, U200};
+/// use fpga_platform::fmax::achievable_fmax_mhz;
+/// use hls_kernel::resources::ResourceUsage;
+///
+/// let dev = U200::new();
+/// let usage = ResourceUsage { lut: 230_000, ff: 300_000, dsp: 600, bram18k: 900, uram: 110 };
+/// let split = vec![
+///     Placement { kernel: "rkl".into(), slr: SlrId::Slr0, usage },
+///     Placement { kernel: "rku".into(), slr: SlrId::Slr2, usage },
+/// ];
+/// let packed = vec![
+///     Placement { kernel: "rkl".into(), slr: SlrId::Slr0, usage },
+///     Placement { kernel: "rku".into(), slr: SlrId::Slr0, usage },
+/// ];
+/// let f_split = achievable_fmax_mhz(&dev, &split, true);
+/// let f_packed = achievable_fmax_mhz(&dev, &packed, false);
+/// assert!(f_split > f_packed);
+/// ```
+pub fn achievable_fmax_mhz(device: &U200, placements: &[Placement], has_slr_crossing: bool) -> f64 {
+    let util = device.slr_utilization(placements);
+    // Kernels per SLR (for the co-location factor).
+    let mut kernels_in = [0usize; 3];
+    for p in placements {
+        kernels_in[p.slr.index()] += 1;
+    }
+    let mut worst = 0.0f64;
+    for slr in SlrId::ALL {
+        let mut u = util[slr.index()];
+        if kernels_in[slr.index()] >= 2 {
+            u *= CO_LOCATION_FACTOR;
+        }
+        if has_slr_crossing {
+            u += CROSSING_PENALTY;
+        }
+        worst = worst.max(u);
+    }
+    let mut f = congestion_curve_mhz(worst);
+    if has_slr_crossing {
+        f = f.min(SLL_FMAX_CAP_MHZ);
+    }
+    quantize_fmax(f)
+}
+
+/// Floors `f` to the kernel-clock grid, with a 50 MHz floor.
+pub fn quantize_fmax(f: f64) -> f64 {
+    let stepped = (f / FMAX_STEP_MHZ).floor() * FMAX_STEP_MHZ;
+    stepped.max(50.0)
+}
+
+/// Convenience: does this placement set use more than one SLR?
+pub fn crosses_slr(placements: &[Placement]) -> bool {
+    let mut used = [false; 3];
+    for p in placements {
+        used[p.slr.index()] = true;
+    }
+    used.iter().filter(|&&u| u).count() > 1
+}
+
+/// Convenience: builds a two-kernel placement (the paper's RKL + RKU).
+pub fn place_two(
+    rkl_usage: hls_kernel::resources::ResourceUsage,
+    rku_usage: hls_kernel::resources::ResourceUsage,
+    split: bool,
+) -> Vec<Placement> {
+    if split {
+        vec![
+            Placement {
+                kernel: "RKL".into(),
+                slr: SlrId::Slr0,
+                usage: rkl_usage,
+            },
+            Placement {
+                kernel: "RKU".into(),
+                slr: SlrId::Slr2,
+                usage: rku_usage,
+            },
+        ]
+    } else {
+        vec![
+            Placement {
+                kernel: "RKL".into(),
+                slr: SlrId::Slr0,
+                usage: rkl_usage,
+            },
+            Placement {
+                kernel: "RKU".into(),
+                slr: SlrId::Slr0,
+                usage: rku_usage,
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hls_kernel::resources::ResourceUsage;
+    use proptest::prelude::*;
+
+    #[test]
+    fn curve_is_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for i in 0..20 {
+            let u = i as f64 / 10.0;
+            let f = congestion_curve_mhz(u);
+            assert!(f < prev);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn quantization_grid() {
+        assert_eq!(quantize_fmax(174.9), 150.0);
+        assert_eq!(quantize_fmax(175.0), 175.0);
+        assert_eq!(quantize_fmax(99.0), 75.0);
+        assert_eq!(quantize_fmax(10.0), 50.0);
+        assert_eq!(quantize_fmax(301.0), 300.0);
+    }
+
+    #[test]
+    fn split_beats_packed_for_moderate_kernels() {
+        // Kernels that together congest one SLR but are comfortable
+        // apart — the paper's RKL/RKU situation.
+        let dev = U200::new();
+        let usage = ResourceUsage {
+            lut: 230_000,
+            ff: 290_000,
+            dsp: 620,
+            bram18k: 900,
+            uram: 110,
+        };
+        let f_split = achievable_fmax_mhz(&dev, &place_two(usage, usage, true), true);
+        let f_packed = achievable_fmax_mhz(&dev, &place_two(usage, usage, false), false);
+        assert!(
+            f_split >= f_packed + FMAX_STEP_MHZ,
+            "split {f_split} vs packed {f_packed}"
+        );
+    }
+
+    #[test]
+    fn sll_cap_applies_only_when_crossing() {
+        let dev = U200::new();
+        let tiny = ResourceUsage {
+            lut: 10_000,
+            ff: 10_000,
+            dsp: 10,
+            bram18k: 10,
+            uram: 0,
+        };
+        let split = place_two(tiny, tiny, true);
+        let packed = place_two(tiny, tiny, false);
+        assert!(crosses_slr(&split));
+        assert!(!crosses_slr(&packed));
+        let f_split = achievable_fmax_mhz(&dev, &split, true);
+        let f_packed = achievable_fmax_mhz(&dev, &packed, false);
+        // Tiny kernels: packed hits the full 300, split capped at 250.
+        assert!(f_packed > f_split);
+        assert!(f_split <= SLL_FMAX_CAP_MHZ);
+    }
+
+    proptest! {
+        /// More utilization never increases fmax.
+        #[test]
+        fn prop_fmax_monotone_in_usage(lut in 10_000u64..380_000) {
+            let dev = U200::new();
+            let mk = |l: u64| ResourceUsage { lut: l, ff: l, dsp: 100, bram18k: 100, uram: 10 };
+            let f1 = achievable_fmax_mhz(&dev, &place_two(mk(lut), mk(lut), false), false);
+            let f2 = achievable_fmax_mhz(&dev, &place_two(mk(lut + 10_000), mk(lut + 10_000), false), false);
+            prop_assert!(f2 <= f1);
+        }
+
+        /// Quantization always lands on the grid and never rounds up.
+        #[test]
+        fn prop_quantize_floor(f in 0.0f64..400.0) {
+            let q = quantize_fmax(f);
+            prop_assert!(q >= 50.0);
+            prop_assert!((q / FMAX_STEP_MHZ).fract() == 0.0);
+            prop_assert!(q <= f.max(50.0));
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! FPGA platform models: the AMD Alveo U200 card, its memory system, the
+//! congestion-driven clock model, power, and the CPU baseline.
+//!
+//! The paper deploys on an Alveo U200 ("3 Super Logic Regions and 4 DDR
+//! memories, each with a capacity of 16GB", §IV) and compares against an
+//! Intel Xeon Silver 4210 server (§IV-B). This crate provides the
+//! device-level models those experiments need:
+//!
+//! * [`u200`] — SLR-level resource budgets, shell overhead, utilization
+//!   percentages (Table I's denominators).
+//! * [`fmax`] — achievable kernel clock vs per-SLR congestion: packing
+//!   both kernels into one SLR costs the paper's baseline a 100 MHz
+//!   ceiling while the SLR-split design closes at 150 MHz (§III-A, §IV-A).
+//! * [`axi`] — DDR channel bandwidth and transfer-time model.
+//! * [`pcie`] — host↔card transfer model.
+//! * [`power`] — FPGA power breakdown (core / peripherals / rest, §IV-B).
+//! * [`cpu`] — roofline-style timing and measured package power of the
+//!   Xeon Silver 4210 baseline.
+
+#![deny(missing_docs)]
+
+pub mod axi;
+pub mod cpu;
+pub mod energy;
+pub mod fmax;
+pub mod pcie;
+pub mod power;
+pub mod u200;
+
+pub use cpu::CpuModel;
+pub use fmax::achievable_fmax_mhz;
+pub use power::{FpgaPowerBreakdown, FpgaPowerModel};
+pub use u200::{Placement, SlrId, U200};

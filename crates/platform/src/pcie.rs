@@ -1,0 +1,52 @@
+//! Host ↔ card transfer model (PCIe Gen3 ×16 via XDMA).
+
+/// Effective PCIe Gen3 ×16 throughput after protocol overhead
+/// (bytes/second).
+pub const PCIE_EFFECTIVE_BW: f64 = 12.0e9;
+
+/// Fixed software + DMA setup latency per transfer (seconds).
+pub const PCIE_LATENCY_S: f64 = 15.0e-6;
+
+/// Time to move `bytes` between host and card in one DMA transfer.
+///
+/// # Example
+///
+/// ```
+/// use fpga_platform::pcie::transfer_seconds;
+/// let t = transfer_seconds(12_000_000_000);
+/// assert!((t - 1.0).abs() < 0.01); // ~1 s for 12 GB
+/// ```
+pub fn transfer_seconds(bytes: u64) -> f64 {
+    PCIE_LATENCY_S + bytes as f64 / PCIE_EFFECTIVE_BW
+}
+
+/// Time for `n` separate transfers of `bytes` each (latency paid per
+/// transfer — why hosts batch small buffers).
+pub fn chunked_transfer_seconds(bytes: u64, n: u64) -> f64 {
+    n as f64 * PCIE_LATENCY_S + bytes as f64 / PCIE_EFFECTIVE_BW
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let t = transfer_seconds(64);
+        assert!(t > PCIE_LATENCY_S);
+        assert!(t < 2.0 * PCIE_LATENCY_S);
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let t = transfer_seconds(24_000_000_000);
+        assert!((t - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn chunking_costs_latency() {
+        let whole = chunked_transfer_seconds(1 << 20, 1);
+        let split = chunked_transfer_seconds(1 << 20, 1000);
+        assert!(split > whole + 0.9e-2);
+    }
+}

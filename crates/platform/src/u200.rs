@@ -1,0 +1,299 @@
+//! The AMD Alveo U200 device model.
+//!
+//! The U200 carries a Virtex UltraScale+ XCU200 (VU9P-class) die built
+//! from three stacked Super Logic Regions (SLRs) joined by Super Long
+//! Lines (SLLs), plus four 16 GB DDR4-2400 channels. The XDMA shell
+//! (PCIe/DMA static region) permanently occupies part of SLR1.
+
+use hls_kernel::resources::ResourceUsage;
+
+/// One of the three Super Logic Regions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SlrId {
+    /// Bottom SLR (direct attach of DDR channel 0).
+    Slr0,
+    /// Middle SLR (hosts the shell; DDR channels 1 and 2).
+    Slr1,
+    /// Top SLR (DDR channel 3).
+    Slr2,
+}
+
+impl SlrId {
+    /// All SLRs in index order.
+    pub const ALL: [SlrId; 3] = [SlrId::Slr0, SlrId::Slr1, SlrId::Slr2];
+
+    /// Index 0..3.
+    pub fn index(self) -> usize {
+        match self {
+            SlrId::Slr0 => 0,
+            SlrId::Slr1 => 1,
+            SlrId::Slr2 => 2,
+        }
+    }
+}
+
+/// Assignment of a named kernel to an SLR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// Kernel name.
+    pub kernel: String,
+    /// Target SLR.
+    pub slr: SlrId,
+    /// Resources the kernel occupies.
+    pub usage: ResourceUsage,
+}
+
+/// The Alveo U200 device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct U200 {
+    per_slr: ResourceUsage,
+    shell: ResourceUsage,
+    ddr_channels: usize,
+    ddr_bytes_per_channel: u64,
+    ddr_peak_bw: f64,
+    sll_count: u32,
+}
+
+impl Default for U200 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl U200 {
+    /// The production U200 numbers: 1,182,240 LUT / 2,364,480 FF /
+    /// 6,840 DSP / 4,320 BRAM18K / 960 URAM across three equal SLRs;
+    /// 4 × 16 GB DDR4-2400 (19.2 GB/s peak each); ~17k SLLs per crossing.
+    pub fn new() -> Self {
+        U200 {
+            per_slr: ResourceUsage {
+                lut: 394_080,
+                ff: 788_160,
+                dsp: 2_280,
+                bram18k: 1_440,
+                uram: 320,
+            },
+            // XDMA shell static region (PCIe, DMA, platform logic).
+            shell: ResourceUsage {
+                lut: 100_000,
+                ff: 130_000,
+                dsp: 12,
+                bram18k: 200,
+                uram: 0,
+            },
+            ddr_channels: 4,
+            ddr_bytes_per_channel: 16 << 30,
+            ddr_peak_bw: 19.2e9,
+            sll_count: 17_280,
+        }
+    }
+
+    /// Resources of one SLR (before shell subtraction).
+    pub fn slr_resources(&self) -> ResourceUsage {
+        self.per_slr
+    }
+
+    /// Whole-device totals.
+    pub fn totals(&self) -> ResourceUsage {
+        self.per_slr.scaled(3)
+    }
+
+    /// Resources the shell occupies (in SLR1).
+    pub fn shell(&self) -> ResourceUsage {
+        self.shell
+    }
+
+    /// Resources available to user kernels in `slr` (shell subtracted
+    /// where it lives).
+    pub fn available_in(&self, slr: SlrId) -> ResourceUsage {
+        let mut avail = self.per_slr;
+        if slr == SlrId::Slr1 {
+            avail.lut = avail.lut.saturating_sub(self.shell.lut);
+            avail.ff = avail.ff.saturating_sub(self.shell.ff);
+            avail.dsp = avail.dsp.saturating_sub(self.shell.dsp);
+            avail.bram18k = avail.bram18k.saturating_sub(self.shell.bram18k);
+            avail.uram = avail.uram.saturating_sub(self.shell.uram);
+        }
+        avail
+    }
+
+    /// Device-wide resources available to user kernels.
+    pub fn available_total(&self) -> ResourceUsage {
+        let t = self.totals();
+        ResourceUsage {
+            lut: t.lut - self.shell.lut,
+            ff: t.ff - self.shell.ff,
+            dsp: t.dsp - self.shell.dsp,
+            bram18k: t.bram18k - self.shell.bram18k,
+            uram: t.uram - self.shell.uram,
+        }
+    }
+
+    /// Number of DDR channels.
+    pub fn ddr_channels(&self) -> usize {
+        self.ddr_channels
+    }
+
+    /// Capacity of one DDR channel in bytes.
+    pub fn ddr_bytes_per_channel(&self) -> u64 {
+        self.ddr_bytes_per_channel
+    }
+
+    /// Peak bandwidth of one DDR channel (bytes/second).
+    pub fn ddr_peak_bw(&self) -> f64 {
+        self.ddr_peak_bw
+    }
+
+    /// SLL wires per SLR crossing.
+    pub fn sll_count(&self) -> u32 {
+        self.sll_count
+    }
+
+    /// Utilization percentages (FF, LUT, BRAM, URAM, DSP — Table I's
+    /// column order) of `used` against the device-wide *available*
+    /// resources.
+    pub fn utilization_percent(&self, used: &ResourceUsage) -> UtilizationPercent {
+        let avail = self.available_total();
+        let pct = |u: u64, a: u64| 100.0 * u as f64 / a as f64;
+        UtilizationPercent {
+            ff: pct(used.ff, avail.ff),
+            lut: pct(used.lut, avail.lut),
+            bram: pct(used.bram18k, avail.bram18k),
+            uram: pct(used.uram, avail.uram),
+            dsp: pct(used.dsp, avail.dsp),
+        }
+    }
+
+    /// Aggregates placements into per-SLR usage (shell not included; it
+    /// is accounted through [`U200::available_in`]).
+    pub fn per_slr_usage(&self, placements: &[Placement]) -> [ResourceUsage; 3] {
+        let mut out = [ResourceUsage::ZERO; 3];
+        for p in placements {
+            out[p.slr.index()] += p.usage;
+        }
+        out
+    }
+
+    /// Peak utilization fraction of each SLR for the given placements.
+    pub fn slr_utilization(&self, placements: &[Placement]) -> [f64; 3] {
+        let usage = self.per_slr_usage(placements);
+        let mut out = [0.0; 3];
+        for slr in SlrId::ALL {
+            let avail = self.available_in(slr);
+            out[slr.index()] = usage[slr.index()].peak_utilization(&avail);
+        }
+        out
+    }
+}
+
+/// Utilization percentages in the paper's Table I column order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationPercent {
+    /// Flip-flop %.
+    pub ff: f64,
+    /// LUT %.
+    pub lut: f64,
+    /// BRAM %.
+    pub bram: f64,
+    /// URAM %.
+    pub uram: f64,
+    /// DSP %.
+    pub dsp: f64,
+}
+
+impl std::fmt::Display for UtilizationPercent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "FF {:5.2}% | LUT {:5.2}% | BRAM {:5.2}% | URAM {:5.2}% | DSP {:5.2}%",
+            self.ff, self.lut, self.bram, self.uram, self.dsp
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn device_totals_match_vu9p() {
+        let dev = U200::new();
+        let t = dev.totals();
+        assert_eq!(t.lut, 1_182_240);
+        assert_eq!(t.ff, 2_364_480);
+        assert_eq!(t.dsp, 6_840);
+        assert_eq!(t.bram18k, 4_320);
+        assert_eq!(t.uram, 960);
+    }
+
+    #[test]
+    fn shell_reduces_slr1_only() {
+        let dev = U200::new();
+        assert_eq!(dev.available_in(SlrId::Slr0), dev.slr_resources());
+        assert_eq!(dev.available_in(SlrId::Slr2), dev.slr_resources());
+        let slr1 = dev.available_in(SlrId::Slr1);
+        assert!(slr1.lut < dev.slr_resources().lut);
+    }
+
+    #[test]
+    fn utilization_percent_roundtrip() {
+        let dev = U200::new();
+        let half = ResourceUsage {
+            lut: dev.available_total().lut / 2,
+            ff: dev.available_total().ff / 2,
+            dsp: dev.available_total().dsp / 2,
+            bram18k: dev.available_total().bram18k / 2,
+            uram: dev.available_total().uram / 2,
+        };
+        let u = dev.utilization_percent(&half);
+        for v in [u.ff, u.lut, u.bram, u.uram, u.dsp] {
+            assert!((v - 50.0).abs() < 0.1, "{v}");
+        }
+    }
+
+    #[test]
+    fn placement_aggregation() {
+        let dev = U200::new();
+        let usage = ResourceUsage {
+            lut: 100_000,
+            ff: 150_000,
+            dsp: 500,
+            bram18k: 300,
+            uram: 40,
+        };
+        let placements = vec![
+            Placement {
+                kernel: "rkl".into(),
+                slr: SlrId::Slr0,
+                usage,
+            },
+            Placement {
+                kernel: "rku".into(),
+                slr: SlrId::Slr2,
+                usage,
+            },
+        ];
+        let per = dev.per_slr_usage(&placements);
+        assert_eq!(per[0], usage);
+        assert_eq!(per[1], ResourceUsage::ZERO);
+        assert_eq!(per[2], usage);
+        let util = dev.slr_utilization(&placements);
+        assert!(util[0] > 0.2 && util[0] < 0.3);
+        assert_eq!(util[1], 0.0);
+        // Packing both kernels into SLR0 doubles its pressure.
+        let packed = vec![
+            Placement {
+                kernel: "rkl".into(),
+                slr: SlrId::Slr0,
+                usage,
+            },
+            Placement {
+                kernel: "rku".into(),
+                slr: SlrId::Slr0,
+                usage,
+            },
+        ];
+        let util_packed = dev.slr_utilization(&packed);
+        assert!((util_packed[0] - 2.0 * util[0]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,572 @@
+//! The time-stepping driver: RK4 over the FEM semi-discretization.
+//!
+//! [`Simulation`] owns the mesh, state, and workspaces and advances the
+//! compressible Navier-Stokes system in time. Its right-hand side is the
+//! paper's **RKL** kernel (diffusion + convection residual) preceded by the
+//! **RKU** primitive update; the host-side glue around them (gather,
+//! geometry, scatter, lumped-mass scaling) is charged to `RK(Other)` and
+//! everything outside the RK method to `Non-RK`, mirroring Fig 2.
+
+use crate::boundary::DirichletBc;
+use crate::diagnostics::FlowDiagnostics;
+use crate::gas::GasModel;
+use crate::kernels::{
+    convective_flux, viscous_flux, weak_divergence, ElementWorkspace,
+};
+use crate::profile::{Phase, PhaseProfiler};
+use crate::state::{Conserved, Primitives};
+use crate::SolverError;
+use fem_mesh::hex::{ElementGeometry, GeometryScratch};
+use fem_mesh::HexMesh;
+use fem_numerics::rk::{ButcherTableau, ExplicitRk, OdeSystem};
+use fem_numerics::tensor::HexBasis;
+use std::time::Instant;
+
+/// Everything the RHS evaluation needs besides the conserved state.
+#[derive(Debug)]
+pub struct SolverCore {
+    mesh: HexMesh,
+    basis: HexBasis,
+    gas: GasModel,
+    primitives: Primitives,
+    lumped_mass: Vec<f64>,
+    min_spacing: f64,
+    ws: ElementWorkspace,
+    geom_scratch: GeometryScratch,
+    geom: ElementGeometry,
+    bc: Option<DirichletBc>,
+    profiler: PhaseProfiler,
+    profiling: bool,
+}
+
+impl SolverCore {
+    /// The mesh being solved on.
+    pub fn mesh(&self) -> &HexMesh {
+        &self.mesh
+    }
+
+    /// The element basis.
+    pub fn basis(&self) -> &HexBasis {
+        &self.basis
+    }
+
+    /// The gas model.
+    pub fn gas(&self) -> &GasModel {
+        &self.gas
+    }
+
+    /// The primitive cache (as of the last RHS evaluation).
+    pub fn primitives(&self) -> &Primitives {
+        &self.primitives
+    }
+
+    /// The assembled lumped mass vector.
+    pub fn lumped_mass(&self) -> &[f64] {
+        &self.lumped_mass
+    }
+
+    /// Smallest node spacing (CFL length scale).
+    pub fn min_spacing(&self) -> f64 {
+        self.min_spacing
+    }
+}
+
+impl OdeSystem for SolverCore {
+    type State = Conserved;
+
+    fn rhs(&mut self, _t: f64, y: &Conserved, dydt: &mut Conserved) {
+        // ---- RKU: primitive update (paper's RKU kernel). ----
+        let t0 = Instant::now();
+        self.primitives.update_from(y, &self.gas);
+        dydt.rho.iter_mut().for_each(|v| *v = 0.0);
+        for d in 0..3 {
+            dydt.mom[d].iter_mut().for_each(|v| *v = 0.0);
+        }
+        dydt.energy.iter_mut().for_each(|v| *v = 0.0);
+        if self.profiling {
+            self.profiler.add(Phase::RkOther, t0.elapsed());
+        }
+
+        // ---- RKL: element loop (paper's RKL kernel). ----
+        let viscous = self.gas.mu > 0.0;
+        for e in 0..self.mesh.num_elements() {
+            // LOAD Element (+ geometry): RK(Other).
+            let t0 = Instant::now();
+            self.mesh
+                .fill_element_geometry(e, &self.basis, &mut self.geom_scratch, &mut self.geom)
+                .expect("geometry validated at construction");
+            self.ws
+                .gather(self.mesh.element_nodes(e), y, &self.primitives);
+            self.ws.zero_residuals();
+            if self.profiling {
+                self.profiler.add(Phase::RkOther, t0.elapsed());
+            }
+
+            // COMPUTE Convection.
+            let t0 = Instant::now();
+            convective_flux(&mut self.ws);
+            weak_divergence(&mut self.ws, &self.basis, &self.geom, 1.0);
+            if self.profiling {
+                self.profiler.add(Phase::RkConvection, t0.elapsed());
+            }
+
+            // COMPUTE Diffusion (gradients, τ, residuals).
+            if viscous {
+                let t0 = Instant::now();
+                viscous_flux(&mut self.ws, &self.gas, &self.basis, &self.geom);
+                weak_divergence(&mut self.ws, &self.basis, &self.geom, -1.0);
+                if self.profiling {
+                    self.profiler.add(Phase::RkDiffusion, t0.elapsed());
+                }
+            }
+
+            // STORE Element Contribution.
+            let t0 = Instant::now();
+            self.ws.scatter_add(self.mesh.element_nodes(e), dydt);
+            if self.profiling {
+                self.profiler.add(Phase::RkOther, t0.elapsed());
+            }
+        }
+
+        // ---- Lumped-mass solve + boundary conditions: RK(Other). ----
+        let t0 = Instant::now();
+        let inv = &self.lumped_mass;
+        let apply = |dst: &mut [f64]| {
+            for (v, &m) in dst.iter_mut().zip(inv) {
+                *v /= m;
+            }
+        };
+        apply(&mut dydt.rho);
+        for d in 0..3 {
+            apply(&mut dydt.mom[d]);
+        }
+        apply(&mut dydt.energy);
+        if let Some(bc) = &self.bc {
+            bc.zero_rhs(dydt);
+        }
+        if self.profiling {
+            self.profiler.add(Phase::RkOther, t0.elapsed());
+        }
+    }
+}
+
+/// A complete FEM Navier-Stokes simulation.
+///
+/// # Example
+///
+/// ```
+/// use fem_mesh::generator::BoxMeshBuilder;
+/// use fem_solver::{driver::Simulation, tgv::TgvConfig};
+///
+/// # fn main() -> Result<(), fem_solver::SolverError> {
+/// let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+/// let cfg = TgvConfig::standard();
+/// let initial = cfg.initial_state(&mesh);
+/// let mut sim = Simulation::new(mesh, cfg.gas(), initial)?;
+/// let dt = sim.suggest_dt(0.4);
+/// sim.advance(5, dt)?;
+/// assert!(sim.time() > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Simulation {
+    core: SolverCore,
+    conserved: Conserved,
+    rk: ExplicitRk<Conserved>,
+    time: f64,
+    steps_taken: usize,
+}
+
+impl Simulation {
+    /// Builds a simulation from a mesh, gas model and initial conserved
+    /// state.
+    ///
+    /// Assembles the lumped mass matrix (the paper's diagonal `K`) and the
+    /// CFL length scale up front.
+    ///
+    /// # Errors
+    ///
+    /// * [`SolverError::NodeCountMismatch`] if the state does not match the
+    ///   mesh.
+    /// * [`SolverError::UnphysicalState`] if the initial state has
+    ///   non-positive density or internal energy.
+    /// * [`SolverError::Mesh`] for inverted elements or a bad basis order.
+    pub fn new(mesh: HexMesh, gas: GasModel, initial: Conserved) -> Result<Self, SolverError> {
+        if initial.len() != mesh.num_nodes() {
+            return Err(SolverError::NodeCountMismatch {
+                state_nodes: initial.len(),
+                mesh_nodes: mesh.num_nodes(),
+            });
+        }
+        if !initial.is_physical() {
+            return Err(SolverError::UnphysicalState { step: 0 });
+        }
+        let basis = HexBasis::new(mesh.order()).map_err(fem_mesh::MeshError::from)?;
+        let npe = mesh.nodes_per_element();
+        let mut geom_scratch = GeometryScratch::new(npe);
+        let mut geom = ElementGeometry::with_capacity(npe);
+        let mut lumped_mass = vec![0.0; mesh.num_nodes()];
+        let mut min_spacing = f64::INFINITY;
+        let n = basis.nodes_per_dim();
+        let mut coords = vec![fem_numerics::linalg::Vec3::ZERO; npe];
+        for e in 0..mesh.num_elements() {
+            mesh.fill_element_geometry(e, &basis, &mut geom_scratch, &mut geom)?;
+            for (q, &node) in mesh.element_nodes(e).iter().enumerate() {
+                lumped_mass[node as usize] += geom.det_w[q];
+            }
+            mesh.element_coords(e, &mut coords);
+            // Node spacing along the i/j/k lines.
+            for k in 0..n {
+                for j in 0..n {
+                    for i in 0..n {
+                        let q = i + n * (j + n * k);
+                        if i + 1 < n {
+                            let d = (coords[q + 1] - coords[q]).norm();
+                            min_spacing = min_spacing.min(d);
+                        }
+                        if j + 1 < n {
+                            let d = (coords[q + n] - coords[q]).norm();
+                            min_spacing = min_spacing.min(d);
+                        }
+                        if k + 1 < n {
+                            let d = (coords[q + n * n] - coords[q]).norm();
+                            min_spacing = min_spacing.min(d);
+                        }
+                    }
+                }
+            }
+        }
+        let mut primitives = Primitives::zeros(mesh.num_nodes());
+        primitives.update_from(&initial, &gas);
+        let rk = ExplicitRk::new(ButcherTableau::rk4(), &initial);
+        Ok(Simulation {
+            core: SolverCore {
+                mesh,
+                basis,
+                gas,
+                primitives,
+                lumped_mass,
+                min_spacing,
+                ws: ElementWorkspace::new(npe),
+                geom_scratch,
+                geom,
+                bc: None,
+                profiler: PhaseProfiler::new(),
+                profiling: false,
+            },
+            conserved: initial,
+            rk,
+            time: 0.0,
+            steps_taken: 0,
+        })
+    }
+
+    /// Attaches a Dirichlet boundary condition (builder style).
+    pub fn with_bc(mut self, bc: DirichletBc) -> Self {
+        bc.apply_state(&mut self.conserved);
+        self.core.bc = Some(bc);
+        self
+    }
+
+    /// Enables or disables phase profiling (disabled by default; timer
+    /// reads add a few percent overhead to the element loop).
+    pub fn set_profiling(&mut self, on: bool) {
+        self.core.profiling = on;
+    }
+
+    /// Read access to the profiler.
+    pub fn profiler(&self) -> &PhaseProfiler {
+        &self.core.profiler
+    }
+
+    /// Charges `d` to the Non-RK phase (diagnostics, I/O around the
+    /// stepping loop).
+    pub fn charge_non_rk(&mut self, d: std::time::Duration) {
+        self.core.profiler.add(Phase::NonRk, d);
+    }
+
+    /// The solver internals (mesh, gas, primitives, lumped mass).
+    pub fn core(&self) -> &SolverCore {
+        &self.core
+    }
+
+    /// Current conserved state.
+    pub fn conserved(&self) -> &Conserved {
+        &self.conserved
+    }
+
+    /// Mutable conserved state (for custom initialization).
+    pub fn conserved_mut(&mut self) -> &mut Conserved {
+        &mut self.conserved
+    }
+
+    /// Current simulation time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Number of RK steps taken.
+    pub fn steps_taken(&self) -> usize {
+        self.steps_taken
+    }
+
+    /// Suggests a stable time step: `cfl · h_min / (max|u| + max c)`.
+    pub fn suggest_dt(&self, cfl: f64) -> f64 {
+        let max_u = self.core.primitives.max_speed();
+        let max_c = (0..self.core.primitives.len())
+            .map(|n| self.core.gas.sound_speed(self.core.primitives.temp[n]))
+            .fold(0.0, f64::max);
+        cfl * self.core.min_spacing / (max_u + max_c)
+    }
+
+    /// Advances one RK4 step of size `dt`.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::UnphysicalState`] if the step produced negative
+    /// density or internal energy (blow-up detection).
+    pub fn step(&mut self, dt: f64) -> Result<(), SolverError> {
+        self.rk
+            .step(&mut self.core, self.time, dt, &mut self.conserved);
+        if let Some(bc) = &self.core.bc {
+            bc.apply_state(&mut self.conserved);
+        }
+        self.time += dt;
+        self.steps_taken += 1;
+        if !self.conserved.is_physical() {
+            return Err(SolverError::UnphysicalState {
+                step: self.steps_taken,
+            });
+        }
+        Ok(())
+    }
+
+    /// Advances `steps` RK4 steps of size `dt`.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first [`SolverError::UnphysicalState`].
+    pub fn advance(&mut self, steps: usize, dt: f64) -> Result<(), SolverError> {
+        for _ in 0..steps {
+            self.step(dt)?;
+        }
+        Ok(())
+    }
+
+    /// Computes flow diagnostics for the current state, charging the cost
+    /// to the Non-RK phase.
+    pub fn diagnostics(&mut self) -> FlowDiagnostics {
+        let t0 = Instant::now();
+        self.core.primitives.update_from(&self.conserved, &self.core.gas);
+        let d = FlowDiagnostics::compute(
+            self.time,
+            &self.core.mesh,
+            &self.core.basis,
+            &self.core.gas,
+            &self.conserved,
+            &self.core.primitives,
+            &self.core.lumped_mass,
+        );
+        if self.core.profiling {
+            self.core.profiler.add(Phase::NonRk, t0.elapsed());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tgv::TgvConfig;
+    use fem_mesh::generator::BoxMeshBuilder;
+    use fem_numerics::linalg::Vec3;
+
+    fn uniform_state(mesh: &HexMesh, gas: &GasModel, u: Vec3) -> Conserved {
+        let mut c = Conserved::zeros(mesh.num_nodes());
+        for n in 0..mesh.num_nodes() {
+            c.rho[n] = 1.0;
+            c.mom[0][n] = u.x;
+            c.mom[1][n] = u.y;
+            c.mom[2][n] = u.z;
+            c.energy[n] = gas.total_energy(1.0, u, 300.0);
+        }
+        c
+    }
+
+    #[test]
+    fn freestream_is_preserved() {
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let gas = GasModel::air(1.8e-5);
+        let u = Vec3::new(20.0, -7.0, 3.0);
+        let initial = uniform_state(&mesh, &gas, u);
+        let mut sim = Simulation::new(mesh, gas, initial.clone()).unwrap();
+        let dt = sim.suggest_dt(0.5);
+        sim.advance(10, dt).unwrap();
+        for n in 0..sim.conserved().len() {
+            assert!((sim.conserved().rho[n] - initial.rho[n]).abs() < 1e-10);
+            assert!((sim.conserved().energy[n] - initial.energy[n]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn conservation_is_exact_to_roundoff() {
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let cfg = TgvConfig::new(0.2, 400.0);
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        let d0 = sim.diagnostics();
+        let dt = sim.suggest_dt(0.4);
+        sim.advance(20, dt).unwrap();
+        let d1 = sim.diagnostics();
+        assert!(
+            ((d1.total_mass - d0.total_mass) / d0.total_mass).abs() < 1e-12,
+            "mass drift"
+        );
+        assert!(
+            ((d1.total_energy - d0.total_energy) / d0.total_energy).abs() < 1e-12,
+            "energy drift"
+        );
+        assert!(
+            (d1.total_momentum - d0.total_momentum).norm()
+                < 1e-10 * d0.total_mass * cfg.v0,
+            "momentum drift {:?}",
+            d1.total_momentum - d0.total_momentum
+        );
+    }
+
+    #[test]
+    fn tgv_kinetic_energy_decays() {
+        let mesh = BoxMeshBuilder::tgv_box(8).build().unwrap();
+        // Stronger viscosity (Re=100) for a clear decay on a coarse grid.
+        let cfg = TgvConfig::new(0.1, 100.0);
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        let ke0 = sim.diagnostics().kinetic_energy;
+        let dt = sim.suggest_dt(0.4);
+        let steps = (0.5 / dt).ceil() as usize; // half a convective time
+        sim.advance(steps, dt).unwrap();
+        let ke1 = sim.diagnostics().kinetic_energy;
+        assert!(ke1 < ke0, "KE must decay: {ke0} -> {ke1}");
+        assert!(ke1 > 0.5 * ke0, "decay implausibly fast: {ke0} -> {ke1}");
+    }
+
+    #[test]
+    fn shear_layer_decays_at_viscous_rate() {
+        let mesh = BoxMeshBuilder::tgv_box(12).build().unwrap();
+        let mu = 1.0;
+        let gas = GasModel {
+            gamma: 1.4,
+            r_gas: 287.0,
+            mu,
+            prandtl: 0.71,
+        };
+        let a = 1.0;
+        let mut c = Conserved::zeros(mesh.num_nodes());
+        for (n, &x) in mesh.coords().iter().enumerate() {
+            let u = Vec3::new(a * x.y.sin(), 0.0, 0.0);
+            c.rho[n] = 1.0;
+            c.mom[0][n] = u.x;
+            c.energy[n] = gas.total_energy(1.0, u, 300.0);
+        }
+        let mut sim = Simulation::new(mesh, gas, c).unwrap();
+        let dt = 1.0e-3; // convective CFL-limited (c≈347)
+        let t_end: f64 = 0.6;
+        let steps = (t_end / dt).round() as usize;
+        sim.advance(steps, dt).unwrap();
+        // Amplitude should decay like exp(-ν k² t) with ν = μ/ρ = 1, k = 1.
+        let max_u = sim
+            .core()
+            .primitives()
+            .max_speed();
+        let expected = a * (-t_end).exp();
+        let rel = (max_u - expected).abs() / expected;
+        assert!(
+            rel < 0.06,
+            "decay mismatch: max|u|={max_u}, expected {expected} (rel {rel})"
+        );
+    }
+
+    #[test]
+    fn entropy_wave_advects_with_the_flow() {
+        // Inviscid advection of a density perturbation in uniform (u, p):
+        // ρ(x,t) = ρ0 + A sin(x - U t) is an exact Euler solution.
+        let n = 16;
+        let mesh = BoxMeshBuilder::tgv_box(n).build().unwrap();
+        let gas = GasModel::air(0.0);
+        let u0 = 50.0;
+        let rho0 = 1.0;
+        let amp = 0.01;
+        let p0 = 1.0e5;
+        let mut c = Conserved::zeros(mesh.num_nodes());
+        for (i, &x) in mesh.coords().iter().enumerate() {
+            let rho = rho0 + amp * x.x.sin();
+            let t = p0 / (rho * gas.r_gas);
+            let u = Vec3::new(u0, 0.0, 0.0);
+            c.rho[i] = rho;
+            c.mom[0][i] = rho * u.x;
+            c.energy[i] = gas.total_energy(rho, u, t);
+        }
+        let mut sim = Simulation::new(mesh, gas, c).unwrap();
+        let dt = sim.suggest_dt(0.3);
+        let t_end = 0.02; // one unit of travel = 1/50 s
+        let steps = (t_end / dt).ceil() as usize;
+        let dt = t_end / steps as f64;
+        sim.advance(steps, dt).unwrap();
+        // Compare against the shifted profile.
+        let mut l2_err = 0.0;
+        let mut l2_ref = 0.0;
+        for (i, &x) in sim.core().mesh().coords().iter().enumerate() {
+            let exact = rho0 + amp * (x.x - u0 * sim.time()).sin();
+            l2_err += (sim.conserved().rho[i] - exact).powi(2);
+            l2_ref += (exact - rho0).powi(2);
+        }
+        let rel = (l2_err / l2_ref).sqrt();
+        assert!(rel < 0.05, "advection error {rel}");
+    }
+
+    #[test]
+    fn blow_up_is_detected() {
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let cfg = TgvConfig::standard();
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        // Grossly unstable dt (CFL ≈ 50).
+        let dt = sim.suggest_dt(50.0);
+        let result = sim.advance(100, dt);
+        assert!(matches!(
+            result,
+            Err(SolverError::UnphysicalState { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_state_is_rejected() {
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let gas = GasModel::air(1e-5);
+        let bad = Conserved::zeros(7);
+        assert!(matches!(
+            Simulation::new(mesh, gas, bad),
+            Err(SolverError::NodeCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn profiling_records_phases() {
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let cfg = TgvConfig::standard();
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        sim.set_profiling(true);
+        let dt = sim.suggest_dt(0.4);
+        sim.advance(2, dt).unwrap();
+        sim.diagnostics();
+        let p = sim.profiler();
+        assert!(p.total(Phase::RkConvection) > std::time::Duration::ZERO);
+        assert!(p.total(Phase::RkDiffusion) > std::time::Duration::ZERO);
+        assert!(p.total(Phase::RkOther) > std::time::Duration::ZERO);
+        assert!(p.total(Phase::NonRk) > std::time::Duration::ZERO);
+        let pct = p.breakdown_percent();
+        assert!((pct.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+    }
+}

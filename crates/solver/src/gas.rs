@@ -1,0 +1,152 @@
+//! Ideal-gas thermodynamics and transport properties.
+//!
+//! The paper's constitutive relations (§II-A): total energy and pressure
+//! follow the ideal gas law; viscosity `μ` drives the stress tensor τ and
+//! thermal conductivity `κ` the Fourier heat flux.
+
+use fem_numerics::linalg::Vec3;
+
+/// Calorically perfect ideal gas with constant transport properties.
+///
+/// # Example
+///
+/// ```
+/// use fem_solver::gas::GasModel;
+/// let gas = GasModel::air(1.8e-5);
+/// let t = 300.0;
+/// let c = gas.sound_speed(t);
+/// assert!((c - (1.4f64 * 287.0 * 300.0).sqrt()).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GasModel {
+    /// Ratio of specific heats γ.
+    pub gamma: f64,
+    /// Specific gas constant `R` (J/(kg·K)).
+    pub r_gas: f64,
+    /// Dynamic viscosity `μ` (Pa·s), constant.
+    pub mu: f64,
+    /// Prandtl number `Pr = cp μ / κ`.
+    pub prandtl: f64,
+}
+
+impl GasModel {
+    /// Air-like gas (γ=1.4, R=287, Pr=0.71) with the given viscosity.
+    pub fn air(mu: f64) -> Self {
+        GasModel {
+            gamma: 1.4,
+            r_gas: 287.0,
+            mu,
+            prandtl: 0.71,
+        }
+    }
+
+    /// Inviscid variant (μ = 0, hence κ = 0): pure Euler equations.
+    pub fn inviscid(mut self) -> Self {
+        self.mu = 0.0;
+        self
+    }
+
+    /// Specific heat at constant pressure `cp = γR/(γ-1)`.
+    pub fn cp(&self) -> f64 {
+        self.gamma * self.r_gas / (self.gamma - 1.0)
+    }
+
+    /// Specific heat at constant volume `cv = R/(γ-1)`.
+    pub fn cv(&self) -> f64 {
+        self.r_gas / (self.gamma - 1.0)
+    }
+
+    /// Thermal conductivity `κ = cp μ / Pr`.
+    pub fn kappa(&self) -> f64 {
+        self.cp() * self.mu / self.prandtl
+    }
+
+    /// Speed of sound at temperature `t`.
+    pub fn sound_speed(&self, t: f64) -> f64 {
+        (self.gamma * self.r_gas * t).sqrt()
+    }
+
+    /// Pressure from density and temperature (`p = ρRT`).
+    pub fn pressure(&self, rho: f64, t: f64) -> f64 {
+        rho * self.r_gas * t
+    }
+
+    /// Total energy per unit volume from primitives:
+    /// `E = ρ cv T + ½ ρ |u|²`.
+    pub fn total_energy(&self, rho: f64, vel: Vec3, t: f64) -> f64 {
+        rho * self.cv() * t + 0.5 * rho * vel.norm_sq()
+    }
+
+    /// Primitive variables `(u, T, p)` from conserved `(ρ, ρu, E)` — the
+    /// paper's RKU kernel evaluates exactly this after each RK stage.
+    ///
+    /// Non-positive densities (a diverging time integration) propagate
+    /// into non-finite or negative primitives; blow-up detection is the
+    /// driver's job via [`crate::state::Conserved::is_physical`].
+    pub fn primitives(&self, rho: f64, mom: Vec3, energy: f64) -> (Vec3, f64, f64) {
+        let vel = mom / rho;
+        let internal = energy - 0.5 * rho * vel.norm_sq();
+        let t = internal / (rho * self.cv());
+        let p = self.pressure(rho, t);
+        (vel, t, p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn air_constants() {
+        let gas = GasModel::air(1.0e-5);
+        assert!((gas.cp() - 1004.5).abs() < 0.1);
+        assert!((gas.cv() - 717.5).abs() < 0.1);
+        assert!((gas.cp() - gas.cv() - gas.r_gas).abs() < 1e-9);
+        assert!(gas.kappa() > 0.0);
+    }
+
+    #[test]
+    fn inviscid_has_no_transport() {
+        let gas = GasModel::air(1.0e-5).inviscid();
+        assert_eq!(gas.mu, 0.0);
+        assert_eq!(gas.kappa(), 0.0);
+    }
+
+    #[test]
+    fn primitive_conserved_roundtrip() {
+        let gas = GasModel::air(1.8e-5);
+        let rho = 1.2;
+        let vel = Vec3::new(10.0, -5.0, 2.5);
+        let t = 288.0;
+        let e = gas.total_energy(rho, vel, t);
+        let (v2, t2, p2) = gas.primitives(rho, rho * vel, e);
+        assert!((v2 - vel).norm() < 1e-12);
+        assert!((t2 - t).abs() < 1e-9);
+        assert!((p2 - gas.pressure(rho, t)).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip_random(
+            rho in 0.1f64..10.0,
+            ux in -100.0f64..100.0,
+            uy in -100.0f64..100.0,
+            uz in -100.0f64..100.0,
+            t in 50.0f64..2000.0,
+        ) {
+            let gas = GasModel::air(1.8e-5);
+            let vel = Vec3::new(ux, uy, uz);
+            let e = gas.total_energy(rho, vel, t);
+            let (v2, t2, _) = gas.primitives(rho, rho * vel, e);
+            prop_assert!((v2 - vel).norm() < 1e-9);
+            prop_assert!((t2 - t).abs() < 1e-6 * t);
+        }
+
+        #[test]
+        fn prop_sound_speed_monotone_in_t(t1 in 100.0f64..500.0, dt in 1.0f64..500.0) {
+            let gas = GasModel::air(1.8e-5);
+            prop_assert!(gas.sound_speed(t1 + dt) > gas.sound_speed(t1));
+        }
+    }
+}

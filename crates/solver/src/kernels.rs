@@ -1,0 +1,469 @@
+//! FEM element kernels: the computational core the paper accelerates.
+//!
+//! Per element and RK stage the paper's dataflow (Fig 1) is:
+//!
+//! ```text
+//! LOAD Element ─▶ COMPUTE Diffusion ⊕ COMPUTE Convection ─▶ STORE Element Contribution
+//!                  └ per node: LOAD Node → COMPUTE Gradients → COMPUTE τ / Residuals → STORE Node Contribution
+//! ```
+//!
+//! [`ElementWorkspace`] owns all per-element buffers (gathered fields,
+//! gradients, flux tensors, residuals) so the hot loop never allocates;
+//! [`convective_flux`], [`viscous_flux`] and [`weak_divergence`] implement
+//! the three compute stages. The Galerkin weak form integrates the flux
+//! divergence by parts, so a conserved variable `U` with flux `F` obeys
+//! `M dU/dt = R`, `R_i = ∫ ∇N_i · F dV`, evaluated with GLL quadrature
+//! collocated at the element nodes.
+
+use crate::gas::GasModel;
+use crate::state::{Conserved, Primitives};
+use fem_mesh::hex::ElementGeometry;
+use fem_numerics::linalg::{Mat3, Vec3};
+use fem_numerics::tensor::HexBasis;
+
+/// Number of conserved variables (ρ, ρu·3, E).
+pub const NUM_VARS: usize = 5;
+
+/// Per-element working storage for the diffusion/convection kernels.
+#[derive(Debug, Clone)]
+pub struct ElementWorkspace {
+    npe: usize,
+    /// Gathered density.
+    pub rho: Vec<f64>,
+    /// Gathered velocity components.
+    pub vel: [Vec<f64>; 3],
+    /// Gathered temperature.
+    pub temp: Vec<f64>,
+    /// Gathered pressure.
+    pub pres: Vec<f64>,
+    /// Gathered total energy.
+    pub energy: Vec<f64>,
+    /// Gathered per-node viscosity.
+    pub mu: Vec<f64>,
+    /// Reference-space gradients of (u_x, u_y, u_z, T).
+    grad_ref: [Vec<Vec3>; 4],
+    /// Flux tensor per conserved variable: `flux[v][q]` is the flux vector
+    /// of variable `v` at node `q`.
+    flux: [Vec<Vec3>; NUM_VARS],
+    /// Quadrature-weighted, Jacobian-transformed flux (`G` in the module
+    /// docs): contraction input.
+    g: [Vec<Vec3>; NUM_VARS],
+    /// Element residual accumulator per variable.
+    pub res: [Vec<f64>; NUM_VARS],
+}
+
+impl ElementWorkspace {
+    /// Allocates buffers for elements with `nodes_per_element` nodes.
+    pub fn new(nodes_per_element: usize) -> Self {
+        let f = || vec![0.0; nodes_per_element];
+        let v = || vec![Vec3::ZERO; nodes_per_element];
+        ElementWorkspace {
+            npe: nodes_per_element,
+            rho: f(),
+            vel: [f(), f(), f()],
+            temp: f(),
+            pres: f(),
+            energy: f(),
+            mu: f(),
+            grad_ref: [v(), v(), v(), v()],
+            flux: [v(), v(), v(), v(), v()],
+            g: [v(), v(), v(), v(), v()],
+            res: [f(), f(), f(), f(), f()],
+        }
+    }
+
+    /// Nodes per element this workspace was sized for.
+    pub fn nodes_per_element(&self) -> usize {
+        self.npe
+    }
+
+    /// Gathers the element's node data from the global arrays — the
+    /// paper's LOAD-Element / LOAD-Node stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != nodes_per_element()`.
+    pub fn gather(&mut self, nodes: &[u32], conserved: &Conserved, prim: &Primitives) {
+        assert_eq!(nodes.len(), self.npe, "element node count");
+        for (q, &n) in nodes.iter().enumerate() {
+            let n = n as usize;
+            self.rho[q] = conserved.rho[n];
+            self.energy[q] = conserved.energy[n];
+            self.vel[0][q] = prim.vel[0][n];
+            self.vel[1][q] = prim.vel[1][n];
+            self.vel[2][q] = prim.vel[2][n];
+            self.temp[q] = prim.temp[n];
+            self.pres[q] = prim.pressure[n];
+            self.mu[q] = prim.mu[n];
+        }
+    }
+
+    /// Clears the element residual accumulators.
+    pub fn zero_residuals(&mut self) {
+        for r in &mut self.res {
+            r.iter_mut().for_each(|x| *x = 0.0);
+        }
+    }
+
+    /// Scatter-adds the element residuals into the global RHS — the
+    /// paper's STORE-Element-Contribution stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes.len() != nodes_per_element()`.
+    pub fn scatter_add(&self, nodes: &[u32], rhs: &mut Conserved) {
+        assert_eq!(nodes.len(), self.npe, "element node count");
+        for (q, &n) in nodes.iter().enumerate() {
+            let n = n as usize;
+            rhs.rho[n] += self.res[0][q];
+            rhs.mom[0][n] += self.res[1][q];
+            rhs.mom[1][n] += self.res[2][q];
+            rhs.mom[2][n] += self.res[3][q];
+            rhs.energy[n] += self.res[4][q];
+        }
+    }
+}
+
+/// Fills the workspace flux tensors with the **convective** (Euler) fluxes:
+///
+/// * mass: `ρu`
+/// * momentum `i`: `ρ u_i u + p e_i`
+/// * energy: `(E + p) u`
+pub fn convective_flux(ws: &mut ElementWorkspace) {
+    for q in 0..ws.npe {
+        let rho = ws.rho[q];
+        let u = Vec3::new(ws.vel[0][q], ws.vel[1][q], ws.vel[2][q]);
+        let p = ws.pres[q];
+        let e = ws.energy[q];
+        ws.flux[0][q] = rho * u;
+        ws.flux[1][q] = (rho * u.x) * u + Vec3::new(p, 0.0, 0.0);
+        ws.flux[2][q] = (rho * u.y) * u + Vec3::new(0.0, p, 0.0);
+        ws.flux[3][q] = (rho * u.z) * u + Vec3::new(0.0, 0.0, p);
+        ws.flux[4][q] = (e + p) * u;
+    }
+}
+
+/// Fills the workspace flux tensors with the **viscous** (diffusion)
+/// fluxes — the paper's COMPUTE-Gradients / COMPUTE-τ stages:
+///
+/// * mass: `0`
+/// * momentum `i`: row `i` of `τ = μ(∇u + ∇uᵀ − ⅔(∇·u)I)`
+/// * energy: `τ·u + κ∇T`
+pub fn viscous_flux(ws: &mut ElementWorkspace, gas: &GasModel, basis: &HexBasis, geom: &ElementGeometry) {
+    // Reference gradients of the three velocity components and T.
+    let (head, tail) = ws.grad_ref.split_at_mut(3);
+    basis.reference_gradient(&ws.vel[0], &mut head[0]);
+    basis.reference_gradient(&ws.vel[1], &mut head[1]);
+    basis.reference_gradient(&ws.vel[2], &mut head[2]);
+    basis.reference_gradient(&ws.temp, &mut tail[0]);
+    let kappa = gas.kappa();
+    for q in 0..ws.npe {
+        let inv_jt = geom.inv_jt[q];
+        // Physical gradients: L[a][b] = ∂u_a/∂x_b, row a = J⁻ᵀ ∇̂u_a.
+        let l = Mat3::from_rows(
+            inv_jt.mul_vec(ws.grad_ref[0][q]),
+            inv_jt.mul_vec(ws.grad_ref[1][q]),
+            inv_jt.mul_vec(ws.grad_ref[2][q]),
+        );
+        let grad_t = inv_jt.mul_vec(ws.grad_ref[3][q]);
+        let mu = ws.mu[q];
+        let div_u = l.trace();
+        // τ = μ(L + Lᵀ) − ⅔ μ (∇·u) I
+        let tau = mu * (l + l.transpose()) - Mat3::diagonal(1.0, 1.0, 1.0) * (2.0 / 3.0 * mu * div_u);
+        let u = Vec3::new(ws.vel[0][q], ws.vel[1][q], ws.vel[2][q]);
+        ws.flux[0][q] = Vec3::ZERO;
+        ws.flux[1][q] = tau.row(0);
+        ws.flux[2][q] = tau.row(1);
+        ws.flux[3][q] = tau.row(2);
+        ws.flux[4][q] = tau.mul_vec(u) + kappa * grad_t;
+    }
+}
+
+/// Accumulates `sign · ∫ ∇N_i · F dV` into the workspace residuals for all
+/// five variables, using the tensor-product GLL contraction.
+///
+/// `sign` is `+1` for the convective fluxes and `-1` for the viscous
+/// fluxes (the semi-discrete form is
+/// `M dU/dt = ∫∇N·F_c − ∫∇N·F_v`).
+pub fn weak_divergence(
+    ws: &mut ElementWorkspace,
+    basis: &HexBasis,
+    geom: &ElementGeometry,
+    sign: f64,
+) {
+    let n = basis.nodes_per_dim();
+    let d = basis.dmat();
+    // G_d(q) = w_q det(J_q) · (J⁻¹ F_q)_d ; with inv_jt = J⁻ᵀ stored,
+    // (J⁻¹ F)_d = F · column d of J⁻ᵀ.
+    for v in 0..NUM_VARS {
+        for q in 0..ws.npe {
+            let f = ws.flux[v][q];
+            let inv_jt = geom.inv_jt[q];
+            let w = geom.det_w[q];
+            ws.g[v][q] = Vec3::new(
+                w * f.dot(inv_jt.col(0)),
+                w * f.dot(inv_jt.col(1)),
+                w * f.dot(inv_jt.col(2)),
+            );
+        }
+        // res_i += Σ_m D[m][i1] G(m,i2,i3).x
+        //        + Σ_m D[m][i2] G(i1,m,i3).y
+        //        + Σ_m D[m][i3] G(i1,i2,m).z
+        for i3 in 0..n {
+            for i2 in 0..n {
+                for i1 in 0..n {
+                    let mut acc = 0.0;
+                    for m in 0..n {
+                        acc += d[m * n + i1] * ws.g[v][m + n * (i2 + n * i3)].x;
+                        acc += d[m * n + i2] * ws.g[v][i1 + n * (m + n * i3)].y;
+                        acc += d[m * n + i3] * ws.g[v][i1 + n * (i2 + n * m)].z;
+                    }
+                    ws.res[v][i1 + n * (i2 + n * i3)] += sign * acc;
+                }
+            }
+        }
+    }
+}
+
+/// Floating-point operation counts of the element kernels, used by the
+/// performance models (CPU roofline and HLS op scheduling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelOpCounts {
+    /// FLOPs in the convective-flux stage per element.
+    pub convection_flops: usize,
+    /// FLOPs in the viscous stage (gradients + τ + fluxes) per element.
+    pub diffusion_flops: usize,
+    /// FLOPs in one weak-divergence contraction per element (all 5 vars).
+    pub divergence_flops: usize,
+    /// FLOPs in the RKU primitive update per node.
+    pub rku_flops_per_node: usize,
+}
+
+impl KernelOpCounts {
+    /// Counts for elements of the given basis.
+    pub fn for_basis(basis: &HexBasis) -> Self {
+        let n = basis.nodes_per_dim();
+        let npe = basis.nodes_per_element();
+        // convective_flux: ~30 flops/node (5 flux vectors of 3 comps).
+        let convection_flops = 30 * npe;
+        // gradients: 4 fields × 3n⁴ MACs (2 flops each) + per-node
+        // transform (3 mat-vec ≈ 45) + τ (~40) + energy flux (~30).
+        let diffusion_flops = 4 * 2 * 3 * n * n * n * n + npe * (45 + 15 + 40 + 30);
+        // G: 5 vars × npe × (3 dots ≈ 18); contraction: 5 × npe × 3n MACs.
+        let divergence_flops = 5 * npe * 18 + 5 * 2 * 3 * n * npe;
+        // RKU per node: division, dot, energy split, T, p ≈ 15 flops.
+        KernelOpCounts {
+            convection_flops,
+            diffusion_flops,
+            divergence_flops,
+            rku_flops_per_node: 15,
+        }
+    }
+
+    /// Total RKL flops per element (convection + diffusion + 2
+    /// contractions).
+    pub fn rkl_flops_per_element(&self) -> usize {
+        self.convection_flops + self.diffusion_flops + 2 * self.divergence_flops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gas::GasModel;
+    use fem_mesh::generator::BoxMeshBuilder;
+    use fem_mesh::hex::{ElementGeometry, GeometryScratch};
+
+    fn setup(n: usize) -> (fem_mesh::HexMesh, HexBasis) {
+        let mesh = BoxMeshBuilder::tgv_box(n).build().unwrap();
+        let basis = HexBasis::new(mesh.order()).unwrap();
+        (mesh, basis)
+    }
+
+    fn make_state(
+        mesh: &fem_mesh::HexMesh,
+        gas: &GasModel,
+        f: impl Fn(Vec3) -> (f64, Vec3, f64),
+    ) -> (Conserved, Primitives) {
+        let nn = mesh.num_nodes();
+        let mut c = Conserved::zeros(nn);
+        let mut p = Primitives::zeros(nn);
+        for (i, &x) in mesh.coords().iter().enumerate() {
+            let (rho, u, t) = f(x);
+            c.rho[i] = rho;
+            c.mom[0][i] = rho * u.x;
+            c.mom[1][i] = rho * u.y;
+            c.mom[2][i] = rho * u.z;
+            c.energy[i] = gas.total_energy(rho, u, t);
+        }
+        p.update_from(&c, gas);
+        (c, p)
+    }
+
+    /// Computes the assembled global RHS for the full mesh.
+    fn assemble_rhs(
+        mesh: &fem_mesh::HexMesh,
+        basis: &HexBasis,
+        gas: &GasModel,
+        conserved: &Conserved,
+        prim: &Primitives,
+    ) -> Conserved {
+        let npe = mesh.nodes_per_element();
+        let mut ws = ElementWorkspace::new(npe);
+        let mut scratch = GeometryScratch::new(npe);
+        let mut geom = ElementGeometry::with_capacity(npe);
+        let mut rhs = Conserved::zeros(mesh.num_nodes());
+        for e in 0..mesh.num_elements() {
+            mesh.fill_element_geometry(e, basis, &mut scratch, &mut geom)
+                .unwrap();
+            ws.gather(mesh.element_nodes(e), conserved, prim);
+            ws.zero_residuals();
+            convective_flux(&mut ws);
+            weak_divergence(&mut ws, basis, &geom, 1.0);
+            if gas.mu > 0.0 {
+                viscous_flux(&mut ws, gas, basis, &geom);
+                weak_divergence(&mut ws, basis, &geom, -1.0);
+            }
+            ws.scatter_add(mesh.element_nodes(e), &mut rhs);
+        }
+        rhs
+    }
+
+    #[test]
+    fn uniform_state_has_zero_residual() {
+        let (mesh, basis) = setup(4);
+        let gas = GasModel::air(1.8e-5);
+        let (c, p) = make_state(&mesh, &gas, |_| (1.2, Vec3::new(30.0, -10.0, 5.0), 300.0));
+        let rhs = assemble_rhs(&mesh, &basis, &gas, &c, &p);
+        let scale = 1e5; // typical flux magnitude (E+p)·u ~ 1e7, be generous
+        rhs.for_each_field(|f| {
+            for &v in f {
+                assert!(v.abs() < 1e-7 * scale, "residual {v} not ~0");
+            }
+        });
+    }
+
+    #[test]
+    fn conservation_sums_vanish_for_smooth_state() {
+        // Galerkin + periodic: Σ_i R_i = 0 exactly (Σ_i ∇N_i = 0) for every
+        // conserved variable, independent of the state.
+        let (mesh, basis) = setup(4);
+        let gas = GasModel::air(2.0e-2);
+        let (c, p) = make_state(&mesh, &gas, |x| {
+            (
+                1.0 + 0.1 * x.x.sin() * x.y.cos(),
+                Vec3::new(10.0 * x.y.sin(), -7.0 * x.z.cos(), 3.0 * x.x.sin()),
+                300.0 + 15.0 * x.z.sin(),
+            )
+        });
+        let rhs = assemble_rhs(&mesh, &basis, &gas, &c, &p);
+        let mut sums = Vec::new();
+        rhs.for_each_field(|f| sums.push(f.iter().sum::<f64>()));
+        // Scale: typical |R| entries.
+        let mut max_abs: f64 = 0.0;
+        rhs.for_each_field(|f| {
+            for &v in f {
+                max_abs = max_abs.max(v.abs());
+            }
+        });
+        for (v, s) in sums.iter().enumerate() {
+            assert!(
+                s.abs() <= 1e-10 * max_abs.max(1.0),
+                "variable {v}: conservation sum {s} (max residual {max_abs})"
+            );
+        }
+    }
+
+    #[test]
+    fn viscous_shear_layer_gives_laplacian() {
+        // u = (A sin(y), 0, 0), uniform ρ, T ⇒ momentum-x residual must
+        // equal μ ∂²u/∂y² = -μ A sin(y) (times lumped mass).
+        let (mesh, basis) = setup(12);
+        let mu = 1.5e-3;
+        let gas = GasModel {
+            gamma: 1.4,
+            r_gas: 287.0,
+            mu,
+            prandtl: 0.71,
+        };
+        let a = 2.0;
+        let rho0 = 1.0;
+        let (c, p) = make_state(&mesh, &gas, |x| {
+            (rho0, Vec3::new(a * x.y.sin(), 0.0, 0.0), 300.0)
+        });
+        let rhs = assemble_rhs(&mesh, &basis, &gas, &c, &p);
+        // Lumped mass.
+        let npe = mesh.nodes_per_element();
+        let mut scratch = GeometryScratch::new(npe);
+        let mut geom = ElementGeometry::with_capacity(npe);
+        let mut mass = vec![0.0; mesh.num_nodes()];
+        for e in 0..mesh.num_elements() {
+            mesh.fill_element_geometry(e, &basis, &mut scratch, &mut geom)
+                .unwrap();
+            for (q, &n) in mesh.element_nodes(e).iter().enumerate() {
+                mass[n as usize] += geom.det_w[q];
+            }
+        }
+        let mut max_rel = 0.0f64;
+        for n in 0..mesh.num_nodes() {
+            let y = mesh.coords()[n].y;
+            let expect = -mu * a * y.sin();
+            let got = rhs.mom[0][n] / mass[n];
+            let err = (got - expect).abs();
+            max_rel = max_rel.max(err / (mu * a));
+        }
+        // Trilinear second-difference of sin on a 12-cell grid: O(h²) ≈ 2–3%.
+        assert!(max_rel < 0.05, "relative laplacian error {max_rel}");
+    }
+
+    #[test]
+    fn pressure_gradient_drives_momentum() {
+        // Uniform ρ and u = 0; p varies through T: R_mom must equal
+        // -∇p (times mass), here p = ρ R T with T = T0 + T1 sin(x).
+        let (mesh, basis) = setup(12);
+        let gas = GasModel::air(0.0);
+        let rho0 = 1.0;
+        let t0 = 300.0;
+        let t1 = 3.0;
+        let (c, p) = make_state(&mesh, &gas, |x| {
+            (rho0, Vec3::ZERO, t0 + t1 * x.x.sin())
+        });
+        let rhs = assemble_rhs(&mesh, &basis, &gas, &c, &p);
+        let npe = mesh.nodes_per_element();
+        let mut scratch = GeometryScratch::new(npe);
+        let mut geom = ElementGeometry::with_capacity(npe);
+        let mut mass = vec![0.0; mesh.num_nodes()];
+        for e in 0..mesh.num_elements() {
+            mesh.fill_element_geometry(e, &basis, &mut scratch, &mut geom)
+                .unwrap();
+            for (q, &n) in mesh.element_nodes(e).iter().enumerate() {
+                mass[n as usize] += geom.det_w[q];
+            }
+        }
+        let scale = rho0 * gas.r_gas * t1; // |∂p/∂x| amplitude
+        let mut max_rel = 0.0f64;
+        for n in 0..mesh.num_nodes() {
+            let x = mesh.coords()[n].x;
+            let expect = -rho0 * gas.r_gas * t1 * x.cos();
+            let got = rhs.mom[0][n] / mass[n];
+            max_rel = max_rel.max((got - expect).abs() / scale);
+        }
+        assert!(max_rel < 0.05, "pressure gradient error {max_rel}");
+        // y/z momenta stay zero.
+        for n in 0..mesh.num_nodes() {
+            assert!(rhs.mom[1][n].abs() < 1e-9 * scale);
+            assert!(rhs.mom[2][n].abs() < 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn op_counts_scale_with_order() {
+        let b1 = HexBasis::new(1).unwrap();
+        let b2 = HexBasis::new(2).unwrap();
+        let c1 = KernelOpCounts::for_basis(&b1);
+        let c2 = KernelOpCounts::for_basis(&b2);
+        assert!(c2.diffusion_flops > c1.diffusion_flops);
+        assert!(c2.rkl_flops_per_element() > c1.rkl_flops_per_element());
+        assert_eq!(c1.rku_flops_per_node, c2.rku_flops_per_node);
+    }
+}

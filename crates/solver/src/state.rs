@@ -1,0 +1,266 @@
+//! Solution state: conserved fields (integrated by RK) and the primitive
+//! cache (re-evaluated by the RKU kernel each stage).
+
+use crate::gas::GasModel;
+use fem_numerics::linalg::Vec3;
+use fem_numerics::rk::StateOps;
+
+/// Conserved variables per mesh node: `ρ`, `ρu` (3 components), `E`.
+///
+/// This is the state vector the Runge-Kutta integrator advances; it forms a
+/// vector space through [`StateOps`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Conserved {
+    /// Density ρ.
+    pub rho: Vec<f64>,
+    /// Momentum density ρu, one array per component.
+    pub mom: [Vec<f64>; 3],
+    /// Total energy density E.
+    pub energy: Vec<f64>,
+}
+
+impl Conserved {
+    /// Zero-filled state for `num_nodes` nodes.
+    pub fn zeros(num_nodes: usize) -> Self {
+        Conserved {
+            rho: vec![0.0; num_nodes],
+            mom: [
+                vec![0.0; num_nodes],
+                vec![0.0; num_nodes],
+                vec![0.0; num_nodes],
+            ],
+            energy: vec![0.0; num_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.rho.len()
+    }
+
+    /// Whether the state holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.rho.is_empty()
+    }
+
+    /// Momentum of node `n` as a vector.
+    pub fn momentum(&self, n: usize) -> Vec3 {
+        Vec3::new(self.mom[0][n], self.mom[1][n], self.mom[2][n])
+    }
+
+    /// Returns true if every node has positive density and internal energy —
+    /// the physical-realizability check used by the driver to detect
+    /// blow-up.
+    pub fn is_physical(&self) -> bool {
+        (0..self.len()).all(|n| {
+            let rho = self.rho[n];
+            if !(rho > 0.0) || !rho.is_finite() {
+                return false;
+            }
+            let m = self.momentum(n);
+            let internal = self.energy[n] - 0.5 * m.norm_sq() / rho;
+            internal > 0.0 && internal.is_finite()
+        })
+    }
+
+    /// Applies `f` to the five field arrays in a fixed order
+    /// (ρ, ρu_x, ρu_y, ρu_z, E).
+    pub fn for_each_field<F: FnMut(&[f64])>(&self, mut f: F) {
+        f(&self.rho);
+        f(&self.mom[0]);
+        f(&self.mom[1]);
+        f(&self.mom[2]);
+        f(&self.energy);
+    }
+}
+
+impl StateOps for Conserved {
+    fn zeros_like(&self) -> Self {
+        Conserved::zeros(self.len())
+    }
+
+    fn copy_from(&mut self, other: &Self) {
+        self.rho.copy_from_slice(&other.rho);
+        for d in 0..3 {
+            self.mom[d].copy_from_slice(&other.mom[d]);
+        }
+        self.energy.copy_from_slice(&other.energy);
+    }
+
+    fn axpy(&mut self, a: f64, x: &Self) {
+        let apply = |dst: &mut [f64], src: &[f64]| {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d += a * s;
+            }
+        };
+        apply(&mut self.rho, &x.rho);
+        for d in 0..3 {
+            apply(&mut self.mom[d], &x.mom[d]);
+        }
+        apply(&mut self.energy, &x.energy);
+    }
+
+    fn scale(&mut self, a: f64) {
+        let apply = |dst: &mut [f64]| {
+            for d in dst.iter_mut() {
+                *d *= a;
+            }
+        };
+        apply(&mut self.rho);
+        for d in 0..3 {
+            apply(&mut self.mom[d]);
+        }
+        apply(&mut self.energy);
+    }
+}
+
+/// Primitive variables per node: velocity, temperature, pressure, and the
+/// per-node viscosity array the accelerator streams (`mu_fluid` in the
+/// paper's Fig 4).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Primitives {
+    /// Velocity components.
+    pub vel: [Vec<f64>; 3],
+    /// Temperature.
+    pub temp: Vec<f64>,
+    /// Pressure.
+    pub pressure: Vec<f64>,
+    /// Dynamic viscosity (constant-μ gas ⇒ uniform array, but stored
+    /// per-node to mirror the accelerator's memory layout).
+    pub mu: Vec<f64>,
+}
+
+impl Primitives {
+    /// Zero-filled primitives for `num_nodes` nodes.
+    pub fn zeros(num_nodes: usize) -> Self {
+        Primitives {
+            vel: [
+                vec![0.0; num_nodes],
+                vec![0.0; num_nodes],
+                vec![0.0; num_nodes],
+            ],
+            temp: vec![0.0; num_nodes],
+            pressure: vec![0.0; num_nodes],
+            mu: vec![0.0; num_nodes],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.temp.len()
+    }
+
+    /// Whether the cache holds no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.temp.is_empty()
+    }
+
+    /// Velocity of node `n` as a vector.
+    pub fn velocity(&self, n: usize) -> Vec3 {
+        Vec3::new(self.vel[0][n], self.vel[1][n], self.vel[2][n])
+    }
+
+    /// Re-evaluates every node's primitives from the conserved state —
+    /// the paper's **RKU kernel** ("evaluates ρ, u, T, E and p at every
+    /// time step", §III-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ.
+    pub fn update_from(&mut self, conserved: &Conserved, gas: &GasModel) {
+        assert_eq!(self.len(), conserved.len(), "node count mismatch");
+        for n in 0..conserved.len() {
+            let rho = conserved.rho[n];
+            let (vel, t, p) = gas.primitives(rho, conserved.momentum(n), conserved.energy[n]);
+            self.vel[0][n] = vel.x;
+            self.vel[1][n] = vel.y;
+            self.vel[2][n] = vel.z;
+            self.temp[n] = t;
+            self.pressure[n] = p;
+            self.mu[n] = gas.mu;
+        }
+    }
+
+    /// Maximum velocity magnitude (for CFL estimation).
+    pub fn max_speed(&self) -> f64 {
+        (0..self.len())
+            .map(|n| self.velocity(n).norm())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_ops_on_conserved() {
+        let mut a = Conserved::zeros(4);
+        a.rho = vec![1.0, 2.0, 3.0, 4.0];
+        a.energy = vec![10.0, 20.0, 30.0, 40.0];
+        let mut b = a.zeros_like();
+        assert_eq!(b.len(), 4);
+        b.copy_from(&a);
+        assert_eq!(b, a);
+        b.axpy(0.5, &a);
+        assert_eq!(b.rho, vec![1.5, 3.0, 4.5, 6.0]);
+        b.scale(2.0);
+        assert_eq!(b.energy, vec![30.0, 60.0, 90.0, 120.0]);
+    }
+
+    #[test]
+    fn physical_check_flags_bad_states() {
+        let gas = GasModel::air(0.0);
+        let mut c = Conserved::zeros(2);
+        c.rho = vec![1.0, 1.0];
+        c.energy = vec![
+            gas.total_energy(1.0, Vec3::ZERO, 300.0),
+            gas.total_energy(1.0, Vec3::ZERO, 300.0),
+        ];
+        assert!(c.is_physical());
+        c.rho[1] = -1.0;
+        assert!(!c.is_physical());
+        c.rho[1] = 1.0;
+        c.energy[1] = -5.0;
+        assert!(!c.is_physical());
+        c.energy[1] = f64::NAN;
+        assert!(!c.is_physical());
+    }
+
+    #[test]
+    fn rku_update_matches_gas_model() {
+        let gas = GasModel::air(1.8e-5);
+        let mut c = Conserved::zeros(3);
+        let mut p = Primitives::zeros(3);
+        for n in 0..3 {
+            let rho = 1.0 + n as f64 * 0.3;
+            let vel = Vec3::new(n as f64, -1.0, 0.5);
+            let t = 280.0 + 10.0 * n as f64;
+            c.rho[n] = rho;
+            c.mom[0][n] = rho * vel.x;
+            c.mom[1][n] = rho * vel.y;
+            c.mom[2][n] = rho * vel.z;
+            c.energy[n] = gas.total_energy(rho, vel, t);
+        }
+        p.update_from(&c, &gas);
+        for n in 0..3 {
+            let rho = c.rho[n];
+            let t = 280.0 + 10.0 * n as f64;
+            assert!((p.temp[n] - t).abs() < 1e-9);
+            assert!((p.pressure[n] - gas.pressure(rho, t)).abs() < 1e-9);
+            assert_eq!(p.mu[n], gas.mu);
+        }
+        assert!(p.max_speed() > 0.0);
+    }
+
+    #[test]
+    fn field_iteration_order() {
+        let c = Conserved::zeros(1);
+        let mut count = 0;
+        c.for_each_field(|f| {
+            assert_eq!(f.len(), 1);
+            count += 1;
+        });
+        assert_eq!(count, 5);
+    }
+}

@@ -1,0 +1,226 @@
+//! Taylor-Green Vortex (TGV) initial and boundary conditions.
+//!
+//! The paper solves the 3D compressible Navier-Stokes equations "using the
+//! initial and boundary conditions defined by the Taylor-Green Vortex
+//! problem" (§II-A, refs [21], [14]). The TGV is a triply periodic flow in
+//! `[0, 2π]³` that transitions from a smooth vortex into turbulence while
+//! kinetic energy decays — the standard scale-resolving CFD benchmark.
+
+use crate::gas::GasModel;
+use crate::state::Conserved;
+use fem_mesh::HexMesh;
+use fem_numerics::linalg::Vec3;
+
+/// Configuration of a Taylor-Green Vortex case.
+///
+/// Non-dimensionalized with reference length `L = 1` (domain `[0, 2πL]³`),
+/// reference velocity `v0` and reference density `rho0`; the Mach number
+/// fixes the background temperature and the Reynolds number the viscosity.
+///
+/// # Example
+///
+/// ```
+/// use fem_solver::tgv::TgvConfig;
+/// let cfg = TgvConfig::new(0.1, 1600.0);
+/// let gas = cfg.gas();
+/// // Re = ρ0 v0 L / μ
+/// assert!(((cfg.rho0 * cfg.v0 / gas.mu) - 1600.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TgvConfig {
+    /// Reference Mach number `M = v0 / c0`.
+    pub mach: f64,
+    /// Reynolds number `Re = ρ0 v0 L / μ`.
+    pub reynolds: f64,
+    /// Reference velocity.
+    pub v0: f64,
+    /// Reference density.
+    pub rho0: f64,
+    /// Ratio of specific heats.
+    pub gamma: f64,
+    /// Specific gas constant.
+    pub r_gas: f64,
+    /// Prandtl number.
+    pub prandtl: f64,
+}
+
+impl TgvConfig {
+    /// The standard case at the given Mach and Reynolds numbers
+    /// (`v0 = rho0 = 1`, air-like gas).
+    pub fn new(mach: f64, reynolds: f64) -> Self {
+        TgvConfig {
+            mach,
+            reynolds,
+            v0: 1.0,
+            rho0: 1.0,
+            gamma: 1.4,
+            r_gas: 287.0,
+            prandtl: 0.71,
+        }
+    }
+
+    /// The paper-adjacent default: `M = 0.1`, `Re = 1600` (DeBonis [21]).
+    pub fn standard() -> Self {
+        Self::new(0.1, 1600.0)
+    }
+
+    /// Background sound speed `c0 = v0 / M`.
+    pub fn sound_speed(&self) -> f64 {
+        self.v0 / self.mach
+    }
+
+    /// Background temperature `T0 = c0² / (γ R)`.
+    pub fn temperature(&self) -> f64 {
+        let c0 = self.sound_speed();
+        c0 * c0 / (self.gamma * self.r_gas)
+    }
+
+    /// Background pressure `p0 = ρ0 R T0`.
+    pub fn pressure(&self) -> f64 {
+        self.rho0 * self.r_gas * self.temperature()
+    }
+
+    /// The gas model implied by the configuration
+    /// (`μ = ρ0 v0 L / Re`, `L = 1`).
+    pub fn gas(&self) -> GasModel {
+        GasModel {
+            gamma: self.gamma,
+            r_gas: self.r_gas,
+            mu: self.rho0 * self.v0 / self.reynolds,
+            prandtl: self.prandtl,
+        }
+    }
+
+    /// Convective reference time `t_c = L / v0`.
+    pub fn reference_time(&self) -> f64 {
+        1.0 / self.v0
+    }
+
+    /// Initial kinetic energy density of the analytic field, integrated
+    /// over the domain: `∫ ½ρ|u|² dV = ρ0 v0²/16 · (2π)³` (to leading
+    /// order in Mach).
+    pub fn initial_kinetic_energy(&self) -> f64 {
+        let vol = std::f64::consts::TAU.powi(3);
+        self.rho0 * self.v0 * self.v0 / 16.0 * vol * 2.0
+    }
+
+    /// The TGV velocity field at point `x`.
+    pub fn velocity(&self, x: Vec3) -> Vec3 {
+        let v0 = self.v0;
+        Vec3::new(
+            v0 * x.x.sin() * x.y.cos() * x.z.cos(),
+            -v0 * x.x.cos() * x.y.sin() * x.z.cos(),
+            0.0,
+        )
+    }
+
+    /// The TGV pressure field at point `x`:
+    /// `p = p0 + ρ0 v0²/16 (cos 2x + cos 2y)(cos 2z + 2)`.
+    pub fn pressure_field(&self, x: Vec3) -> f64 {
+        self.pressure()
+            + self.rho0 * self.v0 * self.v0 / 16.0
+                * ((2.0 * x.x).cos() + (2.0 * x.y).cos())
+                * ((2.0 * x.z).cos() + 2.0)
+    }
+
+    /// Builds the initial conserved state on `mesh` (isothermal start:
+    /// `T = T0`, `ρ = p / (R T0)`).
+    pub fn initial_state(&self, mesh: &HexMesh) -> Conserved {
+        let gas = self.gas();
+        let t0 = self.temperature();
+        let mut state = Conserved::zeros(mesh.num_nodes());
+        for (i, &x) in mesh.coords().iter().enumerate() {
+            let u = self.velocity(x);
+            let p = self.pressure_field(x);
+            let rho = p / (self.r_gas * t0);
+            state.rho[i] = rho;
+            state.mom[0][i] = rho * u.x;
+            state.mom[1][i] = rho * u.y;
+            state.mom[2][i] = rho * u.z;
+            state.energy[i] = gas.total_energy(rho, u, t0);
+        }
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fem_mesh::generator::BoxMeshBuilder;
+
+    #[test]
+    fn config_derivations_are_consistent() {
+        let cfg = TgvConfig::standard();
+        let gas = cfg.gas();
+        assert!((cfg.sound_speed() - 10.0).abs() < 1e-12);
+        assert!((gas.sound_speed(cfg.temperature()) - cfg.sound_speed()).abs() < 1e-9);
+        assert!((gas.mu - 1.0 / 1600.0).abs() < 1e-15);
+        assert!((cfg.pressure() - cfg.rho0 * cfg.sound_speed().powi(2) / cfg.gamma).abs() < 1e-9);
+    }
+
+    #[test]
+    fn velocity_field_is_divergence_free_analytically() {
+        // ∂u/∂x + ∂v/∂y = v0 cos(x)cos(y)cos(z) - v0 cos(x)cos(y)cos(z) = 0.
+        let cfg = TgvConfig::standard();
+        let h = 1e-6;
+        for &p in &[
+            Vec3::new(0.5, 1.2, 2.0),
+            Vec3::new(3.0, 0.1, 4.4),
+            Vec3::new(5.5, 2.2, 1.1),
+        ] {
+            let div = (cfg.velocity(Vec3::new(p.x + h, p.y, p.z)).x
+                - cfg.velocity(Vec3::new(p.x - h, p.y, p.z)).x)
+                / (2.0 * h)
+                + (cfg.velocity(Vec3::new(p.x, p.y + h, p.z)).y
+                    - cfg.velocity(Vec3::new(p.x, p.y - h, p.z)).y)
+                    / (2.0 * h);
+            assert!(div.abs() < 1e-6, "divergence {div}");
+        }
+    }
+
+    #[test]
+    fn initial_state_is_physical_and_periodic_consistent() {
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let cfg = TgvConfig::standard();
+        let state = cfg.initial_state(&mesh);
+        assert!(state.is_physical());
+        // w-momentum identically zero.
+        assert!(state.mom[2].iter().all(|&m| m == 0.0));
+        // Density stays within the acoustic perturbation band ~ O(M²).
+        let rho_min = state.rho.iter().cloned().fold(f64::INFINITY, f64::min);
+        let rho_max = state.rho.iter().cloned().fold(0.0, f64::max);
+        assert!(rho_min > 0.99 && rho_max < 1.01, "[{rho_min}, {rho_max}]");
+    }
+
+    #[test]
+    fn discrete_kinetic_energy_close_to_analytic() {
+        let mesh = BoxMeshBuilder::tgv_box(12).build().unwrap();
+        let cfg = TgvConfig::standard();
+        let state = cfg.initial_state(&mesh);
+        // Midpoint-like nodal sum: Σ ½ρ|u|² (2π/n)³ over the uniform grid.
+        let cell = (std::f64::consts::TAU / 12.0).powi(3);
+        let mut ke = 0.0;
+        for n in 0..mesh.num_nodes() {
+            let rho = state.rho[n];
+            let m = state.momentum(n);
+            ke += 0.5 * m.norm_sq() / rho * cell;
+        }
+        // Analytic: ρ0 v0²/16 · (2π)³ · 2 … the classic ∫ = v0²(2π)³/16·2?
+        // Direct integral of the TGV velocity: ∫½|u|² = (2π)³ v0²/16 · 2·(1/2)
+        // — compare against a dense numerical reference instead:
+        let mut reference = 0.0;
+        let m = 48;
+        let h = std::f64::consts::TAU / m as f64;
+        for k in 0..m {
+            for j in 0..m {
+                for i in 0..m {
+                    let x = Vec3::new(i as f64 * h, j as f64 * h, k as f64 * h);
+                    let u = cfg.velocity(x);
+                    reference += 0.5 * cfg.rho0 * u.norm_sq() * h * h * h;
+                }
+            }
+        }
+        let rel = (ke - reference).abs() / reference;
+        assert!(rel < 0.01, "KE {ke} vs reference {reference} (rel {rel})");
+    }
+}

@@ -1,0 +1,89 @@
+//! Lid-driven cavity: a wall-bounded flow using the Dirichlet boundary
+//! machinery — the "complex geometries and intricate setups" motivation
+//! the paper gives for choosing FEM over FDM (§I).
+//!
+//! A box with no-slip isothermal walls and a moving lid (+x at z = max)
+//! spins up a recirculating vortex; we report the swirl development.
+//!
+//! ```sh
+//! cargo run --release --example cavity_flow [edge] [steps]
+//! ```
+
+use fem_cfd_accel::mesh::generator::BoxMeshBuilder;
+use fem_cfd_accel::mesh::hex::BoundaryTag;
+use fem_cfd_accel::numerics::linalg::Vec3;
+use fem_cfd_accel::solver::boundary::DirichletBc;
+use fem_cfd_accel::solver::{Conserved, GasModel, Simulation};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().collect();
+    let edge: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let steps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(400);
+
+    let mesh = BoxMeshBuilder::new()
+        .elements(edge, edge, edge)
+        .periodic(false, false, false)
+        .origin(0.0, 0.0, 0.0)
+        .extent(1.0, 1.0, 1.0)
+        .build()?;
+    // Viscous gas so the lid drags the interior fluid.
+    let gas = GasModel {
+        gamma: 1.4,
+        r_gas: 287.0,
+        mu: 2.0e-3,
+        prandtl: 0.71,
+    };
+    let rho0 = 1.0;
+    let t0 = 300.0;
+    let lid_speed = 1.0;
+
+    // Quiescent interior.
+    let mut initial = Conserved::zeros(mesh.num_nodes());
+    for n in 0..mesh.num_nodes() {
+        initial.rho[n] = rho0;
+        initial.energy[n] = gas.total_energy(rho0, Vec3::ZERO, t0);
+    }
+    let bc = DirichletBc::from_tagged_nodes(&mesh, &gas, |pos, tag| {
+        if tag.contains(BoundaryTag::Z_MAX)
+            && !tag.contains(BoundaryTag::X_MIN)
+            && !tag.contains(BoundaryTag::X_MAX)
+        {
+            // Lid (interior of the top face): drag in +x. `pos` is unused
+            // but shows how position-dependent profiles would be set.
+            let _ = pos;
+            (rho0, Vec3::new(lid_speed, 0.0, 0.0), t0)
+        } else {
+            (rho0, Vec3::ZERO, t0)
+        }
+    });
+    println!(
+        "cavity: {}³ elements ({} nodes), {} Dirichlet nodes, lid speed {}",
+        edge,
+        mesh.num_nodes(),
+        bc.len(),
+        lid_speed
+    );
+
+    let mut sim = Simulation::new(mesh, gas, initial)?.with_bc(bc);
+    let dt = sim.suggest_dt(0.3);
+    println!("dt = {dt:.3e}\n");
+    println!("{:>8} {:>14} {:>14}", "t", "KE", "max|u| interior");
+    for chunk in 0..8 {
+        sim.advance(steps / 8, dt)?;
+        let d = sim.diagnostics();
+        // Interior max speed (exclude the driven lid itself).
+        let core = sim.core();
+        let mut max_u = 0.0f64;
+        for n in 0..core.mesh().num_nodes() {
+            if !core.mesh().boundary_tag(n).is_boundary() {
+                max_u = max_u.max(core.primitives().velocity(n).norm());
+            }
+        }
+        println!("{:>8.4} {:>14.6e} {:>14.6e}", d.time, d.kinetic_energy, max_u);
+        if chunk == 7 {
+            assert!(max_u > 1.0e-3 * lid_speed, "lid should drag the interior");
+            println!("\ninterior fluid is circulating — momentum diffused in from the lid.");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Task-level-pipelining trace: simulate the RKL dataflow region for a
+//! handful of elements and draw the pipeline overlap as an ASCII Gantt
+//! chart — the §III-B mechanism made visible.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_trace
+//! ```
+
+use fem_cfd_accel::dataflow::network::{ChannelKind, NetworkBuilder};
+use fem_cfd_accel::dataflow::sim::simulate_with_trace;
+use fem_cfd_accel::dataflow::analytic::{sequential_makespan, tlp_speedup};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The proposed RKL pipeline at its optimized IIs (cycles/element):
+    // load 8, merged diffusion+convection 32, store 8.
+    let mut b = NetworkBuilder::new();
+    let c1 = b.channel("load→compute", 8, ChannelKind::Fifo);
+    let c2 = b.channel("compute→store", 8, ChannelKind::Fifo);
+    b.task("LOAD", 8, 21, vec![], vec![c1]);
+    b.task("COMPUTE", 32, 96, vec![c1], vec![c2]);
+    b.task("STORE", 8, 21, vec![c2], vec![]);
+    let tokens = 12;
+    let net = b.build(tokens)?;
+    let report = simulate_with_trace(&net, true)?;
+
+    println!("RKL dataflow pipeline, {tokens} elements\n");
+    let scale = 8; // cycles per character
+    let names = ["LOAD", "COMPUTE", "STORE"];
+    for (tid, name) in names.iter().enumerate() {
+        let mut line = vec![b' '; (report.makespan as usize / scale) + 2];
+        for ev in report.trace.iter().filter(|e| e.task == tid) {
+            let s = ev.start as usize / scale;
+            let e = (ev.finish as usize / scale).max(s + 1);
+            let glyph = char::from(b'0' + (ev.token % 10) as u8);
+            for slot in line.iter_mut().take(e).skip(s) {
+                *slot = glyph as u8;
+            }
+        }
+        println!("{:>8} |{}|", name, String::from_utf8_lossy(&line));
+    }
+    println!(
+        "\n(one column = {scale} cycles; digits are element ids mod 10; overlapping\n digits across rows are the task-level pipelining of §III-B)"
+    );
+    println!("\nmakespan (pipelined) : {:>6} cycles", report.makespan);
+    println!(
+        "makespan (sequential): {:>6} cycles",
+        sequential_makespan(&net)
+    );
+    println!("TLP speedup          : {:>6.2}×", tlp_speedup(&net));
+    for t in &report.task_stats {
+        println!(
+            "  {:<8} invocations {:>3}, stalled {:>4} cycles",
+            t.name, t.invocations, t.stall_cycles
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Facade crate for the FEM-based CFD accelerator reproduction
+//! (Kapetanakis et al., *Dataflow Optimized Reconfigurable Acceleration for
+//! FEM-based CFD Simulations*, DATE 2025).
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`numerics`] — GLL quadrature, Lagrange bases, linear algebra, RK.
+//! * [`mesh`] — hexahedral meshes and generators.
+//! * [`solver`] — the FEM compressible Navier-Stokes solver (CPU reference).
+//! * [`hls`] — the HLS kernel IR, scheduler, and resource estimator.
+//! * [`dataflow`] — the discrete-event dataflow (TLP) simulator.
+//! * [`platform`] — Alveo U200 platform, power, and CPU models.
+//! * [`accel`] — the paper's accelerator designs, optimizer and experiments.
+
+pub use fem_accel as accel;
+pub use fem_mesh as mesh;
+pub use fem_numerics as numerics;
+pub use fem_solver as solver;
+pub use fpga_platform as platform;
+pub use hls_dataflow as dataflow;
+pub use hls_kernel as hls;

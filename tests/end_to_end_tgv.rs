@@ -1,0 +1,77 @@
+//! End-to-end integration: the Taylor-Green Vortex workload through the
+//! full stack (mesh generation → solver → diagnostics), including the
+//! higher-order element path.
+
+use fem_cfd_accel::mesh::generator::BoxMeshBuilder;
+use fem_cfd_accel::solver::{Simulation, TgvConfig};
+
+#[test]
+fn tgv_runs_conserves_and_decays() {
+    let mesh = BoxMeshBuilder::tgv_box(10).build().unwrap();
+    let cfg = TgvConfig::new(0.1, 200.0);
+    let initial = cfg.initial_state(&mesh);
+    let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+    let dt = sim.suggest_dt(0.4);
+    let d0 = sim.diagnostics();
+    sim.advance(40, dt).unwrap();
+    let d1 = sim.diagnostics();
+
+    // Conservation (periodic Galerkin): exact to roundoff.
+    assert!(((d1.total_mass - d0.total_mass) / d0.total_mass).abs() < 1e-12);
+    assert!(((d1.total_energy - d0.total_energy) / d0.total_energy).abs() < 1e-12);
+    // Viscosity dissipates kinetic energy.
+    assert!(d1.kinetic_energy < d0.kinetic_energy);
+    // The flow stays subsonic (TGV at Mach 0.1).
+    assert!(d1.max_mach < 0.2);
+}
+
+#[test]
+fn tgv_second_order_elements_run() {
+    let mut builder = BoxMeshBuilder::tgv_box(5);
+    builder.order(2);
+    let mesh = builder.build().unwrap();
+    assert_eq!(mesh.nodes_per_element(), 27);
+    let cfg = TgvConfig::new(0.1, 100.0);
+    let initial = cfg.initial_state(&mesh);
+    let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+    let dt = sim.suggest_dt(0.3);
+    let d0 = sim.diagnostics();
+    sim.advance(10, dt).unwrap();
+    let d1 = sim.diagnostics();
+    assert!(((d1.total_mass - d0.total_mass) / d0.total_mass).abs() < 1e-12);
+    assert!(d1.kinetic_energy < d0.kinetic_energy);
+}
+
+#[test]
+fn kinetic_energy_decay_rate_scales_with_viscosity() {
+    // Early-time TGV dissipation is ∝ μ; halving Re (doubling μ) should
+    // roughly double the initial KE drop.
+    let drop_for = |re: f64| {
+        let mesh = BoxMeshBuilder::tgv_box(8).build().unwrap();
+        let cfg = TgvConfig::new(0.1, re);
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        let dt = 1.0e-3;
+        let ke0 = sim.diagnostics().kinetic_energy;
+        sim.advance(200, dt).unwrap();
+        let ke1 = sim.diagnostics().kinetic_energy;
+        (ke0 - ke1) / ke0
+    };
+    let drop_hi = drop_for(100.0);
+    let drop_lo = drop_for(200.0);
+    let ratio = drop_hi / drop_lo;
+    assert!(
+        (1.6..=2.4).contains(&ratio),
+        "dissipation should scale ~2× with viscosity, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn timestep_above_cfl_limit_blows_up_and_is_caught() {
+    let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+    let cfg = TgvConfig::standard();
+    let initial = cfg.initial_state(&mesh);
+    let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+    let dt = sim.suggest_dt(40.0);
+    assert!(sim.advance(200, dt).is_err());
+}

@@ -1,0 +1,110 @@
+//! Integration: the performance models cross-validate each other — the
+//! discrete-event simulator against the analytic steady-state formula on
+//! the *actual* accelerator networks, and the HLS schedule consistency
+//! between design variants.
+
+use fem_cfd_accel::accel::designs::{proposed_design, vitis_baseline_design};
+use fem_cfd_accel::accel::optimizer::{optimize_design, OptimizerConfig};
+use fem_cfd_accel::accel::perf::{estimate_performance, PerfOptions};
+use fem_cfd_accel::accel::workload::RklWorkload;
+use fem_cfd_accel::hls::schedule::schedule_kernel;
+
+#[test]
+fn des_matches_analytic_on_real_designs_at_multiple_sizes() {
+    for nodes in [5_000usize, 20_000, 50_000] {
+        let w = RklWorkload::with_nodes(nodes, 1);
+        let mut d = proposed_design(&w);
+        optimize_design(&mut d, &OptimizerConfig::for_u200_slr()).unwrap();
+        let des = estimate_performance(
+            &d,
+            &PerfOptions {
+                des_element_threshold: usize::MAX,
+                host_in_the_loop: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let ana = estimate_performance(
+            &d,
+            &PerfOptions {
+                des_element_threshold: 0,
+                host_in_the_loop: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(des.used_des);
+        assert!(!ana.used_des);
+        let rel = (des.rkl_cycles_per_stage as f64 - ana.rkl_cycles_per_stage as f64).abs()
+            / ana.rkl_cycles_per_stage as f64;
+        assert!(rel < 0.05, "{nodes} nodes: DES/analytic gap {rel:.3}");
+    }
+}
+
+#[test]
+fn task_iis_are_schedule_consistent() {
+    let w = RklWorkload::with_nodes(100_000, 1);
+    let mut d = proposed_design(&w);
+    optimize_design(&mut d, &OptimizerConfig::for_u200_slr()).unwrap();
+    let perf = estimate_performance(&d, &PerfOptions::default()).unwrap();
+    // Every task's effective per-element cost is at least its scheduled
+    // cost (contention can only add).
+    for t in &perf.tasks {
+        assert!(t.effective_cycles_per_element >= t.cycles_per_element);
+    }
+    // The bottleneck really is the max.
+    let max = perf
+        .tasks
+        .iter()
+        .map(|t| t.effective_cycles_per_element)
+        .max()
+        .unwrap();
+    let named = perf
+        .tasks
+        .iter()
+        .find(|t| t.name == perf.bottleneck)
+        .unwrap();
+    assert_eq!(named.effective_cycles_per_element, max);
+}
+
+#[test]
+fn baseline_never_beats_proposed_anywhere() {
+    for nodes in [10_000usize, 500_000, 2_000_000] {
+        let w = RklWorkload::with_nodes(nodes, 1);
+        let mut p = proposed_design(&w);
+        optimize_design(&mut p, &OptimizerConfig::for_u200_slr()).unwrap();
+        let b = vitis_baseline_design(&w);
+        let opts = PerfOptions {
+            host_in_the_loop: false,
+            des_element_threshold: 0,
+            ..Default::default()
+        };
+        let rp = estimate_performance(&p, &opts).unwrap();
+        let rb = estimate_performance(&b, &opts).unwrap();
+        assert!(
+            rp.rk_method_seconds < rb.rk_method_seconds,
+            "{nodes} nodes: proposed {} ≥ baseline {}",
+            rp.rk_method_seconds,
+            rb.rk_method_seconds
+        );
+    }
+}
+
+#[test]
+fn schedules_are_deterministic() {
+    let w = RklWorkload::with_nodes(123_456, 1);
+    let d1 = proposed_design(&w);
+    let d2 = proposed_design(&w);
+    for (a, b) in d1.rkl_tasks.iter().zip(&d2.rkl_tasks) {
+        let sa = schedule_kernel(a).unwrap();
+        let sb = schedule_kernel(b).unwrap();
+        assert_eq!(sa, sb);
+    }
+    // Optimizer determinism too.
+    let mut o1 = proposed_design(&w);
+    let mut o2 = proposed_design(&w);
+    let s1 = optimize_design(&mut o1, &OptimizerConfig::for_u200_slr()).unwrap();
+    let s2 = optimize_design(&mut o2, &OptimizerConfig::for_u200_slr()).unwrap();
+    assert_eq!(s1.len(), s2.len());
+    assert_eq!(o1, o2);
+}
