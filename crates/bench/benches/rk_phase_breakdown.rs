@@ -51,9 +51,7 @@ fn report_breakdown(_c: &mut Criterion) {
     }
     println!("\nmeasured Fig 2 breakdown (16³ nodes):");
     println!("{}", sim.profiler());
-    println!(
-        "paper: RK(Diffusion) 39.20 | RK(Convection) 21.04 | RK(Other) 16.13 | Non-RK 23.63"
-    );
+    println!("paper: RK(Diffusion) 39.20 | RK(Convection) 21.04 | RK(Other) 16.13 | Non-RK 23.63");
     let diff = sim.profiler().total(Phase::RkDiffusion);
     assert!(diff.as_nanos() > 0);
 }

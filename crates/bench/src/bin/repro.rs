@@ -60,10 +60,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
         "table2" => emit(&run_table2(4_200_000, None)?, mode),
         "ablations" => emit(&run_ablations(1_000_000)?, mode),
         "optimizer" => print_optimizer_trace(mode),
-        "scaling" => emit(
-            &fem_accel::scaling::run_scaling_study(4_200_000, 3)?,
-            mode,
-        ),
+        "scaling" => emit(&fem_accel::scaling::run_scaling_study(4_200_000, 3)?, mode),
         "all" => {
             for c in [
                 "fig2",

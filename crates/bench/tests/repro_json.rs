@@ -1,0 +1,99 @@
+//! Smoke tests pinning the machine-readable schema of `repro --json`.
+//!
+//! Downstream tooling (plot scripts, CI dashboards) parses this output;
+//! these tests run the actual binary and assert the JSON document shape
+//! for the `fig5` and `table1` subcommands, so schema drift is caught at
+//! test time rather than by consumers.
+
+use std::process::Command;
+
+fn repro_json(subcommand: &str) -> serde_json::Value {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([subcommand, "--json"])
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        out.status.success(),
+        "repro {subcommand} --json failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    serde_json::from_str(&stdout)
+        .unwrap_or_else(|e| panic!("repro {subcommand} --json is not valid JSON: {e}\n{stdout}"))
+}
+
+#[test]
+fn fig5_json_schema() {
+    let doc = repro_json("fig5");
+
+    // Top-level summary fields.
+    for key in [
+        "avg_speedup",
+        "growth_1p4_to_4p2_proposed",
+        "growth_1p4_to_4p2_vitis",
+        "paper_avg_speedup",
+        "paper_growth",
+    ] {
+        assert!(
+            doc[key].as_f64().is_some(),
+            "fig5 missing numeric field `{key}`"
+        );
+    }
+
+    // Per-size rows: one per entry of FIG5_MESH_SIZES (5K .. 4.2M).
+    let rows = doc["rows"].as_array().expect("fig5 `rows` is an array");
+    assert_eq!(rows.len(), 6, "fig5 should report 6 mesh sizes");
+    for row in rows {
+        assert!(row["label"].as_str().is_some());
+        assert!(row["nodes"].as_u64().is_some());
+        for key in [
+            "proposed_seconds",
+            "vitis_seconds",
+            "speedup",
+            "proposed_fmax",
+            "vitis_fmax",
+        ] {
+            let v = row[key]
+                .as_f64()
+                .unwrap_or_else(|| panic!("fig5 row missing numeric field `{key}`: {row:?}"));
+            assert!(v.is_finite() && v > 0.0, "fig5 `{key}` not positive: {v}");
+        }
+    }
+
+    // Sanity: the modeled speedup must actually favor the proposed design.
+    assert!(doc["avg_speedup"].as_f64().unwrap() > 1.0);
+}
+
+#[test]
+fn table1_json_schema() {
+    let doc = repro_json("table1");
+
+    for design in ["vitis", "proposed"] {
+        let row = &doc[design];
+        assert!(
+            row["design"].as_str().is_some(),
+            "table1 `{design}` missing `design` name"
+        );
+        let fmax = row["fmax_mhz"].as_f64().expect("numeric fmax_mhz");
+        assert!(fmax > 0.0);
+        let util = row["utilization_percent"]
+            .as_array()
+            .expect("utilization_percent array");
+        // Table I column order: FF / LUT / BRAM / URAM / DSP.
+        assert_eq!(util.len(), 5);
+        for u in util {
+            let pct = u.as_f64().expect("numeric utilization");
+            assert!(
+                (0.0..=100.0).contains(&pct),
+                "utilization out of range: {pct}"
+            );
+        }
+    }
+
+    for key in ["paper_vitis", "paper_proposed"] {
+        let arr = doc[key]
+            .as_array()
+            .unwrap_or_else(|| panic!("missing `{key}`"));
+        assert_eq!(arr.len(), 5);
+    }
+}

@@ -78,8 +78,7 @@ impl CpuCalibration {
     pub fn roofline_default(workload: &crate::workload::RklWorkload) -> Self {
         let cpu = fpga_platform::cpu::CpuModel::xeon_silver_4210();
         let per_elem_flops = workload.rkl_flops_per_stage() / workload.num_elements.max(1) as u64;
-        let per_elem_bytes =
-            workload.bytes_in_per_element() + workload.bytes_out_per_element();
+        let per_elem_bytes = workload.bytes_in_per_element() + workload.bytes_out_per_element();
         CpuCalibration {
             seconds_per_element_stage: cpu.time_seconds(per_elem_flops, per_elem_bytes),
         }
@@ -93,10 +92,7 @@ impl CpuCalibration {
     /// Panics if `num_elements == 0` or the measurement is non-positive.
     pub fn from_measurement(num_elements: usize, measured_stage_seconds: f64) -> Self {
         assert!(num_elements > 0, "element count");
-        assert!(
-            measured_stage_seconds > 0.0,
-            "measurement must be positive"
-        );
+        assert!(measured_stage_seconds > 0.0, "measurement must be positive");
         CpuCalibration {
             seconds_per_element_stage: measured_stage_seconds / num_elements as f64,
         }

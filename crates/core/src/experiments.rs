@@ -404,12 +404,8 @@ pub fn run_table2(nodes: usize, cal: Option<CpuCalibration>) -> Result<Table2Res
     let power_model = FpgaPowerModel::default();
     let power = power_model.breakdown(&report.resources, report.fmax_mhz, 4);
     let cpu = fpga_platform::cpu::CpuModel::xeon_silver_4210();
-    let energy = fpga_platform::energy::EnergyComparison::new(
-        cpu_s,
-        cpu.package_power_w,
-        fpga_s,
-        &power,
-    );
+    let energy =
+        fpga_platform::energy::EnergyComparison::new(cpu_s, cpu.package_power_w, fpga_s, &power);
     Ok(Table2Result {
         nodes,
         cpu_seconds: cpu_s,
@@ -493,12 +489,14 @@ pub struct AblationResult {
 ///
 /// Propagates scheduling/estimation failures.
 pub fn run_ablations(nodes: usize) -> Result<AblationResult, ExpError> {
+    /// A named tweak disabling one §III optimization.
+    type Ablation = (&'static str, Box<dyn Fn(&mut DesignConfig)>);
     let w = RklWorkload::with_nodes(nodes, 1);
     let opts = PerfOptions {
         host_in_the_loop: false,
         ..Default::default()
     };
-    let variants: Vec<(&str, Box<dyn Fn(&mut DesignConfig)>)> = vec![
+    let variants: Vec<Ablation> = vec![
         ("proposed (full)", Box::new(|_| {})),
         (
             "no task-level pipelining",

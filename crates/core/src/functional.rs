@@ -73,12 +73,7 @@ pub fn staged_stage_residual(
         let e = tok.element;
         c_load
             .mesh
-            .fill_element_geometry(
-                e,
-                &c_load.basis,
-                &mut s_load.borrow_mut(),
-                &mut tok.geom,
-            )
+            .fill_element_geometry(e, &c_load.basis, &mut s_load.borrow_mut(), &mut tok.geom)
             .expect("valid mesh geometry");
         tok.ws.gather(
             c_load.mesh.element_nodes(e),
@@ -296,7 +291,9 @@ mod tests {
         let mut a = Vec::new();
         state.for_each_field(|f| a.extend_from_slice(f));
         let mut b = Vec::new();
-        reference.conserved().for_each_field(|f| b.extend_from_slice(f));
+        reference
+            .conserved()
+            .for_each_field(|f| b.extend_from_slice(f));
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(
                 x.to_bits(),

@@ -89,8 +89,7 @@ pub fn region_resources(design: &AcceleratorDesign) -> Result<ResourceUsage, Hls
 /// Critical-loop info of one kernel: (label, ii, bound, latency).
 fn critical_pipelined_loop(k: &Kernel) -> Result<Option<(String, u32, IiBound, u64)>, HlsError> {
     let s = schedule_kernel(k)?;
-    Ok(s
-        .loops
+    Ok(s.loops
         .iter()
         .filter(|l| l.ii.is_some())
         .max_by_key(|l| l.latency)
@@ -249,8 +248,8 @@ pub fn optimize_design(
 
         // Resource gate.
         let after = region_resources(design)?;
-        let (_, ii_after, _, _) = critical_pipelined_loop(&design.rkl_tasks[idx])?
-            .expect("loop still present");
+        let (_, ii_after, _, _) =
+            critical_pipelined_loop(&design.rkl_tasks[idx])?.expect("loop still present");
         let improved_or_neutral = ii_after <= ii_before;
         if after.fits_in(&cfg.budget) && improved_or_neutral {
             steps.push(OptStep {
@@ -269,8 +268,8 @@ pub fn optimize_design(
         if matches!(&bound, IiBound::MemoryPorts(_)) && ii_before > 1 {
             set_pipeline(&mut design.rkl_tasks[idx], &label, ii_before - 1)?;
             let after2 = region_resources(design)?;
-            let (_, ii_after2, _, _) = critical_pipelined_loop(&design.rkl_tasks[idx])?
-                .expect("loop still present");
+            let (_, ii_after2, _, _) =
+                critical_pipelined_loop(&design.rkl_tasks[idx])?.expect("loop still present");
             if after2.fits_in(&cfg.budget) && ii_after2 <= ii_before {
                 steps.push(OptStep {
                     task: name,
@@ -317,10 +316,7 @@ mod tests {
             .unwrap()
             .1;
         let (d, steps) = optimized();
-        let ii1 = critical_pipelined_loop(&d.rkl_tasks[1])
-            .unwrap()
-            .unwrap()
-            .1;
+        let ii1 = critical_pipelined_loop(&d.rkl_tasks[1]).unwrap().unwrap().1;
         assert!(ii1 < ii0, "optimizer must reduce compute II: {ii0} → {ii1}");
         assert!(!steps.is_empty());
     }

@@ -14,13 +14,13 @@ use crate::optimizer::region_resources;
 use fpga_platform::axi::{transfer_seconds, ChannelMap};
 use fpga_platform::fmax::{achievable_fmax_mhz, place_two};
 use fpga_platform::u200::U200;
+use hls_dataflow::analytic::analytic_makespan;
+use hls_dataflow::network::{ChannelKind, NetworkBuilder};
+use hls_dataflow::sim::simulate;
 use hls_kernel::ir::ArrayKind;
 use hls_kernel::resources::{estimate_resources, ResourceUsage};
 use hls_kernel::schedule::schedule_kernel;
 use hls_kernel::HlsError;
-use hls_dataflow::analytic::analytic_makespan;
-use hls_dataflow::network::{ChannelKind, NetworkBuilder};
-use hls_dataflow::sim::simulate;
 use std::collections::BTreeMap;
 
 /// Estimation options.
@@ -302,7 +302,10 @@ pub fn cpu_rk_method_seconds(
     let stage = cal.stage_seconds(workload.num_elements);
     // RKU on CPU: roofline on its sweep.
     let cpu = fpga_platform::cpu::CpuModel::xeon_silver_4210();
-    let rku = cpu.time_seconds(workload.rku_flops_per_stage(), workload.rku_bytes_per_stage());
+    let rku = cpu.time_seconds(
+        workload.rku_flops_per_stage(),
+        workload.rku_bytes_per_stage(),
+    );
     (stage + rku) * (RK_STAGES * rk_steps) as f64
 }
 

@@ -68,7 +68,11 @@ impl DesignReport {
         }
         let _ = writeln!(out, "\n-- performance --");
         let p = &self.performance;
-        let _ = writeln!(out, "clock: {:.0} MHz | bottleneck: {}", p.fmax_mhz, p.bottleneck);
+        let _ = writeln!(
+            out,
+            "clock: {:.0} MHz | bottleneck: {}",
+            p.fmax_mhz, p.bottleneck
+        );
         for t in &p.tasks {
             let _ = writeln!(
                 out,

@@ -113,7 +113,9 @@ pub fn run_scaling_study(
         let w_total = RklWorkload::with_nodes(nodes, 1);
         let total_bytes = w_total.rkl_bytes_per_stage() + w_total.rku_bytes_per_stage();
         let ddr_seconds = total_bytes as f64
-            / (device.ddr_peak_bw() * device.ddr_channels() as f64 * fpga_platform::axi::DDR_EFFICIENCY);
+            / (device.ddr_peak_bw()
+                * device.ddr_channels() as f64
+                * fpga_platform::axi::DDR_EFFICIENCY);
         let stage_seconds = kernel_seconds.max(ddr_seconds);
         let rk_method_seconds = stage_seconds
             * crate::calibration::RK_STAGES as f64

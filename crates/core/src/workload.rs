@@ -76,8 +76,7 @@ impl RklWorkload {
         let num_elements = num_nodes / order.pow(3);
         let solver_ops = KernelOpCounts::for_basis(&basis);
         // Split per-element counts down to per-node and into op classes.
-        let per_elem =
-            solver_ops.rkl_flops_per_element() as u64;
+        let per_elem = solver_ops.rkl_flops_per_element() as u64;
         let per_node = per_elem / npe as u64;
         // Mix observed in the solver kernels: ≈45% of flops in MAC pairs,
         // 25% multiplies, 28% adds, ~2% divides.
@@ -177,10 +176,7 @@ mod tests {
         let w = RklWorkload::with_nodes(8_000, 1);
         assert_eq!(w.bytes_in_per_element(), 12 * 8 * 8);
         assert_eq!(w.bytes_out_per_element(), 5 * 8 * 8);
-        assert_eq!(
-            w.rkl_bytes_per_stage(),
-            8_000 * (768 + 320)
-        );
+        assert_eq!(w.rkl_bytes_per_stage(), 8_000 * (768 + 320));
     }
 
     #[test]

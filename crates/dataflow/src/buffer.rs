@@ -28,7 +28,13 @@ fn with_depths(net: &Network, depths: &[usize]) -> Result<Network, DataflowError
         b.channel(ch.name.clone(), d, ch.kind);
     }
     for t in net.tasks() {
-        b.task(t.name.clone(), t.ii, t.latency, t.inputs.clone(), t.outputs.clone());
+        b.task(
+            t.name.clone(),
+            t.ii,
+            t.latency,
+            t.inputs.clone(),
+            t.outputs.clone(),
+        );
     }
     b.build(net.tokens())
 }

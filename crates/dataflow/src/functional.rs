@@ -22,8 +22,11 @@
 /// assert_eq!(out, vec![1, 3, 5, 7, 9]);
 /// ```
 pub struct StagedPipeline<T> {
-    stages: Vec<(String, Box<dyn FnMut(T) -> T>)>,
+    stages: Vec<Stage<T>>,
 }
+
+/// A named transformation stage.
+type Stage<T> = (String, Box<dyn FnMut(T) -> T>);
 
 impl<T> Default for StagedPipeline<T> {
     fn default() -> Self {

@@ -117,7 +117,12 @@ impl NetworkBuilder {
     }
 
     /// Declares a channel; returns its id.
-    pub fn channel(&mut self, name: impl Into<String>, capacity: usize, kind: ChannelKind) -> usize {
+    pub fn channel(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        kind: ChannelKind,
+    ) -> usize {
         self.channels.push(ChannelSpec {
             name: name.into(),
             capacity,
@@ -206,9 +211,8 @@ impl NetworkBuilder {
             }
         }
         let mut level = vec![0usize; nt];
-        let mut queue: std::collections::VecDeque<usize> = (0..nt)
-            .filter(|&t| indeg[t] == 0)
-            .collect();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..nt).filter(|&t| indeg[t] == 0).collect();
         let mut seen = 0;
         while let Some(t) = queue.pop_front() {
             seen += 1;

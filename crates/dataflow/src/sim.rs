@@ -126,7 +126,10 @@ pub fn simulate(net: &Network) -> Result<SimulationReport, DataflowError> {
 /// # Errors
 ///
 /// See [`simulate`].
-pub fn simulate_with_trace(net: &Network, trace_on: bool) -> Result<SimulationReport, DataflowError> {
+pub fn simulate_with_trace(
+    net: &Network,
+    trace_on: bool,
+) -> Result<SimulationReport, DataflowError> {
     let tokens = net.tokens();
     let nt = net.tasks().len();
     let mut channels: Vec<ChannelState> = net

@@ -196,7 +196,8 @@ mod tests {
 
     fn sample() -> Kernel {
         let mut k = Kernel::new("rkl_compute");
-        k.add_axi_array("rho", 4096, DataType::F64, "gmem_1").unwrap();
+        k.add_axi_array("rho", 4096, DataType::F64, "gmem_1")
+            .unwrap();
         k.add_array("buf", 512, DataType::F64).unwrap();
         crate::directives::set_storage(&mut k, "buf", StorageKind::Uram).unwrap();
         crate::directives::set_partition(&mut k, "buf", Partition::Cyclic(4)).unwrap();

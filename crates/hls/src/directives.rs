@@ -89,7 +89,11 @@ pub fn set_unroll_complete(kernel: &mut Kernel, label: &str) -> Result<(), HlsEr
 /// [`HlsError::UnknownName`] for a missing array,
 /// [`HlsError::InvalidDirective`] when applied to an AXI port or with a
 /// zero factor.
-pub fn set_partition(kernel: &mut Kernel, array: &str, partition: Partition) -> Result<(), HlsError> {
+pub fn set_partition(
+    kernel: &mut Kernel,
+    array: &str,
+    partition: Partition,
+) -> Result<(), HlsError> {
     if let Partition::Cyclic(0) | Partition::Block(0) = partition {
         return Err(HlsError::InvalidDirective(
             "partition factor must be ≥ 1".into(),
@@ -242,7 +246,10 @@ mod tests {
             .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 2)])
             .reads("small", 1)
             .build();
-        let outer = LoopBuilder::new("outer", 1000).nest(inner).reads("big", 1).build();
+        let outer = LoopBuilder::new("outer", 1000)
+            .nest(inner)
+            .reads("big", 1)
+            .build();
         k.push_loop(outer);
         k
     }

@@ -483,13 +483,15 @@ impl Kernel {
             }
         }
         for a in self.arrays.values() {
-            if let ArrayKind::OnChip { partition, .. } = &a.kind {
-                if let Partition::Cyclic(0) | Partition::Block(0) = partition {
-                    return Err(HlsError::InvalidDirective(format!(
-                        "array `{}` has zero partition factor",
-                        a.name
-                    )));
-                }
+            if let ArrayKind::OnChip {
+                partition: Partition::Cyclic(0) | Partition::Block(0),
+                ..
+            } = &a.kind
+            {
+                return Err(HlsError::InvalidDirective(format!(
+                    "array `{}` has zero partition factor",
+                    a.name
+                )));
             }
         }
         Ok(())
@@ -551,10 +553,7 @@ mod tests {
 
         let mut bad = simple_kernel();
         bad.push_loop(LoopBuilder::new("outer", 4).build()); // duplicate label
-        assert!(matches!(
-            bad.validate(),
-            Err(HlsError::DuplicateName(_))
-        ));
+        assert!(matches!(bad.validate(), Err(HlsError::DuplicateName(_))));
 
         let mut bad = simple_kernel();
         bad.push_loop(LoopBuilder::new("l2", 10).unroll(3).build());

@@ -86,29 +86,139 @@ pub fn op_profile(kind: OpKind, dtype: DataType) -> OpProfile {
     use DataType::*;
     use OpKind::*;
     match (kind, dtype) {
-        (Add, F32) => OpProfile { latency: 7, dsp: 2, lut: 214, ff: 324 },
-        (Add, F64) => OpProfile { latency: 7, dsp: 3, lut: 654, ff: 800 },
-        (Mul, F32) => OpProfile { latency: 4, dsp: 3, lut: 135, ff: 252 },
-        (Mul, F64) => OpProfile { latency: 7, dsp: 11, lut: 285, ff: 588 },
-        (MulAdd, F32) => OpProfile { latency: 9, dsp: 5, lut: 349, ff: 576 },
-        (MulAdd, F64) => OpProfile { latency: 12, dsp: 14, lut: 939, ff: 1388 },
-        (Div, F32) => OpProfile { latency: 15, dsp: 0, lut: 792, ff: 1446 },
-        (Div, F64) => OpProfile { latency: 30, dsp: 0, lut: 3247, ff: 6266 },
-        (Sqrt, F32) => OpProfile { latency: 16, dsp: 0, lut: 458, ff: 810 },
-        (Sqrt, F64) => OpProfile { latency: 30, dsp: 0, lut: 1799, ff: 3554 },
-        (Logic, F32 | U32) => OpProfile { latency: 1, dsp: 0, lut: 32, ff: 32 },
-        (Logic, F64 | U64) => OpProfile { latency: 1, dsp: 0, lut: 64, ff: 64 },
+        (Add, F32) => OpProfile {
+            latency: 7,
+            dsp: 2,
+            lut: 214,
+            ff: 324,
+        },
+        (Add, F64) => OpProfile {
+            latency: 7,
+            dsp: 3,
+            lut: 654,
+            ff: 800,
+        },
+        (Mul, F32) => OpProfile {
+            latency: 4,
+            dsp: 3,
+            lut: 135,
+            ff: 252,
+        },
+        (Mul, F64) => OpProfile {
+            latency: 7,
+            dsp: 11,
+            lut: 285,
+            ff: 588,
+        },
+        (MulAdd, F32) => OpProfile {
+            latency: 9,
+            dsp: 5,
+            lut: 349,
+            ff: 576,
+        },
+        (MulAdd, F64) => OpProfile {
+            latency: 12,
+            dsp: 14,
+            lut: 939,
+            ff: 1388,
+        },
+        (Div, F32) => OpProfile {
+            latency: 15,
+            dsp: 0,
+            lut: 792,
+            ff: 1446,
+        },
+        (Div, F64) => OpProfile {
+            latency: 30,
+            dsp: 0,
+            lut: 3247,
+            ff: 6266,
+        },
+        (Sqrt, F32) => OpProfile {
+            latency: 16,
+            dsp: 0,
+            lut: 458,
+            ff: 810,
+        },
+        (Sqrt, F64) => OpProfile {
+            latency: 30,
+            dsp: 0,
+            lut: 1799,
+            ff: 3554,
+        },
+        (Logic, F32 | U32) => OpProfile {
+            latency: 1,
+            dsp: 0,
+            lut: 32,
+            ff: 32,
+        },
+        (Logic, F64 | U64) => OpProfile {
+            latency: 1,
+            dsp: 0,
+            lut: 64,
+            ff: 64,
+        },
         // Integer arithmetic maps onto fabric adders / DSP multipliers.
-        (Add, U32) => OpProfile { latency: 1, dsp: 0, lut: 32, ff: 32 },
-        (Add, U64) => OpProfile { latency: 2, dsp: 0, lut: 64, ff: 64 },
-        (Mul, U32) => OpProfile { latency: 3, dsp: 3, lut: 20, ff: 60 },
-        (Mul, U64) => OpProfile { latency: 5, dsp: 10, lut: 40, ff: 160 },
-        (MulAdd, U32) => OpProfile { latency: 4, dsp: 3, lut: 52, ff: 92 },
-        (MulAdd, U64) => OpProfile { latency: 6, dsp: 10, lut: 104, ff: 224 },
-        (Div, U32) => OpProfile { latency: 34, dsp: 0, lut: 600, ff: 1200 },
-        (Div, U64) => OpProfile { latency: 66, dsp: 0, lut: 1800, ff: 3600 },
-        (Sqrt, U32) => OpProfile { latency: 17, dsp: 0, lut: 450, ff: 800 },
-        (Sqrt, U64) => OpProfile { latency: 33, dsp: 0, lut: 1750, ff: 3500 },
+        (Add, U32) => OpProfile {
+            latency: 1,
+            dsp: 0,
+            lut: 32,
+            ff: 32,
+        },
+        (Add, U64) => OpProfile {
+            latency: 2,
+            dsp: 0,
+            lut: 64,
+            ff: 64,
+        },
+        (Mul, U32) => OpProfile {
+            latency: 3,
+            dsp: 3,
+            lut: 20,
+            ff: 60,
+        },
+        (Mul, U64) => OpProfile {
+            latency: 5,
+            dsp: 10,
+            lut: 40,
+            ff: 160,
+        },
+        (MulAdd, U32) => OpProfile {
+            latency: 4,
+            dsp: 3,
+            lut: 52,
+            ff: 92,
+        },
+        (MulAdd, U64) => OpProfile {
+            latency: 6,
+            dsp: 10,
+            lut: 104,
+            ff: 224,
+        },
+        (Div, U32) => OpProfile {
+            latency: 34,
+            dsp: 0,
+            lut: 600,
+            ff: 1200,
+        },
+        (Div, U64) => OpProfile {
+            latency: 66,
+            dsp: 0,
+            lut: 1800,
+            ff: 3600,
+        },
+        (Sqrt, U32) => OpProfile {
+            latency: 17,
+            dsp: 0,
+            lut: 450,
+            ff: 800,
+        },
+        (Sqrt, U64) => OpProfile {
+            latency: 33,
+            dsp: 0,
+            lut: 1750,
+            ff: 3500,
+        },
     }
 }
 
@@ -136,7 +246,13 @@ mod tests {
 
     #[test]
     fn f64_costs_dominate_f32() {
-        for kind in [OpKind::Add, OpKind::Mul, OpKind::MulAdd, OpKind::Div, OpKind::Sqrt] {
+        for kind in [
+            OpKind::Add,
+            OpKind::Mul,
+            OpKind::MulAdd,
+            OpKind::Div,
+            OpKind::Sqrt,
+        ] {
             let a = op_profile(kind, DataType::F32);
             let b = op_profile(kind, DataType::F64);
             assert!(b.latency >= a.latency, "{kind:?} latency");

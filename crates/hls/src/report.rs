@@ -50,10 +50,9 @@ impl std::fmt::Display for KernelReport {
             "loop", "II", "trips", "latency", "depth"
         )?;
         for l in &self.schedule.loops {
-            let ii = l
-                .ii
-                .map(|x| x.to_string())
-                .unwrap_or_else(|| "-".to_string());
+            let ii =
+                l.ii.map(|x| x.to_string())
+                    .unwrap_or_else(|| "-".to_string());
             let bound = l
                 .bound
                 .as_ref()
@@ -146,7 +145,12 @@ mod tests {
         let inner = LoopBuilder::new("inner", 64)
             .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
             .build();
-        k.push_loop(LoopBuilder::new("outer", 10).nest(inner).pipeline(1).build());
+        k.push_loop(
+            LoopBuilder::new("outer", 10)
+                .nest(inner)
+                .pipeline(1)
+                .build(),
+        );
         assert!(KernelReport::generate(&k).is_err());
     }
 }

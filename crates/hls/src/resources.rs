@@ -151,7 +151,12 @@ pub const LOOP_CONTROL: ResourceUsage = ResourceUsage {
 };
 
 /// Storage cost of one array declaration.
-pub fn array_cost(elems: usize, dtype: DataType, storage: StorageKind, partition: Partition) -> ResourceUsage {
+pub fn array_cost(
+    elems: usize,
+    dtype: DataType,
+    storage: StorageKind,
+    partition: Partition,
+) -> ResourceUsage {
     let bits = dtype.bits() as u64;
     match partition {
         Partition::Complete => {

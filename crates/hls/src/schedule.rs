@@ -206,7 +206,9 @@ fn ii_bounds(kernel: &Kernel, agg: &Aggregate, target: u32) -> (u32, IiBound) {
             ArrayKind::Axi { bundle } => {
                 *bundle_beats.entry(bundle.as_str()).or_insert(0) +=
                     (reads + writes) * AXI_BEAT_CYCLES as u64;
-                let e = bundle_rmw.entry(bundle.as_str()).or_insert((false, false, name));
+                let e = bundle_rmw
+                    .entry(bundle.as_str())
+                    .or_insert((false, false, name));
                 if reads > 0 && writes > 0 {
                     // Same array read and written through one port: a
                     // read-modify-write recurrence (§III-C).
@@ -232,11 +234,7 @@ fn ii_bounds(kernel: &Kernel, agg: &Aggregate, target: u32) -> (u32, IiBound) {
     (ii, bound)
 }
 
-fn schedule_loop(
-    kernel: &Kernel,
-    lp: &Loop,
-    out: &mut Vec<LoopSchedule>,
-) -> Result<u64, HlsError> {
+fn schedule_loop(kernel: &Kernel, lp: &Loop, out: &mut Vec<LoopSchedule>) -> Result<u64, HlsError> {
     let unroll = lp.unroll.unwrap_or(1).max(1) as u64;
     let effective_trips = lp.trip_count / unroll;
 
@@ -281,7 +279,11 @@ fn schedule_loop(
         // + inner loop latencies, repeated `effective_trips` times.
         let mut own = Aggregate::default();
         own.absorb_own(lp, unroll);
-        let mut body_latency = if lp.ops.is_empty() { 0 } else { own.depth as u64 };
+        let mut body_latency = if lp.ops.is_empty() {
+            0
+        } else {
+            own.depth as u64
+        };
         for inner in &lp.inner {
             body_latency += schedule_loop(kernel, inner, out)?;
         }
@@ -406,8 +408,10 @@ mod tests {
         // Decoupled: read through x_rd, write through x_wr (separate
         // bundles) → II back to the beat bound.
         let mut k = Kernel::new("k");
-        k.add_axi_array("x_rd", 1024, DataType::F64, "gmem_0").unwrap();
-        k.add_axi_array("x_wr", 1024, DataType::F64, "gmem_2").unwrap();
+        k.add_axi_array("x_rd", 1024, DataType::F64, "gmem_0")
+            .unwrap();
+        k.add_axi_array("x_wr", 1024, DataType::F64, "gmem_2")
+            .unwrap();
         k.add_axi_array("y", 1024, DataType::F64, "gmem_1").unwrap();
         let lp = LoopBuilder::new("update", 1024)
             .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 1)])
@@ -452,7 +456,10 @@ mod tests {
         let inner = LoopBuilder::new("inner", 8)
             .ops(vec![OpCount::new(OpKind::Add, DataType::F64, 1)])
             .build(); // NOT unrolled
-        let outer = LoopBuilder::new("outer", 64).nest(inner).pipeline(1).build();
+        let outer = LoopBuilder::new("outer", 64)
+            .nest(inner)
+            .pipeline(1)
+            .build();
         k.push_loop(outer);
         assert!(matches!(
             schedule_kernel(&k),
@@ -467,7 +474,10 @@ mod tests {
             .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 1)])
             .unroll_complete()
             .build();
-        let outer = LoopBuilder::new("outer", 64).nest(inner).pipeline(1).build();
+        let outer = LoopBuilder::new("outer", 64)
+            .nest(inner)
+            .pipeline(1)
+            .build();
         k.push_loop(outer);
         let s = schedule_kernel(&k).unwrap();
         let outer = s.loop_schedule("outer").unwrap();
@@ -530,6 +540,53 @@ mod tests {
         );
         let s = schedule_kernel(&k).unwrap();
         assert_eq!(s.critical_loop().unwrap().label, "big");
+    }
+
+    #[test]
+    fn ii_is_max_of_all_bounds_on_tiny_kernel() {
+        // One tiny kernel with all three II limiters active at once:
+        //   RecMII  = ⌈6/1⌉ = 6   (declared carried dependence)
+        //   MemMII  = ⌈8/2⌉ = 4   (8 accesses, unpartitioned dual-port BRAM)
+        //   AxiMII  = 3·beats     (3 reads on one bundle)
+        // The achieved II must be the max of the bounds (and never below
+        // the requested target), attributed to the recurrence.
+        let build = |dep_latency: u32| {
+            let mut k = Kernel::new("k");
+            k.add_array("buf", 256, DataType::F64).unwrap();
+            for i in 0..3 {
+                k.add_axi_array(format!("x{i}"), 1024, DataType::F64, "gmem_0")
+                    .unwrap();
+            }
+            let mut lb = LoopBuilder::new("l", 100)
+                .ops(vec![OpCount::new(OpKind::MulAdd, DataType::F64, 2)])
+                .reads("buf", 6)
+                .writes("buf", 2)
+                .carried_dep(dep_latency, 1, "acc")
+                .pipeline(1);
+            for i in 0..3 {
+                lb = lb.reads(format!("x{i}"), 1);
+            }
+            k.push_loop(lb.build());
+            schedule_kernel(&k).unwrap()
+        };
+
+        let rec_mii = 6u32;
+        let mem_mii = 4u32; // 8 accesses / 2 ports
+        let axi_mii = 3 * AXI_BEAT_CYCLES;
+        let s = build(rec_mii);
+        let main = s.loop_schedule("l").unwrap();
+        let expect = rec_mii.max(mem_mii).max(axi_mii).max(1);
+        assert_eq!(main.ii, Some(expect));
+        assert_eq!(main.bound, Some(IiBound::Recurrence("acc".into())));
+        // Steady-state issue: latency = depth + II·(trips − 1).
+        assert_eq!(main.latency, u64::from(main.depth) + u64::from(expect) * 99);
+
+        // Dropping the recurrence hands the bound to the next limiter
+        // (memory ports or AXI beats, whichever is larger).
+        let s = build(1);
+        let main = s.loop_schedule("l").unwrap();
+        assert_eq!(main.ii, Some(mem_mii.max(axi_mii)));
+        assert!(main.ii.unwrap() >= 1, "achieved II below target");
     }
 
     proptest! {

@@ -364,7 +364,10 @@ mod tests {
     fn invalid_parameters_rejected() {
         assert!(BoxMeshBuilder::new().elements(0, 1, 1).build().is_err());
         assert!(BoxMeshBuilder::new().order(0).build().is_err());
-        assert!(BoxMeshBuilder::new().extent(-1.0, 1.0, 1.0).build().is_err());
+        assert!(BoxMeshBuilder::new()
+            .extent(-1.0, 1.0, 1.0)
+            .build()
+            .is_err());
         // Periodic axes with fewer than 3 elements are rejected (nearest-
         // image unwrapping would be ambiguous).
         assert!(BoxMeshBuilder::new().elements(1, 4, 4).build().is_err());

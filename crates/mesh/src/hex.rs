@@ -128,7 +128,7 @@ impl HexMesh {
             }
         }
         let stride = (order + 1).pow(3);
-        if connectivity.len() % stride != 0 {
+        if !connectivity.len().is_multiple_of(stride) {
             return Err(MeshError::RaggedConnectivity {
                 len: connectivity.len(),
                 stride,
@@ -391,7 +391,11 @@ impl HexMesh {
                 tags[new as usize] = self.boundary_tags[old];
             }
         }
-        let connectivity = self.connectivity.iter().map(|&c| perm[c as usize]).collect();
+        let connectivity = self
+            .connectivity
+            .iter()
+            .map(|&c| perm[c as usize])
+            .collect();
         HexMesh::new(self.order, coords, connectivity, tags, self.periodic_extent)
     }
 

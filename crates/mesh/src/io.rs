@@ -39,7 +39,7 @@ pub fn write_mesh<W: Write>(mesh: &HexMesh, mut w: W) -> Result<(), MeshError> {
             flags |= 1 << a;
         }
     }
-    let has_tags = mesh.boundary_nodes().iter().next().is_some()
+    let has_tags = !mesh.boundary_nodes().is_empty()
         || (0..mesh.num_nodes()).any(|n| mesh.boundary_tag(n).is_boundary());
     if has_tags {
         flags |= 1 << 8;

@@ -91,10 +91,9 @@ impl std::fmt::Display for MeshError {
                 f,
                 "element {element} references node {node} but mesh has {num_nodes} nodes"
             ),
-            MeshError::RaggedConnectivity { len, stride } => write!(
-                f,
-                "connectivity length {len} is not a multiple of {stride}"
-            ),
+            MeshError::RaggedConnectivity { len, stride } => {
+                write!(f, "connectivity length {len} is not a multiple of {stride}")
+            }
             MeshError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             MeshError::InvertedElement { element, det } => {
                 write!(f, "element {element} has non-positive jacobian {det:e}")

@@ -68,9 +68,7 @@ pub fn partition_elements(
     while first < num_elems {
         let count = batch_elements.min(num_elems - first);
         scratch.clear();
-        scratch.extend_from_slice(
-            &mesh.connectivity()[first * npe..(first + count) * npe],
-        );
+        scratch.extend_from_slice(&mesh.connectivity()[first * npe..(first + count) * npe]);
         scratch.sort_unstable();
         scratch.dedup();
         let unique = scratch.len();

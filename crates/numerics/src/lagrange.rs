@@ -87,9 +87,9 @@ impl LagrangeBasis {
             }
         }
         let mut denom = 0.0;
-        for j in 0..n {
-            let term = self.bary[j] / (x - self.nodes[j]);
-            vals[j] = term;
+        for ((v, &b), &node) in vals.iter_mut().zip(&self.bary).zip(&self.nodes) {
+            let term = b / (x - node);
+            *v = term;
             denom += term;
         }
         for v in &mut vals {
@@ -135,9 +135,9 @@ impl LagrangeBasis {
     fn derivative_row(&self, i: usize) -> Vec<f64> {
         let n = self.len();
         let mut row = vec![0.0; n];
-        for j in 0..n {
+        for (j, r) in row.iter_mut().enumerate() {
             if j != i {
-                row[j] = (self.bary[j] / self.bary[i]) / (self.nodes[i] - self.nodes[j]);
+                *r = (self.bary[j] / self.bary[i]) / (self.nodes[i] - self.nodes[j]);
             }
         }
         // Diagonal from the "negative sum trick" (rows of D sum to zero

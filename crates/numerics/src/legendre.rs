@@ -66,7 +66,11 @@ pub fn legendre_derivative_pair(n: usize, x: f64) -> (f64, f64) {
         (dp, ddp)
     } else {
         // Endpoint second derivative (rarely needed: Newton stays interior).
-        let sign = if x > 0.0 || n % 2 == 0 { 1.0 } else { -1.0 };
+        let sign = if x > 0.0 || n.is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
         let ddp = sign * (nf - 1.0) * nf * (nf + 1.0) * (nf + 2.0) / 8.0;
         (dp, ddp)
     }

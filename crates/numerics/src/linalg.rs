@@ -162,11 +162,7 @@ impl Mat3 {
     /// Builds from three row vectors.
     pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Self {
         Mat3 {
-            m: [
-                [r0.x, r0.y, r0.z],
-                [r1.x, r1.y, r1.z],
-                [r2.x, r2.y, r2.z],
-            ],
+            m: [[r0.x, r0.y, r0.z], [r1.x, r1.y, r1.z], [r2.x, r2.y, r2.z]],
         }
     }
 
@@ -250,12 +246,7 @@ impl Mat3 {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.m
-            .iter()
-            .flatten()
-            .map(|&x| x * x)
-            .sum::<f64>()
-            .sqrt()
+        self.m.iter().flatten().map(|&x| x * x).sum::<f64>().sqrt()
     }
 }
 

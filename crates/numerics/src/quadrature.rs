@@ -53,7 +53,7 @@ impl GllRule {
         points[0] = -1.0;
         points[n - 1] = 1.0;
         // Interior nodes: roots of P'_{n-1}, seeded from Chebyshev-Lobatto.
-        for i in 1..n - 1 {
+        for (i, point) in points.iter_mut().enumerate().take(n - 1).skip(1) {
             let mut x = -(std::f64::consts::PI * i as f64 / (n - 1) as f64).cos();
             let mut converged = false;
             for _ in 0..MAX_NEWTON_ITERS {
@@ -72,7 +72,7 @@ impl GllRule {
                     residual: q.abs(),
                 });
             }
-            points[i] = x;
+            *point = x;
         }
         // Symmetrize to kill round-off drift: x_i = -x_{n-1-i}.
         for i in 0..n / 2 {

@@ -111,10 +111,7 @@ mod tests {
         let bytes = vec![1 << 30; 4]; // 1 GiB per bundle
         let spread = transfer_seconds(&bytes, &ChannelMap::round_robin(4, &dev), &dev, 300.0);
         let packed = transfer_seconds(&bytes, &ChannelMap::single_channel(4), &dev, 300.0);
-        assert!(
-            packed > 3.5 * spread,
-            "packed {packed} vs spread {spread}"
-        );
+        assert!(packed > 3.5 * spread, "packed {packed} vs spread {spread}");
     }
 
     #[test]

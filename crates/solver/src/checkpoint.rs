@@ -142,9 +142,13 @@ mod tests {
         second.advance(5, dt).unwrap();
 
         let mut a = Vec::new();
-        straight.conserved().for_each_field(|f| a.extend_from_slice(f));
+        straight
+            .conserved()
+            .for_each_field(|f| a.extend_from_slice(f));
         let mut b = Vec::new();
-        second.conserved().for_each_field(|f| b.extend_from_slice(f));
+        second
+            .conserved()
+            .for_each_field(|f| b.extend_from_slice(f));
         for (x, y) in a.iter().zip(&b) {
             assert_eq!(x.to_bits(), y.to_bits());
         }

@@ -62,8 +62,7 @@ impl FlowDiagnostics {
         let mut kinetic_energy = 0.0;
         let mut max_speed = 0.0f64;
         let mut max_mach = 0.0f64;
-        for n in 0..nn {
-            let m = mass[n];
+        for (n, &m) in mass.iter().enumerate() {
             let rho = conserved.rho[n];
             total_mass += m * rho;
             total_momentum += m * conserved.momentum(n);
@@ -94,8 +93,7 @@ impl FlowDiagnostics {
             basis.reference_gradient(&ws.vel[0], &mut gref[0]);
             basis.reference_gradient(&ws.vel[1], &mut gref[1]);
             basis.reference_gradient(&ws.vel[2], &mut gref[2]);
-            for q in 0..npe {
-                let inv_jt = geom.inv_jt[q];
+            for (q, &inv_jt) in geom.inv_jt.iter().enumerate().take(npe) {
                 let l = Mat3::from_rows(
                     inv_jt.mul_vec(gref[0][q]),
                     inv_jt.mul_vec(gref[1][q]),

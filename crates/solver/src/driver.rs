@@ -10,9 +10,7 @@
 use crate::boundary::DirichletBc;
 use crate::diagnostics::FlowDiagnostics;
 use crate::gas::GasModel;
-use crate::kernels::{
-    convective_flux, viscous_flux, weak_divergence, ElementWorkspace,
-};
+use crate::kernels::{convective_flux, viscous_flux, weak_divergence, ElementWorkspace};
 use crate::profile::{Phase, PhaseProfiler};
 use crate::state::{Conserved, Primitives};
 use crate::SolverError;
@@ -358,7 +356,9 @@ impl Simulation {
     /// to the Non-RK phase.
     pub fn diagnostics(&mut self) -> FlowDiagnostics {
         let t0 = Instant::now();
-        self.core.primitives.update_from(&self.conserved, &self.core.gas);
+        self.core
+            .primitives
+            .update_from(&self.conserved, &self.core.gas);
         let d = FlowDiagnostics::compute(
             self.time,
             &self.core.mesh,
@@ -428,8 +428,7 @@ mod tests {
             "energy drift"
         );
         assert!(
-            (d1.total_momentum - d0.total_momentum).norm()
-                < 1e-10 * d0.total_mass * cfg.v0,
+            (d1.total_momentum - d0.total_momentum).norm() < 1e-10 * d0.total_mass * cfg.v0,
             "momentum drift {:?}",
             d1.total_momentum - d0.total_momentum
         );
@@ -475,10 +474,7 @@ mod tests {
         let steps = (t_end / dt).round() as usize;
         sim.advance(steps, dt).unwrap();
         // Amplitude should decay like exp(-ν k² t) with ν = μ/ρ = 1, k = 1.
-        let max_u = sim
-            .core()
-            .primitives()
-            .max_speed();
+        let max_u = sim.core().primitives().max_speed();
         let expected = a * (-t_end).exp();
         let rel = (max_u - expected).abs() / expected;
         assert!(
@@ -534,10 +530,7 @@ mod tests {
         // Grossly unstable dt (CFL ≈ 50).
         let dt = sim.suggest_dt(50.0);
         let result = sim.advance(100, dt);
-        assert!(matches!(
-            result,
-            Err(SolverError::UnphysicalState { .. })
-        ));
+        assert!(matches!(result, Err(SolverError::UnphysicalState { .. })));
     }
 
     #[test]

@@ -42,12 +42,12 @@
 #![deny(missing_docs)]
 
 pub mod boundary;
+pub mod checkpoint;
+pub mod convergence;
 pub mod diagnostics;
 pub mod driver;
 pub mod gas;
 pub mod kernels;
-pub mod checkpoint;
-pub mod convergence;
 pub mod parallel;
 pub mod profile;
 pub mod state;
@@ -86,10 +86,7 @@ impl std::fmt::Display for SolverError {
             SolverError::NodeCountMismatch {
                 state_nodes,
                 mesh_nodes,
-            } => write!(
-                f,
-                "state has {state_nodes} nodes but mesh has {mesh_nodes}"
-            ),
+            } => write!(f, "state has {state_nodes} nodes but mesh has {mesh_nodes}"),
             SolverError::UnphysicalState { step } => write!(
                 f,
                 "unphysical state (negative density or internal energy) at step {step}"

@@ -127,7 +127,11 @@ mod tests {
             // Deterministic: rerunning with the same chunking is
             // bit-identical regardless of thread scheduling.
             let again = assemble_rhs_parallel(&mesh, &basis, &gas, &state, &prim, chunks);
-            assert_eq!(bits(&parallel), bits(&again), "chunks={chunks} nondeterministic");
+            assert_eq!(
+                bits(&parallel),
+                bits(&again),
+                "chunks={chunks} nondeterministic"
+            );
         }
     }
 

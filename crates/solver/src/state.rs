@@ -54,7 +54,7 @@ impl Conserved {
     pub fn is_physical(&self) -> bool {
         (0..self.len()).all(|n| {
             let rho = self.rho[n];
-            if !(rho > 0.0) || !rho.is_finite() {
+            if rho <= 0.0 || !rho.is_finite() {
                 return false;
             }
             let m = self.momentum(n);

@@ -79,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 max_u = max_u.max(core.primitives().velocity(n).norm());
             }
         }
-        println!("{:>8.4} {:>14.6e} {:>14.6e}", d.time, d.kinetic_energy, max_u);
+        println!(
+            "{:>8.4} {:>14.6e} {:>14.6e}",
+            d.time, d.kinetic_energy, max_u
+        );
         if chunk == 7 {
             assert!(max_u > 1.0e-3 * lid_speed, "lid should drag the interior");
             println!("\ninterior fluid is circulating — momentum diffused in from the lid.");

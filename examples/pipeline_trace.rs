@@ -6,9 +6,9 @@
 //! cargo run --release --example pipeline_trace
 //! ```
 
+use fem_cfd_accel::dataflow::analytic::{sequential_makespan, tlp_speedup};
 use fem_cfd_accel::dataflow::network::{ChannelKind, NetworkBuilder};
 use fem_cfd_accel::dataflow::sim::simulate_with_trace;
-use fem_cfd_accel::dataflow::analytic::{sequential_makespan, tlp_speedup};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The proposed RKL pipeline at its optimized IIs (cycles/element):

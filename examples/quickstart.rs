@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sim.advance(20, dt)?;
     let d1 = sim.diagnostics();
     println!("after 20 RK4 steps (dt = {dt:.2e}):");
-    println!("  kinetic energy : {:.6e} → {:.6e}", d0.kinetic_energy, d1.kinetic_energy);
+    println!(
+        "  kinetic energy : {:.6e} → {:.6e}",
+        d0.kinetic_energy, d1.kinetic_energy
+    );
     println!(
         "  mass drift     : {:.2e} (relative)",
         ((d1.total_mass - d0.total_mass) / d0.total_mass).abs()

@@ -6,8 +6,8 @@
 //! cargo run --release --example taylor_green_vortex [edge] [t_end]
 //! ```
 
-use fem_cfd_accel::solver::{Simulation, TgvConfig};
 use fem_cfd_accel::mesh::generator::BoxMeshBuilder;
+use fem_cfd_accel::solver::{Simulation, TgvConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();

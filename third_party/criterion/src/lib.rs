@@ -1,0 +1,230 @@
+//! Offline stub of `criterion` (see `third_party/README.md`).
+//!
+//! Implements the `Criterion` / `BenchmarkGroup` / `Bencher` surface the
+//! workspace's benches use. Each benchmark is warmed up briefly and then
+//! timed over a fixed wall-clock budget; the mean iteration time is
+//! printed in criterion-like one-line form. No statistics, baselines, or
+//! HTML reports — `cargo bench` stays honest but lightweight.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Wall-clock budget per benchmark measurement.
+const MEASURE_BUDGET: Duration = Duration::from_millis(200);
+/// Wall-clock budget for warm-up.
+const WARMUP_BUDGET: Duration = Duration::from_millis(50);
+
+/// Re-export of `std::hint::black_box`, criterion's optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (printed, not statistically processed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Id derived from the parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Warm up, then time `f` until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_BUDGET {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Batch size: roughly 1ms per batch, at least one iteration.
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.001 / per_iter.max(1e-9)) as u64).clamp(1, 1 << 20);
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while start.elapsed() < MEASURE_BUDGET {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+        }
+        self.mean = Some(start.elapsed() / u32::try_from(iters.max(1)).unwrap_or(u32::MAX));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { mean: None };
+    f(&mut b);
+    match b.mean {
+        Some(mean) => {
+            let rate = throughput
+                .map(|t| {
+                    let secs = mean.as_secs_f64().max(1e-12);
+                    match t {
+                        Throughput::Elements(n) => {
+                            format!("  ({:.3} Melem/s)", n as f64 / secs / 1e6)
+                        }
+                        Throughput::Bytes(n) => {
+                            format!("  ({:.3} MiB/s)", n as f64 / secs / (1024.0 * 1024.0))
+                        }
+                    }
+                })
+                .unwrap_or_default();
+            println!("{name:<40} time: {}{rate}", format_duration(mean));
+        }
+        None => println!("{name:<40} (no measurement: closure never called iter)"),
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup {
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup {
+    /// Sets the sample count (accepted for API compatibility; the stub's
+    /// time-budgeted loop ignores it).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput for rate printing.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{name}", self.name), self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{id}", self.name),
+            self.throughput,
+            &mut |b: &mut Bencher| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function over the listed bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $( $target:path ),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($( $group:path ),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean: None };
+        b.iter(|| std::hint::black_box(3u64.wrapping_mul(7)));
+        assert!(b.mean.is_some());
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).to_string(), "64");
+        assert_eq!(BenchmarkId::new("f", 64).to_string(), "f/64");
+    }
+}

@@ -1,0 +1,332 @@
+//! Offline stub of `proptest` (see `third_party/README.md`).
+//!
+//! Runs each property over [`CASES`] deterministically sampled inputs
+//! (fixed-seed splitmix64, so failures reproduce across runs). Supports
+//! the strategies this workspace uses: half-open numeric ranges and
+//! `proptest::bool::ANY`. No shrinking — the failing case's arguments
+//! are printed instead.
+
+use std::fmt;
+
+/// Number of sampled cases per property (the real crate defaults to 256;
+/// 64 keeps mesh-building properties fast while still sweeping ranges).
+pub const CASES: usize = 64;
+
+pub mod prelude {
+    //! The subset of `proptest::prelude` the workspace imports.
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Strategy, TestCaseError,
+    };
+}
+
+/// Deterministic RNG (splitmix64 with a fixed seed).
+pub struct TestRng {
+    state: u64,
+}
+
+impl Default for TestRng {
+    fn default() -> Self {
+        TestRng {
+            state: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+}
+
+impl TestRng {
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// A value generator, sampled once per test case.
+pub trait Strategy {
+    /// Generated value type (printed when a property fails).
+    type Value: fmt::Debug;
+    /// Draws one value. `case` 0 pins the low edge so boundary values are
+    /// always exercised.
+    fn sample(&self, rng: &mut TestRng, case: usize) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: fmt::Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: fmt::Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng, case: usize) -> O {
+        (self.f)(self.inner.sample(rng, case))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {
+        $(impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng, case: usize) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                if case == 0 {
+                    return self.start;
+                }
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                ((self.start as u128).wrapping_add(draw)) as $t
+            }
+        })*
+    };
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng, case: usize) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        if case == 0 {
+            return self.start;
+        }
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for std::ops::Range<f32> {
+    type Value = f32;
+    fn sample(&self, rng: &mut TestRng, case: usize) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        if case == 0 {
+            return self.start;
+        }
+        self.start + (rng.next_f64() as f32) * (self.end - self.start)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`proptest::collection::vec`).
+    use super::{Strategy, TestRng};
+
+    /// Length specification: a fixed `usize` or a half-open range.
+    pub trait IntoSizeRange {
+        /// `(min, max)` with `max` exclusive.
+        fn bounds(&self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(&self) -> (usize, usize) {
+            (*self, *self + 1)
+        }
+    }
+
+    impl IntoSizeRange for std::ops::Range<usize> {
+        fn bounds(&self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy producing `Vec`s of `elem`-generated values.
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    /// `vec(element_strategy, len)` with `len` a fixed size or range.
+    pub fn vec<S: Strategy>(elem: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max) = size.bounds();
+        assert!(min < max, "empty vec size range");
+        VecStrategy { elem, min, max }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng, case: usize) -> Vec<S::Value> {
+            let span = (self.max - self.min) as u64;
+            let len = if case == 0 {
+                self.min
+            } else {
+                self.min + (rng.next_u64() % span) as usize
+            };
+            (0..len).map(|_| self.elem.sample(rng, case)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (`proptest::bool::ANY`).
+    use super::{Strategy, TestRng};
+
+    /// Samples `true`/`false` uniformly (`false` on the edge case).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The any-boolean strategy value.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn sample(&self, rng: &mut TestRng, case: usize) -> bool {
+            case != 0 && rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+/// Failure raised by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    msg: String,
+}
+
+impl TestCaseError {
+    /// A failed property.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` looping over [`CASES`] sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    ( $( $(#[$meta:meta])* fn $name:ident (
+        $( $arg:ident in $strat:expr ),* $(,)?
+    ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::TestRng::default();
+                for case in 0..$crate::CASES {
+                    $( let $arg = $crate::Strategy::sample(&($strat), &mut rng, case); )*
+                    let mut desc = String::new();
+                    $( desc.push_str(&format!("{} = {:?}, ", stringify!($arg), $arg)); )*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = outcome {
+                        panic!("property failed on case {case} ({desc}): {e}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// `assert!` that reports the sampled inputs instead of panicking inline.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(concat!(
+                "assertion failed: ",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// `assert_ne!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}` (both: {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Ok(());
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::TestRng;
+
+    proptest! {
+        /// The stub itself: samples stay in range and hit the low edge.
+        #[test]
+        fn sampling_stays_in_range(x in 5u64..10, f in 0.5f64..2.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn first_case_is_low_edge() {
+        let mut rng = TestRng::default();
+        assert_eq!(Strategy::sample(&(3usize..6), &mut rng, 0), 3);
+        assert!(!Strategy::sample(&crate::bool::ANY, &mut rng, 0));
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let (mut a, mut b) = (TestRng::default(), TestRng::default());
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

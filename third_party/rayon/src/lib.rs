@@ -1,0 +1,205 @@
+//! Offline stub of `rayon` (see `third_party/README.md`).
+//!
+//! Provides the `par_iter()` / `into_par_iter()` → `map` → `collect`
+//! pipeline this workspace uses. Unlike a pass-through sequential stub,
+//! `collect` genuinely fans the mapped items out over `std::thread::scope`
+//! threads (one chunk per available core) and reassembles the results in
+//! input order, so the parallel assembly paths stay parallel.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! The subset of `rayon::prelude` the workspace imports.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads used for `collect`.
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// A "parallel" iterator over an eagerly collected item list.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A mapped parallel iterator: items plus the mapping function.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Conversion into a parallel iterator, mirroring rayon's trait.
+pub trait IntoParallelIterator {
+    /// Item type produced by the parallel iterator.
+    type Item: Send;
+    /// Converts `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// `.par_iter()` on `&self`, mirroring rayon's by-reference entry point.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type produced (a reference).
+    type Item: Send + 'a;
+    /// Borrowing parallel iterator over `&self`.
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        self.as_slice().par_iter()
+    }
+}
+
+/// The operations available on the stub's parallel iterators.
+pub trait ParallelIterator: Sized {
+    /// Item type.
+    type Item: Send;
+    /// Maps each item through `f` (lazily; work happens in `collect`).
+    fn map<R, F>(self, f: F) -> ParMap<Self::Item, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync;
+    /// Runs the pipeline across threads and collects in input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>;
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+    fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<T>,
+    {
+        C::from_vec(self.items)
+    }
+}
+
+impl<T, R, F> ParMap<T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    /// Maps the items over scoped worker threads, preserving order.
+    fn run(self) -> Vec<R> {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        let workers = num_threads().min(n.max(1));
+        if workers <= 1 || n < 2 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk = n.div_ceil(workers);
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut iter = items.into_iter();
+        loop {
+            let c: Vec<T> = iter.by_ref().take(chunk).collect();
+            if c.is_empty() {
+                break;
+            }
+            chunks.push(c);
+        }
+        let f = &f;
+        let mut out: Vec<R> = Vec::with_capacity(n);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            for h in handles {
+                // Resume the original payload so assertion messages from
+                // inside parallel closures survive (like real rayon).
+                match h.join() {
+                    Ok(chunk) => out.extend(chunk),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+        });
+        out
+    }
+
+    /// Runs the map and collects the results in input order.
+    pub fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<R>,
+    {
+        C::from_vec(self.run())
+    }
+}
+
+/// Collection from the stub's parallel pipelines (rayon's
+/// `FromParallelIterator`, restricted to an ordered `Vec` hand-off).
+pub trait FromParallelIterator<T> {
+    /// Builds the collection from items in input order.
+    fn from_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_vec(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let squares: Vec<usize> = (0..1000).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares.len(), 1000);
+        assert!(squares.iter().enumerate().all(|(i, &s)| s == i * i));
+    }
+
+    #[test]
+    fn slice_par_iter_borrows() {
+        let data = vec![(0usize, 10usize), (10, 20), (20, 25)];
+        let sums: Vec<usize> = data.par_iter().map(|&(a, b)| (a..b).sum()).collect();
+        assert_eq!(sums, vec![45, 145, 110]);
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u8> = (0..0).into_par_iter().map(|_| 1u8).collect();
+        assert!(out.is_empty());
+    }
+}

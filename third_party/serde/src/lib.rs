@@ -1,0 +1,249 @@
+//! Offline stub of `serde` (see `third_party/README.md`).
+//!
+//! The real serde drives a `Serializer` visitor; this stub instead has
+//! every `Serialize` type produce an owned [`Content`] tree that data
+//! formats (here: the sibling `serde_json` stub) render. The subset is
+//! exactly what this workspace uses: `#[derive(Serialize)]` on plain
+//! structs plus impls for primitives, strings, options, sequences,
+//! arrays, tuples, and string-keyed maps.
+
+// Let the derive-generated `serde::...` paths resolve inside this crate
+// too (the real serde does the same).
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A self-describing serialized value — the stub's wire-independent tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// Unit / `None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (slices, `Vec`, arrays, tuples).
+    Seq(Vec<Content>),
+    /// Map / struct with string keys, in field order.
+    Map(Vec<(String, Content)>),
+}
+
+/// A data structure that can be serialized into a [`Content`] tree.
+pub trait Serialize {
+    /// Converts `self` into the owned content tree.
+    fn serialize_content(&self) -> Content;
+}
+
+macro_rules! impl_int {
+    ($($t:ty => $v:ident as $as:ty),* $(,)?) => {
+        $(impl Serialize for $t {
+            fn serialize_content(&self) -> Content { Content::$v(*self as $as) }
+        })*
+    };
+}
+
+impl_int!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+);
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn serialize_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: ?Sized> Serialize for std::marker::PhantomData<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        self.as_slice().serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        self.as_slice().serialize_content()
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(vec![self.0.serialize_content(), self.1.serialize_content()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.serialize_content(),
+            self.1.serialize_content(),
+            self.2.serialize_content(),
+        ])
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_content()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize, S> Serialize for std::collections::HashMap<String, V, S> {
+    fn serialize_content(&self) -> Content {
+        // Sorted for deterministic output.
+        let mut entries: Vec<(String, Content)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_content()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip_to_content() {
+        assert_eq!(3u32.serialize_content(), Content::U64(3));
+        assert_eq!((-3i32).serialize_content(), Content::I64(-3));
+        assert_eq!(1.5f64.serialize_content(), Content::F64(1.5));
+        assert_eq!("hi".serialize_content(), Content::Str("hi".into()));
+        assert_eq!(None::<u8>.serialize_content(), Content::Null);
+        assert_eq!(
+            vec![1u8, 2].serialize_content(),
+            Content::Seq(vec![Content::U64(1), Content::U64(2)])
+        );
+    }
+
+    #[test]
+    fn derive_survives_arrow_in_field_type() {
+        // The `>` of `->` must not close an angle bracket in the derive's
+        // field parser, or every later field is silently dropped.
+        #[derive(Serialize)]
+        struct P {
+            tag: std::marker::PhantomData<fn() -> u64>,
+            v: u32,
+        }
+        let c = P {
+            tag: std::marker::PhantomData,
+            v: 7,
+        }
+        .serialize_content();
+        assert_eq!(
+            c,
+            Content::Map(vec![
+                ("tag".into(), Content::Null),
+                ("v".into(), Content::U64(7)),
+            ])
+        );
+    }
+
+    #[test]
+    fn derive_emits_field_order_map() {
+        #[derive(Serialize)]
+        struct P {
+            x: f64,
+            name: String,
+        }
+        let c = P {
+            x: 2.0,
+            name: "a".into(),
+        }
+        .serialize_content();
+        assert_eq!(
+            c,
+            Content::Map(vec![
+                ("x".into(), Content::F64(2.0)),
+                ("name".into(), Content::Str("a".into())),
+            ])
+        );
+    }
+}

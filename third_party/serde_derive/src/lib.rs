@@ -1,0 +1,119 @@
+//! Offline stub of `serde_derive` (see `third_party/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` for non-generic structs with named
+//! fields, without `syn`/`quote`: the input token stream is walked with
+//! the bare `proc_macro` API and the impl is emitted as a parsed string.
+//! `#[serde(...)]` attributes are not supported and fields are emitted
+//! in declaration order, matching the real derive's default behavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting a `Content::Map` of the
+/// struct's fields in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, fields) = parse_struct(&tokens);
+    let entries: String = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::serialize_content(&self.{f})),"))
+        .collect();
+    let output = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize_content(&self) -> serde::Content {{\n\
+                 serde::Content::Map(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    output
+        .parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
+
+/// Extracts the struct name and named-field identifiers from the token
+/// stream of a struct definition. Panics with a readable message on
+/// unsupported shapes (enums, tuple structs, generics).
+fn parse_struct(tokens: &[TokenTree]) -> (String, Vec<String>) {
+    let mut i = 0;
+    // Skip outer attributes (`#[...]`) and visibility.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` etc: skip the restriction group.
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "struct" => i += 1,
+        other => panic!("serde_derive stub: only structs are supported, found `{other}`"),
+    }
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct name, found `{other}`"),
+    };
+    i += 1;
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        TokenTree::Punct(p) if p.as_char() == '<' => {
+            panic!("serde_derive stub: generic struct `{name}` is not supported")
+        }
+        other => panic!("serde_derive stub: `{name}` must have named fields, found `{other}`"),
+    };
+    (name, parse_fields(body))
+}
+
+/// Collects field names: the identifier preceding each top-level `:`.
+/// Tracks `<`/`>` depth so commas inside generic types don't split a
+/// field, and skips field attributes. The `>` of an `->` arrow (fn
+/// pointer / closure types) is not an angle-bracket close: the `-` is
+/// joint-spaced, so it is recognized and skipped.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut expecting_name = true;
+    let mut last_ident: Option<String> = None;
+    let mut arrow = false;
+    let mut iter = body.into_iter().peekable();
+    while let Some(tok) = iter.next() {
+        let prev_arrow = arrow;
+        arrow = matches!(
+            &tok,
+            TokenTree::Punct(p)
+                if p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint
+        );
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                // Field attribute: consume the `[...]` group.
+                iter.next();
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && !prev_arrow => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ':' && angle_depth == 0 && expecting_name => {
+                if let Some(name) = last_ident.take() {
+                    fields.push(name);
+                }
+                expecting_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                expecting_name = true;
+                last_ident = None;
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}

@@ -1,0 +1,345 @@
+//! Offline stub of `serde_json` (see `third_party/README.md`).
+//!
+//! Renders the `serde` stub's `Content` tree to JSON text, parses JSON
+//! text back into a [`Value`], and provides a one-level [`json!`] macro.
+
+use serde::{Content, Serialize};
+use std::fmt;
+
+mod parse;
+
+pub use parse::from_str;
+
+/// A parsed or constructed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as `f64`, like JavaScript).
+    Number(f64),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Index lookup; `None` out of bounds or for non-arrays.
+    pub fn get_index(&self, idx: usize) -> Option<&Value> {
+        match self {
+            Value::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// `Some(bool)` if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// `Some(f64)` if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// `Some(i64)` if this is a number with an exact integer value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && n.abs() < 2f64.powi(53) => Some(*n as i64),
+            _ => None,
+        }
+    }
+
+    /// `Some(u64)` if this is a non-negative integer number.
+    pub fn as_u64(&self) -> Option<u64> {
+        self.as_i64().and_then(|n| u64::try_from(n).ok())
+    }
+
+    /// `Some(&str)` if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `Some(slice)` if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `Some(entries)` if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, idx: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get_index(idx).unwrap_or(&NULL)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&render(self, None, 0))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(n) => Content::F64(*n),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => {
+                Content::Seq(items.iter().map(Serialize::serialize_content).collect())
+            }
+            Value::Object(entries) => Content::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.serialize_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Serialization/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub(crate) fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts any `Serialize` value into a [`Value`].
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    content_to_value(value.serialize_content())
+}
+
+fn content_to_value(c: Content) -> Value {
+    match c {
+        Content::Null => Value::Null,
+        Content::Bool(b) => Value::Bool(b),
+        Content::I64(n) => Value::Number(n as f64),
+        Content::U64(n) => Value::Number(n as f64),
+        Content::F64(n) => Value::Number(n),
+        Content::Str(s) => Value::String(s),
+        Content::Seq(items) => Value::Array(items.into_iter().map(content_to_value).collect()),
+        Content::Map(entries) => Value::Object(
+            entries
+                .into_iter()
+                .map(|(k, v)| (k, content_to_value(v)))
+                .collect(),
+        ),
+    }
+}
+
+/// Compact JSON text.
+///
+/// # Errors
+///
+/// Fails on non-finite floats, which JSON cannot represent.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value);
+    check_finite(&v)?;
+    Ok(render(&v, None, 0))
+}
+
+/// Pretty-printed JSON text (two-space indent, like the real crate).
+///
+/// # Errors
+///
+/// Fails on non-finite floats, which JSON cannot represent.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let v = to_value(value);
+    check_finite(&v)?;
+    Ok(render(&v, Some("  "), 0))
+}
+
+fn check_finite(v: &Value) -> Result<(), Error> {
+    match v {
+        Value::Number(n) if !n.is_finite() => {
+            Err(Error::new(format!("cannot serialize non-finite float {n}")))
+        }
+        Value::Array(items) => items.iter().try_for_each(check_finite),
+        Value::Object(entries) => entries.iter().try_for_each(|(_, v)| check_finite(v)),
+        _ => Ok(()),
+    }
+}
+
+fn render(v: &Value, indent: Option<&str>, depth: usize) -> String {
+    let (nl, pad, pad_in) = match indent {
+        Some(unit) => ("\n".to_string(), unit.repeat(depth), unit.repeat(depth + 1)),
+        None => (String::new(), String::new(), String::new()),
+    };
+    let sep = if indent.is_some() { ": " } else { ":" };
+    match v {
+        Value::Null => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Number(n) => render_number(*n),
+        Value::String(s) => escape_string(s),
+        Value::Array(items) if items.is_empty() => "[]".to_string(),
+        Value::Array(items) => {
+            let body: Vec<String> = items
+                .iter()
+                .map(|it| format!("{pad_in}{}", render(it, indent, depth + 1)))
+                .collect();
+            format!("[{nl}{}{nl}{pad}]", body.join(&format!(",{nl}")))
+        }
+        Value::Object(entries) if entries.is_empty() => "{}".to_string(),
+        Value::Object(entries) => {
+            let body: Vec<String> = entries
+                .iter()
+                .map(|(k, val)| {
+                    format!(
+                        "{pad_in}{}{sep}{}",
+                        escape_string(k),
+                        render(val, indent, depth + 1)
+                    )
+                })
+                .collect();
+            format!("{{{nl}{}{nl}{pad}}}", body.join(&format!(",{nl}")))
+        }
+    }
+}
+
+fn render_number(n: f64) -> String {
+    if n.fract() == 0.0 && n.abs() < 2f64.powi(53) {
+        // Integral values print without a trailing `.0`, like serde_json.
+        format!("{}", n as i64)
+    } else {
+        // `{}` on f64 is the shortest representation that round-trips.
+        format!("{n}")
+    }
+}
+
+fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+///
+/// Supports `null`, `{ "key": expr, ... }`, `[expr, ...]`, and plain
+/// expressions (anything implementing `Serialize`). Values inside
+/// objects/arrays are expressions — nest by calling `json!` again.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $( $key:literal : $value:expr ),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::to_value(&$value)) ),* ])
+    };
+    ([ $( $value:expr ),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$value) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_and_reparses() {
+        let v = json!({
+            "name": "tgv",
+            "nodes": 4_200_000u64,
+            "ratio": 1.5f64,
+            "tags": json!(["a", "b"]),
+            "none": json!(null),
+        });
+        let text = to_string_pretty(&v).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back["name"].as_str(), Some("tgv"));
+        assert_eq!(back["nodes"].as_u64(), Some(4_200_000));
+        assert_eq!(back["ratio"].as_f64(), Some(1.5));
+        assert_eq!(back["tags"][1].as_str(), Some("b"));
+        assert!(back["none"].is_null());
+    }
+
+    #[test]
+    fn compact_matches_expected_shape() {
+        let v = json!({ "a": 1u8, "b": json!([true, json!(null)]) });
+        assert_eq!(to_string(&v).unwrap(), r#"{"a":1,"b":[true,null]}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_error() {
+        assert!(to_string(&f64::NAN).is_err());
+        assert!(to_string_pretty(&f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn escapes_control_and_quote_chars() {
+        let text = to_string(&"a\"b\\c\nd").unwrap();
+        assert_eq!(text, r#""a\"b\\c\nd""#);
+        assert_eq!(from_str(&text).unwrap().as_str(), Some("a\"b\\c\nd"));
+    }
+}
