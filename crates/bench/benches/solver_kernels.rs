@@ -3,11 +3,13 @@
 //! convection 21.04%).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use fem_mesh::coloring::ElementColoring;
 use fem_mesh::generator::BoxMeshBuilder;
 use fem_mesh::hex::{ElementGeometry, GeometryScratch};
 use fem_numerics::tensor::HexBasis;
 use fem_solver::kernels::{convective_flux, viscous_flux, weak_divergence, ElementWorkspace};
-use fem_solver::state::Primitives;
+use fem_solver::parallel::{assemble_rhs_chunked_into, assemble_rhs_colored_into};
+use fem_solver::state::{Conserved, Primitives};
 use fem_solver::tgv::TgvConfig;
 
 fn bench_kernels(c: &mut Criterion) {
@@ -61,5 +63,44 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// Full-mesh RHS assembly, one strategy per benchmark: the serial
+/// baseline, chunked private-partials, and color-parallel in-place
+/// scatter (the paper's scatter-hazard resolution on a multi-core host).
+fn bench_assembly_strategies(c: &mut Criterion) {
+    let mesh = BoxMeshBuilder::tgv_box(8).build().unwrap();
+    let basis = HexBasis::new(1).unwrap();
+    let cfg = TgvConfig::standard();
+    let gas = cfg.gas();
+    let conserved = cfg.initial_state(&mesh);
+    let mut prim = Primitives::zeros(mesh.num_nodes());
+    prim.update_from(&conserved, &gas);
+    let coloring = ElementColoring::greedy(&mesh);
+    let threads = fem_solver::parallel::available_threads();
+    let mut out = Conserved::zeros(mesh.num_nodes());
+
+    let mut group = c.benchmark_group("assembly_strategies");
+    group.throughput(Throughput::Elements(mesh.num_elements() as u64));
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            assemble_rhs_chunked_into(&mesh, &basis, &gas, &conserved, &prim, 1, &mut out, None)
+        });
+    });
+    group.bench_function("chunked", |b| {
+        b.iter(|| {
+            assemble_rhs_chunked_into(
+                &mesh, &basis, &gas, &conserved, &prim, threads, &mut out, None,
+            )
+        });
+    });
+    group.bench_function("colored", |b| {
+        b.iter(|| {
+            assemble_rhs_colored_into(
+                &mesh, &basis, &gas, &conserved, &prim, &coloring, &mut out, None,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_assembly_strategies);
 criterion_main!(benches);

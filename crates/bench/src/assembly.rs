@@ -1,0 +1,195 @@
+//! Chunked-vs-colored assembly scaling: the `repro assembly` table.
+//!
+//! Measures the wall-clock cost of one full RKL residual assembly under
+//! each [`AssemblyStrategy`] over a small mesh sweep, and cross-checks
+//! every parallel result against the serial reference. This is the
+//! host-CPU companion to the paper's Fig 5 scaling study: it shows how
+//! far multi-core assembly carries the software baseline before the
+//! accelerator takes over.
+
+use fem_mesh::coloring::ElementColoring;
+use fem_mesh::generator::BoxMeshBuilder;
+use fem_numerics::rk::StateOps;
+use fem_numerics::tensor::HexBasis;
+use fem_solver::parallel::{
+    assemble_rhs_chunked_into, assemble_rhs_colored_into, AssemblyStrategy,
+};
+use fem_solver::state::{Conserved, Primitives};
+use fem_solver::tgv::TgvConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One (mesh size, strategy) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct AssemblyScalingRow {
+    /// Elements per axis of the periodic TGV box.
+    pub edge: usize,
+    /// Total mesh nodes.
+    pub nodes: usize,
+    /// Strategy label (`serial`, `chunked(N)`, `colored`).
+    pub strategy: String,
+    /// Mean wall-clock milliseconds per full RHS assembly.
+    pub millis_per_assembly: f64,
+    /// Serial time divided by this strategy's time.
+    pub speedup_vs_serial: f64,
+    /// Max abs deviation from the serial residual, relative to the
+    /// serial max-norm (floored at 1): a correctness cross-check.
+    pub max_rel_error_vs_serial: f64,
+}
+
+/// The full scaling table plus the environment it was measured in.
+#[derive(Debug, Clone, Serialize)]
+pub struct AssemblyScalingTable {
+    /// Worker threads available to the rayon stub.
+    pub threads: usize,
+    /// Number of element colors per mesh edge size (greedy coloring).
+    pub colors_by_edge: Vec<(usize, u32)>,
+    /// Measurements, grouped by edge then strategy.
+    pub rows: Vec<AssemblyScalingRow>,
+}
+
+impl std::fmt::Display for AssemblyScalingTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "RHS assembly scaling, chunked vs colored ({} threads):",
+            self.threads
+        )?;
+        writeln!(
+            f,
+            "  {:>5} {:>8} {:>12} {:>12} {:>9} {:>12}",
+            "edge", "nodes", "strategy", "ms/assembly", "speedup", "max rel err"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>5} {:>8} {:>12} {:>12.3} {:>8.2}x {:>12.2e}",
+                r.edge,
+                r.nodes,
+                r.strategy,
+                r.millis_per_assembly,
+                r.speedup_vs_serial,
+                r.max_rel_error_vs_serial
+            )?;
+        }
+        for (edge, colors) in &self.colors_by_edge {
+            writeln!(f, "  coloring: edge {edge} -> {colors} colors")?;
+        }
+        Ok(())
+    }
+}
+
+fn max_rel_error(reference: &Conserved, candidate: &Conserved) -> f64 {
+    let mut ref_flat = Vec::new();
+    reference.for_each_field(|fld| ref_flat.extend_from_slice(fld));
+    let mut cand_flat = Vec::new();
+    candidate.for_each_field(|fld| cand_flat.extend_from_slice(fld));
+    let scale = ref_flat.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+    ref_flat
+        .iter()
+        .zip(&cand_flat)
+        .map(|(a, b)| (a - b).abs() / scale)
+        .fold(0.0, f64::max)
+}
+
+/// Runs the scaling sweep: `reps` timed assemblies per strategy on a
+/// periodic TGV box of each `edges` entry.
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or mesh construction fails.
+pub fn run_assembly_scaling(edges: &[usize], reps: usize) -> AssemblyScalingTable {
+    assert!(reps > 0, "reps");
+    let threads = fem_solver::parallel::available_threads();
+    let mut rows = Vec::new();
+    let mut colors_by_edge = Vec::new();
+    for &edge in edges {
+        let mesh = BoxMeshBuilder::tgv_box(edge).build().expect("valid box");
+        let basis = HexBasis::new(1).expect("valid basis");
+        let cfg = TgvConfig::standard();
+        let gas = cfg.gas();
+        let conserved = cfg.initial_state(&mesh);
+        let mut prim = Primitives::zeros(mesh.num_nodes());
+        prim.update_from(&conserved, &gas);
+        let coloring = ElementColoring::greedy(&mesh);
+        colors_by_edge.push((edge, coloring.num_colors()));
+
+        let mut out = Conserved::zeros(mesh.num_nodes());
+        let mut reference = Conserved::zeros(mesh.num_nodes());
+
+        let strategies = [
+            AssemblyStrategy::Serial,
+            AssemblyStrategy::chunked_auto(),
+            AssemblyStrategy::Colored,
+        ];
+        let mut serial_ms = 0.0;
+        for strategy in strategies {
+            let assemble = |out: &mut Conserved| match strategy {
+                AssemblyStrategy::Serial => {
+                    assemble_rhs_chunked_into(&mesh, &basis, &gas, &conserved, &prim, 1, out, None)
+                }
+                AssemblyStrategy::Chunked { chunks } => assemble_rhs_chunked_into(
+                    &mesh, &basis, &gas, &conserved, &prim, chunks, out, None,
+                ),
+                AssemblyStrategy::Colored => assemble_rhs_colored_into(
+                    &mesh, &basis, &gas, &conserved, &prim, &coloring, out, None,
+                ),
+            };
+            // Warm-up (also produces the correctness snapshot).
+            assemble(&mut out);
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                assemble(&mut out);
+            }
+            let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+            if matches!(strategy, AssemblyStrategy::Serial) {
+                serial_ms = ms;
+                reference.copy_from(&out);
+            }
+            rows.push(AssemblyScalingRow {
+                edge,
+                nodes: mesh.num_nodes(),
+                strategy: strategy.to_string(),
+                millis_per_assembly: ms,
+                speedup_vs_serial: if ms > 0.0 { serial_ms / ms } else { 0.0 },
+                max_rel_error_vs_serial: max_rel_error(&reference, &out),
+            });
+        }
+    }
+    AssemblyScalingTable {
+        threads,
+        colors_by_edge,
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_table_is_consistent() {
+        let table = run_assembly_scaling(&[4], 1);
+        assert_eq!(table.rows.len(), 3);
+        assert_eq!(table.colors_by_edge, vec![(4, 8)]);
+        assert!(table.threads >= 1);
+        for r in &table.rows {
+            assert_eq!(r.edge, 4);
+            assert_eq!(r.nodes, 64);
+            assert!(r.millis_per_assembly > 0.0, "{}: no time", r.strategy);
+            assert!(
+                r.max_rel_error_vs_serial < 1e-12,
+                "{}: rel err {}",
+                r.strategy,
+                r.max_rel_error_vs_serial
+            );
+        }
+        assert_eq!(table.rows[0].strategy, "serial");
+        assert!((table.rows[0].speedup_vs_serial - 1.0).abs() < 1e-12);
+        let shown = format!("{table}");
+        assert!(shown.contains("colored"), "{shown}");
+        // And it serializes (the repro --json path).
+        let json = serde_json::to_string(&table).unwrap();
+        assert!(json.contains("\"rows\""), "{json}");
+    }
+}

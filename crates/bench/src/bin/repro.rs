@@ -8,6 +8,7 @@
 //! repro ablations   §III optimizations disabled one at a time
 //! repro optimizer   §III-D optimization trace on the proposed design
 //! repro scaling     future-work study: RKL units across SLRs
+//! repro assembly    host-CPU chunked-vs-colored assembly scaling
 //! repro all         everything above
 //!
 //! options: --json   machine-readable output
@@ -61,6 +62,10 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
         "ablations" => emit(&run_ablations(1_000_000)?, mode),
         "optimizer" => print_optimizer_trace(mode),
         "scaling" => emit(&fem_accel::scaling::run_scaling_study(4_200_000, 3)?, mode),
+        "assembly" => emit(
+            &fem_bench::assembly::run_assembly_scaling(&[6, 8, 10], 5),
+            mode,
+        ),
         "all" => {
             for c in [
                 "fig2",
@@ -70,6 +75,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
                 "ablations",
                 "optimizer",
                 "scaling",
+                "assembly",
             ] {
                 run(c, mode)?;
             }
@@ -77,7 +83,9 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
         }
         other => {
             eprintln!("unknown experiment `{other}`");
-            eprintln!("usage: repro <fig2|fig5|table1|table2|ablations|optimizer|all> [--json]");
+            eprintln!(
+                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|all> [--json]"
+            );
             std::process::exit(2);
         }
     }

@@ -7,6 +7,8 @@
 
 #![deny(missing_docs)]
 
+pub mod assembly;
+
 use fem_accel::experiments::ExpError;
 use serde::Serialize;
 

@@ -65,6 +65,39 @@ fn fig5_json_schema() {
 }
 
 #[test]
+fn assembly_json_schema() {
+    let doc = repro_json("assembly");
+
+    assert!(doc["threads"].as_u64().is_some(), "missing `threads`");
+    let colors = doc["colors_by_edge"]
+        .as_array()
+        .expect("`colors_by_edge` is an array");
+    assert!(!colors.is_empty());
+
+    // Three strategies per mesh edge, in a fixed order.
+    let rows = doc["rows"].as_array().expect("`rows` is an array");
+    assert_eq!(rows.len() % 3, 0, "rows come in strategy triples");
+    for row in rows.chunks(3) {
+        assert_eq!(row[0]["strategy"].as_str(), Some("serial"));
+        assert_eq!(row[2]["strategy"].as_str(), Some("colored"));
+        assert!(row[1]["strategy"]
+            .as_str()
+            .expect("strategy string")
+            .starts_with("chunked("));
+        for r in row {
+            assert!(r["edge"].as_u64().is_some());
+            assert!(r["nodes"].as_u64().is_some());
+            let ms = r["millis_per_assembly"].as_f64().expect("numeric time");
+            assert!(ms > 0.0, "non-positive time {ms}");
+            assert!(r["speedup_vs_serial"].as_f64().expect("speedup") > 0.0);
+            // Parallel strategies must agree with serial to rounding.
+            let err = r["max_rel_error_vs_serial"].as_f64().expect("rel err");
+            assert!(err < 1e-12, "assembly deviates from serial: {err}");
+        }
+    }
+}
+
+#[test]
 fn table1_json_schema() {
     let doc = repro_json("table1");
 

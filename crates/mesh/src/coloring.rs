@@ -8,10 +8,53 @@ use crate::hex::HexMesh;
 
 /// A node-disjoint element coloring: `colors[e]` is element `e`'s class;
 /// elements of equal color touch disjoint node sets.
+///
+/// The per-class element lists are built once at construction and stored
+/// in CSR form, so [`ElementColoring::class`] and
+/// [`ElementColoring::classes`] are allocation-free slice accesses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ElementColoring {
     colors: Vec<u32>,
     num_colors: u32,
+    /// CSR offsets into `class_elems`: class `c` spans
+    /// `class_elems[class_offsets[c]..class_offsets[c + 1]]`.
+    class_offsets: Vec<usize>,
+    /// Element ids grouped by class, ascending within each class.
+    class_elems: Vec<u32>,
+}
+
+/// Size statistics of a coloring's classes — the load-balance numbers a
+/// parallel assembly cares about (a color is one barrier-separated
+/// parallel sweep; small or uneven classes cap the speedup).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColoringStats {
+    /// Number of color classes (= parallel sweeps per assembly).
+    pub num_colors: u32,
+    /// Total elements across all classes.
+    pub num_elements: usize,
+    /// Smallest class size.
+    pub min_class_size: usize,
+    /// Largest class size.
+    pub max_class_size: usize,
+    /// Mean class size.
+    pub mean_class_size: f64,
+    /// `max_class_size / mean_class_size` — 1.0 is perfectly balanced.
+    pub imbalance: f64,
+}
+
+impl std::fmt::Display for ColoringStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} colors over {} elements (class sizes {}..{}, mean {:.1}, imbalance {:.2})",
+            self.num_colors,
+            self.num_elements,
+            self.min_class_size,
+            self.max_class_size,
+            self.mean_class_size,
+            self.imbalance
+        )
+    }
 }
 
 impl ElementColoring {
@@ -20,7 +63,8 @@ impl ElementColoring {
     ///
     /// First-fit on structured hex meshes yields the optimal 8 colors
     /// (2×2×2 parity classes); on general meshes it stays within a small
-    /// factor of the conflict degree.
+    /// factor of the conflict degree. Debug builds validate the result
+    /// with [`ElementColoring::is_valid`].
     pub fn greedy(mesh: &HexMesh) -> ElementColoring {
         let ne = mesh.num_elements();
         let nn = mesh.num_nodes();
@@ -58,7 +102,36 @@ impl ElementColoring {
             colors[e] = chosen;
             num_colors = num_colors.max(chosen + 1);
         }
-        ElementColoring { colors, num_colors }
+
+        // Bucket elements by class once (counting sort keeps ascending
+        // element order within each class).
+        let nc = num_colors as usize;
+        let mut counts = vec![0usize; nc];
+        for &c in &colors {
+            counts[c as usize] += 1;
+        }
+        let mut class_offsets = vec![0usize; nc + 1];
+        for c in 0..nc {
+            class_offsets[c + 1] = class_offsets[c] + counts[c];
+        }
+        let mut cursor = class_offsets.clone();
+        let mut class_elems = vec![0u32; ne];
+        for (e, &c) in colors.iter().enumerate() {
+            class_elems[cursor[c as usize]] = e as u32;
+            cursor[c as usize] += 1;
+        }
+
+        let coloring = ElementColoring {
+            colors,
+            num_colors,
+            class_offsets,
+            class_elems,
+        };
+        debug_assert!(
+            coloring.is_valid(mesh),
+            "greedy coloring violated node-disjointness"
+        );
+        coloring
     }
 
     /// Number of color classes.
@@ -66,24 +139,67 @@ impl ElementColoring {
         self.num_colors
     }
 
+    /// Total elements covered by the coloring (allocation-free).
+    pub fn num_elements(&self) -> usize {
+        self.class_elems.len()
+    }
+
+    /// Size of the largest color class (allocation-free, from the CSR
+    /// offsets — hot-path alternative to [`ElementColoring::stats`]).
+    pub fn max_class_size(&self) -> usize {
+        self.class_offsets
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .unwrap_or(0)
+    }
+
     /// The color of element `e`.
     pub fn color(&self, e: usize) -> u32 {
         self.colors[e]
     }
 
-    /// Element ids of each color class, in ascending element order.
-    pub fn classes(&self) -> Vec<Vec<u32>> {
-        let mut out = vec![Vec::new(); self.num_colors as usize];
-        for (e, &c) in self.colors.iter().enumerate() {
-            out[c as usize].push(e as u32);
+    /// Element ids of color class `c`, in ascending element order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= num_colors()`.
+    pub fn class(&self, c: u32) -> &[u32] {
+        let c = c as usize;
+        &self.class_elems[self.class_offsets[c]..self.class_offsets[c + 1]]
+    }
+
+    /// Iterator over the color classes (each a slice of element ids in
+    /// ascending order), from color 0 upward.
+    pub fn classes(&self) -> impl Iterator<Item = &[u32]> + '_ {
+        (0..self.num_colors).map(|c| self.class(c))
+    }
+
+    /// Class-size statistics (see [`ColoringStats`]).
+    pub fn stats(&self) -> ColoringStats {
+        let sizes: Vec<usize> = self.classes().map(<[u32]>::len).collect();
+        let num_elements = self.colors.len();
+        let min = sizes.iter().copied().min().unwrap_or(0);
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        let mean = if sizes.is_empty() {
+            0.0
+        } else {
+            num_elements as f64 / sizes.len() as f64
+        };
+        ColoringStats {
+            num_colors: self.num_colors,
+            num_elements,
+            min_class_size: min,
+            max_class_size: max,
+            mean_class_size: mean,
+            imbalance: if mean > 0.0 { max as f64 / mean } else { 0.0 },
         }
-        out
     }
 
     /// Verifies node-disjointness within every class (O(total nodes)).
     pub fn is_valid(&self, mesh: &HexMesh) -> bool {
         let mut stamp = vec![u32::MAX; mesh.num_nodes()];
-        for (class_id, class) in self.classes().iter().enumerate() {
+        for (class_id, class) in self.classes().enumerate() {
             for &e in class {
                 for &n in mesh.element_nodes(e as usize) {
                     if stamp[n as usize] == class_id as u32 {
@@ -127,15 +243,47 @@ mod tests {
     fn classes_cover_all_elements_once() {
         let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
         let coloring = ElementColoring::greedy(&mesh);
-        let total: usize = coloring.classes().iter().map(Vec::len).sum();
+        let total: usize = coloring.classes().map(<[u32]>::len).sum();
         assert_eq!(total, mesh.num_elements());
         let mut seen = vec![false; mesh.num_elements()];
         for class in coloring.classes() {
-            for &e in &class {
+            for &e in class {
                 assert!(!seen[e as usize]);
                 seen[e as usize] = true;
             }
         }
+    }
+
+    #[test]
+    fn class_slices_match_color_assignments() {
+        let mesh = BoxMeshBuilder::tgv_box(5).build().unwrap();
+        let coloring = ElementColoring::greedy(&mesh);
+        for c in 0..coloring.num_colors() {
+            let class = coloring.class(c);
+            assert!(!class.is_empty(), "empty color class {c}");
+            assert!(class.windows(2).all(|w| w[0] < w[1]), "not ascending");
+            for &e in class {
+                assert_eq!(coloring.color(e as usize), c);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent() {
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let coloring = ElementColoring::greedy(&mesh);
+        let s = coloring.stats();
+        assert_eq!(s.num_colors, 8);
+        assert_eq!(s.num_elements, mesh.num_elements());
+        // Allocation-free accessors agree with the full stats.
+        assert_eq!(coloring.num_elements(), s.num_elements);
+        assert_eq!(coloring.max_class_size(), s.max_class_size);
+        // Even box: the 8 parity classes are equal-sized.
+        assert_eq!(s.min_class_size, s.max_class_size);
+        assert!((s.imbalance - 1.0).abs() < 1e-12);
+        assert!((s.mean_class_size * 8.0 - mesh.num_elements() as f64).abs() < 1e-9);
+        let shown = format!("{s}");
+        assert!(shown.contains("8 colors"), "{shown}");
     }
 
     proptest! {
@@ -152,6 +300,8 @@ mod tests {
             let coloring = ElementColoring::greedy(&mesh);
             prop_assert!(coloring.is_valid(&mesh));
             prop_assert!(coloring.num_colors() >= 8);
+            let total: usize = coloring.classes().map(<[u32]>::len).sum();
+            prop_assert_eq!(total, mesh.num_elements());
         }
     }
 }

@@ -39,6 +39,7 @@ pub mod partition;
 pub mod quality;
 pub mod reorder;
 
+pub use coloring::{ColoringStats, ElementColoring};
 pub use generator::BoxMeshBuilder;
 pub use hex::HexMesh;
 pub use partition::ElementBatch;

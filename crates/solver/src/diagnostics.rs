@@ -3,6 +3,12 @@
 //! These quantities validate the solver (mass/momentum/energy conservation
 //! on periodic domains) and reproduce the classic TGV observables (kinetic
 //! energy decay, enstrophy growth) used to sanity-check the physics.
+//!
+//! Both reductions — the nodal norms and the per-element enstrophy
+//! integral — run in parallel via the rayon `fold`/`reduce` pattern. The
+//! per-chunk accumulators combine in input order, so results are
+//! deterministic for a fixed worker count (they regroup, and thus differ
+//! in the last bits, only when `available_parallelism` changes).
 
 use crate::kernels::ElementWorkspace;
 use crate::state::{Conserved, Primitives};
@@ -10,6 +16,7 @@ use fem_mesh::hex::{ElementGeometry, GeometryScratch};
 use fem_mesh::HexMesh;
 use fem_numerics::linalg::{Mat3, Vec3};
 use fem_numerics::tensor::HexBasis;
+use rayon::prelude::*;
 
 /// Integral diagnostics of a flow state.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,68 +63,131 @@ impl FlowDiagnostics {
         let nn = mesh.num_nodes();
         assert_eq!(conserved.len(), nn);
         assert_eq!(mass.len(), nn);
-        let mut total_mass = 0.0;
-        let mut total_momentum = Vec3::ZERO;
-        let mut total_energy = 0.0;
-        let mut kinetic_energy = 0.0;
-        let mut max_speed = 0.0f64;
-        let mut max_mach = 0.0f64;
-        for (n, &m) in mass.iter().enumerate() {
-            let rho = conserved.rho[n];
-            total_mass += m * rho;
-            total_momentum += m * conserved.momentum(n);
-            total_energy += m * conserved.energy[n];
-            let u = prim.velocity(n);
-            kinetic_energy += m * 0.5 * rho * u.norm_sq();
-            let speed = u.norm();
-            max_speed = max_speed.max(speed);
-            let c = gas.sound_speed(prim.temp[n]);
-            max_mach = max_mach.max(speed / c);
-        }
 
-        // Enstrophy via per-element vorticity.
+        // Nodal norms: parallel fold over nodes, chunk accumulators
+        // combined in input order.
+        let nodal = (0..nn)
+            .into_par_iter()
+            .fold(NodalAccum::zero, |mut acc, n| {
+                let m = mass[n];
+                let rho = conserved.rho[n];
+                acc.mass += m * rho;
+                acc.momentum += m * conserved.momentum(n);
+                acc.energy += m * conserved.energy[n];
+                let u = prim.velocity(n);
+                acc.kinetic += m * 0.5 * rho * u.norm_sq();
+                let speed = u.norm();
+                acc.max_speed = acc.max_speed.max(speed);
+                let c = gas.sound_speed(prim.temp[n]);
+                acc.max_mach = acc.max_mach.max(speed / c);
+                acc
+            })
+            .reduce(NodalAccum::zero, NodalAccum::combine);
+
+        // Enstrophy via per-element vorticity: each fold chunk carries
+        // its own element workspace, so the hot loop never allocates.
         let npe = mesh.nodes_per_element();
-        let mut ws = ElementWorkspace::new(npe);
-        let mut scratch = GeometryScratch::new(npe);
-        let mut geom = ElementGeometry::with_capacity(npe);
-        let mut gref = [
-            vec![Vec3::ZERO; npe],
-            vec![Vec3::ZERO; npe],
-            vec![Vec3::ZERO; npe],
-        ];
-        let mut enstrophy = 0.0;
-        for e in 0..mesh.num_elements() {
-            mesh.fill_element_geometry(e, basis, &mut scratch, &mut geom)
-                .expect("diagnostics on valid mesh");
-            ws.gather(mesh.element_nodes(e), conserved, prim);
-            basis.reference_gradient(&ws.vel[0], &mut gref[0]);
-            basis.reference_gradient(&ws.vel[1], &mut gref[1]);
-            basis.reference_gradient(&ws.vel[2], &mut gref[2]);
-            for (q, &inv_jt) in geom.inv_jt.iter().enumerate().take(npe) {
-                let l = Mat3::from_rows(
-                    inv_jt.mul_vec(gref[0][q]),
-                    inv_jt.mul_vec(gref[1][q]),
-                    inv_jt.mul_vec(gref[2][q]),
-                );
-                // ω = ∇×u from L[a][b] = ∂u_a/∂x_b.
-                let omega = Vec3::new(
-                    l.m[2][1] - l.m[1][2],
-                    l.m[0][2] - l.m[2][0],
-                    l.m[1][0] - l.m[0][1],
-                );
-                enstrophy += geom.det_w[q] * 0.5 * ws.rho[q] * omega.norm_sq();
-            }
-        }
+        let enstrophy = (0..mesh.num_elements())
+            .into_par_iter()
+            .fold(
+                || EnstrophyAccum::new(npe),
+                |mut acc, e| {
+                    mesh.fill_element_geometry(e, basis, &mut acc.scratch, &mut acc.geom)
+                        .expect("diagnostics on valid mesh");
+                    acc.ws.gather(mesh.element_nodes(e), conserved, prim);
+                    basis.reference_gradient(&acc.ws.vel[0], &mut acc.gref[0]);
+                    basis.reference_gradient(&acc.ws.vel[1], &mut acc.gref[1]);
+                    basis.reference_gradient(&acc.ws.vel[2], &mut acc.gref[2]);
+                    for (q, &inv_jt) in acc.geom.inv_jt.iter().enumerate().take(npe) {
+                        let l = Mat3::from_rows(
+                            inv_jt.mul_vec(acc.gref[0][q]),
+                            inv_jt.mul_vec(acc.gref[1][q]),
+                            inv_jt.mul_vec(acc.gref[2][q]),
+                        );
+                        // ω = ∇×u from L[a][b] = ∂u_a/∂x_b.
+                        let omega = Vec3::new(
+                            l.m[2][1] - l.m[1][2],
+                            l.m[0][2] - l.m[2][0],
+                            l.m[1][0] - l.m[0][1],
+                        );
+                        acc.sum += acc.geom.det_w[q] * 0.5 * acc.ws.rho[q] * omega.norm_sq();
+                    }
+                    acc
+                },
+            )
+            .map(|acc| acc.sum)
+            .reduce(|| 0.0, |a, b| a + b);
 
         FlowDiagnostics {
             time,
-            total_mass,
-            total_momentum,
-            total_energy,
-            kinetic_energy,
+            total_mass: nodal.mass,
+            total_momentum: nodal.momentum,
+            total_energy: nodal.energy,
+            kinetic_energy: nodal.kinetic,
             enstrophy,
-            max_speed,
-            max_mach,
+            max_speed: nodal.max_speed,
+            max_mach: nodal.max_mach,
+        }
+    }
+}
+
+/// Per-chunk accumulator of the nodal diagnostics reduction.
+#[derive(Debug, Clone, Copy)]
+struct NodalAccum {
+    mass: f64,
+    momentum: Vec3,
+    energy: f64,
+    kinetic: f64,
+    max_speed: f64,
+    max_mach: f64,
+}
+
+impl NodalAccum {
+    fn zero() -> NodalAccum {
+        NodalAccum {
+            mass: 0.0,
+            momentum: Vec3::ZERO,
+            energy: 0.0,
+            kinetic: 0.0,
+            max_speed: 0.0,
+            max_mach: 0.0,
+        }
+    }
+
+    fn combine(a: NodalAccum, b: NodalAccum) -> NodalAccum {
+        NodalAccum {
+            mass: a.mass + b.mass,
+            momentum: a.momentum + b.momentum,
+            energy: a.energy + b.energy,
+            kinetic: a.kinetic + b.kinetic,
+            max_speed: a.max_speed.max(b.max_speed),
+            max_mach: a.max_mach.max(b.max_mach),
+        }
+    }
+}
+
+/// Per-chunk state of the enstrophy reduction: the partial integral plus
+/// the element scratch buffers, allocated once per worker chunk.
+struct EnstrophyAccum {
+    ws: ElementWorkspace,
+    scratch: GeometryScratch,
+    geom: ElementGeometry,
+    gref: [Vec<Vec3>; 3],
+    sum: f64,
+}
+
+impl EnstrophyAccum {
+    fn new(npe: usize) -> EnstrophyAccum {
+        EnstrophyAccum {
+            ws: ElementWorkspace::new(npe),
+            scratch: GeometryScratch::new(npe),
+            geom: ElementGeometry::with_capacity(npe),
+            gref: [
+                vec![Vec3::ZERO; npe],
+                vec![Vec3::ZERO; npe],
+                vec![Vec3::ZERO; npe],
+            ],
+            sum: 0.0,
         }
     }
 }
@@ -188,6 +258,26 @@ mod tests {
         assert!(d.enstrophy > 0.0);
         assert!((d.max_speed - cfg.v0).abs() < 0.05 * cfg.v0);
         assert!((d.max_mach - cfg.mach).abs() < 0.02 * cfg.mach);
+    }
+
+    #[test]
+    fn parallel_diagnostics_are_deterministic_within_a_process() {
+        // Fixed worker count ⇒ fixed fold chunking ⇒ bitwise-equal
+        // reductions on repeat evaluation.
+        let mesh = BoxMeshBuilder::tgv_box(7).build().unwrap();
+        let basis = HexBasis::new(1).unwrap();
+        let cfg = TgvConfig::standard();
+        let gas = cfg.gas();
+        let conserved = cfg.initial_state(&mesh);
+        let mut prim = Primitives::zeros(mesh.num_nodes());
+        prim.update_from(&conserved, &gas);
+        let mass = lumped_mass(&mesh, &basis);
+        let a = FlowDiagnostics::compute(0.0, &mesh, &basis, &gas, &conserved, &prim, &mass);
+        let b = FlowDiagnostics::compute(0.0, &mesh, &basis, &gas, &conserved, &prim, &mass);
+        assert_eq!(a.total_mass.to_bits(), b.total_mass.to_bits());
+        assert_eq!(a.kinetic_energy.to_bits(), b.kinetic_energy.to_bits());
+        assert_eq!(a.enstrophy.to_bits(), b.enstrophy.to_bits());
+        assert_eq!(a.max_speed.to_bits(), b.max_speed.to_bits());
     }
 
     #[test]

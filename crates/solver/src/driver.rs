@@ -11,13 +11,16 @@ use crate::boundary::DirichletBc;
 use crate::diagnostics::FlowDiagnostics;
 use crate::gas::GasModel;
 use crate::kernels::{convective_flux, viscous_flux, weak_divergence, ElementWorkspace};
+use crate::parallel::{assemble_rhs_into, AssemblyStrategy};
 use crate::profile::{Phase, PhaseProfiler};
 use crate::state::{Conserved, Primitives};
 use crate::SolverError;
+use fem_mesh::coloring::{ColoringStats, ElementColoring};
 use fem_mesh::hex::{ElementGeometry, GeometryScratch};
 use fem_mesh::HexMesh;
 use fem_numerics::rk::{ButcherTableau, ExplicitRk, OdeSystem};
 use fem_numerics::tensor::HexBasis;
+use rayon::prelude::*;
 use std::time::Instant;
 
 /// Everything the RHS evaluation needs besides the conserved state.
@@ -35,6 +38,8 @@ pub struct SolverCore {
     bc: Option<DirichletBc>,
     profiler: PhaseProfiler,
     profiling: bool,
+    strategy: AssemblyStrategy,
+    coloring: Option<ElementColoring>,
 }
 
 impl SolverCore {
@@ -67,15 +72,21 @@ impl SolverCore {
     pub fn min_spacing(&self) -> f64 {
         self.min_spacing
     }
-}
 
-impl OdeSystem for SolverCore {
-    type State = Conserved;
+    /// The active residual-assembly strategy.
+    pub fn assembly_strategy(&self) -> AssemblyStrategy {
+        self.strategy
+    }
 
-    fn rhs(&mut self, _t: f64, y: &Conserved, dydt: &mut Conserved) {
-        // ---- RKU: primitive update (paper's RKU kernel). ----
+    /// Class statistics of the element coloring, if one has been built
+    /// (i.e. after selecting [`AssemblyStrategy::Colored`]).
+    pub fn coloring_stats(&self) -> Option<ColoringStats> {
+        self.coloring.as_ref().map(ElementColoring::stats)
+    }
+
+    /// The serial RKL element loop with per-stage Fig 2 attribution.
+    fn assemble_serial(&mut self, y: &Conserved, dydt: &mut Conserved) {
         let t0 = Instant::now();
-        self.primitives.update_from(y, &self.gas);
         dydt.rho.iter_mut().for_each(|v| *v = 0.0);
         for d in 0..3 {
             dydt.mom[d].iter_mut().for_each(|v| *v = 0.0);
@@ -85,7 +96,6 @@ impl OdeSystem for SolverCore {
             self.profiler.add(Phase::RkOther, t0.elapsed());
         }
 
-        // ---- RKL: element loop (paper's RKL kernel). ----
         let viscous = self.gas.mu > 0.0;
         for e in 0..self.mesh.num_elements() {
             // LOAD Element (+ geometry): RK(Other).
@@ -125,20 +135,76 @@ impl OdeSystem for SolverCore {
                 self.profiler.add(Phase::RkOther, t0.elapsed());
             }
         }
+    }
+}
+
+impl OdeSystem for SolverCore {
+    type State = Conserved;
+
+    fn rhs(&mut self, _t: f64, y: &Conserved, dydt: &mut Conserved) {
+        // ---- RKU: primitive update (paper's RKU kernel). ----
+        let t0 = Instant::now();
+        self.primitives.update_from(y, &self.gas);
+        if self.profiling {
+            self.profiler.add(Phase::RkOther, t0.elapsed());
+        }
+
+        // ---- RKL: element loop (paper's RKL kernel). ----
+        match self.strategy {
+            AssemblyStrategy::Serial => self.assemble_serial(y, dydt),
+            strategy => assemble_rhs_into(
+                &self.mesh,
+                &self.basis,
+                &self.gas,
+                y,
+                &self.primitives,
+                strategy,
+                self.coloring.as_ref(),
+                dydt,
+                if self.profiling {
+                    Some(&mut self.profiler)
+                } else {
+                    None
+                },
+            ),
+        }
 
         // ---- Lumped-mass solve + boundary conditions: RK(Other). ----
         let t0 = Instant::now();
         let inv = &self.lumped_mass;
-        let apply = |dst: &mut [f64]| {
-            for (v, &m) in dst.iter_mut().zip(inv) {
-                *v /= m;
+        if matches!(self.strategy, AssemblyStrategy::Serial) {
+            let apply = |dst: &mut [f64]| {
+                for (v, &m) in dst.iter_mut().zip(inv) {
+                    *v /= m;
+                }
+            };
+            apply(&mut dydt.rho);
+            for d in 0..3 {
+                apply(&mut dydt.mom[d]);
             }
-        };
-        apply(&mut dydt.rho);
-        for d in 0..3 {
-            apply(&mut dydt.mom[d]);
+            apply(&mut dydt.energy);
+        } else {
+            // Elementwise divide is grouping-free, so the parallel path
+            // is bitwise identical to the serial one.
+            let chunk = inv
+                .len()
+                .div_ceil(crate::parallel::available_threads())
+                .max(1);
+            let apply = |dst: &mut [f64]| {
+                dst.par_chunks_mut(chunk)
+                    .zip(inv.par_chunks(chunk))
+                    .for_each(|(d, m)| {
+                        for (v, &mm) in d.iter_mut().zip(m) {
+                            *v /= mm;
+                        }
+                    });
+            };
+            apply(&mut dydt.rho);
+            for d in 0..3 {
+                apply(&mut dydt.mom[d]);
+            }
+            apply(&mut dydt.energy);
         }
-        apply(&mut dydt.energy);
         if let Some(bc) = &self.bc {
             bc.zero_rhs(dydt);
         }
@@ -252,6 +318,8 @@ impl Simulation {
                 bc: None,
                 profiler: PhaseProfiler::new(),
                 profiling: false,
+                strategy: AssemblyStrategy::Serial,
+                coloring: None,
             },
             conserved: initial,
             rk,
@@ -271,6 +339,25 @@ impl Simulation {
     /// reads add a few percent overhead to the element loop).
     pub fn set_profiling(&mut self, on: bool) {
         self.core.profiling = on;
+    }
+
+    /// Selects how the RKL residual is assembled (default:
+    /// [`AssemblyStrategy::Serial`]).
+    ///
+    /// Selecting [`AssemblyStrategy::Colored`] builds (and caches) the
+    /// greedy element coloring on first use; subsequent switches between
+    /// strategies are free. See the [`crate::parallel`] module docs for
+    /// the determinism guarantees of each strategy.
+    pub fn set_assembly_strategy(&mut self, strategy: AssemblyStrategy) {
+        if matches!(strategy, AssemblyStrategy::Colored) && self.core.coloring.is_none() {
+            self.core.coloring = Some(ElementColoring::greedy(&self.core.mesh));
+        }
+        self.core.strategy = strategy;
+    }
+
+    /// The active residual-assembly strategy.
+    pub fn assembly_strategy(&self) -> AssemblyStrategy {
+        self.core.strategy
     }
 
     /// Read access to the profiler.
@@ -542,6 +629,76 @@ mod tests {
             Simulation::new(mesh, gas, bad),
             Err(SolverError::NodeCountMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_strategies_track_the_serial_trajectory() {
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let cfg = TgvConfig::standard();
+        let initial = cfg.initial_state(&mesh);
+        let mut serial = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        let dt = serial.suggest_dt(0.4);
+        serial.advance(5, dt).unwrap();
+
+        for strategy in [AssemblyStrategy::chunked_auto(), AssemblyStrategy::Colored] {
+            let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+            let initial = cfg.initial_state(&mesh);
+            let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+            sim.set_assembly_strategy(strategy);
+            assert_eq!(sim.assembly_strategy(), strategy);
+            sim.advance(5, dt).unwrap();
+            let mut max_rel: f64 = 0.0;
+            for n in 0..sim.conserved().len() {
+                let a = sim.conserved().rho[n];
+                let b = serial.conserved().rho[n];
+                max_rel = max_rel.max((a - b).abs() / b.abs());
+            }
+            assert!(max_rel < 1e-10, "{strategy}: trajectory drift {max_rel}");
+        }
+    }
+
+    #[test]
+    fn colored_strategy_builds_and_reports_the_coloring() {
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let cfg = TgvConfig::standard();
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        assert!(sim.core().coloring_stats().is_none());
+        sim.set_assembly_strategy(AssemblyStrategy::Colored);
+        let stats = sim.core().coloring_stats().expect("coloring built");
+        assert_eq!(stats.num_colors, 8);
+        assert_eq!(stats.num_elements, 6 * 6 * 6);
+        // Colored runs are reproducible bitwise: same dt, same steps.
+        let dt = sim.suggest_dt(0.4);
+        sim.advance(3, dt).unwrap();
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let initial = cfg.initial_state(&mesh);
+        let mut again = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        again.set_assembly_strategy(AssemblyStrategy::Colored);
+        again.advance(3, dt).unwrap();
+        for n in 0..sim.conserved().len() {
+            assert_eq!(
+                sim.conserved().rho[n].to_bits(),
+                again.conserved().rho[n].to_bits(),
+                "node {n} differs"
+            );
+        }
+    }
+
+    #[test]
+    fn profiling_records_phases_for_parallel_strategies() {
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let cfg = TgvConfig::standard();
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        sim.set_assembly_strategy(AssemblyStrategy::Colored);
+        sim.set_profiling(true);
+        let dt = sim.suggest_dt(0.4);
+        sim.advance(2, dt).unwrap();
+        let p = sim.profiler();
+        assert!(p.total(Phase::RkConvection) > std::time::Duration::ZERO);
+        assert!(p.total(Phase::RkDiffusion) > std::time::Duration::ZERO);
+        assert!(p.total(Phase::RkOther) > std::time::Duration::ZERO);
     }
 
     #[test]

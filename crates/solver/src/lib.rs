@@ -15,6 +15,8 @@
 //! * [`kernels`] — the RKL element kernels: gather, gradients, τ,
 //!   convective/viscous fluxes, weak divergence, scatter.
 //! * [`driver`] — the RK4 time loop gluing RKL and RKU together.
+//! * [`parallel`] — multi-core residual assembly: chunked partials or
+//!   color-parallel in-place scatter ([`AssemblyStrategy`]).
 //! * [`tgv`] — the Taylor-Green Vortex workload of the evaluation.
 //! * [`boundary`] — Dirichlet conditions for wall-bounded examples.
 //! * [`diagnostics`] — conservation checks, kinetic energy, enstrophy.
@@ -56,6 +58,7 @@ pub mod tgv;
 pub use diagnostics::FlowDiagnostics;
 pub use driver::Simulation;
 pub use gas::GasModel;
+pub use parallel::AssemblyStrategy;
 pub use profile::{Phase, PhaseProfiler};
 pub use state::{Conserved, Primitives};
 pub use tgv::TgvConfig;

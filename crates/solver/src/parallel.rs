@@ -1,27 +1,225 @@
 //! Parallel residual assembly on the host CPU.
 //!
 //! The paper's software baseline is single-threaded; this module is the
-//! multi-core extension a production deployment would use: elements are
-//! split into fixed contiguous chunks, each chunk assembles a private
-//! partial RHS in parallel (rayon), and the partials are reduced in
-//! chunk order. The result is **deterministic for a fixed chunk count**
-//! (independent of thread scheduling) and agrees with the serial
-//! assembly to floating-point rounding — contribution *grouping* changes
-//! across chunk boundaries, so sums can differ in the last bits.
+//! multi-core extension a production deployment would use. The scatter
+//! hazard on shared nodes (the same obstacle the accelerator solves with
+//! conflict-free residual banking) is resolved two ways, selectable via
+//! [`AssemblyStrategy`]:
+//!
+//! * **Chunked** — elements are split into fixed contiguous chunks, each
+//!   chunk assembles a *private* full-size partial RHS in parallel, and
+//!   the partials are reduced in chunk order. O(chunks × num_nodes)
+//!   memory; deterministic for a fixed chunk count, matches the serial
+//!   loop to floating-point rounding (contribution *grouping* changes
+//!   across chunk boundaries).
+//! * **Colored** — elements are grouped into node-disjoint color classes
+//!   ([`ElementColoring`]); within a class, threads scatter **directly
+//!   into the shared RHS** with no private partials and no reduction.
+//!   O(num_nodes) memory. Because every node receives at most one
+//!   contribution per color and colors run in a fixed order, the result
+//!   is **bitwise identical across thread and chunk counts** (the
+//!   accumulation grouping per node is fixed by the coloring, not by the
+//!   parallel schedule). It matches the serial loop to rounding.
 
 use crate::gas::GasModel;
-use crate::kernels::{convective_flux, viscous_flux, weak_divergence, ElementWorkspace};
+use crate::kernels::{convective_flux, viscous_flux, weak_divergence, ElementWorkspace, NUM_VARS};
+use crate::profile::{Phase, PhaseProfiler};
 use crate::state::{Conserved, Primitives};
+use fem_mesh::coloring::ElementColoring;
 use fem_mesh::hex::{ElementGeometry, GeometryScratch};
 use fem_mesh::HexMesh;
 use fem_numerics::rk::StateOps;
 use fem_numerics::tensor::HexBasis;
 use rayon::prelude::*;
+use std::num::NonZeroUsize;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How the RKL residual is assembled over the mesh (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssemblyStrategy {
+    /// One thread, ascending element order — the paper's software
+    /// baseline, and the only mode with per-stage Fig 2 attribution at
+    /// zero synchronization cost.
+    Serial,
+    /// Parallel chunks with private partial RHS vectors reduced in chunk
+    /// order (deterministic for a fixed `chunks`).
+    Chunked {
+        /// Number of contiguous element chunks (= private partials).
+        chunks: usize,
+    },
+    /// Color-parallel in-place scatter: no partials, bitwise
+    /// deterministic regardless of thread/chunk count.
+    Colored,
+}
+
+impl AssemblyStrategy {
+    /// Chunked with one chunk per available core.
+    pub fn chunked_auto() -> AssemblyStrategy {
+        AssemblyStrategy::Chunked {
+            chunks: available_threads(),
+        }
+    }
+}
+
+impl std::fmt::Display for AssemblyStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AssemblyStrategy::Serial => write!(f, "serial"),
+            AssemblyStrategy::Chunked { chunks } => write!(f, "chunked({chunks})"),
+            AssemblyStrategy::Colored => write!(f, "colored"),
+        }
+    }
+}
+
+/// Worker threads the parallel strategies (and their consumers) size
+/// their chunking against.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Evaluates element `e`'s residual into `ws.res` (gather → convection →
+/// diffusion), optionally charging per-stage time to `prof` à la Fig 2.
+#[allow(clippy::too_many_arguments)]
+fn eval_element(
+    mesh: &HexMesh,
+    basis: &HexBasis,
+    gas: &GasModel,
+    viscous: bool,
+    conserved: &Conserved,
+    prim: &Primitives,
+    e: usize,
+    ws: &mut ElementWorkspace,
+    scratch: &mut GeometryScratch,
+    geom: &mut ElementGeometry,
+    prof: Option<&mut PhaseProfiler>,
+) {
+    match prof {
+        None => {
+            mesh.fill_element_geometry(e, basis, scratch, geom)
+                .expect("valid mesh geometry");
+            ws.gather(mesh.element_nodes(e), conserved, prim);
+            ws.zero_residuals();
+            convective_flux(ws);
+            weak_divergence(ws, basis, geom, 1.0);
+            if viscous {
+                viscous_flux(ws, gas, basis, geom);
+                weak_divergence(ws, basis, geom, -1.0);
+            }
+        }
+        Some(p) => {
+            let t0 = Instant::now();
+            mesh.fill_element_geometry(e, basis, scratch, geom)
+                .expect("valid mesh geometry");
+            ws.gather(mesh.element_nodes(e), conserved, prim);
+            ws.zero_residuals();
+            p.add(Phase::RkOther, t0.elapsed());
+            let t0 = Instant::now();
+            convective_flux(ws);
+            weak_divergence(ws, basis, geom, 1.0);
+            p.add(Phase::RkConvection, t0.elapsed());
+            if viscous {
+                let t0 = Instant::now();
+                viscous_flux(ws, gas, basis, geom);
+                weak_divergence(ws, basis, geom, -1.0);
+                p.add(Phase::RkDiffusion, t0.elapsed());
+            }
+        }
+    }
+}
+
+fn zero_state(out: &mut Conserved) {
+    out.rho.iter_mut().for_each(|v| *v = 0.0);
+    for d in 0..3 {
+        out.mom[d].iter_mut().for_each(|v| *v = 0.0);
+    }
+    out.energy.iter_mut().for_each(|v| *v = 0.0);
+}
+
+/// Assembles the RKL residual into `out` over `chunks` parallel element
+/// ranges with private partials reduced in chunk order.
+///
+/// When `profiler` is given, per-thread stage timings are merged into it
+/// (summed thread time — see [`PhaseProfiler::merge`]).
+///
+/// # Panics
+///
+/// Panics if state sizes disagree with the mesh or `chunks == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_rhs_chunked_into(
+    mesh: &HexMesh,
+    basis: &HexBasis,
+    gas: &GasModel,
+    conserved: &Conserved,
+    prim: &Primitives,
+    chunks: usize,
+    out: &mut Conserved,
+    mut profiler: Option<&mut PhaseProfiler>,
+) {
+    assert!(chunks > 0, "chunk count");
+    assert_eq!(conserved.len(), mesh.num_nodes(), "state size");
+    assert_eq!(out.len(), mesh.num_nodes(), "output size");
+    let ne = mesh.num_elements();
+    let npe = mesh.nodes_per_element();
+    let chunk_size = ne.div_ceil(chunks);
+    let ranges: Vec<(usize, usize)> = (0..chunks)
+        .map(|c| {
+            let start = c * chunk_size;
+            (start.min(ne), ((c + 1) * chunk_size).min(ne))
+        })
+        .collect();
+    let viscous = gas.mu > 0.0;
+    let profile = profiler.is_some();
+    let partials: Vec<(Conserved, PhaseProfiler)> = ranges
+        .par_iter()
+        .map(|&(start, end)| {
+            let mut ws = ElementWorkspace::new(npe);
+            let mut scratch = GeometryScratch::new(npe);
+            let mut geom = ElementGeometry::with_capacity(npe);
+            let mut partial = Conserved::zeros(mesh.num_nodes());
+            let mut local = PhaseProfiler::new();
+            for e in start..end {
+                eval_element(
+                    mesh,
+                    basis,
+                    gas,
+                    viscous,
+                    conserved,
+                    prim,
+                    e,
+                    &mut ws,
+                    &mut scratch,
+                    &mut geom,
+                    if profile { Some(&mut local) } else { None },
+                );
+                if profile {
+                    let t0 = Instant::now();
+                    ws.scatter_add(mesh.element_nodes(e), &mut partial);
+                    local.add(Phase::RkOther, t0.elapsed());
+                } else {
+                    ws.scatter_add(mesh.element_nodes(e), &mut partial);
+                }
+            }
+            (partial, local)
+        })
+        .collect();
+    // Deterministic reduction in chunk order.
+    zero_state(out);
+    for (p, local) in &partials {
+        out.axpy(1.0, p);
+        if let Some(agg) = profiler.as_deref_mut() {
+            agg.merge(local);
+        }
+    }
+}
 
 /// Assembles the RKL residual over `chunks` parallel element ranges.
 ///
-/// Deterministic for a fixed `chunks`; matches the serial loop to
-/// rounding (see module docs).
+/// Convenience wrapper around [`assemble_rhs_chunked_into`] that
+/// allocates the output. Deterministic for a fixed `chunks`; matches the
+/// serial loop to rounding (see module docs).
 ///
 /// # Panics
 ///
@@ -34,47 +232,210 @@ pub fn assemble_rhs_parallel(
     prim: &Primitives,
     chunks: usize,
 ) -> Conserved {
-    assert!(chunks > 0, "chunk count");
+    let mut out = Conserved::zeros(mesh.num_nodes());
+    assemble_rhs_chunked_into(mesh, basis, gas, conserved, prim, chunks, &mut out, None);
+    out
+}
+
+/// Raw pointers to the five RHS field arrays, shared across the threads
+/// of one color sweep.
+///
+/// Soundness: the only writes through these pointers are
+/// [`SharedRhs::scatter_add`] calls for elements of a *single* color
+/// class. The class is node-disjoint (validated by
+/// [`ElementColoring::is_valid`] in debug builds at construction), so no
+/// two threads ever write the same index concurrently.
+struct SharedRhs {
+    rho: *mut f64,
+    mom: [*mut f64; 3],
+    energy: *mut f64,
+}
+
+unsafe impl Send for SharedRhs {}
+unsafe impl Sync for SharedRhs {}
+
+impl SharedRhs {
+    fn new(out: &mut Conserved) -> SharedRhs {
+        SharedRhs {
+            rho: out.rho.as_mut_ptr(),
+            mom: [
+                out.mom[0].as_mut_ptr(),
+                out.mom[1].as_mut_ptr(),
+                out.mom[2].as_mut_ptr(),
+            ],
+            energy: out.energy.as_mut_ptr(),
+        }
+    }
+
+    /// Scatter-adds element residuals at `nodes` directly into the
+    /// shared RHS.
+    ///
+    /// # Safety
+    ///
+    /// Every `nodes` index must be in bounds, and concurrent callers must
+    /// scatter to disjoint node sets (guaranteed within one color class).
+    unsafe fn scatter_add(&self, nodes: &[u32], res: &[Vec<f64>; NUM_VARS]) {
+        for (q, &n) in nodes.iter().enumerate() {
+            let n = n as usize;
+            *self.rho.add(n) += res[0][q];
+            *self.mom[0].add(n) += res[1][q];
+            *self.mom[1].add(n) += res[2][q];
+            *self.mom[2].add(n) += res[3][q];
+            *self.energy.add(n) += res[4][q];
+        }
+    }
+}
+
+/// Color-parallel in-place assembly with an explicit per-thread work
+/// granularity of `chunk_elems` elements.
+///
+/// Exposed so tests can verify the bitwise-determinism guarantee across
+/// chunk sizes; [`assemble_rhs_colored_into`] picks the granularity
+/// automatically.
+///
+/// # Panics
+///
+/// Panics if state sizes disagree with the mesh, the coloring does not
+/// cover the mesh, or `chunk_elems == 0`.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_rhs_colored_with_chunk(
+    mesh: &HexMesh,
+    basis: &HexBasis,
+    gas: &GasModel,
+    conserved: &Conserved,
+    prim: &Primitives,
+    coloring: &ElementColoring,
+    chunk_elems: usize,
+    out: &mut Conserved,
+    profiler: Option<&mut PhaseProfiler>,
+) {
+    assert!(chunk_elems > 0, "chunk size");
     assert_eq!(conserved.len(), mesh.num_nodes(), "state size");
-    let ne = mesh.num_elements();
+    assert_eq!(out.len(), mesh.num_nodes(), "output size");
+    assert_eq!(
+        coloring.num_elements(),
+        mesh.num_elements(),
+        "coloring does not cover the mesh"
+    );
+    // The raw-pointer scatter below is only race-free if the classes are
+    // node-disjoint *on this mesh* — an element-count match does not prove
+    // the coloring was built from it, so re-check in debug builds.
+    debug_assert!(
+        coloring.is_valid(mesh),
+        "coloring is not node-disjoint on this mesh"
+    );
     let npe = mesh.nodes_per_element();
-    let chunk_size = ne.div_ceil(chunks);
-    let ranges: Vec<(usize, usize)> = (0..chunks)
-        .map(|c| {
-            let start = c * chunk_size;
-            (start.min(ne), ((c + 1) * chunk_size).min(ne))
-        })
-        .collect();
-    let partials: Vec<Conserved> = ranges
-        .par_iter()
-        .map(|&(start, end)| {
+    let viscous = gas.mu > 0.0;
+    let profile = profiler.is_some();
+    zero_state(out);
+    let shared = SharedRhs::new(out);
+    let agg = Mutex::new(PhaseProfiler::new());
+    for class in coloring.classes() {
+        class.par_chunks(chunk_elems).for_each(|elems| {
             let mut ws = ElementWorkspace::new(npe);
             let mut scratch = GeometryScratch::new(npe);
             let mut geom = ElementGeometry::with_capacity(npe);
-            let mut partial = Conserved::zeros(mesh.num_nodes());
-            let viscous = gas.mu > 0.0;
-            for e in start..end {
-                mesh.fill_element_geometry(e, basis, &mut scratch, &mut geom)
-                    .expect("valid mesh geometry");
-                ws.gather(mesh.element_nodes(e), conserved, prim);
-                ws.zero_residuals();
-                convective_flux(&mut ws);
-                weak_divergence(&mut ws, basis, &geom, 1.0);
-                if viscous {
-                    viscous_flux(&mut ws, gas, basis, &geom);
-                    weak_divergence(&mut ws, basis, &geom, -1.0);
+            let mut local = PhaseProfiler::new();
+            for &e in elems {
+                let e = e as usize;
+                eval_element(
+                    mesh,
+                    basis,
+                    gas,
+                    viscous,
+                    conserved,
+                    prim,
+                    e,
+                    &mut ws,
+                    &mut scratch,
+                    &mut geom,
+                    if profile { Some(&mut local) } else { None },
+                );
+                // SAFETY: indices come from the mesh connectivity (in
+                // bounds) and `elems` is a subset of one node-disjoint
+                // color class, so concurrent scatters never alias.
+                if profile {
+                    let t0 = Instant::now();
+                    unsafe { shared.scatter_add(mesh.element_nodes(e), &ws.res) };
+                    local.add(Phase::RkOther, t0.elapsed());
+                } else {
+                    unsafe { shared.scatter_add(mesh.element_nodes(e), &ws.res) };
                 }
-                ws.scatter_add(mesh.element_nodes(e), &mut partial);
             }
-            partial
-        })
-        .collect();
-    // Deterministic reduction in chunk order.
-    let mut total = Conserved::zeros(mesh.num_nodes());
-    for p in partials {
-        total.axpy(1.0, &p);
+            if profile {
+                agg.lock().unwrap().merge(&local);
+            }
+        });
     }
-    total
+    if let Some(p) = profiler {
+        p.merge(&agg.into_inner().unwrap());
+    }
+}
+
+/// Color-parallel in-place assembly: within each color class, threads
+/// scatter directly into the shared `out` with no private partials.
+///
+/// Memory stays O(num_nodes) and the result is bitwise identical across
+/// thread/chunk counts (see module docs). When `profiler` is given,
+/// per-thread stage timings are merged into it.
+///
+/// # Panics
+///
+/// Panics if state sizes disagree with the mesh or the coloring does not
+/// cover the mesh.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_rhs_colored_into(
+    mesh: &HexMesh,
+    basis: &HexBasis,
+    gas: &GasModel,
+    conserved: &Conserved,
+    prim: &Primitives,
+    coloring: &ElementColoring,
+    out: &mut Conserved,
+    profiler: Option<&mut PhaseProfiler>,
+) {
+    // One chunk per core within the largest class amortizes workspace
+    // allocation while keeping every core busy.
+    let max_class = coloring.max_class_size().max(1);
+    let chunk = max_class.div_ceil(available_threads()).max(1);
+    assemble_rhs_colored_with_chunk(
+        mesh, basis, gas, conserved, prim, coloring, chunk, out, profiler,
+    );
+}
+
+/// Assembles the residual into `out` with the given strategy
+/// (`coloring` is required for [`AssemblyStrategy::Colored`]).
+///
+/// [`AssemblyStrategy::Serial`] is evaluated as a single chunk.
+///
+/// # Panics
+///
+/// Panics on size mismatches, or if `strategy` is `Colored` and
+/// `coloring` is `None`.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_rhs_into(
+    mesh: &HexMesh,
+    basis: &HexBasis,
+    gas: &GasModel,
+    conserved: &Conserved,
+    prim: &Primitives,
+    strategy: AssemblyStrategy,
+    coloring: Option<&ElementColoring>,
+    out: &mut Conserved,
+    profiler: Option<&mut PhaseProfiler>,
+) {
+    match strategy {
+        AssemblyStrategy::Serial => {
+            assemble_rhs_chunked_into(mesh, basis, gas, conserved, prim, 1, out, profiler);
+        }
+        AssemblyStrategy::Chunked { chunks } => {
+            assemble_rhs_chunked_into(mesh, basis, gas, conserved, prim, chunks, out, profiler);
+        }
+        AssemblyStrategy::Colored => {
+            let coloring = coloring.expect("Colored strategy requires an ElementColoring");
+            assemble_rhs_colored_into(mesh, basis, gas, conserved, prim, coloring, out, profiler);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -82,6 +443,7 @@ mod tests {
     use super::*;
     use crate::tgv::TgvConfig;
     use fem_mesh::generator::BoxMeshBuilder;
+    use proptest::prelude::*;
 
     fn serial_reference(
         mesh: &HexMesh,
@@ -99,25 +461,34 @@ mod tests {
         out
     }
 
-    #[test]
-    fn parallel_assembly_matches_serial_to_rounding_and_is_deterministic() {
-        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+    fn flat(c: &Conserved) -> Vec<f64> {
+        let mut out = Vec::new();
+        c.for_each_field(|f| out.extend_from_slice(f));
+        out
+    }
+
+    fn tgv_setup(edge: usize) -> (HexMesh, HexBasis, GasModel, Conserved, Primitives) {
+        let mesh = BoxMeshBuilder::tgv_box(edge).build().unwrap();
         let basis = HexBasis::new(1).unwrap();
         let cfg = TgvConfig::standard();
         let gas = cfg.gas();
         let state = cfg.initial_state(&mesh);
         let mut prim = Primitives::zeros(mesh.num_nodes());
         prim.update_from(&state, &gas);
+        (mesh, basis, gas, state, prim)
+    }
+
+    #[test]
+    fn parallel_assembly_matches_serial_to_rounding_and_is_deterministic() {
+        let (mesh, basis, gas, state, prim) = tgv_setup(6);
         let reference = serial_reference(&mesh, &basis, &gas, &state, &prim);
-        let mut ref_flat = Vec::new();
-        reference.for_each_field(|f| ref_flat.extend_from_slice(f));
+        let ref_flat = flat(&reference);
         let scale = ref_flat.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         for chunks in [2usize, 3, 7, 16, 64] {
             let parallel = assemble_rhs_parallel(&mesh, &basis, &gas, &state, &prim, chunks);
             // Agrees with serial to rounding (grouping differs across
             // chunk boundaries).
-            let mut par_flat = Vec::new();
-            parallel.for_each_field(|f| par_flat.extend_from_slice(f));
+            let par_flat = flat(&parallel);
             for (a, b) in ref_flat.iter().zip(&par_flat) {
                 assert!(
                     (a - b).abs() <= 1e-12 * scale,
@@ -131,6 +502,112 @@ mod tests {
                 bits(&parallel),
                 bits(&again),
                 "chunks={chunks} nondeterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn colored_assembly_matches_serial_and_is_bitwise_stable() {
+        let (mesh, basis, gas, state, prim) = tgv_setup(6);
+        let coloring = ElementColoring::greedy(&mesh);
+        let reference = serial_reference(&mesh, &basis, &gas, &state, &prim);
+        let ref_flat = flat(&reference);
+        let scale = ref_flat.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+
+        let mut colored = Conserved::zeros(mesh.num_nodes());
+        assemble_rhs_colored_into(
+            &mesh,
+            &basis,
+            &gas,
+            &state,
+            &prim,
+            &coloring,
+            &mut colored,
+            None,
+        );
+        for (a, b) in ref_flat.iter().zip(&flat(&colored)) {
+            assert!((a - b).abs() <= 1e-12 * scale, "{a} vs {b}");
+        }
+
+        // Bitwise identical for ANY chunk granularity: the per-node
+        // grouping is fixed by the color order, not the schedule.
+        let auto_bits = bits(&colored);
+        for chunk in [1usize, 2, 5, 16, 1024] {
+            let mut again = Conserved::zeros(mesh.num_nodes());
+            assemble_rhs_colored_with_chunk(
+                &mesh, &basis, &gas, &state, &prim, &coloring, chunk, &mut again, None,
+            );
+            assert_eq!(auto_bits, bits(&again), "chunk={chunk} changed bits");
+        }
+    }
+
+    #[test]
+    fn strategy_dispatch_covers_all_paths() {
+        let (mesh, basis, gas, state, prim) = tgv_setup(4);
+        let coloring = ElementColoring::greedy(&mesh);
+        let reference = serial_reference(&mesh, &basis, &gas, &state, &prim);
+        let ref_flat = flat(&reference);
+        // Floor the scale: on the coarse 4³ box symmetric contributions
+        // cancel to ~0, so a pure-relative bound would compare rounding
+        // noise against rounding noise (same pattern as the conservation
+        // test in `driver`).
+        let scale = ref_flat.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+        for strategy in [
+            AssemblyStrategy::Serial,
+            AssemblyStrategy::chunked_auto(),
+            AssemblyStrategy::Chunked { chunks: 5 },
+            AssemblyStrategy::Colored,
+        ] {
+            let mut out = Conserved::zeros(mesh.num_nodes());
+            assemble_rhs_into(
+                &mesh,
+                &basis,
+                &gas,
+                &state,
+                &prim,
+                strategy,
+                Some(&coloring),
+                &mut out,
+                None,
+            );
+            for (a, b) in ref_flat.iter().zip(&flat(&out)) {
+                assert!((a - b).abs() <= 1e-12 * scale, "{strategy}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_profiling_merges_thread_time() {
+        let (mesh, basis, gas, state, prim) = tgv_setup(4);
+        let coloring = ElementColoring::greedy(&mesh);
+        for strategy in [
+            AssemblyStrategy::Chunked { chunks: 4 },
+            AssemblyStrategy::Colored,
+        ] {
+            let mut out = Conserved::zeros(mesh.num_nodes());
+            let mut prof = PhaseProfiler::new();
+            assemble_rhs_into(
+                &mesh,
+                &basis,
+                &gas,
+                &state,
+                &prim,
+                strategy,
+                Some(&coloring),
+                &mut out,
+                Some(&mut prof),
+            );
+            assert!(
+                prof.total(Phase::RkConvection) > std::time::Duration::ZERO,
+                "{strategy}: no convection time"
+            );
+            assert!(
+                prof.total(Phase::RkDiffusion) > std::time::Duration::ZERO,
+                "{strategy}: no diffusion time"
+            );
+            assert!(
+                prof.total(Phase::RkOther) > std::time::Duration::ZERO,
+                "{strategy}: no other time"
             );
         }
     }
@@ -172,5 +649,55 @@ mod tests {
         let mut prim = Primitives::zeros(mesh.num_nodes());
         prim.update_from(&state, &gas);
         assemble_rhs_parallel(&mesh, &basis, &gas, &state, &prim, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_colored_and_chunked_agree_with_serial(
+            nx in 3usize..6,
+            ny in 3usize..6,
+            nz in 3usize..6,
+            periodic in proptest::bool::ANY,
+            chunks in 2usize..9,
+        ) {
+            let mut b = BoxMeshBuilder::new();
+            b.elements(nx, ny, nz).periodic(periodic, periodic, periodic);
+            let mesh = b.build().unwrap();
+            let basis = HexBasis::new(1).unwrap();
+            let cfg = TgvConfig::standard();
+            let gas = cfg.gas();
+            let state = cfg.initial_state(&mesh);
+            let mut prim = Primitives::zeros(mesh.num_nodes());
+            prim.update_from(&state, &gas);
+            let coloring = ElementColoring::greedy(&mesh);
+            prop_assert!(coloring.is_valid(&mesh));
+
+            let reference = serial_reference(&mesh, &basis, &gas, &state, &prim);
+            let ref_flat = flat(&reference);
+            // Floored scale: degenerate random boxes (e.g. 4 elements per
+            // period) cancel symmetric contributions to ~0.
+            let scale = ref_flat.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+
+            let chunked = assemble_rhs_parallel(&mesh, &basis, &gas, &state, &prim, chunks);
+            for (a, b) in ref_flat.iter().zip(&flat(&chunked)) {
+                prop_assert!((a - b).abs() <= 1e-12 * scale, "chunked: {} vs {}", a, b);
+            }
+
+            let mut colored = Conserved::zeros(mesh.num_nodes());
+            assemble_rhs_colored_into(
+                &mesh, &basis, &gas, &state, &prim, &coloring, &mut colored, None,
+            );
+            for (a, b) in ref_flat.iter().zip(&flat(&colored)) {
+                prop_assert!((a - b).abs() <= 1e-12 * scale, "colored: {} vs {}", a, b);
+            }
+
+            // Colored grouping is schedule-independent: two different
+            // chunk granularities give bitwise-equal results.
+            let mut again = Conserved::zeros(mesh.num_nodes());
+            assemble_rhs_colored_with_chunk(
+                &mesh, &basis, &gas, &state, &prim, &coloring, chunks, &mut again, None,
+            );
+            prop_assert_eq!(bits(&colored), bits(&again));
+        }
     }
 }

@@ -83,6 +83,20 @@ impl PhaseProfiler {
         self.totals[phase.index()] += d;
     }
 
+    /// Adds every phase total of `other` into `self`.
+    ///
+    /// This is how the parallel assembly strategies report per-stage
+    /// attribution: each worker accumulates into a thread-local profiler
+    /// and the locals are merged afterwards. The merged totals are
+    /// **summed thread time**, so under a parallel strategy
+    /// [`PhaseProfiler::grand_total`] can exceed wall-clock time; the
+    /// *relative* Fig 2 breakdown stays meaningful.
+    pub fn merge(&mut self, other: &PhaseProfiler) {
+        for (t, o) in self.totals.iter_mut().zip(&other.totals) {
+            *t += *o;
+        }
+    }
+
     /// Accumulated time in `phase`.
     pub fn total(&self, phase: Phase) -> Duration {
         self.totals[phase.index()]
@@ -178,6 +192,21 @@ mod tests {
         assert!(p.total(Phase::RkOther) > Duration::ZERO);
         p.reset();
         assert_eq!(p.grand_total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn merge_sums_per_phase() {
+        let mut a = PhaseProfiler::new();
+        a.add(Phase::RkConvection, Duration::from_millis(10));
+        a.add(Phase::NonRk, Duration::from_millis(1));
+        let mut b = PhaseProfiler::new();
+        b.add(Phase::RkConvection, Duration::from_millis(5));
+        b.add(Phase::RkDiffusion, Duration::from_millis(7));
+        a.merge(&b);
+        assert_eq!(a.total(Phase::RkConvection), Duration::from_millis(15));
+        assert_eq!(a.total(Phase::RkDiffusion), Duration::from_millis(7));
+        assert_eq!(a.total(Phase::NonRk), Duration::from_millis(1));
+        assert_eq!(a.grand_total(), Duration::from_millis(23));
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! The paper solves the 3D compressible Navier-Stokes equations "using the
 //! initial and boundary conditions defined by the Taylor-Green Vortex
-//! problem" (§II-A, refs [21], [14]). The TGV is a triply periodic flow in
+//! problem" (§II-A, refs \[21], \[14]). The TGV is a triply periodic flow in
 //! `[0, 2π]³` that transitions from a smooth vortex into turbulence while
 //! kinetic energy decays — the standard scale-resolving CFD benchmark.
 
@@ -59,7 +59,7 @@ impl TgvConfig {
         }
     }
 
-    /// The paper-adjacent default: `M = 0.1`, `Re = 1600` (DeBonis [21]).
+    /// The paper-adjacent default: `M = 0.1`, `Re = 1600` (DeBonis \[21]).
     pub fn standard() -> Self {
         Self::new(0.1, 1600.0)
     }

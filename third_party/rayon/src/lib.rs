@@ -1,23 +1,75 @@
 //! Offline stub of `rayon` (see `third_party/README.md`).
 //!
-//! Provides the `par_iter()` / `into_par_iter()` → `map` → `collect`
-//! pipeline this workspace uses. Unlike a pass-through sequential stub,
-//! `collect` genuinely fans the mapped items out over `std::thread::scope`
-//! threads (one chunk per available core) and reassembles the results in
-//! input order, so the parallel assembly paths stay parallel.
+//! Provides the subset of rayon's data-parallel API this workspace uses:
+//! the `par_iter()` / `into_par_iter()` → `map` → `collect` pipeline plus
+//! the side-effect and reduction patterns (`for_each`, `fold`/`reduce`,
+//! `zip`, `par_chunks`/`par_chunks_mut`). Unlike a pass-through sequential
+//! stub, every terminal operation genuinely fans the work out over
+//! `std::thread::scope` threads (one chunk per available core) and
+//! recombines the per-chunk results **in input order**, so:
+//!
+//! * parallel assembly paths stay parallel, and
+//! * reductions are deterministic for a fixed worker count — the chunk
+//!   boundaries (and therefore the floating-point grouping) depend only on
+//!   the item count and `available_parallelism`, never on scheduling.
 
 use std::num::NonZeroUsize;
 
 pub mod prelude {
     //! The subset of `rayon::prelude` the workspace imports.
-    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+        ParallelSliceMut,
+    };
 }
 
-/// Number of worker threads used for `collect`.
+/// Number of worker threads used by the terminal operations.
 fn num_threads() -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Splits `items` into one contiguous chunk per worker, runs `f` on each
+/// chunk on a scoped thread, and returns the per-chunk results in input
+/// order. Panics inside `f` are resumed on the caller (like real rayon).
+fn run_chunked<T, U>(items: Vec<T>, f: impl Fn(Vec<T>) -> U + Sync) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = num_threads().min(n);
+    if workers <= 1 {
+        return vec![f(items)];
+    }
+    let chunk = n.div_ceil(workers);
+    let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut iter = items.into_iter();
+    loop {
+        let c: Vec<T> = iter.by_ref().take(chunk).collect();
+        if c.is_empty() {
+            break;
+        }
+        chunks.push(c);
+    }
+    let f = &f;
+    let mut out: Vec<U> = Vec::with_capacity(chunks.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = chunks.into_iter().map(|c| s.spawn(move || f(c))).collect();
+        for h in handles {
+            // Resume the original payload so assertion messages from
+            // inside parallel closures survive (like real rayon).
+            match h.join() {
+                Ok(u) => out.push(u),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
 }
 
 /// A "parallel" iterator over an eagerly collected item list.
@@ -63,6 +115,13 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     }
 }
 
+impl<T: Send> IntoParallelIterator for ParIter<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        self
+    }
+}
+
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Item = &'a T;
     fn par_iter(&'a self) -> ParIter<&'a T> {
@@ -79,11 +138,52 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// `.par_chunks()` on slices, mirroring rayon's `ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over contiguous `size`-element chunks (the last
+    /// chunk may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<&[T]> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks(size).collect(),
+        }
+    }
+}
+
+/// `.par_chunks_mut()` on slices, mirroring rayon's `ParallelSliceMut`.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over contiguous mutable `size`-element chunks
+    /// (the last chunk may be shorter).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<&mut [T]> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParIter {
+            items: self.chunks_mut(size).collect(),
+        }
+    }
+}
+
 /// The operations available on the stub's parallel iterators.
 pub trait ParallelIterator: Sized {
     /// Item type.
     type Item: Send;
-    /// Maps each item through `f` (lazily; work happens in `collect`).
+    /// Maps each item through `f` (lazily; work happens in the terminal
+    /// operation).
     fn map<R, F>(self, f: F) -> ParMap<Self::Item, F>
     where
         R: Send,
@@ -92,6 +192,30 @@ pub trait ParallelIterator: Sized {
     fn collect<C>(self) -> C
     where
         C: FromParallelIterator<Self::Item>;
+    /// Applies `f` to every item across worker threads (no result).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync;
+    /// Folds each worker chunk from `identity()` with `fold_op`, yielding
+    /// a parallel iterator over the per-chunk accumulators (rayon's
+    /// `fold`; chain with [`ParallelIterator::reduce`] or `map`).
+    fn fold<U, ID, F>(self, identity: ID, fold_op: F) -> ParIter<U>
+    where
+        U: Send,
+        ID: Fn() -> U + Sync,
+        F: Fn(U, Self::Item) -> U + Sync;
+    /// Reduces all items to one value: worker chunks fold in parallel,
+    /// then the per-chunk results combine in input order. Returns
+    /// `identity()` when empty.
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> Self::Item
+    where
+        ID: Fn() -> Self::Item + Sync,
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync;
+    /// Pairs items positionally with `other`, truncating to the shorter
+    /// side (rayon's `IndexedParallelIterator::zip`).
+    fn zip<Z>(self, other: Z) -> ParIter<(Self::Item, Z::Item)>
+    where
+        Z: IntoParallelIterator;
 }
 
 impl<T: Send> ParallelIterator for ParIter<T> {
@@ -112,6 +236,53 @@ impl<T: Send> ParallelIterator for ParIter<T> {
     {
         C::from_vec(self.items)
     }
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        let f = &f;
+        run_chunked(self.items, |chunk| {
+            for item in chunk {
+                f(item);
+            }
+        });
+    }
+    fn fold<U, ID, F>(self, identity: ID, fold_op: F) -> ParIter<U>
+    where
+        U: Send,
+        ID: Fn() -> U + Sync,
+        F: Fn(U, T) -> U + Sync,
+    {
+        let identity = &identity;
+        let fold_op = &fold_op;
+        ParIter {
+            items: run_chunked(self.items, |chunk| {
+                chunk.into_iter().fold(identity(), fold_op)
+            }),
+        }
+    }
+    fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: Fn() -> T + Sync,
+        OP: Fn(T, T) -> T + Sync,
+    {
+        let id = &identity;
+        let op_ref = &op;
+        let partials = run_chunked(self.items, |chunk| chunk.into_iter().fold(id(), op_ref));
+        partials.into_iter().fold(identity(), &op)
+    }
+    fn zip<Z>(self, other: Z) -> ParIter<(T, Z::Item)>
+    where
+        Z: IntoParallelIterator,
+    {
+        ParIter {
+            items: self
+                .items
+                .into_iter()
+                .zip(other.into_par_iter().items)
+                .collect(),
+        }
+    }
 }
 
 impl<T, R, F> ParMap<T, F>
@@ -123,38 +294,11 @@ where
     /// Maps the items over scoped worker threads, preserving order.
     fn run(self) -> Vec<R> {
         let ParMap { items, f } = self;
-        let n = items.len();
-        let workers = num_threads().min(n.max(1));
-        if workers <= 1 || n < 2 {
-            return items.into_iter().map(f).collect();
-        }
-        let chunk = n.div_ceil(workers);
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(workers);
-        let mut iter = items.into_iter();
-        loop {
-            let c: Vec<T> = iter.by_ref().take(chunk).collect();
-            if c.is_empty() {
-                break;
-            }
-            chunks.push(c);
-        }
         let f = &f;
-        let mut out: Vec<R> = Vec::with_capacity(n);
-        std::thread::scope(|s| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|c| s.spawn(move || c.into_iter().map(f).collect::<Vec<R>>()))
-                .collect();
-            for h in handles {
-                // Resume the original payload so assertion messages from
-                // inside parallel closures survive (like real rayon).
-                match h.join() {
-                    Ok(chunk) => out.extend(chunk),
-                    Err(payload) => std::panic::resume_unwind(payload),
-                }
-            }
-        });
-        out
+        run_chunked(items, |chunk| chunk.into_iter().map(f).collect::<Vec<R>>())
+            .into_iter()
+            .flatten()
+            .collect()
     }
 
     /// Runs the map and collects the results in input order.
@@ -163,6 +307,61 @@ where
         C: FromParallelIterator<R>,
     {
         C::from_vec(self.run())
+    }
+
+    /// Applies `g` to every mapped item across worker threads.
+    pub fn for_each<G>(self, g: G)
+    where
+        G: Fn(R) + Sync,
+    {
+        let ParMap { items, f } = self;
+        let f = &f;
+        let g = &g;
+        run_chunked(items, |chunk| {
+            for item in chunk {
+                g(f(item));
+            }
+        });
+    }
+
+    /// Folds each worker chunk of mapped items from `identity()`, yielding
+    /// the per-chunk accumulators as a parallel iterator.
+    pub fn fold<U, ID, G>(self, identity: ID, fold_op: G) -> ParIter<U>
+    where
+        U: Send,
+        ID: Fn() -> U + Sync,
+        G: Fn(U, R) -> U + Sync,
+    {
+        let ParMap { items, f } = self;
+        let f = &f;
+        let identity = &identity;
+        let fold_op = &fold_op;
+        ParIter {
+            items: run_chunked(items, |chunk| {
+                chunk
+                    .into_iter()
+                    .fold(identity(), |acc, item| fold_op(acc, f(item)))
+            }),
+        }
+    }
+
+    /// Reduces the mapped items to one value (per-chunk folds in
+    /// parallel, combined in input order; `identity()` when empty).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> R
+    where
+        ID: Fn() -> R + Sync,
+        OP: Fn(R, R) -> R + Sync,
+    {
+        let ParMap { items, f } = self;
+        let f = &f;
+        let id = &identity;
+        let op_ref = &op;
+        let partials = run_chunked(items, |chunk| {
+            chunk
+                .into_iter()
+                .fold(id(), |acc, item| op_ref(acc, f(item)))
+        });
+        partials.into_iter().fold(identity(), &op)
     }
 }
 
@@ -182,6 +381,7 @@ impl<T> FromParallelIterator<T> for Vec<T> {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
     fn range_map_collect_preserves_order() {
@@ -201,5 +401,116 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u8> = (0..0).into_par_iter().map(|_| 1u8).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let count = AtomicUsize::new(0);
+        let sum = AtomicUsize::new(0);
+        (0..500).into_par_iter().for_each(|i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            sum.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 500);
+        assert_eq!(sum.load(Ordering::Relaxed), 499 * 500 / 2);
+    }
+
+    #[test]
+    fn mapped_for_each_applies_both_stages() {
+        let sum = AtomicUsize::new(0);
+        (0..100).into_par_iter().map(|i| i * 2).for_each(|x| {
+            sum.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 99 * 100);
+    }
+
+    #[test]
+    fn fold_then_reduce_sums() {
+        let total = (0..10_000)
+            .into_par_iter()
+            .fold(|| 0usize, |acc, i| acc + i)
+            .reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 9_999 * 10_000 / 2);
+    }
+
+    #[test]
+    fn reduce_on_mapped_items() {
+        let max = (0..257)
+            .into_par_iter()
+            .map(|i| (i * 31) % 257)
+            .reduce(|| 0, |a, b| a.max(b));
+        assert_eq!(max, 256);
+    }
+
+    #[test]
+    fn reduce_of_empty_is_identity() {
+        let v: Vec<usize> = Vec::new();
+        let r = v.into_par_iter().reduce(|| 42, |a, b| a + b);
+        assert_eq!(r, 42);
+    }
+
+    #[test]
+    fn reduce_is_deterministic_across_runs() {
+        // Floating-point grouping depends only on item count and worker
+        // count, so two identical runs are bitwise equal.
+        let run = || {
+            (0..10_000)
+                .into_par_iter()
+                .map(|i| 1.0 / (1.0 + i as f64))
+                .reduce(|| 0.0, |a, b| a + b)
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn zip_pairs_positionally_and_truncates() {
+        let a = vec![1, 2, 3, 4];
+        let b = vec![10, 20, 30];
+        let pairs: Vec<(i32, i32)> = a.into_par_iter().zip(b).collect();
+        assert_eq!(pairs, vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn par_chunks_covers_the_slice() {
+        let data: Vec<usize> = (0..103).collect();
+        let sums: Vec<usize> = data
+            .par_chunks(10)
+            .map(|c| c.iter().sum::<usize>())
+            .collect();
+        assert_eq!(sums.len(), 11);
+        assert_eq!(sums.iter().sum::<usize>(), 102 * 103 / 2);
+    }
+
+    #[test]
+    fn par_chunks_mut_mutates_in_place() {
+        let mut data = vec![1i64; 1000];
+        data.par_chunks_mut(64).for_each(|chunk| {
+            for v in chunk {
+                *v *= 3;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 3));
+    }
+
+    #[test]
+    fn zipped_chunks_scale_elementwise() {
+        // The driver's lumped-mass divide pattern.
+        let mut num = vec![10.0f64; 97];
+        let den = vec![2.0f64; 97];
+        num.par_chunks_mut(16)
+            .zip(den.par_chunks(16))
+            .for_each(|(n, d)| {
+                for (x, y) in n.iter_mut().zip(d) {
+                    *x /= y;
+                }
+            });
+        assert!(num.iter().all(|&v| v == 5.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size")]
+    fn zero_chunk_size_panics() {
+        let data = [1, 2, 3];
+        let _ = data.par_chunks(0);
     }
 }
