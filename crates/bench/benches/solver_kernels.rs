@@ -5,9 +5,12 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use fem_mesh::coloring::ElementColoring;
 use fem_mesh::generator::BoxMeshBuilder;
+use fem_mesh::geometry::GeometryCache;
 use fem_mesh::hex::{ElementGeometry, GeometryScratch};
 use fem_numerics::tensor::HexBasis;
-use fem_solver::kernels::{convective_flux, viscous_flux, weak_divergence, ElementWorkspace};
+use fem_solver::kernels::{
+    convective_flux, fused_flux, viscous_flux, weak_divergence, ElementWorkspace,
+};
 use fem_solver::parallel::{assemble_rhs_chunked_into, assemble_rhs_colored_into};
 use fem_solver::state::{Conserved, Primitives};
 use fem_solver::tgv::TgvConfig;
@@ -34,12 +37,15 @@ fn bench_kernels(c: &mut Criterion) {
         b.iter(|| convective_flux(&mut ws));
     });
     group.bench_function("viscous_flux", |b| {
-        b.iter(|| viscous_flux(&mut ws, &gas, &basis, &geom));
+        b.iter(|| viscous_flux(&mut ws, &gas, &basis, geom.view()));
+    });
+    group.bench_function("fused_flux", |b| {
+        b.iter(|| fused_flux(&mut ws, &gas, &basis, geom.view()));
     });
     group.bench_function("weak_divergence", |b| {
         b.iter(|| {
             ws.zero_residuals();
-            weak_divergence(&mut ws, &basis, &geom, 1.0);
+            weak_divergence(&mut ws, &basis, geom.view(), 1.0);
         });
     });
     group.bench_function("geometry", |b| {
@@ -48,16 +54,26 @@ fn bench_kernels(c: &mut Criterion) {
                 .unwrap()
         });
     });
-    group.bench_function("full_element_rkl", |b| {
+    group.bench_function("full_element_rkl_fused", |b| {
+        let cache = GeometryCache::build(&mesh, &basis).unwrap();
+        b.iter(|| {
+            let g = cache.element(0);
+            ws.gather(mesh.element_nodes(0), &conserved, &prim);
+            ws.zero_residuals();
+            fused_flux(&mut ws, &gas, &basis, g);
+            weak_divergence(&mut ws, &basis, g, 1.0);
+        });
+    });
+    group.bench_function("full_element_rkl_split_recompute", |b| {
         b.iter(|| {
             mesh.fill_element_geometry(0, &basis, &mut scratch, &mut geom)
                 .unwrap();
             ws.gather(mesh.element_nodes(0), &conserved, &prim);
             ws.zero_residuals();
             convective_flux(&mut ws);
-            weak_divergence(&mut ws, &basis, &geom, 1.0);
-            viscous_flux(&mut ws, &gas, &basis, &geom);
-            weak_divergence(&mut ws, &basis, &geom, -1.0);
+            weak_divergence(&mut ws, &basis, geom.view(), 1.0);
+            viscous_flux(&mut ws, &gas, &basis, geom.view());
+            weak_divergence(&mut ws, &basis, geom.view(), -1.0);
         });
     });
     group.finish();
@@ -66,6 +82,7 @@ fn bench_kernels(c: &mut Criterion) {
 /// Full-mesh RHS assembly, one strategy per benchmark: the serial
 /// baseline, chunked private-partials, and color-parallel in-place
 /// scatter (the paper's scatter-hazard resolution on a multi-core host).
+/// All strategies stream the precomputed geometry cache.
 fn bench_assembly_strategies(c: &mut Criterion) {
     let mesh = BoxMeshBuilder::tgv_box(8).build().unwrap();
     let basis = HexBasis::new(1).unwrap();
@@ -75,6 +92,7 @@ fn bench_assembly_strategies(c: &mut Criterion) {
     let mut prim = Primitives::zeros(mesh.num_nodes());
     prim.update_from(&conserved, &gas);
     let coloring = ElementColoring::greedy(&mesh);
+    let geometry = GeometryCache::build(&mesh, &basis).unwrap();
     let threads = fem_solver::parallel::available_threads();
     let mut out = Conserved::zeros(mesh.num_nodes());
 
@@ -82,25 +100,96 @@ fn bench_assembly_strategies(c: &mut Criterion) {
     group.throughput(Throughput::Elements(mesh.num_elements() as u64));
     group.bench_function("serial", |b| {
         b.iter(|| {
-            assemble_rhs_chunked_into(&mesh, &basis, &gas, &conserved, &prim, 1, &mut out, None)
+            assemble_rhs_chunked_into(
+                &mesh, &basis, &gas, &geometry, &conserved, &prim, 1, &mut out, None,
+            )
         });
     });
     group.bench_function("chunked", |b| {
         b.iter(|| {
             assemble_rhs_chunked_into(
-                &mesh, &basis, &gas, &conserved, &prim, threads, &mut out, None,
+                &mesh, &basis, &gas, &geometry, &conserved, &prim, threads, &mut out, None,
             )
         });
     });
     group.bench_function("colored", |b| {
         b.iter(|| {
             assemble_rhs_colored_into(
-                &mesh, &basis, &gas, &conserved, &prim, &coloring, &mut out, None,
+                &mesh, &basis, &gas, &geometry, &conserved, &prim, &coloring, &mut out, None,
             )
         });
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_kernels, bench_assembly_strategies);
+/// The PR-3 optimization ladder at full-mesh granularity: seed
+/// recompute+split vs cached+split vs cached+fused, plus the one-time
+/// cache construction cost it amortizes away.
+fn bench_geometry_cache(c: &mut Criterion) {
+    let mesh = BoxMeshBuilder::tgv_box(8).build().unwrap();
+    let basis = HexBasis::new(1).unwrap();
+    let cfg = TgvConfig::standard();
+    let gas = cfg.gas();
+    let conserved = cfg.initial_state(&mesh);
+    let mut prim = Primitives::zeros(mesh.num_nodes());
+    prim.update_from(&conserved, &gas);
+    let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+    let npe = mesh.nodes_per_element();
+    let mut out = Conserved::zeros(mesh.num_nodes());
+
+    let mut group = c.benchmark_group("geometry_cache");
+    group.throughput(Throughput::Elements(mesh.num_elements() as u64));
+    group.bench_function("build", |b| {
+        b.iter(|| GeometryCache::build(&mesh, &basis).unwrap());
+    });
+    group.bench_function("rhs_recompute_split", |b| {
+        let mut ws = ElementWorkspace::new(npe);
+        let mut scratch = GeometryScratch::new(npe);
+        let mut geom = ElementGeometry::with_capacity(npe);
+        let mut rhs = Conserved::zeros(mesh.num_nodes());
+        b.iter(|| {
+            for e in 0..mesh.num_elements() {
+                mesh.fill_element_geometry(e, &basis, &mut scratch, &mut geom)
+                    .unwrap();
+                ws.gather(mesh.element_nodes(e), &conserved, &prim);
+                ws.zero_residuals();
+                convective_flux(&mut ws);
+                weak_divergence(&mut ws, &basis, geom.view(), 1.0);
+                viscous_flux(&mut ws, &gas, &basis, geom.view());
+                weak_divergence(&mut ws, &basis, geom.view(), -1.0);
+                ws.scatter_add(mesh.element_nodes(e), &mut rhs);
+            }
+        });
+    });
+    group.bench_function("rhs_cached_split", |b| {
+        b.iter(|| {
+            fem_solver::parallel::assemble_rhs_split_into(
+                &mesh,
+                &basis,
+                &gas,
+                &geometry,
+                &conserved,
+                &prim,
+                fem_solver::parallel::AssemblyStrategy::Serial,
+                None,
+                &mut out,
+            )
+        });
+    });
+    group.bench_function("rhs_cached_fused", |b| {
+        b.iter(|| {
+            assemble_rhs_chunked_into(
+                &mesh, &basis, &gas, &geometry, &conserved, &prim, 1, &mut out, None,
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_assembly_strategies,
+    bench_geometry_cache
+);
 criterion_main!(benches);

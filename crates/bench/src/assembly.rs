@@ -9,6 +9,7 @@
 
 use fem_mesh::coloring::ElementColoring;
 use fem_mesh::generator::BoxMeshBuilder;
+use fem_mesh::geometry::GeometryCache;
 use fem_numerics::rk::StateOps;
 use fem_numerics::tensor::HexBasis;
 use fem_solver::parallel::{
@@ -113,6 +114,7 @@ pub fn run_assembly_scaling(edges: &[usize], reps: usize) -> AssemblyScalingTabl
         prim.update_from(&conserved, &gas);
         let coloring = ElementColoring::greedy(&mesh);
         colors_by_edge.push((edge, coloring.num_colors()));
+        let geometry = GeometryCache::build(&mesh, &basis).expect("valid geometry");
 
         let mut out = Conserved::zeros(mesh.num_nodes());
         let mut reference = Conserved::zeros(mesh.num_nodes());
@@ -125,14 +127,14 @@ pub fn run_assembly_scaling(edges: &[usize], reps: usize) -> AssemblyScalingTabl
         let mut serial_ms = 0.0;
         for strategy in strategies {
             let assemble = |out: &mut Conserved| match strategy {
-                AssemblyStrategy::Serial => {
-                    assemble_rhs_chunked_into(&mesh, &basis, &gas, &conserved, &prim, 1, out, None)
-                }
+                AssemblyStrategy::Serial => assemble_rhs_chunked_into(
+                    &mesh, &basis, &gas, &geometry, &conserved, &prim, 1, out, None,
+                ),
                 AssemblyStrategy::Chunked { chunks } => assemble_rhs_chunked_into(
-                    &mesh, &basis, &gas, &conserved, &prim, chunks, out, None,
+                    &mesh, &basis, &gas, &geometry, &conserved, &prim, chunks, out, None,
                 ),
                 AssemblyStrategy::Colored => assemble_rhs_colored_into(
-                    &mesh, &basis, &gas, &conserved, &prim, &coloring, out, None,
+                    &mesh, &basis, &gas, &geometry, &conserved, &prim, &coloring, out, None,
                 ),
             };
             // Warm-up (also produces the correctness snapshot).

@@ -9,6 +9,7 @@
 //! repro optimizer   §III-D optimization trace on the proposed design
 //! repro scaling     future-work study: RKL units across SLRs
 //! repro assembly    host-CPU chunked-vs-colored assembly scaling
+//! repro geometry    cached-vs-recompute + fused-vs-split RHS ladder
 //! repro all         everything above
 //!
 //! options: --json   machine-readable output
@@ -66,6 +67,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
             &fem_bench::assembly::run_assembly_scaling(&[6, 8, 10], 5),
             mode,
         ),
+        "geometry" => emit(&fem_bench::geometry::run_geometry_study(&[8, 12], 5), mode),
         "all" => {
             for c in [
                 "fig2",
@@ -76,6 +78,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
                 "optimizer",
                 "scaling",
                 "assembly",
+                "geometry",
             ] {
                 run(c, mode)?;
             }
@@ -84,7 +87,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|all> [--json]"
+                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|geometry|all> [--json]"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,355 @@
+//! Cached-vs-recompute and fused-vs-split RHS study: `repro geometry`.
+//!
+//! Measures one full viscous RKL residual assembly on TGV boxes along the
+//! optimization ladder this repo climbed in PR 3:
+//!
+//! 1. `recompute+split` — the seed hot path: element Jacobians rebuilt
+//!    from nodal coordinates on every evaluation, two weak-divergence
+//!    contractions (convective then viscous).
+//! 2. `cached+split` — same split kernels reading the precomputed
+//!    [`GeometryCache`] slices: isolates the geometry-cache win.
+//! 3. `cached+fused` — the production serial path: cached geometry plus
+//!    the fused `F_c − F_v` single-contraction kernel.
+//! 4. `cached+fused colored` — the production parallel path
+//!    ([`AssemblyStrategy::Colored`]), whose result is bitwise identical
+//!    across any worker/chunk granularity.
+//!
+//! Every path is cross-checked against the seed residual, the colored
+//! path's bitwise schedule-independence is verified across chunk
+//! granularities (the knob that subsumes thread count in the in-order
+//! rayon stub), and the table reports the cache's memory footprint — the
+//! space the optimization trades for the per-stage Jacobian rebuild.
+
+use fem_mesh::coloring::ElementColoring;
+use fem_mesh::generator::BoxMeshBuilder;
+use fem_mesh::geometry::GeometryCache;
+use fem_mesh::hex::{ElementGeometry, GeometryScratch};
+use fem_mesh::HexMesh;
+use fem_numerics::rk::StateOps;
+use fem_numerics::tensor::HexBasis;
+use fem_solver::kernels::{convective_flux, viscous_flux, weak_divergence, ElementWorkspace};
+use fem_solver::parallel::{
+    assemble_rhs_colored_with_chunk, assemble_rhs_into, assemble_rhs_split_into, AssemblyStrategy,
+};
+use fem_solver::state::{Conserved, Primitives};
+use fem_solver::tgv::TgvConfig;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One (mesh size, RHS path) measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct GeometryRow {
+    /// Elements per axis of the periodic TGV box.
+    pub edge: usize,
+    /// Total mesh nodes.
+    pub nodes: usize,
+    /// Path label (`recompute+split`, `cached+split`, `cached+fused`,
+    /// `cached+fused colored`).
+    pub path: String,
+    /// Mean wall-clock milliseconds per full RHS assembly.
+    pub millis_per_assembly: f64,
+    /// Seed (`recompute+split`) time divided by this path's time.
+    pub speedup_vs_seed: f64,
+    /// Max abs deviation from the seed residual, relative to the seed
+    /// max-norm (floored at 1): a correctness cross-check.
+    pub max_rel_error_vs_seed: f64,
+}
+
+/// Per-mesh-size derived summary.
+#[derive(Debug, Clone, Serialize)]
+pub struct GeometrySummary {
+    /// Elements per axis.
+    pub edge: usize,
+    /// Total mesh nodes.
+    pub nodes: usize,
+    /// Heap bytes held by the geometry cache for this mesh.
+    pub cache_memory_bytes: usize,
+    /// Speedup of cached geometry alone (split kernels on both sides).
+    pub cached_over_recompute: f64,
+    /// Speedup of the fused single contraction alone (cached geometry on
+    /// both sides).
+    pub fused_over_split: f64,
+    /// Headline: the full cached+fused serial path over the seed path.
+    pub cached_fused_over_seed: f64,
+    /// Whether the colored path produced bitwise-identical residuals
+    /// across all tested chunk granularities.
+    pub colored_bitwise_stable: bool,
+}
+
+/// The full study plus the environment it was measured in.
+#[derive(Debug, Clone, Serialize)]
+pub struct GeometryStudy {
+    /// Worker threads available to the rayon stub.
+    pub threads: usize,
+    /// Measurements, grouped by edge then path (fixed order, 4 per edge).
+    pub rows: Vec<GeometryRow>,
+    /// Per-edge derived speedups and the cache footprint.
+    pub summaries: Vec<GeometrySummary>,
+}
+
+impl std::fmt::Display for GeometryStudy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Geometry cache + fused kernel: RHS assembly ladder ({} threads):",
+            self.threads
+        )?;
+        writeln!(
+            f,
+            "  {:>5} {:>8} {:>22} {:>12} {:>9} {:>12}",
+            "edge", "nodes", "path", "ms/assembly", "speedup", "max rel err"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>5} {:>8} {:>22} {:>12.3} {:>8.2}x {:>12.2e}",
+                r.edge,
+                r.nodes,
+                r.path,
+                r.millis_per_assembly,
+                r.speedup_vs_seed,
+                r.max_rel_error_vs_seed
+            )?;
+        }
+        for s in &self.summaries {
+            writeln!(
+                f,
+                "  edge {:>2}: cache {:>8} B | cached/recompute {:.2}x | fused/split {:.2}x | total {:.2}x | colored bitwise stable: {}",
+                s.edge,
+                s.cache_memory_bytes,
+                s.cached_over_recompute,
+                s.fused_over_split,
+                s.cached_fused_over_seed,
+                s.colored_bitwise_stable
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The seed hot path, reproduced verbatim: geometry rebuilt per element,
+/// split convective + viscous contractions, serial element order.
+fn assemble_seed_recompute_split(
+    mesh: &HexMesh,
+    basis: &HexBasis,
+    gas: &fem_solver::gas::GasModel,
+    conserved: &Conserved,
+    prim: &Primitives,
+    out: &mut Conserved,
+) {
+    let npe = mesh.nodes_per_element();
+    let mut ws = ElementWorkspace::new(npe);
+    let mut scratch = GeometryScratch::new(npe);
+    let mut geom = ElementGeometry::with_capacity(npe);
+    out.set_zero();
+    for e in 0..mesh.num_elements() {
+        mesh.fill_element_geometry(e, basis, &mut scratch, &mut geom)
+            .expect("valid mesh geometry");
+        ws.gather(mesh.element_nodes(e), conserved, prim);
+        ws.zero_residuals();
+        convective_flux(&mut ws);
+        weak_divergence(&mut ws, basis, geom.view(), 1.0);
+        if gas.mu > 0.0 {
+            viscous_flux(&mut ws, gas, basis, geom.view());
+            weak_divergence(&mut ws, basis, geom.view(), -1.0);
+        }
+        ws.scatter_add(mesh.element_nodes(e), out);
+    }
+}
+
+fn max_rel_error(reference: &Conserved, candidate: &Conserved) -> f64 {
+    let mut ref_flat = Vec::new();
+    reference.for_each_field(|fld| ref_flat.extend_from_slice(fld));
+    let mut cand_flat = Vec::new();
+    candidate.for_each_field(|fld| cand_flat.extend_from_slice(fld));
+    let scale = ref_flat.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+    ref_flat
+        .iter()
+        .zip(&cand_flat)
+        .map(|(a, b)| (a - b).abs() / scale)
+        .fold(0.0, f64::max)
+}
+
+fn bits(c: &Conserved) -> Vec<u64> {
+    let mut out = Vec::new();
+    c.for_each_field(|f| out.extend(f.iter().map(|x| x.to_bits())));
+    out
+}
+
+/// One labeled RHS-assembly path under measurement.
+type AssemblyPath<'a> = (&'a str, Box<dyn Fn(&mut Conserved) + 'a>);
+
+/// Runs the study: `reps` timed assemblies per path on a viscous TGV box
+/// of each `edges` entry.
+///
+/// # Panics
+///
+/// Panics if `reps == 0` or mesh construction fails.
+pub fn run_geometry_study(edges: &[usize], reps: usize) -> GeometryStudy {
+    assert!(reps > 0, "reps");
+    let threads = fem_solver::parallel::available_threads();
+    let mut rows = Vec::new();
+    let mut summaries = Vec::new();
+    for &edge in edges {
+        let mesh = BoxMeshBuilder::tgv_box(edge).build().expect("valid box");
+        let basis = HexBasis::new(1).expect("valid basis");
+        let cfg = TgvConfig::standard();
+        let gas = cfg.gas();
+        assert!(gas.mu > 0.0, "the study measures the viscous hot path");
+        let conserved = cfg.initial_state(&mesh);
+        let mut prim = Primitives::zeros(mesh.num_nodes());
+        prim.update_from(&conserved, &gas);
+        let geometry = GeometryCache::build(&mesh, &basis).expect("valid geometry");
+        let coloring = ElementColoring::greedy(&mesh);
+
+        let mut out = Conserved::zeros(mesh.num_nodes());
+        let mut seed = Conserved::zeros(mesh.num_nodes());
+
+        let paths: [AssemblyPath; 4] = [
+            (
+                "recompute+split",
+                Box::new(|out: &mut Conserved| {
+                    assemble_seed_recompute_split(&mesh, &basis, &gas, &conserved, &prim, out)
+                }),
+            ),
+            (
+                "cached+split",
+                Box::new(|out: &mut Conserved| {
+                    assemble_rhs_split_into(
+                        &mesh,
+                        &basis,
+                        &gas,
+                        &geometry,
+                        &conserved,
+                        &prim,
+                        AssemblyStrategy::Serial,
+                        None,
+                        out,
+                    )
+                }),
+            ),
+            (
+                "cached+fused",
+                Box::new(|out: &mut Conserved| {
+                    assemble_rhs_into(
+                        &mesh,
+                        &basis,
+                        &gas,
+                        &geometry,
+                        &conserved,
+                        &prim,
+                        AssemblyStrategy::Serial,
+                        None,
+                        out,
+                        None,
+                    )
+                }),
+            ),
+            (
+                "cached+fused colored",
+                Box::new(|out: &mut Conserved| {
+                    assemble_rhs_into(
+                        &mesh,
+                        &basis,
+                        &gas,
+                        &geometry,
+                        &conserved,
+                        &prim,
+                        AssemblyStrategy::Colored,
+                        Some(&coloring),
+                        out,
+                        None,
+                    )
+                }),
+            ),
+        ];
+
+        let mut times = [0.0f64; 4];
+        for (i, (label, assemble)) in paths.iter().enumerate() {
+            // Warm-up (also produces the correctness snapshot).
+            assemble(&mut out);
+            if i == 0 {
+                seed.copy_from(&out);
+            }
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                assemble(&mut out);
+            }
+            let ms = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+            times[i] = ms;
+            rows.push(GeometryRow {
+                edge,
+                nodes: mesh.num_nodes(),
+                path: (*label).to_string(),
+                millis_per_assembly: ms,
+                speedup_vs_seed: if ms > 0.0 { times[0] / ms } else { 0.0 },
+                max_rel_error_vs_seed: max_rel_error(&seed, &out),
+            });
+        }
+
+        // Colored bitwise stability across chunk granularities — the
+        // schedule knob that varies per-thread work assignment.
+        let mut colored_bits: Option<Vec<u64>> = None;
+        let mut stable = true;
+        for chunk in [1usize, 7, 4096] {
+            let mut c = Conserved::zeros(mesh.num_nodes());
+            assemble_rhs_colored_with_chunk(
+                &mesh, &basis, &gas, &geometry, &conserved, &prim, &coloring, chunk, &mut c, None,
+            );
+            let b = bits(&c);
+            match &colored_bits {
+                None => colored_bits = Some(b),
+                Some(reference) => stable &= *reference == b,
+            }
+        }
+
+        summaries.push(GeometrySummary {
+            edge,
+            nodes: mesh.num_nodes(),
+            cache_memory_bytes: geometry.memory_bytes(),
+            cached_over_recompute: times[0] / times[1].max(f64::MIN_POSITIVE),
+            fused_over_split: times[1] / times[2].max(f64::MIN_POSITIVE),
+            cached_fused_over_seed: times[0] / times[2].max(f64::MIN_POSITIVE),
+            colored_bitwise_stable: stable,
+        });
+    }
+    GeometryStudy {
+        threads,
+        rows,
+        summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_study_is_consistent() {
+        let study = run_geometry_study(&[4], 1);
+        assert_eq!(study.rows.len(), 4);
+        assert_eq!(study.summaries.len(), 1);
+        assert!(study.threads >= 1);
+        assert_eq!(study.rows[0].path, "recompute+split");
+        assert!((study.rows[0].speedup_vs_seed - 1.0).abs() < 1e-12);
+        for r in &study.rows {
+            assert_eq!(r.edge, 4);
+            assert!(r.millis_per_assembly > 0.0, "{}: no time", r.path);
+            assert!(
+                r.max_rel_error_vs_seed < 1e-12,
+                "{}: rel err {}",
+                r.path,
+                r.max_rel_error_vs_seed
+            );
+        }
+        let s = &study.summaries[0];
+        // 4³ elements × 8 nodes × (72 + 8) B.
+        assert_eq!(s.cache_memory_bytes, 64 * 8 * 80);
+        assert!(s.colored_bitwise_stable);
+        // The table serializes (the repro --json path).
+        let json = serde_json::to_string(&study).unwrap();
+        assert!(json.contains("\"summaries\""), "{json}");
+        let shown = format!("{study}");
+        assert!(shown.contains("cached+fused colored"), "{shown}");
+    }
+}

@@ -8,6 +8,7 @@
 #![deny(missing_docs)]
 
 pub mod assembly;
+pub mod geometry;
 
 use fem_accel::experiments::ExpError;
 use serde::Serialize;

@@ -2,8 +2,14 @@
 //!
 //! Downstream tooling (plot scripts, CI dashboards) parses this output;
 //! these tests run the actual binary and assert the JSON document shape
-//! for the `fig5` and `table1` subcommands, so schema drift is caught at
-//! test time rather than by consumers.
+//! for the `fig5`, `assembly`, `geometry` and `table1` subcommands, so
+//! schema drift is caught at test time rather than by consumers. The
+//! `geometry` test also pins the PR-3 acceptance bar: the cached+fused
+//! RHS path must beat the seed recompute+split path by ≥1.5× on the TGV
+//! n=12 viscous benchmark (hard-enforced when `REPRO_PERF_GATE` is set —
+//! the CI `repro-artifacts` job gates the release build — and a warning
+//! otherwise, since wall-clock ratios are noisy on loaded runners), with
+//! a bitwise schedule-independent `Colored` strategy.
 
 use std::process::Command;
 
@@ -95,6 +101,81 @@ fn assembly_json_schema() {
             assert!(err < 1e-12, "assembly deviates from serial: {err}");
         }
     }
+}
+
+#[test]
+fn geometry_json_schema() {
+    let doc = repro_json("geometry");
+
+    assert!(doc["threads"].as_u64().is_some(), "missing `threads`");
+
+    // Four paths per mesh edge, in the optimization-ladder order.
+    let rows = doc["rows"].as_array().expect("`rows` is an array");
+    assert_eq!(rows.len() % 4, 0, "rows come in path quadruples");
+    assert!(!rows.is_empty());
+    for quad in rows.chunks(4) {
+        assert_eq!(quad[0]["path"].as_str(), Some("recompute+split"));
+        assert_eq!(quad[1]["path"].as_str(), Some("cached+split"));
+        assert_eq!(quad[2]["path"].as_str(), Some("cached+fused"));
+        assert_eq!(quad[3]["path"].as_str(), Some("cached+fused colored"));
+        for r in quad {
+            assert!(r["edge"].as_u64().is_some());
+            assert!(r["nodes"].as_u64().is_some());
+            let ms = r["millis_per_assembly"].as_f64().expect("numeric time");
+            assert!(ms > 0.0, "non-positive time {ms}");
+            assert!(r["speedup_vs_seed"].as_f64().expect("speedup") > 0.0);
+            // Every path must agree with the seed residual to rounding.
+            let err = r["max_rel_error_vs_seed"].as_f64().expect("rel err");
+            assert!(err < 1e-12, "path deviates from seed: {err}");
+        }
+    }
+
+    // Per-edge summaries: cache footprint, ladder speedups, and the
+    // colored bitwise-stability flag (must hold unconditionally).
+    let summaries = doc["summaries"].as_array().expect("`summaries` array");
+    assert_eq!(summaries.len() * 4, rows.len());
+    let mut saw_edge_12 = false;
+    for s in summaries {
+        let edge = s["edge"].as_u64().expect("edge");
+        assert!(s["nodes"].as_u64().is_some());
+        let mem = s["cache_memory_bytes"].as_u64().expect("cache bytes");
+        // 80 B per element node (Mat3 + f64).
+        assert_eq!(mem, (edge * edge * edge) * 8 * 80);
+        for key in [
+            "cached_over_recompute",
+            "fused_over_split",
+            "cached_fused_over_seed",
+        ] {
+            let v = s[key].as_f64().unwrap_or_else(|| panic!("missing {key}"));
+            assert!(v.is_finite() && v > 0.0, "`{key}` not positive: {v}");
+        }
+        assert_eq!(
+            s["colored_bitwise_stable"].as_bool(),
+            Some(true),
+            "colored path not schedule-independent"
+        );
+        if edge == 12 {
+            saw_edge_12 = true;
+            // Acceptance: cached+fused beats the seed recompute+split
+            // path by ≥1.5× on the TGV n=12 viscous benchmark. Wall-clock
+            // thresholds are flaky on loaded or unoptimized runners, so
+            // the hard assert is opt-in (REPRO_PERF_GATE=1; the CI
+            // repro-artifacts job enforces it on the release build).
+            let total = s["cached_fused_over_seed"].as_f64().unwrap();
+            if std::env::var("REPRO_PERF_GATE").is_ok() {
+                assert!(
+                    total >= 1.5,
+                    "cached+fused only {total:.2}x over seed at n=12"
+                );
+            } else if total < 1.5 {
+                eprintln!(
+                    "warning: cached+fused only {total:.2}x over seed at n=12 \
+                     (not enforced without REPRO_PERF_GATE)"
+                );
+            }
+        }
+    }
+    assert!(saw_edge_12, "study must include the TGV n=12 mesh");
 }
 
 #[test]

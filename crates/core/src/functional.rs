@@ -1,107 +1,84 @@
 //! Functional verification of the accelerator's task decomposition.
 //!
 //! Timing models say the dataflow design is *fast*; this module proves it
-//! is *right*: the Load → Compute(Diffusion&Convection) → Store task
-//! pipeline, fed element tokens exactly like the hardware, computes
-//! bit-identical residuals to the monolithic reference solver, and a
-//! whole accelerated RK4 run reproduces the reference trajectory
-//! bit-for-bit.
+//! is *right*: the Load → Compute(Diffusion⊕Convection, the fused
+//! single-contraction stage) → Store task pipeline, fed element tokens
+//! exactly like the hardware (geometric factors streamed from the
+//! precomputed cache, not rebuilt per element), computes bit-identical
+//! residuals to the monolithic reference solver, and a whole accelerated
+//! RK4 run reproduces the reference trajectory bit-for-bit.
 
-use fem_mesh::hex::{ElementGeometry, GeometryScratch};
+use fem_mesh::geometry::GeometryCache;
 use fem_mesh::HexMesh;
 use fem_numerics::rk::{OdeSystem, StateOps};
 use fem_numerics::tensor::HexBasis;
 use fem_solver::gas::GasModel;
-use fem_solver::kernels::{convective_flux, viscous_flux, weak_divergence, ElementWorkspace};
+use fem_solver::kernels::{convective_flux, fused_flux, weak_divergence, ElementWorkspace};
 use fem_solver::state::{Conserved, Primitives};
 use hls_dataflow::functional::StagedPipeline;
 use std::cell::RefCell;
 use std::rc::Rc;
 
 /// An element token flowing through the functional pipeline: the element
-/// id, its gathered workspace, and its geometry.
+/// id and its gathered workspace (geometry is read from the shared
+/// precomputed cache, like the hardware streams γ-factors from DDR).
 pub struct ElementToken {
     /// Element id.
     pub element: usize,
     /// Per-element workspace (fields after Load, residuals after
     /// Compute).
     pub ws: ElementWorkspace,
-    /// Per-element geometric factors.
-    pub geom: ElementGeometry,
-}
-
-/// Shared read-only context of one residual sweep.
-struct StageContext {
-    mesh: HexMesh,
-    basis: HexBasis,
-    gas: GasModel,
-    conserved: Conserved,
-    primitives: Primitives,
 }
 
 /// Computes one RKL residual sweep through the staged task pipeline
-/// (LOAD Element → COMPUTE Diffusion & Convection → STORE Element
+/// (LOAD Element → COMPUTE fused Diffusion ⊕ Convection → STORE Element
 /// Contribution), returning the assembled RHS (not yet mass-scaled).
+/// Geometry streams from `geometry` — the pipeline never rebuilds it.
+/// The stages *borrow* the sweep context (no per-sweep clone of the
+/// mesh, state or geometry cache).
 ///
 /// # Panics
 ///
-/// Panics if the state does not match the mesh.
+/// Panics if the state or geometry cache does not match the mesh.
 pub fn staged_stage_residual(
     mesh: &HexMesh,
     basis: &HexBasis,
     gas: &GasModel,
+    geometry: &GeometryCache,
     conserved: &Conserved,
     primitives: &Primitives,
 ) -> Conserved {
     assert_eq!(conserved.len(), mesh.num_nodes());
+    assert_eq!(geometry.num_elements(), mesh.num_elements());
     let npe = mesh.nodes_per_element();
-    let ctx = Rc::new(StageContext {
-        mesh: mesh.clone(),
-        basis: basis.clone(),
-        gas: *gas,
-        conserved: conserved.clone(),
-        primitives: primitives.clone(),
-    });
     let rhs = Rc::new(RefCell::new(Conserved::zeros(mesh.num_nodes())));
-    let scratch = Rc::new(RefCell::new(GeometryScratch::new(npe)));
 
     let mut pipeline: StagedPipeline<ElementToken> = StagedPipeline::new();
-    // LOAD Element: gather node data and element geometry (paper step 1).
-    let c_load = Rc::clone(&ctx);
-    let s_load = Rc::clone(&scratch);
+    // LOAD Element: gather node data (paper step 1; geometry arrives as
+    // precomputed factors, not a per-element rebuild).
     pipeline.stage("load_element", move |mut tok: ElementToken| {
-        let e = tok.element;
-        c_load
-            .mesh
-            .fill_element_geometry(e, &c_load.basis, &mut s_load.borrow_mut(), &mut tok.geom)
-            .expect("valid mesh geometry");
-        tok.ws.gather(
-            c_load.mesh.element_nodes(e),
-            &c_load.conserved,
-            &c_load.primitives,
-        );
+        tok.ws
+            .gather(mesh.element_nodes(tok.element), conserved, primitives);
         tok.ws.zero_residuals();
         tok
     });
-    // COMPUTE Diffusion & Convection (merged module, paper step 2).
-    let c_comp = Rc::clone(&ctx);
+    // COMPUTE Diffusion ⊕ Convection (merged module, paper step 2):
+    // fused net flux, one contraction.
     pipeline.stage("compute_diff_conv", move |mut tok: ElementToken| {
-        convective_flux(&mut tok.ws);
-        weak_divergence(&mut tok.ws, &c_comp.basis, &tok.geom, 1.0);
-        if c_comp.gas.mu > 0.0 {
-            viscous_flux(&mut tok.ws, &c_comp.gas, &c_comp.basis, &tok.geom);
-            weak_divergence(&mut tok.ws, &c_comp.basis, &tok.geom, -1.0);
+        let geom = geometry.element(tok.element);
+        if gas.mu > 0.0 {
+            fused_flux(&mut tok.ws, gas, basis, geom);
+        } else {
+            convective_flux(&mut tok.ws);
         }
+        weak_divergence(&mut tok.ws, basis, geom, 1.0);
         tok
     });
     // STORE Element Contribution (paper step 3).
-    let c_store = Rc::clone(&ctx);
     let rhs_store = Rc::clone(&rhs);
     pipeline.stage("store_element", move |tok: ElementToken| {
-        tok.ws.scatter_add(
-            c_store.mesh.element_nodes(tok.element),
-            &mut rhs_store.borrow_mut(),
-        );
+        tok.ws
+            .scatter_add(mesh.element_nodes(tok.element), &mut rhs_store.borrow_mut());
         tok
     });
 
@@ -109,7 +86,6 @@ pub fn staged_stage_residual(
         pipeline.process(ElementToken {
             element: e,
             ws: ElementWorkspace::new(npe),
-            geom: ElementGeometry::with_capacity(npe),
         });
     }
     drop(pipeline);
@@ -119,30 +95,28 @@ pub fn staged_stage_residual(
 }
 
 /// The monolithic reference: the same sweep as one fused element loop
-/// (what the original CPU code does).
+/// (what the reference CPU solver's serial hot path does).
 pub fn monolithic_stage_residual(
     mesh: &HexMesh,
     basis: &HexBasis,
     gas: &GasModel,
+    geometry: &GeometryCache,
     conserved: &Conserved,
     primitives: &Primitives,
 ) -> Conserved {
     let npe = mesh.nodes_per_element();
     let mut ws = ElementWorkspace::new(npe);
-    let mut scratch = GeometryScratch::new(npe);
-    let mut geom = ElementGeometry::with_capacity(npe);
     let mut rhs = Conserved::zeros(mesh.num_nodes());
     for e in 0..mesh.num_elements() {
-        mesh.fill_element_geometry(e, basis, &mut scratch, &mut geom)
-            .expect("valid mesh geometry");
+        let geom = geometry.element(e);
         ws.gather(mesh.element_nodes(e), conserved, primitives);
         ws.zero_residuals();
-        convective_flux(&mut ws);
-        weak_divergence(&mut ws, basis, &geom, 1.0);
         if gas.mu > 0.0 {
-            viscous_flux(&mut ws, gas, basis, &geom);
-            weak_divergence(&mut ws, basis, &geom, -1.0);
+            fused_flux(&mut ws, gas, basis, geom);
+        } else {
+            convective_flux(&mut ws);
         }
+        weak_divergence(&mut ws, basis, geom, 1.0);
         ws.scatter_add(mesh.element_nodes(e), &mut rhs);
     }
     rhs
@@ -155,28 +129,27 @@ pub struct StagedRhs {
     mesh: HexMesh,
     basis: HexBasis,
     gas: GasModel,
+    geometry: GeometryCache,
     primitives: Primitives,
     lumped_mass: Vec<f64>,
 }
 
 impl StagedRhs {
-    /// Builds the staged RHS for a mesh/gas pair, assembling the lumped
-    /// mass like the reference solver does.
+    /// Builds the staged RHS for a mesh/gas pair, precomputing the
+    /// geometry cache and assembling the lumped mass from it like the
+    /// reference solver does.
     ///
     /// # Panics
     ///
     /// Panics on invalid meshes (inverted elements).
     pub fn new(mesh: HexMesh, gas: GasModel) -> Self {
         let basis = HexBasis::new(mesh.order()).expect("valid order");
-        let npe = mesh.nodes_per_element();
-        let mut scratch = GeometryScratch::new(npe);
-        let mut geom = ElementGeometry::with_capacity(npe);
+        let geometry = GeometryCache::build(&mesh, &basis).expect("valid mesh geometry");
         let mut lumped_mass = vec![0.0; mesh.num_nodes()];
         for e in 0..mesh.num_elements() {
-            mesh.fill_element_geometry(e, &basis, &mut scratch, &mut geom)
-                .expect("valid mesh geometry");
+            let det_w = geometry.det_w(e);
             for (q, &n) in mesh.element_nodes(e).iter().enumerate() {
-                lumped_mass[n as usize] += geom.det_w[q];
+                lumped_mass[n as usize] += det_w[q];
             }
         }
         let primitives = Primitives::zeros(mesh.num_nodes());
@@ -184,6 +157,7 @@ impl StagedRhs {
             mesh,
             basis,
             gas,
+            geometry,
             primitives,
             lumped_mass,
         }
@@ -197,7 +171,14 @@ impl OdeSystem for StagedRhs {
         // RKU: primitive update.
         self.primitives.update_from(y, &self.gas);
         // RKL through the staged pipeline.
-        let rhs = staged_stage_residual(&self.mesh, &self.basis, &self.gas, y, &self.primitives);
+        let rhs = staged_stage_residual(
+            &self.mesh,
+            &self.basis,
+            &self.gas,
+            &self.geometry,
+            y,
+            &self.primitives,
+        );
         dydt.copy_from(&rhs);
         let apply = |dst: &mut [f64], mass: &[f64]| {
             for (v, &m) in dst.iter_mut().zip(mass) {
@@ -220,7 +201,14 @@ mod tests {
     use fem_solver::driver::Simulation;
     use fem_solver::tgv::TgvConfig;
 
-    fn setup() -> (HexMesh, HexBasis, GasModel, Conserved, Primitives) {
+    fn setup() -> (
+        HexMesh,
+        HexBasis,
+        GasModel,
+        GeometryCache,
+        Conserved,
+        Primitives,
+    ) {
         let mesh = BoxMeshBuilder::tgv_box(5).build().unwrap();
         let basis = HexBasis::new(1).unwrap();
         let cfg = TgvConfig::standard();
@@ -228,14 +216,16 @@ mod tests {
         let conserved = cfg.initial_state(&mesh);
         let mut primitives = Primitives::zeros(mesh.num_nodes());
         primitives.update_from(&conserved, &gas);
-        (mesh, basis, gas, conserved, primitives)
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        (mesh, basis, gas, geometry, conserved, primitives)
     }
 
     #[test]
     fn staged_residual_is_bit_identical_to_monolithic() {
-        let (mesh, basis, gas, conserved, primitives) = setup();
-        let staged = staged_stage_residual(&mesh, &basis, &gas, &conserved, &primitives);
-        let mono = monolithic_stage_residual(&mesh, &basis, &gas, &conserved, &primitives);
+        let (mesh, basis, gas, geometry, conserved, primitives) = setup();
+        let staged = staged_stage_residual(&mesh, &basis, &gas, &geometry, &conserved, &primitives);
+        let mono =
+            monolithic_stage_residual(&mesh, &basis, &gas, &geometry, &conserved, &primitives);
         let mut checked = 0;
         let fields = |c: &Conserved| {
             let mut v: Vec<Vec<f64>> = Vec::new();
@@ -253,10 +243,11 @@ mod tests {
 
     #[test]
     fn inviscid_path_matches_too() {
-        let (mesh, basis, _, conserved, primitives) = setup();
+        let (mesh, basis, _, geometry, conserved, primitives) = setup();
         let gas = GasModel::air(0.0);
-        let staged = staged_stage_residual(&mesh, &basis, &gas, &conserved, &primitives);
-        let mono = monolithic_stage_residual(&mesh, &basis, &gas, &conserved, &primitives);
+        let staged = staged_stage_residual(&mesh, &basis, &gas, &geometry, &conserved, &primitives);
+        let mono =
+            monolithic_stage_residual(&mesh, &basis, &gas, &geometry, &conserved, &primitives);
         staged.for_each_field(|_| {});
         let mut a = Vec::new();
         staged.for_each_field(|f| a.extend_from_slice(f));

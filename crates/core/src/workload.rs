@@ -19,11 +19,12 @@ pub const INPUT_ARRAYS: [&str; 12] = [
 /// Residual-contribution arrays written back per element node.
 pub const OUTPUT_ARRAYS: [&str; 5] = ["res_rho", "res_mx", "res_my", "res_mz", "res_E"];
 
-/// Per-node operation counts of the merged Diffusion & Convection
-/// compute stage (f64 ops), derived from the solver's element kernels at
-/// order 1 (8-node hexahedra): tensor-product gradients, Jacobian
-/// transforms, τ, convective+viscous fluxes and the weak-divergence
-/// contraction.
+/// Per-node operation counts of the merged Diffusion ⊕ Convection
+/// compute stage (f64 ops), derived from the solver's **fused**
+/// single-contraction element kernels: tensor-product gradients,
+/// Jacobian transforms, τ, the net `F_c − F_v` flux and ONE
+/// weak-divergence contraction (the paper's Fig-1 fusion, which the host
+/// hot path mirrors since the fused kernel landed).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeOpCounts {
     /// Fused multiply-adds.
@@ -75,7 +76,7 @@ impl RklWorkload {
         let npe = basis.nodes_per_element();
         let num_elements = num_nodes / order.pow(3);
         let solver_ops = KernelOpCounts::for_basis(&basis);
-        // Split per-element counts down to per-node and into op classes.
+        // Break the fused per-element count down to per-node op classes.
         let per_elem = solver_ops.rkl_flops_per_element() as u64;
         let per_node = per_elem / npe as u64;
         // Mix observed in the solver kernels: ≈45% of flops in MAC pairs,

@@ -21,27 +21,29 @@
 /// let out = p.run((0..5).collect());
 /// assert_eq!(out, vec![1, 3, 5, 7, 9]);
 /// ```
-pub struct StagedPipeline<T> {
-    stages: Vec<Stage<T>>,
+pub struct StagedPipeline<'a, T> {
+    stages: Vec<Stage<'a, T>>,
 }
 
-/// A named transformation stage.
-type Stage<T> = (String, Box<dyn FnMut(T) -> T>);
+/// A named transformation stage. The `'a` bound lets stages borrow the
+/// shared sweep context (mesh, state, geometry cache) instead of cloning
+/// it per residual sweep.
+type Stage<'a, T> = (String, Box<dyn FnMut(T) -> T + 'a>);
 
-impl<T> Default for StagedPipeline<T> {
+impl<T> Default for StagedPipeline<'_, T> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<T> StagedPipeline<T> {
+impl<'a, T> StagedPipeline<'a, T> {
     /// Empty pipeline (identity).
     pub fn new() -> Self {
         StagedPipeline { stages: Vec::new() }
     }
 
     /// Appends a named stage.
-    pub fn stage(&mut self, name: impl Into<String>, f: impl FnMut(T) -> T + 'static) -> &mut Self {
+    pub fn stage(&mut self, name: impl Into<String>, f: impl FnMut(T) -> T + 'a) -> &mut Self {
         self.stages.push((name.into(), Box::new(f)));
         self
     }
@@ -77,7 +79,7 @@ impl<T> StagedPipeline<T> {
     }
 }
 
-impl<T> std::fmt::Debug for StagedPipeline<T> {
+impl<T> std::fmt::Debug for StagedPipeline<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("StagedPipeline")
             .field("stages", &self.stage_names())

@@ -71,6 +71,27 @@ impl ElementGeometry {
             det_w: vec![0.0; nodes_per_element],
         }
     }
+
+    /// Borrowed view of the factors, in the form the FEM kernels consume.
+    pub fn view(&self) -> GeomRef<'_> {
+        GeomRef {
+            inv_jt: &self.inv_jt,
+            det_w: &self.det_w,
+        }
+    }
+}
+
+/// Borrowed per-element geometric factors: the common currency between
+/// on-the-fly geometry ([`ElementGeometry::view`]) and the precomputed
+/// structure-of-arrays cache ([`crate::geometry::GeometryCache::element`]).
+///
+/// Both slices have one entry per element node.
+#[derive(Debug, Clone, Copy)]
+pub struct GeomRef<'a> {
+    /// `J⁻ᵀ` at each element node.
+    pub inv_jt: &'a [Mat3],
+    /// `det(J) · w` at each element node.
+    pub det_w: &'a [f64],
 }
 
 /// An unstructured mesh of hexahedral spectral elements.

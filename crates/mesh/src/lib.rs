@@ -8,6 +8,9 @@
 //! * [`hex`] — the unstructured hexahedral mesh container ([`HexMesh`]):
 //!   arbitrary connectivity, high-order (GLL) node layouts, periodic image
 //!   unwrapping, element geometry (Jacobians).
+//! * [`geometry`] — the precomputed structure-of-arrays geometry cache
+//!   ([`GeometryCache`]): every element's `J⁻ᵀ` and `det(J)·w` factors
+//!   computed once, streamed as contiguous slices by the solver hot loop.
 //! * [`generator`] — mesh generation, most importantly the periodic box for
 //!   the Taylor-Green Vortex workload ([`BoxMeshBuilder`]), matching the
 //!   paper's mesh-size sweep (5K … 4.2M nodes).
@@ -33,6 +36,7 @@
 
 pub mod coloring;
 pub mod generator;
+pub mod geometry;
 pub mod hex;
 pub mod io;
 pub mod partition;
@@ -41,6 +45,7 @@ pub mod reorder;
 
 pub use coloring::{ColoringStats, ElementColoring};
 pub use generator::BoxMeshBuilder;
+pub use geometry::GeometryCache;
 pub use hex::HexMesh;
 pub use partition::ElementBatch;
 pub use quality::MeshStats;

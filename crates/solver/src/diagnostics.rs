@@ -5,14 +5,16 @@
 //! energy decay, enstrophy growth) used to sanity-check the physics.
 //!
 //! Both reductions — the nodal norms and the per-element enstrophy
-//! integral — run in parallel via the rayon `fold`/`reduce` pattern. The
-//! per-chunk accumulators combine in input order, so results are
-//! deterministic for a fixed worker count (they regroup, and thus differ
-//! in the last bits, only when `available_parallelism` changes).
+//! integral — run in parallel via the rayon `fold`/`reduce`/`sum`
+//! patterns. The per-chunk accumulators combine in input order, so
+//! results are deterministic for a fixed worker count (they regroup, and
+//! thus differ in the last bits, only when `available_parallelism`
+//! changes). The enstrophy integral reads the precomputed
+//! [`GeometryCache`] instead of rebuilding element Jacobians.
 
 use crate::kernels::ElementWorkspace;
 use crate::state::{Conserved, Primitives};
-use fem_mesh::hex::{ElementGeometry, GeometryScratch};
+use fem_mesh::geometry::GeometryCache;
 use fem_mesh::HexMesh;
 use fem_numerics::linalg::{Mat3, Vec3};
 use fem_numerics::tensor::HexBasis;
@@ -56,6 +58,7 @@ impl FlowDiagnostics {
         mesh: &HexMesh,
         basis: &HexBasis,
         gas: &crate::gas::GasModel,
+        geometry: &GeometryCache,
         conserved: &Conserved,
         prim: &Primitives,
         mass: &[f64],
@@ -63,6 +66,7 @@ impl FlowDiagnostics {
         let nn = mesh.num_nodes();
         assert_eq!(conserved.len(), nn);
         assert_eq!(mass.len(), nn);
+        assert_eq!(geometry.num_elements(), mesh.num_elements());
 
         // Nodal norms: parallel fold over nodes, chunk accumulators
         // combined in input order.
@@ -85,20 +89,21 @@ impl FlowDiagnostics {
             .reduce(NodalAccum::zero, NodalAccum::combine);
 
         // Enstrophy via per-element vorticity: each fold chunk carries
-        // its own element workspace, so the hot loop never allocates.
+        // its own element workspace, so the hot loop never allocates;
+        // geometry comes straight from the cache slices, and the
+        // per-chunk partials combine with the ordered parallel `sum`.
         let npe = mesh.nodes_per_element();
-        let enstrophy = (0..mesh.num_elements())
+        let enstrophy: f64 = (0..mesh.num_elements())
             .into_par_iter()
             .fold(
                 || EnstrophyAccum::new(npe),
                 |mut acc, e| {
-                    mesh.fill_element_geometry(e, basis, &mut acc.scratch, &mut acc.geom)
-                        .expect("diagnostics on valid mesh");
+                    let geom = geometry.element(e);
                     acc.ws.gather(mesh.element_nodes(e), conserved, prim);
                     basis.reference_gradient(&acc.ws.vel[0], &mut acc.gref[0]);
                     basis.reference_gradient(&acc.ws.vel[1], &mut acc.gref[1]);
                     basis.reference_gradient(&acc.ws.vel[2], &mut acc.gref[2]);
-                    for (q, &inv_jt) in acc.geom.inv_jt.iter().enumerate().take(npe) {
+                    for (q, &inv_jt) in geom.inv_jt.iter().enumerate().take(npe) {
                         let l = Mat3::from_rows(
                             inv_jt.mul_vec(acc.gref[0][q]),
                             inv_jt.mul_vec(acc.gref[1][q]),
@@ -110,13 +115,13 @@ impl FlowDiagnostics {
                             l.m[0][2] - l.m[2][0],
                             l.m[1][0] - l.m[0][1],
                         );
-                        acc.sum += acc.geom.det_w[q] * 0.5 * acc.ws.rho[q] * omega.norm_sq();
+                        acc.sum += geom.det_w[q] * 0.5 * acc.ws.rho[q] * omega.norm_sq();
                     }
                     acc
                 },
             )
             .map(|acc| acc.sum)
-            .reduce(|| 0.0, |a, b| a + b);
+            .sum();
 
         FlowDiagnostics {
             time,
@@ -167,11 +172,10 @@ impl NodalAccum {
 }
 
 /// Per-chunk state of the enstrophy reduction: the partial integral plus
-/// the element scratch buffers, allocated once per worker chunk.
+/// the element workspace, allocated once per worker chunk (geometry
+/// comes from the shared cache).
 struct EnstrophyAccum {
     ws: ElementWorkspace,
-    scratch: GeometryScratch,
-    geom: ElementGeometry,
     gref: [Vec<Vec3>; 3],
     sum: f64,
 }
@@ -180,8 +184,6 @@ impl EnstrophyAccum {
     fn new(npe: usize) -> EnstrophyAccum {
         EnstrophyAccum {
             ws: ElementWorkspace::new(npe),
-            scratch: GeometryScratch::new(npe),
-            geom: ElementGeometry::with_capacity(npe),
             gref: [
                 vec![Vec3::ZERO; npe],
                 vec![Vec3::ZERO; npe],
@@ -214,16 +216,12 @@ mod tests {
     use crate::tgv::TgvConfig;
     use fem_mesh::generator::BoxMeshBuilder;
 
-    fn lumped_mass(mesh: &HexMesh, basis: &HexBasis) -> Vec<f64> {
-        let npe = mesh.nodes_per_element();
-        let mut scratch = GeometryScratch::new(npe);
-        let mut geom = ElementGeometry::with_capacity(npe);
+    fn lumped_mass(mesh: &HexMesh, geometry: &GeometryCache) -> Vec<f64> {
         let mut mass = vec![0.0; mesh.num_nodes()];
         for e in 0..mesh.num_elements() {
-            mesh.fill_element_geometry(e, basis, &mut scratch, &mut geom)
-                .unwrap();
+            let det_w = geometry.det_w(e);
             for (q, &n) in mesh.element_nodes(e).iter().enumerate() {
-                mass[n as usize] += geom.det_w[q];
+                mass[n as usize] += det_w[q];
             }
         }
         mass
@@ -238,8 +236,11 @@ mod tests {
         let conserved = cfg.initial_state(&mesh);
         let mut prim = Primitives::zeros(mesh.num_nodes());
         prim.update_from(&conserved, &gas);
-        let mass = lumped_mass(&mesh, &basis);
-        let d = FlowDiagnostics::compute(0.0, &mesh, &basis, &gas, &conserved, &prim, &mass);
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        let mass = lumped_mass(&mesh, &geometry);
+        let d = FlowDiagnostics::compute(
+            0.0, &mesh, &basis, &gas, &geometry, &conserved, &prim, &mass,
+        );
         let vol = std::f64::consts::TAU.powi(3);
         // Mass ≈ ρ0 · V (density perturbation integrates to ~0).
         assert!((d.total_mass - vol).abs() < 2e-2 * vol, "{}", d.total_mass);
@@ -271,9 +272,14 @@ mod tests {
         let conserved = cfg.initial_state(&mesh);
         let mut prim = Primitives::zeros(mesh.num_nodes());
         prim.update_from(&conserved, &gas);
-        let mass = lumped_mass(&mesh, &basis);
-        let a = FlowDiagnostics::compute(0.0, &mesh, &basis, &gas, &conserved, &prim, &mass);
-        let b = FlowDiagnostics::compute(0.0, &mesh, &basis, &gas, &conserved, &prim, &mass);
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        let mass = lumped_mass(&mesh, &geometry);
+        let a = FlowDiagnostics::compute(
+            0.0, &mesh, &basis, &gas, &geometry, &conserved, &prim, &mass,
+        );
+        let b = FlowDiagnostics::compute(
+            0.0, &mesh, &basis, &gas, &geometry, &conserved, &prim, &mass,
+        );
         assert_eq!(a.total_mass.to_bits(), b.total_mass.to_bits());
         assert_eq!(a.kinetic_energy.to_bits(), b.kinetic_energy.to_bits());
         assert_eq!(a.enstrophy.to_bits(), b.enstrophy.to_bits());
@@ -296,8 +302,11 @@ mod tests {
         }
         let mut prim = Primitives::zeros(mesh.num_nodes());
         prim.update_from(&conserved, &gas);
-        let mass = lumped_mass(&mesh, &basis);
-        let d = FlowDiagnostics::compute(0.0, &mesh, &basis, &gas, &conserved, &prim, &mass);
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        let mass = lumped_mass(&mesh, &geometry);
+        let d = FlowDiagnostics::compute(
+            0.0, &mesh, &basis, &gas, &geometry, &conserved, &prim, &mass,
+        );
         assert!(d.enstrophy.abs() < 1e-10);
         let vol = std::f64::consts::TAU.powi(3);
         assert!((d.total_momentum - u * vol).norm() < 1e-8 * vol);

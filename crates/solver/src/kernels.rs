@@ -7,17 +7,35 @@
 //!                  └ per node: LOAD Node → COMPUTE Gradients → COMPUTE τ / Residuals → STORE Node Contribution
 //! ```
 //!
+//! The host hot path mirrors that fusion since PR 3: the Diffusion and
+//! Convection stages no longer run as two independent contractions but as
+//! one **fused** stage that accumulates the net flux and contracts once:
+//!
+//! ```text
+//! LOAD Element (cached J⁻ᵀ, det·w slices — no per-stage geometry rebuild)
+//!   ─▶ COMPUTE Fused flux  F = F_c − F_v   (convective minus viscous, per node)
+//!   ─▶ COMPUTE Weak divergence  R_i += ∫ ∇N_i · F dV   (ONE contraction)
+//!   ─▶ STORE Element Contribution
+//! ```
+//!
 //! [`ElementWorkspace`] owns all per-element buffers (gathered fields,
 //! gradients, flux tensors, residuals) so the hot loop never allocates;
-//! [`convective_flux`], [`viscous_flux`] and [`weak_divergence`] implement
-//! the three compute stages. The Galerkin weak form integrates the flux
-//! divergence by parts, so a conserved variable `U` with flux `F` obeys
-//! `M dU/dt = R`, `R_i = ∫ ∇N_i · F dV`, evaluated with GLL quadrature
-//! collocated at the element nodes.
+//! [`fused_flux`] + [`weak_divergence`] implement the fused pipeline, and
+//! the split stages [`convective_flux`] / [`viscous_flux`] remain as the
+//! seed reference path (validation and the fused-vs-split benchmark).
+//! Geometry arrives as borrowed [`GeomRef`] slices — either from the
+//! per-element recompute ([`ElementGeometry::view`]) or, on the hot path,
+//! from the precomputed [`fem_mesh::geometry::GeometryCache`]. The
+//! Galerkin weak form integrates the flux divergence by parts, so a
+//! conserved variable `U` with flux `F` obeys `M dU/dt = R`,
+//! `R_i = ∫ ∇N_i · F dV`, evaluated with GLL quadrature collocated at the
+//! element nodes.
 
 use crate::gas::GasModel;
 use crate::state::{Conserved, Primitives};
+#[allow(unused_imports)] // docs reference ElementGeometry::view
 use fem_mesh::hex::ElementGeometry;
+use fem_mesh::hex::GeomRef;
 use fem_numerics::linalg::{Mat3, Vec3};
 use fem_numerics::tensor::HexBasis;
 
@@ -149,12 +167,7 @@ pub fn convective_flux(ws: &mut ElementWorkspace) {
 /// * mass: `0`
 /// * momentum `i`: row `i` of `τ = μ(∇u + ∇uᵀ − ⅔(∇·u)I)`
 /// * energy: `τ·u + κ∇T`
-pub fn viscous_flux(
-    ws: &mut ElementWorkspace,
-    gas: &GasModel,
-    basis: &HexBasis,
-    geom: &ElementGeometry,
-) {
+pub fn viscous_flux(ws: &mut ElementWorkspace, gas: &GasModel, basis: &HexBasis, geom: GeomRef) {
     // Reference gradients of the three velocity components and T.
     let (head, tail) = ws.grad_ref.split_at_mut(3);
     basis.reference_gradient(&ws.vel[0], &mut head[0]);
@@ -185,18 +198,64 @@ pub fn viscous_flux(
     }
 }
 
+/// Fills the workspace flux tensors with the **fused net flux**
+/// `F = F_c − F_v` — the paper's merged Diffusion ⊕ Convection stage in
+/// one per-node sweep:
+///
+/// * mass: `ρu`
+/// * momentum `i`: `ρ u_i u + p e_i − τ_i`
+/// * energy: `(E + p) u − (τ·u + κ∇T)`
+///
+/// Followed by **one** [`weak_divergence`] call with `sign = +1`, this
+/// replaces the split `convective_flux` → `weak_divergence(+1)` →
+/// `viscous_flux` → `weak_divergence(−1)` sequence, halving the dominant
+/// tensor-contraction work of viscous runs (the semi-discrete form
+/// `M dU/dt = ∫∇N·F_c − ∫∇N·F_v = ∫∇N·(F_c − F_v)` is contracted once).
+/// Matches the split path to rounding (the per-node flux subtraction
+/// regroups the floating-point accumulation), not bitwise.
+pub fn fused_flux(ws: &mut ElementWorkspace, gas: &GasModel, basis: &HexBasis, geom: GeomRef) {
+    // Reference gradients of the three velocity components and T.
+    let (head, tail) = ws.grad_ref.split_at_mut(3);
+    basis.reference_gradient(&ws.vel[0], &mut head[0]);
+    basis.reference_gradient(&ws.vel[1], &mut head[1]);
+    basis.reference_gradient(&ws.vel[2], &mut head[2]);
+    basis.reference_gradient(&ws.temp, &mut tail[0]);
+    let kappa = gas.kappa();
+    for q in 0..ws.npe {
+        let inv_jt = geom.inv_jt[q];
+        // Physical gradients: L[a][b] = ∂u_a/∂x_b, row a = J⁻ᵀ ∇̂u_a.
+        let l = Mat3::from_rows(
+            inv_jt.mul_vec(ws.grad_ref[0][q]),
+            inv_jt.mul_vec(ws.grad_ref[1][q]),
+            inv_jt.mul_vec(ws.grad_ref[2][q]),
+        );
+        let grad_t = inv_jt.mul_vec(ws.grad_ref[3][q]);
+        let mu = ws.mu[q];
+        let div_u = l.trace();
+        // τ = μ(L + Lᵀ) − ⅔ μ (∇·u) I
+        let tau =
+            mu * (l + l.transpose()) - Mat3::diagonal(1.0, 1.0, 1.0) * (2.0 / 3.0 * mu * div_u);
+        let rho = ws.rho[q];
+        let u = Vec3::new(ws.vel[0][q], ws.vel[1][q], ws.vel[2][q]);
+        let p = ws.pres[q];
+        let e = ws.energy[q];
+        // Net flux per variable: convective minus viscous (mass has no
+        // viscous contribution).
+        ws.flux[0][q] = rho * u;
+        ws.flux[1][q] = (rho * u.x) * u + Vec3::new(p, 0.0, 0.0) - tau.row(0);
+        ws.flux[2][q] = (rho * u.y) * u + Vec3::new(0.0, p, 0.0) - tau.row(1);
+        ws.flux[3][q] = (rho * u.z) * u + Vec3::new(0.0, 0.0, p) - tau.row(2);
+        ws.flux[4][q] = (e + p) * u - (tau.mul_vec(u) + kappa * grad_t);
+    }
+}
+
 /// Accumulates `sign · ∫ ∇N_i · F dV` into the workspace residuals for all
 /// five variables, using the tensor-product GLL contraction.
 ///
 /// `sign` is `+1` for the convective fluxes and `-1` for the viscous
 /// fluxes (the semi-discrete form is
 /// `M dU/dt = ∫∇N·F_c − ∫∇N·F_v`).
-pub fn weak_divergence(
-    ws: &mut ElementWorkspace,
-    basis: &HexBasis,
-    geom: &ElementGeometry,
-    sign: f64,
-) {
+pub fn weak_divergence(ws: &mut ElementWorkspace, basis: &HexBasis, geom: GeomRef, sign: f64) {
     let n = basis.nodes_per_dim();
     let d = basis.dmat();
     // G_d(q) = w_q det(J_q) · (J⁻¹ F_q)_d ; with inv_jt = J⁻ᵀ stored,
@@ -241,6 +300,9 @@ pub struct KernelOpCounts {
     pub diffusion_flops: usize,
     /// FLOPs in one weak-divergence contraction per element (all 5 vars).
     pub divergence_flops: usize,
+    /// FLOPs the fused stage spends subtracting `F_v` from `F_c` per
+    /// element (4 variables × 3 components per node; mass is untouched).
+    pub fusion_flops: usize,
     /// FLOPs in the RKU primitive update per node.
     pub rku_flops_per_node: usize,
 }
@@ -257,18 +319,31 @@ impl KernelOpCounts {
         let diffusion_flops = 4 * 2 * 3 * n * n * n * n + npe * (45 + 15 + 40 + 30);
         // G: 5 vars × npe × (3 dots ≈ 18); contraction: 5 × npe × 3n MACs.
         let divergence_flops = 5 * npe * 18 + 5 * 2 * 3 * n * npe;
+        // fused_flux: F_c − F_v for momentum ×3 and energy, 3 comps each.
+        let fusion_flops = 4 * 3 * npe;
         // RKU per node: division, dot, energy split, T, p ≈ 15 flops.
         KernelOpCounts {
             convection_flops,
             diffusion_flops,
             divergence_flops,
+            fusion_flops,
             rku_flops_per_node: 15,
         }
     }
 
-    /// Total RKL flops per element (convection + diffusion + 2
-    /// contractions).
+    /// Total RKL flops per element of the **fused** hot path (convection
+    /// plus diffusion flux work plus the `F_c − F_v` subtraction plus ONE
+    /// weak-divergence contraction) — what the solver executes per
+    /// viscous element since the fused kernel landed, and the count the
+    /// roofline models consume.
     pub fn rkl_flops_per_element(&self) -> usize {
+        self.convection_flops + self.diffusion_flops + self.fusion_flops + self.divergence_flops
+    }
+
+    /// Total RKL flops per element of the seed **split** path (convection
+    /// plus diffusion plus two contractions) — kept as the reference for
+    /// the fused-vs-split speedup accounting.
+    pub fn split_rkl_flops_per_element(&self) -> usize {
         self.convection_flops + self.diffusion_flops + 2 * self.divergence_flops
     }
 }
@@ -306,8 +381,37 @@ mod tests {
         (c, p)
     }
 
-    /// Computes the assembled global RHS for the full mesh.
+    /// Computes the assembled global RHS for the full mesh with the
+    /// fused hot path (cached geometry, single contraction).
     fn assemble_rhs(
+        mesh: &fem_mesh::HexMesh,
+        basis: &HexBasis,
+        gas: &GasModel,
+        conserved: &Conserved,
+        prim: &Primitives,
+    ) -> Conserved {
+        let npe = mesh.nodes_per_element();
+        let mut ws = ElementWorkspace::new(npe);
+        let cache = fem_mesh::geometry::GeometryCache::build(mesh, basis).unwrap();
+        let mut rhs = Conserved::zeros(mesh.num_nodes());
+        for e in 0..mesh.num_elements() {
+            let geom = cache.element(e);
+            ws.gather(mesh.element_nodes(e), conserved, prim);
+            ws.zero_residuals();
+            if gas.mu > 0.0 {
+                fused_flux(&mut ws, gas, basis, geom);
+            } else {
+                convective_flux(&mut ws);
+            }
+            weak_divergence(&mut ws, basis, geom, 1.0);
+            ws.scatter_add(mesh.element_nodes(e), &mut rhs);
+        }
+        rhs
+    }
+
+    /// The seed reference: geometry recomputed per element, split
+    /// convective + viscous contractions.
+    fn assemble_rhs_split_recompute(
         mesh: &fem_mesh::HexMesh,
         basis: &HexBasis,
         gas: &GasModel,
@@ -325,10 +429,10 @@ mod tests {
             ws.gather(mesh.element_nodes(e), conserved, prim);
             ws.zero_residuals();
             convective_flux(&mut ws);
-            weak_divergence(&mut ws, basis, &geom, 1.0);
+            weak_divergence(&mut ws, basis, geom.view(), 1.0);
             if gas.mu > 0.0 {
-                viscous_flux(&mut ws, gas, basis, &geom);
-                weak_divergence(&mut ws, basis, &geom, -1.0);
+                viscous_flux(&mut ws, gas, basis, geom.view());
+                weak_divergence(&mut ws, basis, geom.view(), -1.0);
             }
             ws.scatter_add(mesh.element_nodes(e), &mut rhs);
         }
@@ -461,6 +565,59 @@ mod tests {
     }
 
     #[test]
+    fn fused_flux_matches_split_path_to_rounding() {
+        // Same state, same geometry: fused single-contraction residuals
+        // must agree with split convective+viscous to ≤1e-12 relative.
+        let (mesh, basis) = setup(6);
+        let gas = GasModel::air(2.5e-2);
+        let (c, p) = make_state(&mesh, &gas, |x| {
+            (
+                1.0 + 0.08 * x.x.sin() * x.z.cos(),
+                Vec3::new(12.0 * x.y.sin(), -6.0 * x.z.cos(), 4.0 * x.x.sin()),
+                300.0 + 10.0 * x.y.sin(),
+            )
+        });
+        let fused = assemble_rhs(&mesh, &basis, &gas, &c, &p);
+        let split = assemble_rhs_split_recompute(&mesh, &basis, &gas, &c, &p);
+        let mut scale = 0.0f64;
+        split.for_each_field(|f| {
+            for &v in f {
+                scale = scale.max(v.abs());
+            }
+        });
+        let mut a = Vec::new();
+        fused.for_each_field(|f| a.extend_from_slice(f));
+        let mut b = Vec::new();
+        split.for_each_field(|f| b.extend_from_slice(f));
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() <= 1e-12 * scale, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn inviscid_fused_path_is_bitwise_the_convective_path() {
+        // With μ = 0 the hot path takes the pure-convective branch; the
+        // only difference from the seed loop is cached vs recomputed
+        // geometry, which is bit-identical.
+        let (mesh, basis) = setup(4);
+        let gas = GasModel::air(0.0);
+        let (c, p) = make_state(&mesh, &gas, |x| {
+            (
+                1.0 + 0.05 * x.x.sin(),
+                Vec3::new(20.0, 3.0 * x.y.cos(), 0.0),
+                290.0,
+            )
+        });
+        let cached = assemble_rhs(&mesh, &basis, &gas, &c, &p);
+        let recompute = assemble_rhs_split_recompute(&mesh, &basis, &gas, &c, &p);
+        let mut a = Vec::new();
+        cached.for_each_field(|f| a.extend(f.iter().map(|x| x.to_bits())));
+        let mut b = Vec::new();
+        recompute.for_each_field(|f| b.extend(f.iter().map(|x| x.to_bits())));
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn op_counts_scale_with_order() {
         let b1 = HexBasis::new(1).unwrap();
         let b2 = HexBasis::new(2).unwrap();
@@ -469,5 +626,14 @@ mod tests {
         assert!(c2.diffusion_flops > c1.diffusion_flops);
         assert!(c2.rkl_flops_per_element() > c1.rkl_flops_per_element());
         assert_eq!(c1.rku_flops_per_node, c2.rku_flops_per_node);
+        // The fused path saves one full contraction minus the per-node
+        // flux subtraction.
+        for c in [c1, c2] {
+            assert_eq!(
+                c.split_rkl_flops_per_element() - c.rkl_flops_per_element(),
+                c.divergence_flops - c.fusion_flops
+            );
+            assert!(c.rkl_flops_per_element() < c.split_rkl_flops_per_element());
+        }
     }
 }

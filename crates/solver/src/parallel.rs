@@ -20,13 +20,26 @@
 //!   is **bitwise identical across thread and chunk counts** (the
 //!   accumulation grouping per node is fixed by the coloring, not by the
 //!   parallel schedule). It matches the serial loop to rounding.
+//!
+//! Every strategy consumes the precomputed [`GeometryCache`] (no
+//! per-stage Jacobian rebuild) and runs the **fused** `F_c − F_v`
+//! single-contraction kernel on viscous elements. Fig 2 attribution of
+//! the fused path: the fused flux assembly (gradients, τ, net flux) is
+//! charged to `RK(Diffusion)`; the single weak-divergence contraction —
+//! which serves the convective and viscous halves equally — is charged
+//! half to `RK(Convection)` and half to `RK(Diffusion)`; gather/scatter
+//! stay in `RK(Other)`, which no longer contains any geometry time.
+//! [`assemble_rhs_split_into`] keeps the seed split-contraction kernels
+//! (on cached geometry) as the validation and benchmarking reference.
 
 use crate::gas::GasModel;
-use crate::kernels::{convective_flux, viscous_flux, weak_divergence, ElementWorkspace, NUM_VARS};
+use crate::kernels::{
+    convective_flux, fused_flux, viscous_flux, weak_divergence, ElementWorkspace, NUM_VARS,
+};
 use crate::profile::{Phase, PhaseProfiler};
 use crate::state::{Conserved, Primitives};
 use fem_mesh::coloring::ElementColoring;
-use fem_mesh::hex::{ElementGeometry, GeometryScratch};
+use fem_mesh::geometry::GeometryCache;
 use fem_mesh::HexMesh;
 use fem_numerics::rk::StateOps;
 use fem_numerics::tensor::HexBasis;
@@ -80,8 +93,10 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// Evaluates element `e`'s residual into `ws.res` (gather → convection →
-/// diffusion), optionally charging per-stage time to `prof` à la Fig 2.
+/// Evaluates element `e`'s residual into `ws.res` with the fused hot
+/// path (gather → fused flux → single contraction, geometry from the
+/// cache), optionally charging per-stage time to `prof` à la Fig 2 (see
+/// the module docs for the fused attribution convention).
 #[allow(clippy::too_many_arguments)]
 fn eval_element(
     mesh: &HexMesh,
@@ -92,50 +107,69 @@ fn eval_element(
     prim: &Primitives,
     e: usize,
     ws: &mut ElementWorkspace,
-    scratch: &mut GeometryScratch,
-    geom: &mut ElementGeometry,
+    geometry: &GeometryCache,
     prof: Option<&mut PhaseProfiler>,
 ) {
+    let geom = geometry.element(e);
     match prof {
         None => {
-            mesh.fill_element_geometry(e, basis, scratch, geom)
-                .expect("valid mesh geometry");
             ws.gather(mesh.element_nodes(e), conserved, prim);
             ws.zero_residuals();
-            convective_flux(ws);
-            weak_divergence(ws, basis, geom, 1.0);
             if viscous {
-                viscous_flux(ws, gas, basis, geom);
-                weak_divergence(ws, basis, geom, -1.0);
+                fused_flux(ws, gas, basis, geom);
+            } else {
+                convective_flux(ws);
             }
+            weak_divergence(ws, basis, geom, 1.0);
         }
         Some(p) => {
             let t0 = Instant::now();
-            mesh.fill_element_geometry(e, basis, scratch, geom)
-                .expect("valid mesh geometry");
             ws.gather(mesh.element_nodes(e), conserved, prim);
             ws.zero_residuals();
             p.add(Phase::RkOther, t0.elapsed());
-            let t0 = Instant::now();
-            convective_flux(ws);
-            weak_divergence(ws, basis, geom, 1.0);
-            p.add(Phase::RkConvection, t0.elapsed());
             if viscous {
                 let t0 = Instant::now();
-                viscous_flux(ws, gas, basis, geom);
-                weak_divergence(ws, basis, geom, -1.0);
+                fused_flux(ws, gas, basis, geom);
                 p.add(Phase::RkDiffusion, t0.elapsed());
+                let t0 = Instant::now();
+                weak_divergence(ws, basis, geom, 1.0);
+                let half = t0.elapsed() / 2;
+                p.add(Phase::RkConvection, half);
+                p.add(Phase::RkDiffusion, half);
+            } else {
+                let t0 = Instant::now();
+                convective_flux(ws);
+                weak_divergence(ws, basis, geom, 1.0);
+                p.add(Phase::RkConvection, t0.elapsed());
             }
         }
     }
 }
 
-fn zero_state(out: &mut Conserved) {
-    out.rho.iter_mut().for_each(|v| *v = 0.0);
-    for d in 0..3 {
-        out.mom[d].iter_mut().for_each(|v| *v = 0.0);
+/// Evaluates element `e`'s residual with the seed **split** kernels
+/// (convective and viscous contractions separately) on cached geometry —
+/// the reference the fused path is validated and benchmarked against.
+#[allow(clippy::too_many_arguments)]
+fn eval_element_split(
+    mesh: &HexMesh,
+    basis: &HexBasis,
+    gas: &GasModel,
+    viscous: bool,
+    conserved: &Conserved,
+    prim: &Primitives,
+    e: usize,
+    ws: &mut ElementWorkspace,
+    geometry: &GeometryCache,
+) {
+    let geom = geometry.element(e);
+    ws.gather(mesh.element_nodes(e), conserved, prim);
+    ws.zero_residuals();
+    convective_flux(ws);
+    weak_divergence(ws, basis, geom, 1.0);
+    if viscous {
+        viscous_flux(ws, gas, basis, geom);
+        weak_divergence(ws, basis, geom, -1.0);
     }
-    out.energy.iter_mut().for_each(|v| *v = 0.0);
 }
 
 /// Assembles the RKL residual into `out` over `chunks` parallel element
@@ -146,12 +180,14 @@ fn zero_state(out: &mut Conserved) {
 ///
 /// # Panics
 ///
-/// Panics if state sizes disagree with the mesh or `chunks == 0`.
+/// Panics if state sizes disagree with the mesh, the geometry cache does
+/// not cover the mesh, or `chunks == 0`.
 #[allow(clippy::too_many_arguments)]
 pub fn assemble_rhs_chunked_into(
     mesh: &HexMesh,
     basis: &HexBasis,
     gas: &GasModel,
+    geometry: &GeometryCache,
     conserved: &Conserved,
     prim: &Primitives,
     chunks: usize,
@@ -161,8 +197,49 @@ pub fn assemble_rhs_chunked_into(
     assert!(chunks > 0, "chunk count");
     assert_eq!(conserved.len(), mesh.num_nodes(), "state size");
     assert_eq!(out.len(), mesh.num_nodes(), "output size");
+    assert_eq!(
+        geometry.num_elements(),
+        mesh.num_elements(),
+        "geometry cache does not cover the mesh"
+    );
     let ne = mesh.num_elements();
     let npe = mesh.nodes_per_element();
+    let viscous = gas.mu > 0.0;
+    let profile = profiler.is_some();
+    if chunks == 1 {
+        // Serial fast path: scatter straight into `out` — bitwise
+        // identical to the one-partial reduction (a single chunk's
+        // accumulation grouping is unchanged), without the private
+        // partial allocation and the final axpy pass.
+        let mut ws = ElementWorkspace::new(npe);
+        let mut local = PhaseProfiler::new();
+        out.set_zero();
+        for e in 0..ne {
+            eval_element(
+                mesh,
+                basis,
+                gas,
+                viscous,
+                conserved,
+                prim,
+                e,
+                &mut ws,
+                geometry,
+                if profile { Some(&mut local) } else { None },
+            );
+            if profile {
+                let t0 = Instant::now();
+                ws.scatter_add(mesh.element_nodes(e), out);
+                local.add(Phase::RkOther, t0.elapsed());
+            } else {
+                ws.scatter_add(mesh.element_nodes(e), out);
+            }
+        }
+        if let Some(agg) = profiler {
+            agg.merge(&local);
+        }
+        return;
+    }
     let chunk_size = ne.div_ceil(chunks);
     let ranges: Vec<(usize, usize)> = (0..chunks)
         .map(|c| {
@@ -170,14 +247,10 @@ pub fn assemble_rhs_chunked_into(
             (start.min(ne), ((c + 1) * chunk_size).min(ne))
         })
         .collect();
-    let viscous = gas.mu > 0.0;
-    let profile = profiler.is_some();
     let partials: Vec<(Conserved, PhaseProfiler)> = ranges
         .par_iter()
         .map(|&(start, end)| {
             let mut ws = ElementWorkspace::new(npe);
-            let mut scratch = GeometryScratch::new(npe);
-            let mut geom = ElementGeometry::with_capacity(npe);
             let mut partial = Conserved::zeros(mesh.num_nodes());
             let mut local = PhaseProfiler::new();
             for e in start..end {
@@ -190,8 +263,7 @@ pub fn assemble_rhs_chunked_into(
                     prim,
                     e,
                     &mut ws,
-                    &mut scratch,
-                    &mut geom,
+                    geometry,
                     if profile { Some(&mut local) } else { None },
                 );
                 if profile {
@@ -206,7 +278,7 @@ pub fn assemble_rhs_chunked_into(
         })
         .collect();
     // Deterministic reduction in chunk order.
-    zero_state(out);
+    out.set_zero();
     for (p, local) in &partials {
         out.axpy(1.0, p);
         if let Some(agg) = profiler.as_deref_mut() {
@@ -223,17 +295,21 @@ pub fn assemble_rhs_chunked_into(
 ///
 /// # Panics
 ///
-/// Panics if state sizes disagree with the mesh or `chunks == 0`.
+/// Panics if state sizes disagree with the mesh, the geometry cache does
+/// not cover the mesh, or `chunks == 0`.
 pub fn assemble_rhs_parallel(
     mesh: &HexMesh,
     basis: &HexBasis,
     gas: &GasModel,
+    geometry: &GeometryCache,
     conserved: &Conserved,
     prim: &Primitives,
     chunks: usize,
 ) -> Conserved {
     let mut out = Conserved::zeros(mesh.num_nodes());
-    assemble_rhs_chunked_into(mesh, basis, gas, conserved, prim, chunks, &mut out, None);
+    assemble_rhs_chunked_into(
+        mesh, basis, gas, geometry, conserved, prim, chunks, &mut out, None,
+    );
     out
 }
 
@@ -302,6 +378,7 @@ pub fn assemble_rhs_colored_with_chunk(
     mesh: &HexMesh,
     basis: &HexBasis,
     gas: &GasModel,
+    geometry: &GeometryCache,
     conserved: &Conserved,
     prim: &Primitives,
     coloring: &ElementColoring,
@@ -317,6 +394,11 @@ pub fn assemble_rhs_colored_with_chunk(
         mesh.num_elements(),
         "coloring does not cover the mesh"
     );
+    assert_eq!(
+        geometry.num_elements(),
+        mesh.num_elements(),
+        "geometry cache does not cover the mesh"
+    );
     // The raw-pointer scatter below is only race-free if the classes are
     // node-disjoint *on this mesh* — an element-count match does not prove
     // the coloring was built from it, so re-check in debug builds.
@@ -327,14 +409,12 @@ pub fn assemble_rhs_colored_with_chunk(
     let npe = mesh.nodes_per_element();
     let viscous = gas.mu > 0.0;
     let profile = profiler.is_some();
-    zero_state(out);
+    out.set_zero();
     let shared = SharedRhs::new(out);
     let agg = Mutex::new(PhaseProfiler::new());
     for class in coloring.classes() {
         class.par_chunks(chunk_elems).for_each(|elems| {
             let mut ws = ElementWorkspace::new(npe);
-            let mut scratch = GeometryScratch::new(npe);
-            let mut geom = ElementGeometry::with_capacity(npe);
             let mut local = PhaseProfiler::new();
             for &e in elems {
                 let e = e as usize;
@@ -347,8 +427,7 @@ pub fn assemble_rhs_colored_with_chunk(
                     prim,
                     e,
                     &mut ws,
-                    &mut scratch,
-                    &mut geom,
+                    geometry,
                     if profile { Some(&mut local) } else { None },
                 );
                 // SAFETY: indices come from the mesh connectivity (in
@@ -388,6 +467,7 @@ pub fn assemble_rhs_colored_into(
     mesh: &HexMesh,
     basis: &HexBasis,
     gas: &GasModel,
+    geometry: &GeometryCache,
     conserved: &Conserved,
     prim: &Primitives,
     coloring: &ElementColoring,
@@ -399,7 +479,7 @@ pub fn assemble_rhs_colored_into(
     let max_class = coloring.max_class_size().max(1);
     let chunk = max_class.div_ceil(available_threads()).max(1);
     assemble_rhs_colored_with_chunk(
-        mesh, basis, gas, conserved, prim, coloring, chunk, out, profiler,
+        mesh, basis, gas, geometry, conserved, prim, coloring, chunk, out, profiler,
     );
 }
 
@@ -417,6 +497,7 @@ pub fn assemble_rhs_into(
     mesh: &HexMesh,
     basis: &HexBasis,
     gas: &GasModel,
+    geometry: &GeometryCache,
     conserved: &Conserved,
     prim: &Primitives,
     strategy: AssemblyStrategy,
@@ -426,14 +507,130 @@ pub fn assemble_rhs_into(
 ) {
     match strategy {
         AssemblyStrategy::Serial => {
-            assemble_rhs_chunked_into(mesh, basis, gas, conserved, prim, 1, out, profiler);
+            assemble_rhs_chunked_into(
+                mesh, basis, gas, geometry, conserved, prim, 1, out, profiler,
+            );
         }
         AssemblyStrategy::Chunked { chunks } => {
-            assemble_rhs_chunked_into(mesh, basis, gas, conserved, prim, chunks, out, profiler);
+            assemble_rhs_chunked_into(
+                mesh, basis, gas, geometry, conserved, prim, chunks, out, profiler,
+            );
         }
         AssemblyStrategy::Colored => {
             let coloring = coloring.expect("Colored strategy requires an ElementColoring");
-            assemble_rhs_colored_into(mesh, basis, gas, conserved, prim, coloring, out, profiler);
+            assemble_rhs_colored_into(
+                mesh, basis, gas, geometry, conserved, prim, coloring, out, profiler,
+            );
+        }
+    }
+}
+
+/// Assembles the residual with the seed **split** kernels (two
+/// weak-divergence contractions per viscous element) on cached geometry,
+/// under any [`AssemblyStrategy`] — the reference path the fused kernel
+/// is property-tested and benchmarked against. Not profiled.
+///
+/// # Panics
+///
+/// Panics on size mismatches, or if `strategy` is `Colored` and
+/// `coloring` is `None`.
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_rhs_split_into(
+    mesh: &HexMesh,
+    basis: &HexBasis,
+    gas: &GasModel,
+    geometry: &GeometryCache,
+    conserved: &Conserved,
+    prim: &Primitives,
+    strategy: AssemblyStrategy,
+    coloring: Option<&ElementColoring>,
+    out: &mut Conserved,
+) {
+    assert_eq!(conserved.len(), mesh.num_nodes(), "state size");
+    assert_eq!(out.len(), mesh.num_nodes(), "output size");
+    assert_eq!(
+        geometry.num_elements(),
+        mesh.num_elements(),
+        "geometry cache does not cover the mesh"
+    );
+    let ne = mesh.num_elements();
+    let npe = mesh.nodes_per_element();
+    let viscous = gas.mu > 0.0;
+    match strategy {
+        AssemblyStrategy::Serial | AssemblyStrategy::Chunked { .. } => {
+            let chunks = match strategy {
+                AssemblyStrategy::Chunked { chunks } => {
+                    assert!(chunks > 0, "chunk count");
+                    chunks
+                }
+                _ => 1,
+            };
+            if chunks == 1 {
+                // Same serial fast path as the fused assembly: direct
+                // scatter, no private partial.
+                let mut ws = ElementWorkspace::new(npe);
+                out.set_zero();
+                for e in 0..ne {
+                    eval_element_split(
+                        mesh, basis, gas, viscous, conserved, prim, e, &mut ws, geometry,
+                    );
+                    ws.scatter_add(mesh.element_nodes(e), out);
+                }
+                return;
+            }
+            let chunk_size = ne.div_ceil(chunks);
+            let ranges: Vec<(usize, usize)> = (0..chunks)
+                .map(|c| {
+                    let start = c * chunk_size;
+                    (start.min(ne), ((c + 1) * chunk_size).min(ne))
+                })
+                .collect();
+            let partials: Vec<Conserved> = ranges
+                .par_iter()
+                .map(|&(start, end)| {
+                    let mut ws = ElementWorkspace::new(npe);
+                    let mut partial = Conserved::zeros(mesh.num_nodes());
+                    for e in start..end {
+                        eval_element_split(
+                            mesh, basis, gas, viscous, conserved, prim, e, &mut ws, geometry,
+                        );
+                        ws.scatter_add(mesh.element_nodes(e), &mut partial);
+                    }
+                    partial
+                })
+                .collect();
+            out.set_zero();
+            for p in &partials {
+                out.axpy(1.0, p);
+            }
+        }
+        AssemblyStrategy::Colored => {
+            let coloring = coloring.expect("Colored strategy requires an ElementColoring");
+            assert_eq!(
+                coloring.num_elements(),
+                mesh.num_elements(),
+                "coloring does not cover the mesh"
+            );
+            debug_assert!(coloring.is_valid(mesh), "coloring not node-disjoint");
+            let max_class = coloring.max_class_size().max(1);
+            let chunk = max_class.div_ceil(available_threads()).max(1);
+            out.set_zero();
+            let shared = SharedRhs::new(out);
+            for class in coloring.classes() {
+                class.par_chunks(chunk).for_each(|elems| {
+                    let mut ws = ElementWorkspace::new(npe);
+                    for &e in elems {
+                        let e = e as usize;
+                        eval_element_split(
+                            mesh, basis, gas, viscous, conserved, prim, e, &mut ws, geometry,
+                        );
+                        // SAFETY: same argument as the fused colored path —
+                        // indices are in bounds and `elems` is a subset of
+                        // one node-disjoint color class.
+                        unsafe { shared.scatter_add(mesh.element_nodes(e), &ws.res) };
+                    }
+                });
+            }
         }
     }
 }
@@ -449,10 +646,11 @@ mod tests {
         mesh: &HexMesh,
         basis: &HexBasis,
         gas: &GasModel,
+        geometry: &GeometryCache,
         conserved: &Conserved,
         prim: &Primitives,
     ) -> Conserved {
-        assemble_rhs_parallel(mesh, basis, gas, conserved, prim, 1)
+        assemble_rhs_parallel(mesh, basis, gas, geometry, conserved, prim, 1)
     }
 
     fn bits(c: &Conserved) -> Vec<u64> {
@@ -467,7 +665,16 @@ mod tests {
         out
     }
 
-    fn tgv_setup(edge: usize) -> (HexMesh, HexBasis, GasModel, Conserved, Primitives) {
+    fn tgv_setup(
+        edge: usize,
+    ) -> (
+        HexMesh,
+        HexBasis,
+        GasModel,
+        GeometryCache,
+        Conserved,
+        Primitives,
+    ) {
         let mesh = BoxMeshBuilder::tgv_box(edge).build().unwrap();
         let basis = HexBasis::new(1).unwrap();
         let cfg = TgvConfig::standard();
@@ -475,17 +682,19 @@ mod tests {
         let state = cfg.initial_state(&mesh);
         let mut prim = Primitives::zeros(mesh.num_nodes());
         prim.update_from(&state, &gas);
-        (mesh, basis, gas, state, prim)
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        (mesh, basis, gas, geometry, state, prim)
     }
 
     #[test]
     fn parallel_assembly_matches_serial_to_rounding_and_is_deterministic() {
-        let (mesh, basis, gas, state, prim) = tgv_setup(6);
-        let reference = serial_reference(&mesh, &basis, &gas, &state, &prim);
+        let (mesh, basis, gas, geometry, state, prim) = tgv_setup(6);
+        let reference = serial_reference(&mesh, &basis, &gas, &geometry, &state, &prim);
         let ref_flat = flat(&reference);
         let scale = ref_flat.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
         for chunks in [2usize, 3, 7, 16, 64] {
-            let parallel = assemble_rhs_parallel(&mesh, &basis, &gas, &state, &prim, chunks);
+            let parallel =
+                assemble_rhs_parallel(&mesh, &basis, &gas, &geometry, &state, &prim, chunks);
             // Agrees with serial to rounding (grouping differs across
             // chunk boundaries).
             let par_flat = flat(&parallel);
@@ -497,7 +706,8 @@ mod tests {
             }
             // Deterministic: rerunning with the same chunking is
             // bit-identical regardless of thread scheduling.
-            let again = assemble_rhs_parallel(&mesh, &basis, &gas, &state, &prim, chunks);
+            let again =
+                assemble_rhs_parallel(&mesh, &basis, &gas, &geometry, &state, &prim, chunks);
             assert_eq!(
                 bits(&parallel),
                 bits(&again),
@@ -508,9 +718,9 @@ mod tests {
 
     #[test]
     fn colored_assembly_matches_serial_and_is_bitwise_stable() {
-        let (mesh, basis, gas, state, prim) = tgv_setup(6);
+        let (mesh, basis, gas, geometry, state, prim) = tgv_setup(6);
         let coloring = ElementColoring::greedy(&mesh);
-        let reference = serial_reference(&mesh, &basis, &gas, &state, &prim);
+        let reference = serial_reference(&mesh, &basis, &gas, &geometry, &state, &prim);
         let ref_flat = flat(&reference);
         let scale = ref_flat.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
 
@@ -519,6 +729,7 @@ mod tests {
             &mesh,
             &basis,
             &gas,
+            &geometry,
             &state,
             &prim,
             &coloring,
@@ -535,7 +746,7 @@ mod tests {
         for chunk in [1usize, 2, 5, 16, 1024] {
             let mut again = Conserved::zeros(mesh.num_nodes());
             assemble_rhs_colored_with_chunk(
-                &mesh, &basis, &gas, &state, &prim, &coloring, chunk, &mut again, None,
+                &mesh, &basis, &gas, &geometry, &state, &prim, &coloring, chunk, &mut again, None,
             );
             assert_eq!(auto_bits, bits(&again), "chunk={chunk} changed bits");
         }
@@ -543,9 +754,9 @@ mod tests {
 
     #[test]
     fn strategy_dispatch_covers_all_paths() {
-        let (mesh, basis, gas, state, prim) = tgv_setup(4);
+        let (mesh, basis, gas, geometry, state, prim) = tgv_setup(4);
         let coloring = ElementColoring::greedy(&mesh);
-        let reference = serial_reference(&mesh, &basis, &gas, &state, &prim);
+        let reference = serial_reference(&mesh, &basis, &gas, &geometry, &state, &prim);
         let ref_flat = flat(&reference);
         // Floor the scale: on the coarse 4³ box symmetric contributions
         // cancel to ~0, so a pure-relative bound would compare rounding
@@ -563,6 +774,7 @@ mod tests {
                 &mesh,
                 &basis,
                 &gas,
+                &geometry,
                 &state,
                 &prim,
                 strategy,
@@ -578,7 +790,7 @@ mod tests {
 
     #[test]
     fn parallel_profiling_merges_thread_time() {
-        let (mesh, basis, gas, state, prim) = tgv_setup(4);
+        let (mesh, basis, gas, geometry, state, prim) = tgv_setup(4);
         let coloring = ElementColoring::greedy(&mesh);
         for strategy in [
             AssemblyStrategy::Chunked { chunks: 4 },
@@ -590,6 +802,7 @@ mod tests {
                 &mesh,
                 &basis,
                 &gas,
+                &geometry,
                 &state,
                 &prim,
                 strategy,
@@ -622,7 +835,8 @@ mod tests {
         let state = cfg.initial_state(&mesh);
         let mut prim = Primitives::zeros(mesh.num_nodes());
         prim.update_from(&state, &gas);
-        let ours = assemble_rhs_parallel(&mesh, &basis, &gas, &state, &prim, 4);
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        let ours = assemble_rhs_parallel(&mesh, &basis, &gas, &geometry, &state, &prim, 4);
         let staged = crate::kernels::NUM_VARS; // silence unused in docs
         assert_eq!(staged, 5);
         // Conservation: Σ residual = 0 per variable.
@@ -648,7 +862,8 @@ mod tests {
         let state = cfg.initial_state(&mesh);
         let mut prim = Primitives::zeros(mesh.num_nodes());
         prim.update_from(&state, &gas);
-        assemble_rhs_parallel(&mesh, &basis, &gas, &state, &prim, 0);
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        assemble_rhs_parallel(&mesh, &basis, &gas, &geometry, &state, &prim, 0);
     }
 
     proptest! {
@@ -671,21 +886,24 @@ mod tests {
             prim.update_from(&state, &gas);
             let coloring = ElementColoring::greedy(&mesh);
             prop_assert!(coloring.is_valid(&mesh));
+            let geometry = GeometryCache::build(&mesh, &basis).unwrap();
 
-            let reference = serial_reference(&mesh, &basis, &gas, &state, &prim);
+            let reference = serial_reference(&mesh, &basis, &gas, &geometry, &state, &prim);
             let ref_flat = flat(&reference);
             // Floored scale: degenerate random boxes (e.g. 4 elements per
             // period) cancel symmetric contributions to ~0.
             let scale = ref_flat.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
 
-            let chunked = assemble_rhs_parallel(&mesh, &basis, &gas, &state, &prim, chunks);
+            let chunked = assemble_rhs_parallel(
+                &mesh, &basis, &gas, &geometry, &state, &prim, chunks,
+            );
             for (a, b) in ref_flat.iter().zip(&flat(&chunked)) {
                 prop_assert!((a - b).abs() <= 1e-12 * scale, "chunked: {} vs {}", a, b);
             }
 
             let mut colored = Conserved::zeros(mesh.num_nodes());
             assemble_rhs_colored_into(
-                &mesh, &basis, &gas, &state, &prim, &coloring, &mut colored, None,
+                &mesh, &basis, &gas, &geometry, &state, &prim, &coloring, &mut colored, None,
             );
             for (a, b) in ref_flat.iter().zip(&flat(&colored)) {
                 prop_assert!((a - b).abs() <= 1e-12 * scale, "colored: {} vs {}", a, b);
@@ -695,9 +913,66 @@ mod tests {
             // chunk granularities give bitwise-equal results.
             let mut again = Conserved::zeros(mesh.num_nodes());
             assemble_rhs_colored_with_chunk(
-                &mesh, &basis, &gas, &state, &prim, &coloring, chunks, &mut again, None,
+                &mesh, &basis, &gas, &geometry, &state, &prim, &coloring, chunks, &mut again,
+                None,
             );
             prop_assert_eq!(bits(&colored), bits(&again));
+        }
+
+        /// The fused single-contraction kernel matches the split
+        /// convective+viscous reference at ≤1e-12 relative error on
+        /// randomized meshes, polynomial orders, and gas models, under
+        /// all three assembly strategies.
+        #[test]
+        fn prop_fused_matches_split_across_strategies(
+            nx in 3usize..5,
+            ny in 3usize..5,
+            nz in 3usize..5,
+            order in 1usize..3,
+            periodic in proptest::bool::ANY,
+            chunks in 2usize..7,
+            mach in 0.05f64..0.4,
+            reynolds in 50.0f64..5000.0,
+        ) {
+            let mut b = BoxMeshBuilder::new();
+            b.elements(nx, ny, nz)
+                .order(order)
+                .periodic(periodic, periodic, periodic);
+            let mesh = b.build().unwrap();
+            let basis = HexBasis::new(order).unwrap();
+            let cfg = TgvConfig::new(mach, reynolds);
+            let gas = cfg.gas();
+            prop_assert!(gas.mu > 0.0, "viscous run required to exercise fusion");
+            let state = cfg.initial_state(&mesh);
+            let mut prim = Primitives::zeros(mesh.num_nodes());
+            prim.update_from(&state, &gas);
+            let coloring = ElementColoring::greedy(&mesh);
+            let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+
+            for strategy in [
+                AssemblyStrategy::Serial,
+                AssemblyStrategy::Chunked { chunks },
+                AssemblyStrategy::Colored,
+            ] {
+                let mut fused = Conserved::zeros(mesh.num_nodes());
+                assemble_rhs_into(
+                    &mesh, &basis, &gas, &geometry, &state, &prim, strategy,
+                    Some(&coloring), &mut fused, None,
+                );
+                let mut split = Conserved::zeros(mesh.num_nodes());
+                assemble_rhs_split_into(
+                    &mesh, &basis, &gas, &geometry, &state, &prim, strategy,
+                    Some(&coloring), &mut split,
+                );
+                let split_flat = flat(&split);
+                let scale = split_flat.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+                for (a, b) in flat(&fused).iter().zip(&split_flat) {
+                    prop_assert!(
+                        (a - b).abs() <= 1e-12 * scale,
+                        "{}: fused {} vs split {}", strategy, a, b
+                    );
+                }
+            }
         }
     }
 }

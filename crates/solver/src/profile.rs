@@ -8,15 +8,28 @@
 use std::time::{Duration, Instant};
 
 /// The four phases of Fig 2.
+///
+/// Since the fused single-contraction kernel landed, viscous elements run
+/// one shared weak-divergence contraction: its time is charged half to
+/// [`Phase::RkConvection`] and half to [`Phase::RkDiffusion`] (it serves
+/// both halves of the fused `F_c − F_v` stage), while the fused flux
+/// assembly (gradients, τ, net flux) is all diffusion. Per-stage geometry
+/// rebuild time no longer exists — the one-time [`GeometryCache`] build
+/// is charged to [`Phase::NonRk`] at construction.
+///
+/// [`GeometryCache`]: fem_mesh::geometry::GeometryCache
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Phase {
-    /// Viscous (diffusion) term: gradients, τ, heat flux, weak divergence.
+    /// Viscous (diffusion) term: gradients, τ, heat flux, its half of the
+    /// fused weak divergence.
     RkDiffusion,
-    /// Convective term: flux evaluation and weak divergence.
+    /// Convective term: flux evaluation and its half of the fused weak
+    /// divergence.
     RkConvection,
-    /// Remaining RK work: gather/scatter, geometry, RKU update, axpy.
+    /// Remaining RK work: gather/scatter, RKU update, axpy.
     RkOther,
-    /// Everything outside the RK method: diagnostics, setup amortization.
+    /// Everything outside the RK method: diagnostics, setup amortization
+    /// (including the one-time geometry-cache build).
     NonRk,
 }
 

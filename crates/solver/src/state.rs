@@ -33,6 +33,16 @@ impl Conserved {
         }
     }
 
+    /// Zeroes all five fields in place (the RHS accumulators reuse their
+    /// allocation across evaluations).
+    pub fn set_zero(&mut self) {
+        self.rho.iter_mut().for_each(|v| *v = 0.0);
+        for d in 0..3 {
+            self.mom[d].iter_mut().for_each(|v| *v = 0.0);
+        }
+        self.energy.iter_mut().for_each(|v| *v = 0.0);
+    }
+
     /// Number of nodes.
     pub fn len(&self) -> usize {
         self.rho.len()

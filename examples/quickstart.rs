@@ -50,12 +50,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let basis = HexBasis::new(mesh.order())?;
     let mut prim = Primitives::zeros(mesh.num_nodes());
     prim.update_from(&initial, &cfg.gas());
-    let staged = staged_stage_residual(&mesh, &basis, &cfg.gas(), &initial, &prim);
+    let geometry = fem_cfd_accel::mesh::geometry::GeometryCache::build(&mesh, &basis)?;
+    let staged = staged_stage_residual(&mesh, &basis, &cfg.gas(), &geometry, &initial, &prim);
     let mut max_bits_diff = 0u64;
     let reference = fem_cfd_accel::accel::functional::monolithic_stage_residual(
         &mesh,
         &basis,
         &cfg.gas(),
+        &geometry,
         &initial,
         &prim,
     );

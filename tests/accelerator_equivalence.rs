@@ -5,6 +5,7 @@ use fem_cfd_accel::accel::functional::{
     monolithic_stage_residual, staged_stage_residual, StagedRhs,
 };
 use fem_cfd_accel::mesh::generator::BoxMeshBuilder;
+use fem_cfd_accel::mesh::geometry::GeometryCache;
 use fem_cfd_accel::numerics::rk::{ButcherTableau, ExplicitRk};
 use fem_cfd_accel::numerics::tensor::HexBasis;
 use fem_cfd_accel::solver::state::Primitives;
@@ -28,8 +29,9 @@ fn staged_equals_monolithic_on_various_meshes() {
         let state = cfg.initial_state(&mesh);
         let mut prim = Primitives::zeros(mesh.num_nodes());
         prim.update_from(&state, &gas);
-        let staged = staged_stage_residual(&mesh, &basis, &gas, &state, &prim);
-        let mono = monolithic_stage_residual(&mesh, &basis, &gas, &state, &prim);
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        let staged = staged_stage_residual(&mesh, &basis, &gas, &geometry, &state, &prim);
+        let mono = monolithic_stage_residual(&mesh, &basis, &gas, &geometry, &state, &prim);
         assert_eq!(
             bits(&staged),
             bits(&mono),
@@ -60,8 +62,9 @@ fn staged_equals_monolithic_on_walled_mesh() {
     }
     let mut prim = Primitives::zeros(mesh.num_nodes());
     prim.update_from(&state, &gas);
-    let staged = staged_stage_residual(&mesh, &basis, &gas, &state, &prim);
-    let mono = monolithic_stage_residual(&mesh, &basis, &gas, &state, &prim);
+    let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+    let staged = staged_stage_residual(&mesh, &basis, &gas, &geometry, &state, &prim);
+    let mono = monolithic_stage_residual(&mesh, &basis, &gas, &geometry, &state, &prim);
     assert_eq!(bits(&staged), bits(&mono));
 }
 

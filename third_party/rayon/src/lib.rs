@@ -3,7 +3,7 @@
 //! Provides the subset of rayon's data-parallel API this workspace uses:
 //! the `par_iter()` / `into_par_iter()` → `map` → `collect` pipeline plus
 //! the side-effect and reduction patterns (`for_each`, `fold`/`reduce`,
-//! `zip`, `par_chunks`/`par_chunks_mut`). Unlike a pass-through sequential
+//! `sum`, `zip`, `par_chunks`/`par_chunks_mut`). Unlike a pass-through sequential
 //! stub, every terminal operation genuinely fans the work out over
 //! `std::thread::scope` threads (one chunk per available core) and
 //! recombines the per-chunk results **in input order**, so:
@@ -216,6 +216,12 @@ pub trait ParallelIterator: Sized {
     fn zip<Z>(self, other: Z) -> ParIter<(Self::Item, Z::Item)>
     where
         Z: IntoParallelIterator;
+    /// Sums all items: worker chunks sum in parallel, then the per-chunk
+    /// sums combine in input order (deterministic for a fixed worker
+    /// count, like [`ParallelIterator::reduce`]). Mirrors rayon's `sum`.
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<Self::Item> + std::iter::Sum<S>;
 }
 
 impl<T: Send> ParallelIterator for ParIter<T> {
@@ -282,6 +288,14 @@ impl<T: Send> ParallelIterator for ParIter<T> {
                 .zip(other.into_par_iter().items)
                 .collect(),
         }
+    }
+    fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<T> + std::iter::Sum<S>,
+    {
+        run_chunked(self.items, |chunk| chunk.into_iter().sum::<S>())
+            .into_iter()
+            .sum()
     }
 }
 
@@ -362,6 +376,19 @@ where
                 .fold(id(), |acc, item| op_ref(acc, f(item)))
         });
         partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Sums the mapped items (per-chunk sums in parallel, combined in
+    /// input order — deterministic for a fixed worker count).
+    pub fn sum<S>(self) -> S
+    where
+        S: Send + std::iter::Sum<R> + std::iter::Sum<S>,
+    {
+        let ParMap { items, f } = self;
+        let f = &f;
+        run_chunked(items, |chunk| chunk.into_iter().map(f).sum::<S>())
+            .into_iter()
+            .sum()
     }
 }
 
@@ -460,6 +487,24 @@ mod tests {
                 .reduce(|| 0.0, |a, b| a + b)
         };
         assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn sum_matches_sequential_and_is_deterministic() {
+        let total: usize = (0..10_000).into_par_iter().sum();
+        assert_eq!(total, 9_999 * 10_000 / 2);
+        let mapped: f64 = (0..1_000).into_par_iter().map(|i| i as f64 * 0.5).sum();
+        assert!((mapped - 0.5 * 999.0 * 1000.0 / 2.0).abs() < 1e-9);
+        // Fixed worker count ⇒ fixed chunking ⇒ bitwise-stable f64 sums.
+        let run = || -> f64 {
+            (0..10_000)
+                .into_par_iter()
+                .map(|i| 1.0 / (1.0 + i as f64))
+                .sum()
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+        let empty: f64 = Vec::<f64>::new().into_par_iter().sum();
+        assert_eq!(empty, 0.0);
     }
 
     #[test]
