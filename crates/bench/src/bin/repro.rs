@@ -10,6 +10,7 @@
 //! repro scaling     future-work study: RKL units across SLRs
 //! repro assembly    host-CPU chunked-vs-colored assembly scaling
 //! repro geometry    cached-vs-recompute + fused-vs-split RHS ladder
+//! repro scenarios   cross-strategy regression matrix over the registry
 //! repro all         everything above
 //!
 //! options: --json   machine-readable output
@@ -68,6 +69,13 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
             mode,
         ),
         "geometry" => emit(&fem_bench::geometry::run_geometry_study(&[8, 12], 5), mode),
+        "scenarios" => emit(
+            &fem_bench::scenarios::run_scenario_matrix(
+                fem_bench::SCENARIO_MATRIX_EDGE,
+                fem_bench::SCENARIO_MATRIX_STEPS,
+            ),
+            mode,
+        ),
         "all" => {
             for c in [
                 "fig2",
@@ -79,6 +87,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
                 "scaling",
                 "assembly",
                 "geometry",
+                "scenarios",
             ] {
                 run(c, mode)?;
             }
@@ -87,7 +96,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|geometry|all> [--json]"
+                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|geometry|scenarios|all> [--json]"
             );
             std::process::exit(2);
         }

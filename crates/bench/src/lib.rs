@@ -9,6 +9,7 @@
 
 pub mod assembly;
 pub mod geometry;
+pub mod scenarios;
 
 use fem_accel::experiments::ExpError;
 use serde::Serialize;
@@ -42,6 +43,14 @@ pub const FIG2_MEASURED_EDGES: [usize; 3] = [12, 16, 20];
 
 /// RK steps for the measured Fig 2 sweep.
 pub const FIG2_MEASURED_STEPS: usize = 3;
+
+/// Elements per axis of the `repro scenarios` regression-matrix meshes
+/// (large enough to resolve the double shear layer's `δ = 0.8`).
+pub const SCENARIO_MATRIX_EDGE: usize = 8;
+
+/// RK steps of the `repro scenarios` matrix — enough for the evolution
+/// invariants (KE decay, pulse spreading, cavity spin-up) to register.
+pub const SCENARIO_MATRIX_STEPS: usize = 6;
 
 #[cfg(test)]
 mod tests {

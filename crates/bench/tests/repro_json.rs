@@ -2,8 +2,12 @@
 //!
 //! Downstream tooling (plot scripts, CI dashboards) parses this output;
 //! these tests run the actual binary and assert the JSON document shape
-//! for the `fig5`, `assembly`, `geometry` and `table1` subcommands, so
-//! schema drift is caught at test time rather than by consumers. The
+//! for the `fig5`, `assembly`, `geometry`, `scenarios` and `table1`
+//! subcommands, so schema drift is caught at test time rather than by
+//! consumers. The `scenarios` test pins the PR-4 acceptance bar: every
+//! registered scenario (≥ 4: TGV, cavity, shear layer, pulse) must pass
+//! serial-vs-colored equivalence at ≤ 1e-12 relative plus its
+//! per-scenario invariant checks. The
 //! `geometry` test also pins the PR-3 acceptance bar: the cached+fused
 //! RHS path must beat the seed recompute+split path by ≥1.5× on the TGV
 //! n=12 viscous benchmark (hard-enforced when `REPRO_PERF_GATE` is set —
@@ -176,6 +180,91 @@ fn geometry_json_schema() {
         }
     }
     assert!(saw_edge_12, "study must include the TGV n=12 mesh");
+}
+
+#[test]
+fn scenarios_json_schema() {
+    let doc = repro_json("scenarios");
+
+    assert!(doc["edge"].as_u64().is_some(), "missing `edge`");
+    assert!(doc["steps"].as_u64().is_some(), "missing `steps`");
+    assert!(doc["threads"].as_u64().is_some(), "missing `threads`");
+
+    // Three strategy rows per scenario, in a fixed order, every one of
+    // them within the 1e-12 equivalence bar.
+    let rows = doc["rows"].as_array().expect("`rows` is an array");
+    assert_eq!(rows.len() % 3, 0, "rows come in strategy triples");
+    for triple in rows.chunks(3) {
+        assert_eq!(triple[0]["strategy"].as_str(), Some("serial"));
+        assert!(triple[1]["strategy"]
+            .as_str()
+            .expect("strategy string")
+            .starts_with("chunked("));
+        assert_eq!(triple[2]["strategy"].as_str(), Some("colored"));
+        for r in triple {
+            assert!(r["scenario"].as_str().is_some());
+            assert!(r["steps"].as_u64().is_some());
+            let dev = r["max_rel_dev_vs_serial"].as_f64().expect("numeric dev");
+            assert!(
+                dev <= 1e-12,
+                "{:?}/{:?} deviates from serial: {dev}",
+                r["scenario"],
+                r["strategy"]
+            );
+        }
+    }
+
+    // Acceptance: at least the four canonical scenarios, each with its
+    // strategies agreeing and its invariants passing.
+    let summaries = doc["summaries"].as_array().expect("`summaries` array");
+    assert!(summaries.len() >= 4, "fewer than 4 scenarios");
+    assert_eq!(summaries.len() * 3, rows.len());
+    for name in [
+        "taylor-green-vortex",
+        "lid-driven-cavity",
+        "double-shear-layer",
+        "acoustic-pulse",
+    ] {
+        assert!(
+            summaries
+                .iter()
+                .any(|s| s["scenario"].as_str() == Some(name)),
+            "scenario `{name}` missing"
+        );
+    }
+    for s in summaries {
+        let name = s["scenario"].as_str().expect("scenario name");
+        assert!(s["description"].as_str().is_some());
+        assert!(s["nodes"].as_u64().is_some());
+        assert!(s["elements"].as_u64().is_some());
+        assert!(s["dirichlet_nodes"].as_u64().is_some());
+        assert!(s["dt"].as_f64().expect("dt") > 0.0);
+        assert_eq!(s["strategies_agree"].as_bool(), Some(true), "{name}");
+        assert_eq!(s["invariants_pass"].as_bool(), Some(true), "{name}");
+        let invariants = s["invariants"].as_array().expect("invariants array");
+        assert!(!invariants.is_empty(), "{name}: no invariants");
+        for c in invariants {
+            assert!(c["name"].as_str().is_some());
+            assert!(c["value"].as_f64().is_some());
+            assert!(c["bound"].as_f64().is_some());
+            assert_eq!(c["passed"].as_bool(), Some(true), "{name}: {:?}", c["name"]);
+        }
+        // The per-scenario accelerator workload quote.
+        let w = &s["workload"];
+        for key in ["rkl_flops_per_stage", "rkl_bytes_per_stage"] {
+            assert!(w[key].as_u64().expect(key) > 0, "{name}: `{key}`");
+        }
+        for key in ["arithmetic_intensity", "ddr_bound_gflops"] {
+            let v = w[key].as_f64().unwrap_or_else(|| panic!("missing {key}"));
+            assert!(v > 0.0, "{name}: `{key}` not positive: {v}");
+        }
+    }
+    // The cavity is the only wall-bounded entry.
+    let cavity = summaries
+        .iter()
+        .find(|s| s["scenario"].as_str() == Some("lid-driven-cavity"))
+        .unwrap();
+    assert!(cavity["dirichlet_nodes"].as_u64().unwrap() > 0);
 }
 
 #[test]

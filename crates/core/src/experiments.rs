@@ -564,6 +564,66 @@ impl std::fmt::Display for AblationResult {
     }
 }
 
+// --------------------------------------------------- scenario workloads
+
+/// Accelerator-side quote for one registered solver scenario: the DDR
+/// traffic and FLOPs one RKL stage moves for that workload's mesh, the
+/// resulting arithmetic intensity, and the roofline bound the U200's
+/// four DDR channels put on it. This is how batching/sharding studies
+/// compare scenarios without running the solver.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScenarioWorkload {
+    /// Scenario identifier (from the solver registry).
+    pub scenario: String,
+    /// Mesh nodes.
+    pub nodes: usize,
+    /// Mesh elements.
+    pub elements: usize,
+    /// f64 FLOPs of one RKL stage.
+    pub rkl_flops_per_stage: u64,
+    /// DDR bytes of one RKL stage.
+    pub rkl_bytes_per_stage: u64,
+    /// FLOPs per DDR byte (roofline x-coordinate).
+    pub arithmetic_intensity: f64,
+    /// Streaming-compute ceiling (GFLOP/s) implied by the U200's four
+    /// DDR channels at the effective FEM-gather efficiency.
+    pub ddr_bound_gflops: f64,
+    /// Host↔card bytes per time step when the host runs the non-RK phase.
+    pub host_transfer_bytes_per_step: u64,
+}
+
+/// Quotes the accelerator workload of one scenario mesh.
+pub fn scenario_workload(name: &str, mesh: &fem_mesh::HexMesh) -> ScenarioWorkload {
+    let w = RklWorkload::from_mesh(mesh);
+    let device = U200::new();
+    let bw =
+        device.ddr_channels() as f64 * device.ddr_peak_bw() * fpga_platform::axi::DDR_EFFICIENCY;
+    ScenarioWorkload {
+        scenario: name.to_string(),
+        nodes: w.num_nodes,
+        elements: w.num_elements,
+        rkl_flops_per_stage: w.rkl_flops_per_stage(),
+        rkl_bytes_per_stage: w.rkl_bytes_per_stage(),
+        arithmetic_intensity: w.rkl_arithmetic_intensity(),
+        ddr_bound_gflops: w.rkl_arithmetic_intensity() * bw / 1e9,
+        host_transfer_bytes_per_step: w.host_transfer_bytes_per_step(),
+    }
+}
+
+/// Quotes every scenario of the solver registry on `edge`-element meshes.
+///
+/// # Errors
+///
+/// Propagates mesh-generation failures.
+pub fn run_scenario_workloads(edge: usize) -> Result<Vec<ScenarioWorkload>, ExpError> {
+    let mut out = Vec::new();
+    for scenario in fem_solver::scenarios::Scenario::registry() {
+        let mesh = scenario.mesh(edge)?;
+        out.push(scenario_workload(scenario.name(), &mesh));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -661,6 +721,28 @@ mod tests {
             r.power_ratio_total,
             r.power_ratio_core_rest
         );
+    }
+
+    #[test]
+    fn scenario_workloads_cover_the_registry() {
+        let quotes = run_scenario_workloads(6).unwrap();
+        assert_eq!(quotes.len(), 4);
+        // The walled cavity has (edge+1)³ nodes, the periodic boxes edge³
+        // — the registry must not collapse to one mesh shape.
+        let nodes: Vec<usize> = quotes.iter().map(|q| q.nodes).collect();
+        assert!(nodes.contains(&216), "periodic 6³: {nodes:?}");
+        assert!(nodes.contains(&343), "walled 7³: {nodes:?}");
+        for q in &quotes {
+            assert!(q.rkl_flops_per_stage > 0);
+            assert!(q.rkl_bytes_per_stage > 0);
+            assert!(q.arithmetic_intensity > 0.0);
+            assert!(
+                q.ddr_bound_gflops > q.arithmetic_intensity,
+                "{}: DDR bound below 1 GB/s?",
+                q.scenario
+            );
+            assert!(q.host_transfer_bytes_per_step > 0);
+        }
     }
 
     #[test]

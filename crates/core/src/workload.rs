@@ -134,6 +134,14 @@ impl RklWorkload {
         self.num_nodes as u64 * self.rku_flops_per_node
     }
 
+    /// Arithmetic intensity of one RKL stage (f64 FLOPs per DDR byte) —
+    /// the x-axis coordinate of the workload on a roofline plot. A
+    /// bandwidth `B` bytes/s then bounds the streaming compute rate at
+    /// `intensity × B` FLOP/s.
+    pub fn rkl_arithmetic_intensity(&self) -> f64 {
+        self.rkl_flops_per_stage() as f64 / self.rkl_bytes_per_stage() as f64
+    }
+
     /// Bytes the RKU sweep moves (read 10 arrays, write 10).
     pub fn rku_bytes_per_stage(&self) -> u64 {
         20 * self.num_nodes as u64 * std::mem::size_of::<f64>() as u64
@@ -178,6 +186,22 @@ mod tests {
         assert_eq!(w.bytes_in_per_element(), 12 * 8 * 8);
         assert_eq!(w.bytes_out_per_element(), 5 * 8 * 8);
         assert_eq!(w.rkl_bytes_per_stage(), 8_000 * (768 + 320));
+    }
+
+    #[test]
+    fn arithmetic_intensity_is_flops_over_bytes() {
+        let w = RklWorkload::with_nodes(100_000, 1);
+        let ai = w.rkl_arithmetic_intensity();
+        assert!(
+            (ai - w.rkl_flops_per_stage() as f64 / w.rkl_bytes_per_stage() as f64).abs() < 1e-12
+        );
+        // The FEM gather/scatter workload is modestly compute-dense:
+        // O(1)–O(10) flops per byte at order 1.
+        assert!(ai > 0.1 && ai < 100.0, "intensity {ai}");
+        // Intensity is size-independent (both numerator and denominator
+        // scale with elements).
+        let w2 = RklWorkload::with_nodes(1_000_000, 1);
+        assert!((w2.rkl_arithmetic_intensity() - ai).abs() < 1e-9);
     }
 
     #[test]

@@ -332,6 +332,53 @@ mod tests {
     }
 
     #[test]
+    fn corner_and_edge_nodes_get_deterministic_union_tags() {
+        // A fully non-periodic box must tag corner nodes with all three
+        // incident faces and edge nodes with exactly two — the
+        // single-valued tags `DirichletBc::from_tagged_nodes` relies on
+        // to visit every boundary node exactly once.
+        let build = || {
+            BoxMeshBuilder::new()
+                .elements(3, 3, 3)
+                .periodic(false, false, false)
+                .extent(1.0, 1.0, 1.0)
+                .build()
+                .unwrap()
+        };
+        let mesh = build();
+        // The origin corner carries the min-face union.
+        let origin_tag = mesh.boundary_tag(0);
+        assert_eq!(
+            origin_tag,
+            BoundaryTag::X_MIN
+                .union(BoundaryTag::Y_MIN)
+                .union(BoundaryTag::Z_MIN)
+        );
+        // Census by number of incident faces: a 4×4×4 node grid has 8
+        // corners (3 faces), 12 edges × 2 interior nodes (2 faces), and
+        // 6 faces × 4 interior nodes (1 face).
+        let mut by_faces = [0usize; 4];
+        for n in 0..mesh.num_nodes() {
+            let t = mesh.boundary_tag(n);
+            let faces = (0..6).filter(|b| t.contains(BoundaryTag(1 << b))).count();
+            by_faces[faces] += 1;
+        }
+        assert_eq!(by_faces, [8, 24, 24, 8], "interior/face/edge/corner census");
+        // Deterministic: an identical builder yields identical tags.
+        let again = build();
+        for n in 0..mesh.num_nodes() {
+            assert_eq!(mesh.boundary_tag(n), again.boundary_tag(n), "node {n}");
+        }
+        // And the boundary-node list covers each tagged node exactly once.
+        let nodes = mesh.boundary_nodes();
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), nodes.len(), "duplicate boundary node");
+        assert_eq!(nodes.len(), 56);
+    }
+
+    #[test]
     fn mixed_periodicity() {
         // Channel-like: periodic in x, walls in y and z.
         let mesh = BoxMeshBuilder::new()

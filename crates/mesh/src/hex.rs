@@ -235,7 +235,11 @@ impl HexMesh {
             .unwrap_or(BoundaryTag::INTERIOR)
     }
 
-    /// Ids of all nodes with a non-trivial boundary tag.
+    /// Ids of all nodes with a non-trivial boundary tag, in ascending
+    /// order with each node listed exactly once — consumers like
+    /// `DirichletBc::from_tagged_nodes` rely on this to visit every
+    /// boundary node once (corner/edge nodes carry a multi-face union
+    /// tag rather than appearing per face).
     pub fn boundary_nodes(&self) -> Vec<u32> {
         self.boundary_tags
             .iter()

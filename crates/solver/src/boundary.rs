@@ -63,6 +63,30 @@ impl DirichletBc {
         self.entries.len()
     }
 
+    /// The constrained nodes and their conserved targets
+    /// `(ρ, ρuₓ, ρu_y, ρu_z, E)`, in the order of
+    /// [`HexMesh::boundary_nodes`] (ascending node id, each node exactly
+    /// once).
+    pub fn targets(&self) -> &[(u32, [f64; 5])] {
+        &self.entries
+    }
+
+    /// Largest absolute deviation of `state` from the pinned targets over
+    /// all constrained nodes and fields — exactly `0.0` whenever the
+    /// residual-zeroing composition holds.
+    pub fn max_abs_deviation(&self, state: &Conserved) -> f64 {
+        let mut worst = 0.0f64;
+        for &(n, vals) in &self.entries {
+            let n = n as usize;
+            worst = worst.max((state.rho[n] - vals[0]).abs());
+            for d in 0..3 {
+                worst = worst.max((state.mom[d][n] - vals[1 + d]).abs());
+            }
+            worst = worst.max((state.energy[n] - vals[4]).abs());
+        }
+        worst
+    }
+
     /// Whether any node is constrained.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
@@ -153,6 +177,36 @@ mod tests {
             .find(|&n| !mesh.boundary_tag(n).is_boundary())
             .unwrap();
         assert_eq!(rhs.energy[interior], 5.0);
+    }
+
+    #[test]
+    fn every_boundary_node_is_visited_exactly_once() {
+        // Fully non-periodic box: corners and edges carry multi-face
+        // tags, but each node must appear in the BC exactly once.
+        let mesh = walled_mesh();
+        let gas = GasModel::air(1e-5);
+        let bc = DirichletBc::from_tagged_nodes(&mesh, &gas, |_, _| (1.0, Vec3::ZERO, 300.0));
+        let mut seen: Vec<u32> = bc.targets().iter().map(|&(n, _)| n).collect();
+        let count = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), count, "a boundary node was visited twice");
+        let mut expected = mesh.boundary_nodes();
+        expected.sort_unstable();
+        assert_eq!(seen, expected, "visited set != boundary-node set");
+    }
+
+    #[test]
+    fn deviation_tracks_state_drift() {
+        let mesh = walled_mesh();
+        let gas = GasModel::air(1e-5);
+        let bc = DirichletBc::from_tagged_nodes(&mesh, &gas, |_, _| (1.0, Vec3::ZERO, 300.0));
+        let mut state = Conserved::zeros(mesh.num_nodes());
+        bc.apply_state(&mut state);
+        assert_eq!(bc.max_abs_deviation(&state), 0.0);
+        let node = bc.targets()[0].0 as usize;
+        state.energy[node] += 0.25;
+        assert!((bc.max_abs_deviation(&state) - 0.25).abs() < 1e-15);
     }
 
     #[test]

@@ -353,6 +353,24 @@ impl Simulation {
         self
     }
 
+    /// The attached Dirichlet boundary condition, if any.
+    pub fn bc(&self) -> Option<&DirichletBc> {
+        self.core.bc.as_ref()
+    }
+
+    /// Evaluates the semi-discrete RHS (the full RKU → RKL → lumped-mass
+    /// → boundary-zeroing pipeline the RK stages integrate) at the
+    /// current conserved state, under the active assembly strategy.
+    ///
+    /// Exposed so tests can verify properties of the composed RHS — e.g.
+    /// that Dirichlet-pinned nodes carry an exactly zero residual — that
+    /// are invisible from the post-step state alone.
+    pub fn eval_rhs(&mut self) -> Conserved {
+        let mut out = Conserved::zeros(self.conserved.len());
+        self.core.rhs(self.time, &self.conserved, &mut out);
+        out
+    }
+
     /// Enables or disables phase profiling (disabled by default; timer
     /// reads add a few percent overhead to the element loop).
     pub fn set_profiling(&mut self, on: bool) {

@@ -18,6 +18,8 @@
 //! * [`parallel`] — multi-core residual assembly: chunked partials or
 //!   color-parallel in-place scatter ([`AssemblyStrategy`]).
 //! * [`tgv`] — the Taylor-Green Vortex workload of the evaluation.
+//! * [`scenarios`] — the workload registry (TGV, lid-driven cavity,
+//!   double shear layer, acoustic pulse) with per-scenario invariants.
 //! * [`boundary`] — Dirichlet conditions for wall-bounded examples.
 //! * [`diagnostics`] — conservation checks, kinetic energy, enstrophy.
 //! * [`profile`] — the Fig 2 execution-time breakdown instrumentation.
@@ -52,6 +54,7 @@ pub mod gas;
 pub mod kernels;
 pub mod parallel;
 pub mod profile;
+pub mod scenarios;
 pub mod state;
 pub mod tgv;
 
@@ -60,6 +63,7 @@ pub use driver::Simulation;
 pub use gas::GasModel;
 pub use parallel::AssemblyStrategy;
 pub use profile::{Phase, PhaseProfiler};
+pub use scenarios::{InvariantCheck, InvariantReport, Scenario, ScenarioKind};
 pub use state::{Conserved, Primitives};
 pub use tgv::TgvConfig;
 

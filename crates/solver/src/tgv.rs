@@ -5,6 +5,11 @@
 //! problem" (§II-A, refs \[21], \[14]). The TGV is a triply periodic flow in
 //! `[0, 2π]³` that transitions from a smooth vortex into turbulence while
 //! kinetic energy decays — the standard scale-resolving CFD benchmark.
+//!
+//! The TGV is registered as one entry of the scenario registry
+//! ([`crate::scenarios::Scenario::taylor_green`]) alongside the
+//! wall-bounded and inviscid workloads; the cross-strategy regression
+//! matrix iterates over all of them.
 
 use crate::gas::GasModel;
 use crate::state::Conserved;

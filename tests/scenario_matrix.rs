@@ -1,0 +1,227 @@
+//! The cross-strategy scenario regression matrix — its own tier-1 check.
+//!
+//! Three layers of protection for the scenario registry:
+//!
+//! 1. **Matrix**: every registered scenario (TGV, lid-driven cavity,
+//!    double shear layer, acoustic pulse) must run under Serial, Chunked
+//!    and Colored assembly with per-step deviations ≤ 1e-12 relative and
+//!    its physical invariants intact — the acceptance bar of the
+//!    `repro scenarios` artifact, asserted here on the exact same study.
+//! 2. **Golden trace**: a committed TGV kinetic-energy/enstrophy decay
+//!    trace (n = 8, 8 steps) that new runs must match to ≤ 1e-12
+//!    relative, so kernel refactors cannot silently change the physics.
+//!    Regenerate deliberately with
+//!    `cargo test --test scenario_matrix -- --ignored` after a *wanted*
+//!    physics change.
+//! 3. **Bitwise pinning**: Dirichlet-constrained nodes of the cavity
+//!    stay bitwise at their targets across full RK4 steps under all
+//!    three strategies, and the composed RHS is exactly zero there.
+
+use fem_bench::scenarios::{run_scenario_matrix, STRATEGY_EQUIVALENCE_TOL};
+use fem_bench::{SCENARIO_MATRIX_EDGE, SCENARIO_MATRIX_STEPS};
+use fem_cfd_accel::solver::scenarios::Scenario;
+use fem_cfd_accel::solver::AssemblyStrategy;
+
+const GOLDEN_PATH: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/tgv_n8_trace.json"
+);
+const GOLDEN_EDGE: usize = 8;
+const GOLDEN_STEPS: usize = 8;
+const GOLDEN_TOL: f64 = 1e-12;
+
+#[test]
+fn matrix_passes_equivalence_and_invariants_for_all_scenarios() {
+    let m = run_scenario_matrix(SCENARIO_MATRIX_EDGE, SCENARIO_MATRIX_STEPS);
+
+    // Acceptance: at least the four canonical scenarios ran.
+    assert!(
+        m.summaries.len() >= 4,
+        "only {} scenarios",
+        m.summaries.len()
+    );
+    for name in [
+        "taylor-green-vortex",
+        "lid-driven-cavity",
+        "double-shear-layer",
+        "acoustic-pulse",
+    ] {
+        assert!(
+            m.summaries.iter().any(|s| s.scenario == name),
+            "scenario `{name}` missing from the matrix"
+        );
+    }
+
+    // Every (scenario, strategy) cell tracks serial at ≤ 1e-12.
+    assert_eq!(m.rows.len(), m.summaries.len() * 3);
+    for r in &m.rows {
+        assert!(
+            r.max_rel_dev_vs_serial <= STRATEGY_EQUIVALENCE_TOL,
+            "{} / {}: deviation {:.3e} exceeds {:.0e}",
+            r.scenario,
+            r.strategy,
+            r.max_rel_dev_vs_serial,
+            STRATEGY_EQUIVALENCE_TOL
+        );
+    }
+
+    // Every scenario's physical invariants hold on the serial run.
+    for s in &m.summaries {
+        assert!(s.strategies_agree, "{}: strategies diverged", s.scenario);
+        assert!(!s.invariants.is_empty(), "{}: no invariants", s.scenario);
+        for c in &s.invariants {
+            assert!(
+                c.passed,
+                "{}: invariant `{}` failed ({:.4e} {} {:.3e})",
+                s.scenario, c.name, c.value, c.op, c.bound
+            );
+        }
+        // The accelerator workload quote rides along per scenario.
+        assert!(s.workload.rkl_flops_per_stage > 0, "{}", s.scenario);
+        assert!(s.workload.ddr_bound_gflops > 0.0, "{}", s.scenario);
+    }
+
+    // The cavity exercised the Dirichlet path; the periodic entries did
+    // not accidentally pin anything.
+    for s in &m.summaries {
+        if s.scenario == "lid-driven-cavity" {
+            assert!(s.dirichlet_nodes > 0);
+        } else {
+            assert_eq!(s.dirichlet_nodes, 0, "{}", s.scenario);
+        }
+    }
+}
+
+/// Runs the golden TGV configuration and returns per-step
+/// `(time, kinetic_energy, enstrophy, total_mass)` rows.
+fn tgv_trace(dt: f64, steps: usize) -> Vec<(f64, f64, f64, f64)> {
+    let scenario = Scenario::taylor_green();
+    let mut sim = scenario.simulation(GOLDEN_EDGE).expect("golden TGV builds");
+    let mut rows = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        sim.step(dt).expect("golden TGV steps");
+        let d = sim.diagnostics();
+        rows.push((d.time, d.kinetic_energy, d.enstrophy, d.total_mass));
+    }
+    rows
+}
+
+/// The dt the golden trace was recorded at (CFL 0.4 on the n = 8 box).
+fn golden_dt() -> f64 {
+    let scenario = Scenario::taylor_green();
+    let sim = scenario.simulation(GOLDEN_EDGE).expect("golden TGV builds");
+    sim.suggest_dt(scenario.default_cfl())
+}
+
+#[test]
+fn golden_tgv_trace_matches() {
+    let text = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden trace {GOLDEN_PATH} ({e}); regenerate with \
+             `cargo test --test scenario_matrix -- --ignored`"
+        )
+    });
+    let doc = serde_json::from_str(&text).expect("golden trace parses");
+    assert_eq!(doc["scenario"].as_str(), Some("taylor-green-vortex"));
+    assert_eq!(doc["edge"].as_u64(), Some(GOLDEN_EDGE as u64));
+    let dt = doc["dt"].as_f64().expect("dt");
+    let rows = doc["rows"].as_array().expect("rows");
+    assert_eq!(rows.len(), GOLDEN_STEPS);
+
+    // Replay at the *recorded* dt so the comparison is immune to
+    // CFL-estimate changes, then hold every observable to ≤ 1e-12.
+    let trace = tgv_trace(dt, rows.len());
+    let rel = |a: f64, b: f64| (a - b).abs() / b.abs();
+    for (i, (row, &(time, ke, ens, mass))) in rows.iter().zip(&trace).enumerate() {
+        for (key, ours) in [
+            ("time", time),
+            ("kinetic_energy", ke),
+            ("enstrophy", ens),
+            ("total_mass", mass),
+        ] {
+            let golden = row[key]
+                .as_f64()
+                .unwrap_or_else(|| panic!("row {i} missing `{key}`"));
+            assert!(
+                rel(ours, golden) <= GOLDEN_TOL,
+                "step {}: `{key}` drifted from the golden trace: \
+                 {ours:.17e} vs {golden:.17e} (rel {:.3e})",
+                i + 1,
+                rel(ours, golden)
+            );
+        }
+    }
+}
+
+#[test]
+#[ignore = "writes tests/golden/tgv_n8_trace.json; run only to bless a wanted physics change"]
+fn regenerate_golden_tgv_trace() {
+    let dt = golden_dt();
+    let trace = tgv_trace(dt, GOLDEN_STEPS);
+    let mut out = String::from("{\n");
+    out.push_str("  \"scenario\": \"taylor-green-vortex\",\n");
+    out.push_str(&format!("  \"edge\": {GOLDEN_EDGE},\n"));
+    out.push_str(&format!("  \"dt\": {dt},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, (time, ke, ens, mass)) in trace.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"step\": {}, \"time\": {time}, \"kinetic_energy\": {ke}, \
+             \"enstrophy\": {ens}, \"total_mass\": {mass}}}{}\n",
+            i + 1,
+            if i + 1 < trace.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(GOLDEN_PATH, out).expect("write golden trace");
+}
+
+#[test]
+fn cavity_pinned_nodes_stay_bitwise_fixed_under_every_strategy() {
+    let scenario = Scenario::lid_cavity();
+    for strategy in [
+        AssemblyStrategy::Serial,
+        AssemblyStrategy::chunked_auto(),
+        AssemblyStrategy::Colored,
+    ] {
+        let mut sim = scenario.simulation(5).expect("cavity builds");
+        sim.set_assembly_strategy(strategy);
+        let targets: Vec<(u32, [f64; 5])> = sim.bc().expect("cavity has a BC").targets().to_vec();
+        assert!(!targets.is_empty());
+
+        // The composed RHS (fused kernel, lumped mass, boundary zeroing)
+        // is exactly zero at every pinned node.
+        let rhs = sim.eval_rhs();
+        for &(n, _) in &targets {
+            let n = n as usize;
+            assert_eq!(rhs.rho[n], 0.0, "{strategy}: rho RHS at node {n}");
+            assert_eq!(rhs.energy[n], 0.0, "{strategy}: energy RHS at node {n}");
+            for d in 0..3 {
+                assert_eq!(rhs.mom[d][n], 0.0, "{strategy}: mom[{d}] RHS at node {n}");
+            }
+        }
+
+        // Full RK4 steps leave every pinned value bit-identical.
+        let dt = sim.suggest_dt(scenario.default_cfl());
+        sim.advance(3, dt).expect("cavity steps");
+        for &(n, vals) in &targets {
+            let n = n as usize;
+            assert_eq!(
+                sim.conserved().rho[n].to_bits(),
+                vals[0].to_bits(),
+                "{strategy}: rho moved at node {n}"
+            );
+            for d in 0..3 {
+                assert_eq!(
+                    sim.conserved().mom[d][n].to_bits(),
+                    vals[1 + d].to_bits(),
+                    "{strategy}: mom[{d}] moved at node {n}"
+                );
+            }
+            assert_eq!(
+                sim.conserved().energy[n].to_bits(),
+                vals[4].to_bits(),
+                "{strategy}: energy moved at node {n}"
+            );
+        }
+    }
+}
