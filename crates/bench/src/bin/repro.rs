@@ -11,6 +11,7 @@
 //! repro assembly    host-CPU chunked-vs-colored assembly scaling
 //! repro geometry    cached-vs-recompute + fused-vs-split RHS ladder
 //! repro scenarios   cross-strategy regression matrix over the registry
+//! repro sharding    shard-count sweep with per-shard emulated II quotes
 //! repro all         everything above
 //!
 //! options: --json   machine-readable output
@@ -76,6 +77,14 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
             ),
             mode,
         ),
+        "sharding" => emit(
+            &fem_bench::sharding::run_sharding_study(
+                fem_bench::sharding::SHARDING_EDGE,
+                fem_bench::sharding::SHARDING_STEPS,
+                &fem_bench::sharding::SHARD_SWEEP,
+            ),
+            mode,
+        ),
         "all" => {
             for c in [
                 "fig2",
@@ -88,6 +97,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
                 "assembly",
                 "geometry",
                 "scenarios",
+                "sharding",
             ] {
                 run(c, mode)?;
             }
@@ -96,7 +106,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|geometry|scenarios|all> [--json]"
+                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|geometry|scenarios|sharding|all> [--json]"
             );
             std::process::exit(2);
         }

@@ -10,6 +10,7 @@
 pub mod assembly;
 pub mod geometry;
 pub mod scenarios;
+pub mod sharding;
 
 use fem_accel::experiments::ExpError;
 use serde::Serialize;

@@ -165,7 +165,7 @@ impl std::fmt::Display for ScenarioMatrix {
 /// Worst per-field relative deviation between two states, with each
 /// field's scale floored at 1 (near-cancelling fields otherwise compare
 /// rounding noise against rounding noise).
-fn max_rel_dev(reference: &Conserved, candidate: &Conserved) -> f64 {
+pub(crate) fn max_rel_dev(reference: &Conserved, candidate: &Conserved) -> f64 {
     fn field_dev(x: &[f64], y: &[f64]) -> f64 {
         let scale = x.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
         x.iter()

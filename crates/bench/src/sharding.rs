@@ -1,0 +1,314 @@
+//! Shard-count sweep over the scenario registry: `repro sharding`.
+//!
+//! For every entry of the solver's scenario registry and every shard
+//! count of the sweep, the study:
+//!
+//! * reads the backend's [`fem_mesh::partition::ShardPlan`] and reports
+//!   each shard's DDR traffic (bytes in/out), owned/halo node split, and
+//!   the plan-level load imbalance;
+//! * runs the simulation for a few RK4 steps under the
+//!   [`fem_solver::engine::DataflowEmulatedBackend`] and checks the
+//!   trajectory is **bitwise identical** to the serial reference — the
+//!   engine's shard determinism guarantee — and bitwise stable across
+//!   the whole shard-count sweep;
+//! * attaches the per-shard accelerator cycle emulation
+//!   ([`fem_solver::engine::ShardCycleReport`]: DES makespan, observed
+//!   II, bottleneck task II) plus the scenario's DDR roofline bound from
+//!   [`fem_accel::experiments::scenario_workload`].
+//!
+//! The `sharding_json_schema` test in `repro_json.rs` pins the JSON
+//! shape and the CI `sharding` job regenerates and gates the artifact on
+//! every push.
+
+use crate::scenarios::max_rel_dev;
+use fem_accel::experiments::scenario_workload;
+use fem_solver::engine::BackendSelect;
+use fem_solver::scenarios::Scenario;
+use serde::Serialize;
+
+/// Shard counts the study sweeps.
+pub const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+/// Elements per axis of the sweep meshes.
+pub const SHARDING_EDGE: usize = 6;
+
+/// RK4 steps per (scenario, shard count) cell.
+pub const SHARDING_STEPS: usize = 2;
+
+/// One shard of one (scenario, shard count) cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardRow {
+    /// Scenario identifier.
+    pub scenario: String,
+    /// Shard count of the plan this shard belongs to.
+    pub shard_count: usize,
+    /// Shard index within the plan.
+    pub shard: usize,
+    /// Elements the shard streams.
+    pub elements: usize,
+    /// Nodes the shard owns (scatters directly).
+    pub owned_nodes: usize,
+    /// Halo nodes the shard forwards to their owners.
+    pub halo_nodes: usize,
+    /// DDR bytes the shard reads per RK stage.
+    pub bytes_in: u64,
+    /// DDR bytes the shard writes per RK stage.
+    pub bytes_out: u64,
+    /// Emulated stage makespan of the shard (cycles).
+    pub emulated_makespan_cycles: u64,
+    /// Emulated steady-state initiation interval (cycles/element).
+    pub emulated_ii: f64,
+    /// II of the emulated bottleneck task.
+    pub bottleneck_ii: u64,
+}
+
+/// Per-(scenario, shard count) verdict.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardingSummary {
+    /// Scenario identifier.
+    pub scenario: String,
+    /// Shard count of this cell.
+    pub shard_count: usize,
+    /// Mesh elements.
+    pub elements: usize,
+    /// Mesh nodes.
+    pub nodes: usize,
+    /// Largest shard element count over the mean (1.0 = balanced).
+    pub load_imbalance: f64,
+    /// Halo entries (shared-node records) over mesh nodes.
+    pub halo_fraction: f64,
+    /// Aggregate DDR bytes read per RK stage over all shards.
+    pub total_bytes_in: u64,
+    /// Aggregate DDR bytes written per RK stage over all shards.
+    pub total_bytes_out: u64,
+    /// Worst per-field relative deviation of the sharded trajectory from
+    /// the serial reference (0 when bitwise identical).
+    pub max_rel_dev_vs_reference: f64,
+    /// Whether the sharded trajectory is bit-for-bit the reference one.
+    pub bitwise_vs_reference: bool,
+    /// Whether this cell's trajectory is bit-for-bit identical to the
+    /// sweep's first shard count (stability across shard counts).
+    pub bitwise_across_shard_counts: bool,
+    /// Slowest emulated shard makespan (cycles) — the stage critical
+    /// path of a shard-parallel device.
+    pub max_shard_makespan_cycles: u64,
+    /// Worst emulated per-shard II (cycles/element).
+    pub emulated_ii_worst: f64,
+    /// The scenario's U200 DDR roofline bound (GFLOP/s) for context.
+    pub ddr_bound_gflops: f64,
+}
+
+/// The full shard-count sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardingStudy {
+    /// Elements per axis of every scenario mesh.
+    pub edge: usize,
+    /// RK steps per cell.
+    pub steps: usize,
+    /// Worker threads available to the shard scheduler.
+    pub threads: usize,
+    /// The swept shard counts.
+    pub shard_counts: Vec<usize>,
+    /// Per-shard rows (scenario-major, then shard count, then shard).
+    pub rows: Vec<ShardRow>,
+    /// Per-(scenario, shard count) verdicts.
+    pub summaries: Vec<ShardingSummary>,
+}
+
+impl std::fmt::Display for ShardingStudy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "Shard-count sweep ({}³-element meshes, {} steps, shards {:?}, {} threads):",
+            self.edge, self.steps, self.shard_counts, self.threads
+        )?;
+        for s in &self.summaries {
+            writeln!(
+                f,
+                "  {:>22} ×{:<3} imbalance {:.3}  halo {:>5.1}%  DDR {:>6.2} MB/stage  \
+                 worst II {:>6.1}  {} vs serial, {} across counts",
+                s.scenario,
+                s.shard_count,
+                s.load_imbalance,
+                100.0 * s.halo_fraction,
+                (s.total_bytes_in + s.total_bytes_out) as f64 / 1e6,
+                s.emulated_ii_worst,
+                if s.bitwise_vs_reference {
+                    "bitwise"
+                } else {
+                    "DIVERGED"
+                },
+                if s.bitwise_across_shard_counts {
+                    "bitwise"
+                } else {
+                    "UNSTABLE"
+                },
+            )?;
+        }
+        writeln!(f, "  per-shard detail:")?;
+        writeln!(
+            f,
+            "  {:>22} {:>6} {:>5} {:>6} {:>7} {:>6} {:>10} {:>8}",
+            "scenario", "count", "shard", "elems", "owned", "halo", "makespan", "II"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>22} {:>6} {:>5} {:>6} {:>7} {:>6} {:>10} {:>8.1}",
+                r.scenario,
+                r.shard_count,
+                r.shard,
+                r.elements,
+                r.owned_nodes,
+                r.halo_nodes,
+                r.emulated_makespan_cycles,
+                r.emulated_ii,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the sweep: every registered scenario × every shard count of
+/// `shard_counts`, `steps` RK4 steps each, on `edge`³-element meshes.
+///
+/// # Panics
+///
+/// Panics if a scenario fails to build or a step blows up (a broken
+/// registry the caller cannot recover from).
+pub fn run_sharding_study(edge: usize, steps: usize, shard_counts: &[usize]) -> ShardingStudy {
+    assert!(steps > 0, "steps");
+    assert!(!shard_counts.is_empty(), "shard counts");
+    let threads = fem_solver::parallel::available_threads();
+    let mut rows = Vec::new();
+    let mut summaries = Vec::new();
+    for scenario in Scenario::registry() {
+        let name = scenario.name();
+        let mut reference = scenario
+            .simulation(edge)
+            .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+        let dt = reference.suggest_dt(scenario.default_cfl());
+        reference
+            .advance(steps, dt)
+            .unwrap_or_else(|e| panic!("{name}: serial run failed: {e}"));
+        let ref_bits = reference.conserved().to_bit_vec();
+        let workload = scenario_workload(name, reference.core().mesh());
+
+        let mut first_bits: Option<Vec<u64>> = None;
+        for &count in shard_counts {
+            let mut sim = scenario
+                .simulation(edge)
+                .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+            sim.set_backend(BackendSelect::DataflowEmulated { shards: count })
+                .unwrap_or_else(|e| panic!("{name}: backend build failed: {e}"));
+            sim.advance(steps, dt)
+                .unwrap_or_else(|e| panic!("{name}: sharded({count}) run failed: {e}"));
+            let bits = sim.conserved().to_bit_vec();
+            let bitwise_vs_reference = bits == ref_bits;
+            let bitwise_across_shard_counts = match &first_bits {
+                Some(b) => *b == bits,
+                None => {
+                    first_bits = Some(bits.clone());
+                    true
+                }
+            };
+            let dev = max_rel_dev(reference.conserved(), sim.conserved());
+
+            let mesh = sim.core().mesh();
+            let plan = sim
+                .backend()
+                .shard_plan()
+                .expect("dataflow-emulated backend carries a shard plan");
+            let reports = sim.shard_reports();
+            assert_eq!(reports.len(), plan.num_shards(), "{name}: report count");
+            for (shard, rep) in plan.shards().iter().zip(reports) {
+                rows.push(ShardRow {
+                    scenario: name.to_string(),
+                    shard_count: count,
+                    shard: shard.index(),
+                    elements: shard.num_elements(),
+                    owned_nodes: shard.owned_nodes().len(),
+                    halo_nodes: shard.shared_nodes().len(),
+                    bytes_in: shard.bytes_in() as u64,
+                    bytes_out: shard.bytes_out() as u64,
+                    emulated_makespan_cycles: rep.makespan_cycles,
+                    emulated_ii: rep.observed_ii,
+                    bottleneck_ii: rep.bottleneck_ii,
+                });
+            }
+            summaries.push(ShardingSummary {
+                scenario: name.to_string(),
+                shard_count: count,
+                elements: mesh.num_elements(),
+                nodes: mesh.num_nodes(),
+                load_imbalance: plan.load_imbalance(),
+                halo_fraction: plan.halo_entries() as f64 / mesh.num_nodes() as f64,
+                total_bytes_in: plan.total_bytes_in() as u64,
+                total_bytes_out: plan.total_bytes_out() as u64,
+                max_rel_dev_vs_reference: dev,
+                bitwise_vs_reference,
+                bitwise_across_shard_counts,
+                max_shard_makespan_cycles: reports
+                    .iter()
+                    .map(|r| r.makespan_cycles)
+                    .max()
+                    .unwrap_or(0),
+                emulated_ii_worst: reports.iter().map(|r| r.observed_ii).fold(0.0, f64::max),
+                ddr_bound_gflops: workload.ddr_bound_gflops,
+            });
+        }
+    }
+    ShardingStudy {
+        edge,
+        steps,
+        threads,
+        shard_counts: shard_counts.to_vec(),
+        rows,
+        summaries,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_registry_and_stays_bitwise() {
+        let study = run_sharding_study(4, 1, &[1, 3]);
+        assert_eq!(study.summaries.len(), 4 * 2);
+        for s in &study.summaries {
+            assert!(s.bitwise_vs_reference, "{} ×{}", s.scenario, s.shard_count);
+            assert!(
+                s.bitwise_across_shard_counts,
+                "{} ×{}",
+                s.scenario, s.shard_count
+            );
+            assert_eq!(s.max_rel_dev_vs_reference, 0.0);
+            assert!(s.load_imbalance >= 1.0);
+            assert!(s.ddr_bound_gflops > 0.0);
+            let cell_rows: Vec<&ShardRow> = study
+                .rows
+                .iter()
+                .filter(|r| r.scenario == s.scenario && r.shard_count == s.shard_count)
+                .collect();
+            assert_eq!(cell_rows.len(), s.shard_count.min(s.elements));
+            let covered: usize = cell_rows.iter().map(|r| r.elements).sum();
+            assert_eq!(covered, s.elements, "{}: shards drop elements", s.scenario);
+            let owned: usize = cell_rows.iter().map(|r| r.owned_nodes).sum();
+            assert_eq!(owned, s.nodes, "{}: owned sets incomplete", s.scenario);
+            for r in &cell_rows {
+                assert!(r.emulated_makespan_cycles > 0);
+                assert!(r.emulated_ii > 0.0);
+            }
+        }
+        // Single-shard cells carry no halo.
+        for s in study.summaries.iter().filter(|s| s.shard_count == 1) {
+            assert_eq!(s.halo_fraction, 0.0, "{}", s.scenario);
+        }
+        // JSON serializes (the repro --json path) and Display renders.
+        let json = serde_json::to_string(&study).unwrap();
+        assert!(json.contains("\"summaries\""));
+        let shown = format!("{study}");
+        assert!(shown.contains("acoustic-pulse"), "{shown}");
+    }
+}

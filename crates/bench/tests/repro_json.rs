@@ -2,12 +2,16 @@
 //!
 //! Downstream tooling (plot scripts, CI dashboards) parses this output;
 //! these tests run the actual binary and assert the JSON document shape
-//! for the `fig5`, `assembly`, `geometry`, `scenarios` and `table1`
-//! subcommands, so schema drift is caught at test time rather than by
-//! consumers. The `scenarios` test pins the PR-4 acceptance bar: every
-//! registered scenario (≥ 4: TGV, cavity, shear layer, pulse) must pass
-//! serial-vs-colored equivalence at ≤ 1e-12 relative plus its
-//! per-scenario invariant checks. The
+//! for the `fig5`, `assembly`, `geometry`, `scenarios`, `sharding` and
+//! `table1` subcommands, so schema drift is caught at test time rather
+//! than by consumers. The `scenarios` test pins the PR-4 acceptance bar:
+//! every registered scenario (≥ 4: TGV, cavity, shear layer, pulse) must
+//! pass serial-vs-colored equivalence at ≤ 1e-12 relative plus its
+//! per-scenario invariant checks. The `sharding` test pins the PR-5
+//! acceptance bar: the `Sharded` backend must be bitwise identical to
+//! the serial reference and across all swept shard counts on every
+//! registered scenario, with per-shard load-imbalance and
+//! `DataflowEmulated` cycle/II quotes attached. The
 //! `geometry` test also pins the PR-3 acceptance bar: the cached+fused
 //! RHS path must beat the seed recompute+split path by ≥1.5× on the TGV
 //! n=12 viscous benchmark (hard-enforced when `REPRO_PERF_GATE` is set —
@@ -265,6 +269,97 @@ fn scenarios_json_schema() {
         .find(|s| s["scenario"].as_str() == Some("lid-driven-cavity"))
         .unwrap();
     assert!(cavity["dirichlet_nodes"].as_u64().unwrap() > 0);
+}
+
+#[test]
+fn sharding_json_schema() {
+    let doc = repro_json("sharding");
+
+    assert!(doc["edge"].as_u64().is_some(), "missing `edge`");
+    assert!(doc["steps"].as_u64().is_some(), "missing `steps`");
+    assert!(doc["threads"].as_u64().is_some(), "missing `threads`");
+    let counts: Vec<u64> = doc["shard_counts"]
+        .as_array()
+        .expect("`shard_counts` is an array")
+        .iter()
+        .map(|c| c.as_u64().expect("shard count"))
+        .collect();
+    assert_eq!(counts, vec![1, 2, 4, 8], "sweep drifted");
+
+    // One summary per (scenario, shard count); the four canonical
+    // scenarios must all be swept.
+    let summaries = doc["summaries"].as_array().expect("`summaries` array");
+    assert_eq!(summaries.len() % counts.len(), 0);
+    for name in [
+        "taylor-green-vortex",
+        "lid-driven-cavity",
+        "double-shear-layer",
+        "acoustic-pulse",
+    ] {
+        assert_eq!(
+            summaries
+                .iter()
+                .filter(|s| s["scenario"].as_str() == Some(name))
+                .count(),
+            counts.len(),
+            "scenario `{name}` not fully swept"
+        );
+    }
+
+    let rows = doc["rows"].as_array().expect("`rows` is an array");
+    for s in summaries {
+        let name = s["scenario"].as_str().expect("scenario name");
+        let count = s["shard_count"].as_u64().expect("shard_count");
+        let elements = s["elements"].as_u64().expect("elements");
+        let nodes = s["nodes"].as_u64().expect("nodes");
+
+        // Acceptance: the sharded trajectory is bitwise identical to the
+        // serial reference AND across shard counts (⇒ ≤1e-12 trivially),
+        // and the per-shard load imbalance is reported.
+        assert_eq!(s["bitwise_vs_reference"].as_bool(), Some(true), "{name}");
+        assert_eq!(
+            s["bitwise_across_shard_counts"].as_bool(),
+            Some(true),
+            "{name}"
+        );
+        let dev = s["max_rel_dev_vs_reference"].as_f64().expect("dev");
+        assert!(dev <= 1e-12, "{name} ×{count}: dev {dev}");
+        let imbalance = s["load_imbalance"].as_f64().expect("load_imbalance");
+        assert!((1.0..2.0).contains(&imbalance), "{name}: {imbalance}");
+        assert!(s["halo_fraction"].as_f64().expect("halo_fraction") >= 0.0);
+        assert!(s["total_bytes_in"].as_u64().expect("bytes_in") > 0);
+        assert!(s["total_bytes_out"].as_u64().expect("bytes_out") > 0);
+        assert!(s["ddr_bound_gflops"].as_f64().expect("roofline") > 0.0);
+        assert!(s["max_shard_makespan_cycles"].as_u64().expect("makespan") > 0);
+        assert!(s["emulated_ii_worst"].as_f64().expect("worst II") > 0.0);
+
+        // The cell's per-shard rows: cover every element exactly once,
+        // owned-node sets complete, each with a DataflowEmulated
+        // cycle/II quote.
+        let cell: Vec<&serde_json::Value> = rows
+            .iter()
+            .filter(|r| {
+                r["scenario"].as_str() == Some(name) && r["shard_count"].as_u64() == Some(count)
+            })
+            .collect();
+        assert_eq!(cell.len() as u64, count.min(elements), "{name} ×{count}");
+        let covered: u64 = cell.iter().map(|r| r["elements"].as_u64().unwrap()).sum();
+        assert_eq!(covered, elements, "{name} ×{count}: elements dropped");
+        let owned: u64 = cell
+            .iter()
+            .map(|r| r["owned_nodes"].as_u64().unwrap())
+            .sum();
+        assert_eq!(owned, nodes, "{name} ×{count}: owned sets incomplete");
+        for r in &cell {
+            assert!(r["shard"].as_u64().is_some());
+            assert!(r["halo_nodes"].as_u64().is_some());
+            assert!(r["bytes_in"].as_u64().expect("shard bytes_in") > 0);
+            assert!(r["bytes_out"].as_u64().expect("shard bytes_out") > 0);
+            assert!(r["emulated_makespan_cycles"].as_u64().expect("makespan") > 0);
+            assert!(r["emulated_ii"].as_f64().expect("emulated II") > 0.0);
+            assert!(r["bottleneck_ii"].as_u64().expect("bottleneck II") > 0);
+        }
+    }
 }
 
 #[test]

@@ -566,6 +566,11 @@ impl std::fmt::Display for AblationResult {
 
 // --------------------------------------------------- scenario workloads
 
+/// Elements per streaming batch of the footprint quote: sized so one
+/// batch's node payloads fit comfortably in the U200's on-chip batch
+/// buffers (≈ 0.5 MB of field data at the Fig 4 array set).
+pub const STREAM_BATCH_ELEMENTS: usize = 512;
+
 /// Accelerator-side quote for one registered solver scenario: the DDR
 /// traffic and FLOPs one RKL stage moves for that workload's mesh, the
 /// resulting arithmetic intensity, and the roofline bound the U200's
@@ -590,14 +595,35 @@ pub struct ScenarioWorkload {
     pub ddr_bound_gflops: f64,
     /// Host↔card bytes per time step when the host runs the non-RK phase.
     pub host_transfer_bytes_per_step: u64,
+    /// Elements per streaming batch the footprint below was computed at.
+    pub streaming_batch_elements: usize,
+    /// DDR bytes read per RK stage by the batched Load-Element pipeline
+    /// ([`fem_mesh::partition::streaming_footprint`]; shared nodes
+    /// between batches are re-read, so this ≥ the unique-node payload).
+    pub streaming_bytes_in_per_stage: u64,
+    /// DDR bytes written back per RK stage by the batched pipeline.
+    pub streaming_bytes_out_per_stage: u64,
+    /// Peak unique-node footprint of any batch (on-chip buffer sizing).
+    pub peak_batch_nodes: usize,
+    /// Bytes of precomputed geometric factors the mesh carries
+    /// (`J⁻ᵀ` + `det(J)·w` per element node) — pinned to
+    /// [`fem_mesh::geometry::GeometryCache::memory_bytes`] by test so
+    /// the two memory accountings cannot drift.
+    pub geometry_cache_bytes: u64,
 }
 
-/// Quotes the accelerator workload of one scenario mesh.
+/// Quotes the accelerator workload of one scenario mesh (an element-free
+/// mesh yields a zero-traffic quote).
 pub fn scenario_workload(name: &str, mesh: &fem_mesh::HexMesh) -> ScenarioWorkload {
     let w = RklWorkload::from_mesh(mesh);
     let device = U200::new();
     let bw =
         device.ddr_channels() as f64 * device.ddr_peak_bw() * fpga_platform::axi::DDR_EFFICIENCY;
+    let batch = STREAM_BATCH_ELEMENTS.min(mesh.num_elements()).max(1);
+    let footprint = fem_mesh::partition::streaming_footprint(mesh, batch)
+        .expect("positive batch size cannot fail");
+    let geometry_cache_bytes = (mesh.num_elements() * mesh.nodes_per_element()) as u64
+        * fem_mesh::geometry::GeometryCache::BYTES_PER_ELEMENT_NODE as u64;
     ScenarioWorkload {
         scenario: name.to_string(),
         nodes: w.num_nodes,
@@ -607,6 +633,11 @@ pub fn scenario_workload(name: &str, mesh: &fem_mesh::HexMesh) -> ScenarioWorklo
         arithmetic_intensity: w.rkl_arithmetic_intensity(),
         ddr_bound_gflops: w.rkl_arithmetic_intensity() * bw / 1e9,
         host_transfer_bytes_per_step: w.host_transfer_bytes_per_step(),
+        streaming_batch_elements: batch,
+        streaming_bytes_in_per_stage: footprint.bytes_in as u64,
+        streaming_bytes_out_per_stage: footprint.bytes_out as u64,
+        peak_batch_nodes: footprint.peak_batch_nodes,
+        geometry_cache_bytes,
     }
 }
 
@@ -742,6 +773,43 @@ mod tests {
                 q.scenario
             );
             assert!(q.host_transfer_bytes_per_step > 0);
+            // The batched streaming footprint rides along: re-reads can
+            // only add to the unique-node payload, and the peak batch
+            // fits in the whole mesh.
+            assert!(q.streaming_batch_elements > 0);
+            assert!(
+                q.streaming_bytes_in_per_stage
+                    >= (q.nodes * fem_mesh::HexMesh::bytes_per_node()) as u64,
+                "{}: footprint under-counts",
+                q.scenario
+            );
+            assert!(q.streaming_bytes_out_per_stage > 0);
+            assert!(q.peak_batch_nodes > 0 && q.peak_batch_nodes <= q.nodes);
+        }
+    }
+
+    #[test]
+    fn workload_memory_accountings_cannot_drift() {
+        // The quote's geometry-byte and streaming-footprint numbers must
+        // match the real artifacts: the built GeometryCache and the
+        // partition module's footprint, recomputed here independently.
+        use fem_numerics::tensor::HexBasis;
+        for scenario in fem_solver::scenarios::Scenario::registry() {
+            let mesh = scenario.mesh(5).unwrap();
+            let q = scenario_workload(scenario.name(), &mesh);
+            let basis = HexBasis::new(mesh.order()).unwrap();
+            let cache = fem_mesh::geometry::GeometryCache::build(&mesh, &basis).unwrap();
+            assert_eq!(
+                q.geometry_cache_bytes,
+                cache.memory_bytes() as u64,
+                "{}: geometry accounting drifted",
+                scenario.name()
+            );
+            let fp = fem_mesh::partition::streaming_footprint(&mesh, q.streaming_batch_elements)
+                .unwrap();
+            assert_eq!(q.streaming_bytes_in_per_stage, fp.bytes_in as u64);
+            assert_eq!(q.streaming_bytes_out_per_stage, fp.bytes_out as u64);
+            assert_eq!(q.peak_batch_nodes, fp.peak_batch_nodes);
         }
     }
 

@@ -121,14 +121,48 @@ impl GeometryCache {
         }
     }
 
+    /// Cached bytes per element node: one `Mat3` (`J⁻ᵀ`) plus one `f64`
+    /// (`det(J)·w`). The single source of truth every other memory
+    /// accounting (streaming footprints, accelerator workload quotes) is
+    /// tested against.
+    pub const BYTES_PER_ELEMENT_NODE: usize =
+        std::mem::size_of::<Mat3>() + std::mem::size_of::<f64>();
+
     /// Heap bytes held by the cached factor arrays.
     ///
-    /// One `Mat3` (72 B) plus one `f64` (8 B) per element node: 80 B/node,
+    /// [`GeometryCache::BYTES_PER_ELEMENT_NODE`] (80 B) per element node,
     /// e.g. ~1.1 MiB for the 12³-element TGV box — the memory the cache
     /// trades for skipping the Jacobian rebuild on every RK stage.
     pub fn memory_bytes(&self) -> usize {
         self.inv_jt.len() * std::mem::size_of::<Mat3>()
             + self.det_w.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Extracts the contiguous sub-cache of elements
+    /// `[first_element, first_element + count)` — the per-shard geometry
+    /// stream of a [`crate::partition::ShardPlan`] shard. The slice owns
+    /// its (bitwise-identical) copies of the factors, re-indexed so the
+    /// shard's element `k` is `shard_cache.element(k)`, exactly like the
+    /// accelerator stages a shard's γ-factors into its own DDR channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the cached element count.
+    pub fn shard(&self, first_element: usize, count: usize) -> GeometryCache {
+        assert!(
+            first_element + count <= self.num_elements,
+            "shard range {}..{} exceeds {} cached elements",
+            first_element,
+            first_element + count,
+            self.num_elements
+        );
+        let s = self.nodes_per_element;
+        GeometryCache {
+            num_elements: count,
+            nodes_per_element: s,
+            inv_jt: self.inv_jt[first_element * s..(first_element + count) * s].to_vec(),
+            det_w: self.det_w[first_element * s..(first_element + count) * s].to_vec(),
+        }
     }
 
     /// Total mesh volume `Σ det(J)·w` over all cached quadrature nodes —
@@ -178,10 +212,44 @@ mod tests {
         let basis = HexBasis::new(1).unwrap();
         let cache = GeometryCache::build(&mesh, &basis).unwrap();
         let per_node = std::mem::size_of::<Mat3>() + std::mem::size_of::<f64>();
+        assert_eq!(per_node, GeometryCache::BYTES_PER_ELEMENT_NODE);
         assert_eq!(
             cache.memory_bytes(),
             mesh.num_elements() * mesh.nodes_per_element() * per_node
         );
+    }
+
+    #[test]
+    fn shard_slices_are_bitwise_reindexed_copies() {
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let basis = HexBasis::new(1).unwrap();
+        let cache = GeometryCache::build(&mesh, &basis).unwrap();
+        let first = 10;
+        let count = 23;
+        let shard = cache.shard(first, count);
+        assert_eq!(shard.num_elements(), count);
+        assert_eq!(shard.nodes_per_element(), cache.nodes_per_element());
+        assert_eq!(
+            shard.memory_bytes(),
+            count * cache.nodes_per_element() * GeometryCache::BYTES_PER_ELEMENT_NODE
+        );
+        for k in 0..count {
+            let a = shard.element(k);
+            let b = cache.element(first + k);
+            for q in 0..cache.nodes_per_element() {
+                assert_eq!(a.det_w[q].to_bits(), b.det_w[q].to_bits());
+                assert!((a.inv_jt[q] - b.inv_jt[q]).frobenius_norm() == 0.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn shard_slice_out_of_range_panics() {
+        let mesh = BoxMeshBuilder::tgv_box(3).build().unwrap();
+        let basis = HexBasis::new(1).unwrap();
+        let cache = GeometryCache::build(&mesh, &basis).unwrap();
+        let _ = cache.shard(20, 10); // 27 elements
     }
 
     #[test]

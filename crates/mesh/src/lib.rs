@@ -18,7 +18,9 @@
 //!   for the CPU baseline and DDR burst efficiency for the accelerator).
 //! * [`quality`] — element quality metrics and mesh statistics.
 //! * [`partition`] — element batching for the accelerator's streaming
-//!   Load-Compute-Store pipeline.
+//!   Load-Compute-Store pipeline, and the contiguous [`ShardPlan`] domain
+//!   decomposition (owned/halo node metadata) the shard-parallel
+//!   execution backends run on.
 //! * [`io`] — compact binary serialization.
 //!
 //! # Example
@@ -47,7 +49,7 @@ pub use coloring::{ColoringStats, ElementColoring};
 pub use generator::BoxMeshBuilder;
 pub use geometry::GeometryCache;
 pub use hex::HexMesh;
-pub use partition::ElementBatch;
+pub use partition::{ElementBatch, Shard, ShardPlan};
 pub use quality::MeshStats;
 
 /// Errors produced by the mesh layer.

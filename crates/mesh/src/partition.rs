@@ -1,4 +1,4 @@
-//! Element batching for the accelerator's streaming pipeline.
+//! Element batching and domain sharding for the streaming pipeline.
 //!
 //! The paper's Load-Element task transfers element data "in batches from
 //! off-chip memory to the BRAMs and URAMs within the Programmable Logic"
@@ -6,6 +6,29 @@
 //! partitions the element list into batches and reports the on-chip
 //! footprint and DDR traffic of each, which the platform model uses to
 //! size buffers and estimate transfer time.
+//!
+//! On top of the flat batch list, [`ShardPlan`] decomposes the mesh into
+//! contiguous element **shards** — the unit a multi-unit accelerator (or
+//! the host's shard-parallel execution backend) assigns to one memory
+//! channel / worker. Each shard carries the halo metadata the executor
+//! needs:
+//!
+//! * **owned nodes** — nodes whose residual accumulation this shard is
+//!   responsible for. Ownership goes to the lowest-indexed shard touching
+//!   the node, so the owned sets are disjoint and cover every mesh node.
+//! * **shared (halo) nodes** — nodes the shard's elements touch but some
+//!   lower-indexed shard owns; contributions to them must be forwarded to
+//!   the owner during the cross-shard reduction.
+//! * **streaming batches** — the shard's element range re-batched for the
+//!   Load-Element pipeline, with the same DDR-traffic accounting as
+//!   [`partition_elements`].
+//!
+//! Because shards are contiguous ascending element ranges and ownership
+//! is "first toucher wins", applying each shard's own contributions in
+//! element order and then the halo contributions in (source shard,
+//! element) order reproduces the serial per-node accumulation order
+//! *exactly* — the property the solver's `Sharded` backend exploits to be
+//! bitwise identical across shard counts.
 
 use crate::hex::HexMesh;
 use crate::MeshError;
@@ -57,31 +80,52 @@ pub fn partition_elements(
             "batch size must be positive".into(),
         ));
     }
+    Ok(batch_element_range(
+        mesh,
+        0,
+        mesh.num_elements(),
+        batch_elements,
+    ))
+}
+
+/// Bytes written back to DDR per unique node: the 5 conserved-field
+/// residual contributions.
+fn bytes_out_per_node() -> usize {
+    5 * std::mem::size_of::<f64>()
+}
+
+/// Batches the contiguous element range `[first, first + count)` into
+/// runs of at most `batch_elements` elements, with the same traffic
+/// accounting as [`partition_elements`] (`batch_elements` must be > 0).
+fn batch_element_range(
+    mesh: &HexMesh,
+    first: usize,
+    count: usize,
+    batch_elements: usize,
+) -> Vec<ElementBatch> {
     let npe = mesh.nodes_per_element();
     let bytes_per_node = HexMesh::bytes_per_node();
-    // Residual write-back: 5 conserved-field contributions per node.
-    let bytes_out_per_node = 5 * std::mem::size_of::<f64>();
-    let num_elems = mesh.num_elements();
-    let mut batches = Vec::with_capacity(num_elems.div_ceil(batch_elements));
-    let mut scratch: Vec<u32> = Vec::with_capacity(batch_elements * npe);
-    let mut first = 0;
-    while first < num_elems {
-        let count = batch_elements.min(num_elems - first);
+    let end = first + count;
+    let mut batches = Vec::with_capacity(count.div_ceil(batch_elements));
+    let mut scratch: Vec<u32> = Vec::with_capacity(batch_elements.min(count) * npe);
+    let mut start = first;
+    while start < end {
+        let n = batch_elements.min(end - start);
         scratch.clear();
-        scratch.extend_from_slice(&mesh.connectivity()[first * npe..(first + count) * npe]);
+        scratch.extend_from_slice(&mesh.connectivity()[start * npe..(start + n) * npe]);
         scratch.sort_unstable();
         scratch.dedup();
         let unique = scratch.len();
         batches.push(ElementBatch {
-            first_element: first,
-            num_elements: count,
+            first_element: start,
+            num_elements: n,
             unique_nodes: unique,
             bytes_in: unique * bytes_per_node,
-            bytes_out: unique * bytes_out_per_node,
+            bytes_out: unique * bytes_out_per_node(),
         });
-        first += count;
+        start += n;
     }
-    Ok(batches)
+    batches
 }
 
 /// Whole-mesh streaming summary for one RK stage.
@@ -110,6 +154,274 @@ pub fn streaming_footprint(
         bytes_out: batches.iter().map(|b| b.bytes_out).sum(),
         peak_batch_nodes: batches.iter().map(|b| b.unique_nodes).max().unwrap_or(0),
     })
+}
+
+/// One domain-decomposition shard: a contiguous ascending run of
+/// elements plus the node-ownership and streaming metadata the
+/// shard-parallel executor consumes (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shard {
+    index: usize,
+    first_element: usize,
+    num_elements: usize,
+    owned_nodes: Vec<u32>,
+    shared_nodes: Vec<u32>,
+    unique_nodes: usize,
+    batches: Vec<ElementBatch>,
+}
+
+impl Shard {
+    /// Shard index within its [`ShardPlan`] (ascending element ranges).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// First element id of the shard.
+    pub fn first_element(&self) -> usize {
+        self.first_element
+    }
+
+    /// Number of elements in the shard.
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// The shard's element ids as a range.
+    pub fn element_range(&self) -> std::ops::Range<usize> {
+        self.first_element..self.first_element + self.num_elements
+    }
+
+    /// Nodes this shard owns (sorted ascending; disjoint across shards,
+    /// and the union over all shards covers every mesh node).
+    pub fn owned_nodes(&self) -> &[u32] {
+        &self.owned_nodes
+    }
+
+    /// Halo nodes: touched by this shard's elements but owned by a
+    /// lower-indexed shard (sorted ascending).
+    pub fn shared_nodes(&self) -> &[u32] {
+        &self.shared_nodes
+    }
+
+    /// Unique nodes the shard's elements touch (gather footprint,
+    /// computed from connectivity). Can be smaller than owned + shared
+    /// on degenerate meshes: nodes referenced by no element fall back to
+    /// shard 0's *owned* set without being touched by it.
+    pub fn unique_nodes(&self) -> usize {
+        self.unique_nodes
+    }
+
+    /// The shard's element range re-batched for the streaming pipeline.
+    pub fn batches(&self) -> &[ElementBatch] {
+        &self.batches
+    }
+
+    /// Bytes read from DDR per RK stage for this shard (sum over its
+    /// streaming batches — shared nodes between batches are re-read).
+    pub fn bytes_in(&self) -> usize {
+        self.batches.iter().map(|b| b.bytes_in).sum()
+    }
+
+    /// Bytes written back to DDR per RK stage for this shard.
+    pub fn bytes_out(&self) -> usize {
+        self.batches.iter().map(|b| b.bytes_out).sum()
+    }
+
+    /// Total DDR traffic of the shard per RK stage.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes_in() + self.bytes_out()
+    }
+}
+
+/// A domain decomposition of a mesh into contiguous element shards with
+/// first-toucher node ownership (see the module docs for the determinism
+/// argument this layout supports).
+///
+/// # Example
+///
+/// ```
+/// use fem_mesh::{generator::BoxMeshBuilder, partition::ShardPlan};
+/// let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+/// let plan = ShardPlan::new(&mesh, 4).unwrap();
+/// assert_eq!(plan.num_shards(), 4);
+/// let owned: usize = plan.shards().iter().map(|s| s.owned_nodes().len()).sum();
+/// assert_eq!(owned, mesh.num_nodes());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    num_elements: usize,
+    num_nodes: usize,
+    shards: Vec<Shard>,
+    /// Owning shard of every node.
+    owner: Vec<u32>,
+}
+
+impl ShardPlan {
+    /// Decomposes `mesh` into `shards` balanced contiguous element
+    /// shards, streaming each shard as a single batch. `shards` is
+    /// clamped to the element count, so every shard is non-empty.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::InvalidParameter`] if `shards == 0`.
+    pub fn new(mesh: &HexMesh, shards: usize) -> Result<ShardPlan, MeshError> {
+        Self::with_batch(mesh, shards, usize::MAX)
+    }
+
+    /// Like [`ShardPlan::new`], but re-batches each shard's element range
+    /// into streaming batches of at most `batch_elements` elements.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::InvalidParameter`] if `shards == 0` or
+    /// `batch_elements == 0`.
+    pub fn with_batch(
+        mesh: &HexMesh,
+        shards: usize,
+        batch_elements: usize,
+    ) -> Result<ShardPlan, MeshError> {
+        if shards == 0 {
+            return Err(MeshError::InvalidParameter(
+                "shard count must be positive".into(),
+            ));
+        }
+        if batch_elements == 0 {
+            return Err(MeshError::InvalidParameter(
+                "batch size must be positive".into(),
+            ));
+        }
+        let ne = mesh.num_elements();
+        let nn = mesh.num_nodes();
+        let npe = mesh.nodes_per_element();
+        let nshards = shards.min(ne).max(1);
+
+        // Balanced contiguous split: the first `rem` shards get one extra
+        // element, so no shard is empty and |max − min| ≤ 1.
+        let base = ne / nshards;
+        let rem = ne % nshards;
+        let mut ranges = Vec::with_capacity(nshards);
+        let mut first = 0;
+        for s in 0..nshards {
+            let count = base + usize::from(s < rem);
+            ranges.push((first, count));
+            first += count;
+        }
+        debug_assert_eq!(first, ne);
+
+        // First-toucher ownership: walk shards (= ascending elements) and
+        // claim unowned nodes. Nodes no element references (impossible
+        // for generator meshes, but legal input) fall to shard 0 so the
+        // owned sets always cover every node.
+        const UNOWNED: u32 = u32::MAX;
+        let mut owner = vec![UNOWNED; nn];
+        for (s, &(start, count)) in ranges.iter().enumerate() {
+            for &n in &mesh.connectivity()[start * npe..(start + count) * npe] {
+                let slot = &mut owner[n as usize];
+                if *slot == UNOWNED {
+                    *slot = s as u32;
+                }
+            }
+        }
+        for slot in &mut owner {
+            if *slot == UNOWNED {
+                *slot = 0;
+            }
+        }
+
+        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+        for (n, &s) in owner.iter().enumerate() {
+            owned[s as usize].push(n as u32);
+        }
+
+        let mut plan_shards = Vec::with_capacity(nshards);
+        let mut touched: Vec<u32> = Vec::new();
+        for (s, &(start, count)) in ranges.iter().enumerate() {
+            touched.clear();
+            touched.extend_from_slice(&mesh.connectivity()[start * npe..(start + count) * npe]);
+            touched.sort_unstable();
+            touched.dedup();
+            let shared_nodes: Vec<u32> = touched
+                .iter()
+                .copied()
+                .filter(|&n| owner[n as usize] != s as u32)
+                .collect();
+            plan_shards.push(Shard {
+                index: s,
+                first_element: start,
+                num_elements: count,
+                owned_nodes: std::mem::take(&mut owned[s]),
+                shared_nodes,
+                unique_nodes: touched.len(),
+                batches: batch_element_range(mesh, start, count, batch_elements.min(count.max(1))),
+            });
+        }
+        Ok(ShardPlan {
+            num_elements: ne,
+            num_nodes: nn,
+            shards: plan_shards,
+            owner,
+        })
+    }
+
+    /// Number of shards (≥ 1, ≤ element count).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Elements of the mesh the plan was built for.
+    pub fn num_elements(&self) -> usize {
+        self.num_elements
+    }
+
+    /// Nodes of the mesh the plan was built for.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// The shards, in ascending element order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The owning shard of every node (`owners()[n]` is the index of the
+    /// shard whose `owned_nodes` contain `n`).
+    pub fn owners(&self) -> &[u32] {
+        &self.owner
+    }
+
+    /// Load imbalance of the decomposition: largest shard element count
+    /// over the mean (1.0 = perfectly balanced).
+    pub fn load_imbalance(&self) -> f64 {
+        let max = self
+            .shards
+            .iter()
+            .map(Shard::num_elements)
+            .max()
+            .unwrap_or(0);
+        let mean = self.num_elements as f64 / self.shards.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max as f64 / mean
+        }
+    }
+
+    /// Total halo size: nodes that appear in some shard's `shared_nodes`
+    /// (counted once per sharing shard — the cross-shard reduction
+    /// volume).
+    pub fn halo_entries(&self) -> usize {
+        self.shards.iter().map(|s| s.shared_nodes.len()).sum()
+    }
+
+    /// Aggregate DDR bytes read per RK stage over all shards.
+    pub fn total_bytes_in(&self) -> usize {
+        self.shards.iter().map(Shard::bytes_in).sum()
+    }
+
+    /// Aggregate DDR bytes written per RK stage over all shards.
+    pub fn total_bytes_out(&self) -> usize {
+        self.shards.iter().map(Shard::bytes_out).sum()
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +470,104 @@ mod tests {
         assert!(small.bytes_in >= large.bytes_in);
     }
 
+    #[test]
+    fn zero_shards_rejected() {
+        let mesh = BoxMeshBuilder::tgv_box(3).build().unwrap();
+        assert!(ShardPlan::new(&mesh, 0).is_err());
+        assert!(ShardPlan::with_batch(&mesh, 2, 0).is_err());
+    }
+
+    #[test]
+    fn shard_count_clamps_to_element_count() {
+        let mesh = BoxMeshBuilder::tgv_box(3).build().unwrap(); // 27 elements
+        let plan = ShardPlan::new(&mesh, 1000).unwrap();
+        assert_eq!(plan.num_shards(), 27);
+        assert!(plan.shards().iter().all(|s| s.num_elements() == 1));
+        assert!((plan.load_imbalance() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let plan = ShardPlan::new(&mesh, 1).unwrap();
+        assert_eq!(plan.num_shards(), 1);
+        let s = &plan.shards()[0];
+        assert_eq!(s.owned_nodes().len(), mesh.num_nodes());
+        assert!(s.shared_nodes().is_empty());
+        assert_eq!(plan.halo_entries(), 0);
+        assert_eq!(s.batches().len(), 1);
+        assert_eq!(s.bytes_in(), mesh.num_nodes() * HexMesh::bytes_per_node());
+    }
+
+    #[test]
+    fn shard_batching_respects_batch_size() {
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap(); // 64 elements
+        let plan = ShardPlan::with_batch(&mesh, 4, 5).unwrap();
+        for s in plan.shards() {
+            assert_eq!(s.num_elements(), 16);
+            assert_eq!(s.batches().len(), 4); // ceil(16 / 5)
+            let covered: usize = s.batches().iter().map(|b| b.num_elements).sum();
+            assert_eq!(covered, s.num_elements());
+            assert_eq!(s.batches()[0].first_element, s.first_element());
+        }
+    }
+
     proptest! {
+        /// Shard partitions cover every element exactly once, owned-node
+        /// sets are disjoint and complete, halo nodes are owned elsewhere,
+        /// and the per-shard traffic accounting matches its batches.
+        #[test]
+        fn prop_shard_plan_invariants(
+            nx in 2usize..6,
+            ny in 2usize..6,
+            nz in 2usize..6,
+            periodic in proptest::bool::ANY,
+            shards in 1usize..12,
+            batch in 1usize..30,
+        ) {
+            let mut b = BoxMeshBuilder::new();
+            b.elements(nx, ny, nz).periodic(periodic, periodic, periodic);
+            let mesh = match b.build() {
+                Ok(m) => m,
+                // Periodic axes need ≥ 3 elements; skip infeasible combos.
+                Err(_) => return Ok(()),
+            };
+            let plan = ShardPlan::with_batch(&mesh, shards, batch).unwrap();
+
+            // Contiguous ascending coverage of every element exactly once.
+            let mut next = 0;
+            for s in plan.shards() {
+                prop_assert_eq!(s.first_element(), next);
+                prop_assert!(s.num_elements() > 0);
+                next += s.num_elements();
+            }
+            prop_assert_eq!(next, mesh.num_elements());
+
+            // Owned sets: disjoint, complete, and consistent with owners().
+            let mut seen = vec![false; mesh.num_nodes()];
+            for s in plan.shards() {
+                for &n in s.owned_nodes() {
+                    prop_assert!(!seen[n as usize], "node {} owned twice", n);
+                    seen[n as usize] = true;
+                    prop_assert_eq!(plan.owners()[n as usize] as usize, s.index());
+                }
+            }
+            prop_assert!(seen.iter().all(|&v| v), "owned sets incomplete");
+
+            // Shared nodes are owned by a *lower* shard (first-toucher).
+            for s in plan.shards() {
+                for &n in s.shared_nodes() {
+                    prop_assert!((plan.owners()[n as usize] as usize) < s.index());
+                }
+                // Traffic matches the shard's batches.
+                let bin: usize = s.batches().iter().map(|b| b.bytes_in).sum();
+                prop_assert_eq!(s.bytes_in(), bin);
+                let total: usize = s.batches().iter().map(|b| b.num_elements).sum();
+                prop_assert_eq!(total, s.num_elements());
+            }
+            prop_assert!(plan.load_imbalance() >= 1.0 - 1e-12);
+        }
+
         #[test]
         fn prop_batch_invariants(n in 3usize..6, batch in 1usize..40) {
             let mesh = BoxMeshBuilder::tgv_box(n).build().unwrap();

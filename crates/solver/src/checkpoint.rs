@@ -155,6 +155,57 @@ mod tests {
     }
 
     #[test]
+    fn restored_trajectory_is_bitwise_identical_across_backends_and_shard_counts() {
+        // A mid-run checkpoint restored under Reference and Sharded
+        // backends (several shard counts) must continue on the *same*
+        // bit-exact trajectory as the uninterrupted serial run — restart
+        // files written on one executor are valid on any other.
+        use crate::engine::BackendSelect;
+        use crate::parallel::AssemblyStrategy;
+
+        let mesh = BoxMeshBuilder::tgv_box(5).build().unwrap();
+        let cfg = TgvConfig::new(0.1, 300.0);
+        let initial = cfg.initial_state(&mesh);
+        let dt = 4.0e-3;
+
+        let mut straight = Simulation::new(mesh.clone(), cfg.gas(), initial.clone()).unwrap();
+        straight.advance(8, dt).unwrap();
+        let expect = straight.conserved().to_bit_vec();
+
+        // Mid-run checkpoint (written by a *sharded* run, so the saved
+        // state itself already crossed a backend boundary).
+        let mut first = Simulation::new(mesh.clone(), cfg.gas(), initial).unwrap();
+        first
+            .set_backend(BackendSelect::Sharded { shards: 3 })
+            .unwrap();
+        first.advance(4, dt).unwrap();
+        let ck = Checkpoint {
+            time: first.time(),
+            steps_taken: first.steps_taken() as u64,
+            state: first.conserved().clone(),
+        };
+        let mut buf = Vec::new();
+        ck.write(&mut buf).unwrap();
+
+        let backends = [
+            BackendSelect::Reference(AssemblyStrategy::Serial),
+            BackendSelect::Sharded { shards: 1 },
+            BackendSelect::Sharded { shards: 2 },
+            BackendSelect::Sharded { shards: 7 },
+            BackendSelect::DataflowEmulated { shards: 4 },
+        ];
+        for select in backends {
+            let restored = Checkpoint::read(buf.as_slice()).unwrap();
+            assert_eq!(restored.steps_taken, 4);
+            let mut resumed = Simulation::new(mesh.clone(), cfg.gas(), restored.state).unwrap();
+            resumed.set_backend(select).unwrap();
+            resumed.advance(4, dt).unwrap();
+            let got = resumed.conserved().to_bit_vec();
+            assert_eq!(got, expect, "{select}: resumed trajectory diverged");
+        }
+    }
+
+    #[test]
     fn corrupt_streams_are_rejected() {
         assert!(Checkpoint::read(&b"WRNG"[..]).is_err());
         let mesh = BoxMeshBuilder::tgv_box(3).build().unwrap();

@@ -9,12 +9,21 @@
 //! method — including the one-time geometry-cache build at construction —
 //! to `Non-RK`, mirroring Fig 2. Per-stage geometry rebuild time, the
 //! seed's largest `RK(Other)` component, no longer exists.
+//!
+//! The RKL assembly itself is delegated to a pluggable
+//! [`ExecutionBackend`] (see [`crate::engine`]): the classic
+//! [`AssemblyStrategy`] selection is now sugar over the reference
+//! backend, and [`Simulation::set_backend`] swaps in the shard-parallel
+//! or dataflow-emulated engines without touching the time loop.
 
 use crate::boundary::DirichletBc;
 use crate::diagnostics::FlowDiagnostics;
+use crate::engine::{
+    build_backend, AssemblyContext, BackendSelect, ExecutionBackend, ReferenceBackend,
+    ShardCycleReport,
+};
 use crate::gas::GasModel;
-use crate::kernels::{convective_flux, fused_flux, weak_divergence, ElementWorkspace};
-use crate::parallel::{assemble_rhs_into, AssemblyStrategy};
+use crate::parallel::AssemblyStrategy;
 use crate::profile::{Phase, PhaseProfiler};
 use crate::state::{Conserved, Primitives};
 use crate::SolverError;
@@ -24,6 +33,7 @@ use fem_mesh::HexMesh;
 use fem_numerics::rk::{ButcherTableau, ExplicitRk, OdeSystem};
 use fem_numerics::tensor::HexBasis;
 use rayon::prelude::*;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything the RHS evaluation needs besides the conserved state.
@@ -36,12 +46,14 @@ pub struct SolverCore {
     geometry: GeometryCache,
     lumped_mass: Vec<f64>,
     min_spacing: f64,
-    ws: ElementWorkspace,
     bc: Option<DirichletBc>,
     profiler: PhaseProfiler,
     profiling: bool,
-    strategy: AssemblyStrategy,
-    coloring: Option<ElementColoring>,
+    /// The greedy element coloring, built on first `Colored` selection
+    /// and shared with reference backends so strategy switches are free.
+    coloring: Option<Arc<ElementColoring>>,
+    /// The active execution backend the RK stages assemble through.
+    backend: Box<dyn ExecutionBackend>,
 }
 
 impl SolverCore {
@@ -81,73 +93,21 @@ impl SolverCore {
         self.min_spacing
     }
 
-    /// The active residual-assembly strategy.
-    pub fn assembly_strategy(&self) -> AssemblyStrategy {
-        self.strategy
+    /// The active host assembly strategy, reported by the backend itself
+    /// (`None` while a sharded or custom backend is active).
+    pub fn assembly_strategy(&self) -> Option<AssemblyStrategy> {
+        self.backend.reference_strategy()
     }
 
-    /// Class statistics of the element coloring, if one has been built
-    /// (i.e. after selecting [`AssemblyStrategy::Colored`]).
+    /// The active execution backend.
+    pub fn backend(&self) -> &dyn ExecutionBackend {
+        self.backend.as_ref()
+    }
+
+    /// Class statistics of the element coloring, if the active backend
+    /// built one (i.e. after selecting [`AssemblyStrategy::Colored`]).
     pub fn coloring_stats(&self) -> Option<ColoringStats> {
-        self.coloring.as_ref().map(ElementColoring::stats)
-    }
-
-    /// The serial RKL element loop with per-stage Fig 2 attribution:
-    /// fused flux assembly to `RK(Diffusion)`, the single contraction
-    /// split evenly between `RK(Convection)` and `RK(Diffusion)` (it
-    /// serves both halves of the fused stage), gather/scatter to
-    /// `RK(Other)` — which contains no geometry time anymore.
-    fn assemble_serial(&mut self, y: &Conserved, dydt: &mut Conserved) {
-        let t0 = Instant::now();
-        dydt.set_zero();
-        if self.profiling {
-            self.profiler.add(Phase::RkOther, t0.elapsed());
-        }
-
-        let viscous = self.gas.mu > 0.0;
-        for e in 0..self.mesh.num_elements() {
-            let geom = self.geometry.element(e);
-            // LOAD Element (cached geometry slices): RK(Other).
-            let t0 = Instant::now();
-            self.ws
-                .gather(self.mesh.element_nodes(e), y, &self.primitives);
-            self.ws.zero_residuals();
-            if self.profiling {
-                self.profiler.add(Phase::RkOther, t0.elapsed());
-            }
-
-            if viscous {
-                // COMPUTE Fused flux F_c − F_v (gradients, τ, net flux).
-                let t0 = Instant::now();
-                fused_flux(&mut self.ws, &self.gas, &self.basis, geom);
-                if self.profiling {
-                    self.profiler.add(Phase::RkDiffusion, t0.elapsed());
-                }
-                // COMPUTE Weak divergence: the one contraction.
-                let t0 = Instant::now();
-                weak_divergence(&mut self.ws, &self.basis, geom, 1.0);
-                if self.profiling {
-                    let half = t0.elapsed() / 2;
-                    self.profiler.add(Phase::RkConvection, half);
-                    self.profiler.add(Phase::RkDiffusion, half);
-                }
-            } else {
-                // COMPUTE Convection only (inviscid).
-                let t0 = Instant::now();
-                convective_flux(&mut self.ws);
-                weak_divergence(&mut self.ws, &self.basis, geom, 1.0);
-                if self.profiling {
-                    self.profiler.add(Phase::RkConvection, t0.elapsed());
-                }
-            }
-
-            // STORE Element Contribution.
-            let t0 = Instant::now();
-            self.ws.scatter_add(self.mesh.element_nodes(e), dydt);
-            if self.profiling {
-                self.profiler.add(Phase::RkOther, t0.elapsed());
-            }
-        }
+        self.backend.coloring_stats()
     }
 }
 
@@ -162,31 +122,29 @@ impl OdeSystem for SolverCore {
             self.profiler.add(Phase::RkOther, t0.elapsed());
         }
 
-        // ---- RKL: element loop (paper's RKL kernel). ----
-        match self.strategy {
-            AssemblyStrategy::Serial => self.assemble_serial(y, dydt),
-            strategy => assemble_rhs_into(
-                &self.mesh,
-                &self.basis,
-                &self.gas,
-                &self.geometry,
-                y,
-                &self.primitives,
-                strategy,
-                self.coloring.as_ref(),
-                dydt,
-                if self.profiling {
-                    Some(&mut self.profiler)
-                } else {
-                    None
-                },
-            ),
-        }
+        // ---- RKL: element assembly through the active backend. ----
+        let ctx = AssemblyContext {
+            mesh: &self.mesh,
+            basis: &self.basis,
+            gas: &self.gas,
+            geometry: &self.geometry,
+        };
+        self.backend.assemble_rhs(
+            &ctx,
+            y,
+            &self.primitives,
+            dydt,
+            if self.profiling {
+                Some(&mut self.profiler)
+            } else {
+                None
+            },
+        );
 
         // ---- Lumped-mass solve + boundary conditions: RK(Other). ----
         let t0 = Instant::now();
         let inv = &self.lumped_mass;
-        if matches!(self.strategy, AssemblyStrategy::Serial) {
+        if !self.backend.capabilities().parallel {
             let apply = |dst: &mut [f64]| {
                 for (v, &m) in dst.iter_mut().zip(inv) {
                     *v /= m;
@@ -323,6 +281,7 @@ impl Simulation {
         let mut primitives = Primitives::zeros(mesh.num_nodes());
         primitives.update_from(&initial, &gas);
         let rk = ExplicitRk::new(ButcherTableau::rk4(), &initial);
+        let backend = Box::new(ReferenceBackend::new(AssemblyStrategy::Serial, &mesh));
         Ok(Simulation {
             core: SolverCore {
                 mesh,
@@ -332,12 +291,11 @@ impl Simulation {
                 geometry,
                 lumped_mass,
                 min_spacing,
-                ws: ElementWorkspace::new(npe),
                 bc: None,
                 profiler,
                 profiling: false,
-                strategy: AssemblyStrategy::Serial,
                 coloring: None,
+                backend,
             },
             conserved: initial,
             rk,
@@ -377,23 +335,69 @@ impl Simulation {
         self.core.profiling = on;
     }
 
-    /// Selects how the RKL residual is assembled (default:
-    /// [`AssemblyStrategy::Serial`]).
+    /// Selects how the RKL residual is assembled on the host reference
+    /// path (default: [`AssemblyStrategy::Serial`]) — sugar for
+    /// [`Simulation::set_backend`] with [`BackendSelect::Reference`].
     ///
-    /// Selecting [`AssemblyStrategy::Colored`] builds (and caches) the
-    /// greedy element coloring on first use; subsequent switches between
-    /// strategies are free. See the [`crate::parallel`] module docs for
-    /// the determinism guarantees of each strategy.
+    /// The first [`AssemblyStrategy::Colored`] selection builds the
+    /// greedy element coloring and caches it, so subsequent switches
+    /// between strategies are free. See the [`crate::parallel`] module
+    /// docs for the determinism guarantees of each strategy.
     pub fn set_assembly_strategy(&mut self, strategy: AssemblyStrategy) {
-        if matches!(strategy, AssemblyStrategy::Colored) && self.core.coloring.is_none() {
-            self.core.coloring = Some(ElementColoring::greedy(&self.core.mesh));
+        if matches!(strategy, AssemblyStrategy::Colored) {
+            self.core
+                .coloring
+                .get_or_insert_with(|| Arc::new(ElementColoring::greedy(&self.core.mesh)));
         }
-        self.core.strategy = strategy;
+        // The cached coloring rides along whatever the strategy, so
+        // `coloring_stats()` keeps reporting once it has been built.
+        self.core.backend = Box::new(ReferenceBackend::with_coloring(
+            strategy,
+            self.core.coloring.clone(),
+        ));
     }
 
-    /// The active residual-assembly strategy.
-    pub fn assembly_strategy(&self) -> AssemblyStrategy {
-        self.core.strategy
+    /// The active host assembly strategy, reported by the backend itself
+    /// (`None` while a sharded or custom backend is active).
+    pub fn assembly_strategy(&self) -> Option<AssemblyStrategy> {
+        self.core.assembly_strategy()
+    }
+
+    /// Selects one of the built-in execution backends (see
+    /// [`crate::engine`]): the reference host paths, the shard-parallel
+    /// owned-node scatter, or the sharded path with per-shard accelerator
+    /// cycle emulation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shard-plan construction failures (e.g. a zero shard
+    /// count).
+    pub fn set_backend(&mut self, select: BackendSelect) -> Result<(), SolverError> {
+        if let BackendSelect::Reference(strategy) = select {
+            self.set_assembly_strategy(strategy);
+            return Ok(());
+        }
+        self.core.backend = build_backend(select, &self.core.mesh, &self.core.geometry)?;
+        Ok(())
+    }
+
+    /// Installs a caller-provided execution backend — how external
+    /// backends (e.g. the accelerator functional pipeline in
+    /// `fem_accel`) register with the driver.
+    pub fn set_custom_backend(&mut self, backend: Box<dyn ExecutionBackend>) {
+        self.core.backend = backend;
+    }
+
+    /// The active execution backend.
+    pub fn backend(&self) -> &dyn ExecutionBackend {
+        self.core.backend()
+    }
+
+    /// Per-shard accelerator cycle emulation of the active backend
+    /// (empty unless a [`BackendSelect::DataflowEmulated`] backend — or a
+    /// custom backend providing reports — is installed).
+    pub fn shard_reports(&self) -> &[ShardCycleReport] {
+        self.core.backend.shard_reports()
     }
 
     /// Read access to the profiler.
@@ -693,7 +697,7 @@ mod tests {
             let initial = cfg.initial_state(&mesh);
             let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
             sim.set_assembly_strategy(strategy);
-            assert_eq!(sim.assembly_strategy(), strategy);
+            assert_eq!(sim.assembly_strategy(), Some(strategy));
             sim.advance(5, dt).unwrap();
             let mut max_rel: f64 = 0.0;
             for n in 0..sim.conserved().len() {

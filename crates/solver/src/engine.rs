@@ -1,0 +1,829 @@
+//! The shard-parallel execution engine: pluggable RHS-assembly backends.
+//!
+//! The paper's central observation is that FEM assembly decomposes into
+//! independent element streams sized to on-chip memory (§III-A). This
+//! module turns that decomposition into the solver's execution model: the
+//! [`ExecutionBackend`] trait abstracts *how* the RKL residual is
+//! assembled, and the driver ([`crate::driver::Simulation`]) integrates
+//! through whichever backend is selected. Three implementations ship:
+//!
+//! * [`ReferenceBackend`] — the host CPU paths that existed before the
+//!   engine landed, wrapping an [`AssemblyStrategy`] (serial loop,
+//!   chunked partials, or color-parallel in-place scatter).
+//! * [`ShardedBackend`] — domain decomposition over a
+//!   [`fem_mesh::partition::ShardPlan`]: each shard streams its
+//!   contiguous range of the element-major [`GeometryCache`] (an offset
+//!   view; a device backend would stage its slice via
+//!   [`GeometryCache::shard`]), scatters **owned** nodes
+//!   directly into the shared RHS (owned sets are disjoint, so the
+//!   parallel sweep is race-free), and forwards **halo** contributions to
+//!   their owner shard through a deterministic cross-shard reduction.
+//! * [`DataflowEmulatedBackend`] — the same sharded numerics, plus a
+//!   per-shard Load → Compute → Store discrete-event emulation through
+//!   [`hls_dataflow::sim`] that attaches the predicted accelerator cycle
+//!   count and steady-state II of each shard ([`ShardCycleReport`]).
+//!
+//! # The shard determinism guarantee
+//!
+//! [`ShardedBackend`] is **bitwise identical to the serial reference loop
+//! for every shard count**. The argument: shards are contiguous ascending
+//! element ranges and a node is owned by the *lowest*-indexed shard that
+//! touches it, so
+//!
+//! 1. the owner's own contributions to a node come from elements that all
+//!    precede any other shard's (ascending ranges), and are applied in
+//!    ascending element order by the shard sweep;
+//! 2. halo contributions are recorded per element (never pre-summed) and
+//!    applied in (source shard, element) order, which — again by range
+//!    contiguity — *is* ascending global element order.
+//!
+//! Every node therefore accumulates its contributions one at a time in
+//! exactly the serial order: no regrouping, no rounding difference, the
+//! same bits for 1, 2, or 64 shards. The shard sweep leans on the rayon
+//! stub's order-preserving `flat_map` to concatenate the halo streams.
+//!
+//! # Registering new backends
+//!
+//! Anything implementing [`ExecutionBackend`] plugs into the driver via
+//! [`crate::driver::Simulation::set_custom_backend`] — the accelerator's
+//! staged functional pipeline in `fem_accel::functional` registers itself
+//! exactly this way. Built-in backends are selected by value through
+//! [`BackendSelect`] and [`crate::driver::Simulation::set_backend`].
+
+use crate::gas::GasModel;
+use crate::kernels::{ElementWorkspace, NUM_VARS};
+use crate::parallel::{assemble_rhs_into, eval_element, AssemblyStrategy, SharedRhs};
+use crate::profile::{Phase, PhaseProfiler};
+use crate::state::{Conserved, Primitives};
+use crate::SolverError;
+use fem_mesh::coloring::{ColoringStats, ElementColoring};
+use fem_mesh::geometry::GeometryCache;
+use fem_mesh::partition::ShardPlan;
+use fem_mesh::HexMesh;
+use fem_numerics::tensor::HexBasis;
+use hls_dataflow::network::{ChannelKind, NetworkBuilder};
+use hls_dataflow::sim::simulate;
+use rayon::prelude::*;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Everything an RHS assembly needs besides the conserved state: the
+/// solver core's mesh, basis, gas model and whole-mesh geometry cache,
+/// borrowed for the duration of one evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct AssemblyContext<'a> {
+    /// The mesh being solved on.
+    pub mesh: &'a HexMesh,
+    /// The element basis.
+    pub basis: &'a HexBasis,
+    /// The gas model.
+    pub gas: &'a GasModel,
+    /// The whole-mesh precomputed geometry cache.
+    pub geometry: &'a GeometryCache,
+}
+
+/// Static capability metadata a backend reports about itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackendCapabilities {
+    /// Shards the backend decomposes the mesh into (1 for unsharded).
+    pub shards: usize,
+    /// Whether assembly fans out over worker threads (the driver uses
+    /// the parallel lumped-mass divide for such backends).
+    pub parallel: bool,
+    /// Whether the result is bitwise independent of the decomposition
+    /// width (shard/chunk count).
+    pub deterministic_across_widths: bool,
+    /// Whether the backend attaches accelerator cycle emulation
+    /// ([`ExecutionBackend::shard_reports`]).
+    pub emulates_accelerator: bool,
+}
+
+/// Predicted accelerator timing of one shard's element-token stream,
+/// produced by routing the shard through the Load → Compute → Store
+/// dataflow network of [`hls_dataflow::sim`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardCycleReport {
+    /// Shard index within the plan.
+    pub shard: usize,
+    /// Element tokens the shard streams per RK stage.
+    pub elements: usize,
+    /// DES makespan of the shard's stage, in cycles.
+    pub makespan_cycles: u64,
+    /// Observed steady-state initiation interval (cycles/element).
+    pub observed_ii: f64,
+    /// The II bound of the slowest task (`max(load, compute, store)`).
+    pub bottleneck_ii: u64,
+    /// Load-task II implied by the shard's DDR read traffic.
+    pub load_ii: u64,
+    /// Compute-task II (one element node per cycle through the fused
+    /// Diffusion ⊕ Convection pipeline).
+    pub compute_ii: u64,
+    /// Store-task II implied by the shard's residual write-back traffic.
+    pub store_ii: u64,
+}
+
+/// A pluggable RHS-assembly engine (see the module docs).
+///
+/// Implementations must be deterministic: two calls with identical inputs
+/// must produce bitwise-identical output.
+pub trait ExecutionBackend: std::fmt::Debug + Send {
+    /// Human-readable backend identifier (stable — reported by studies).
+    fn name(&self) -> String;
+
+    /// The backend's static capability metadata.
+    fn capabilities(&self) -> BackendCapabilities;
+
+    /// Assembles the RKL residual of `conserved`/`prim` into `out`
+    /// (overwriting it; not yet mass-scaled). When `profiler` is given,
+    /// per-stage Fig 2 timings are merged into it.
+    fn assemble_rhs(
+        &mut self,
+        ctx: &AssemblyContext<'_>,
+        conserved: &Conserved,
+        prim: &Primitives,
+        out: &mut Conserved,
+        profiler: Option<&mut PhaseProfiler>,
+    );
+
+    /// Class statistics of the element coloring, if the backend built
+    /// one.
+    fn coloring_stats(&self) -> Option<ColoringStats> {
+        None
+    }
+
+    /// The wrapped host [`AssemblyStrategy`], for reference backends
+    /// (`None` for sharded/custom backends).
+    fn reference_strategy(&self) -> Option<AssemblyStrategy> {
+        None
+    }
+
+    /// Per-shard accelerator cycle emulation, if the backend provides it
+    /// (empty otherwise).
+    fn shard_reports(&self) -> &[ShardCycleReport] {
+        &[]
+    }
+
+    /// The shard plan the backend decomposes the mesh with, if any —
+    /// studies read traffic/imbalance metadata from here rather than
+    /// rebuilding a (hopefully identical) plan of their own.
+    fn shard_plan(&self) -> Option<&ShardPlan> {
+        None
+    }
+}
+
+/// Value-level selector for the built-in backends (what
+/// [`crate::driver::Simulation::set_backend`] consumes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSelect {
+    /// The host reference paths, parameterized by [`AssemblyStrategy`].
+    Reference(AssemblyStrategy),
+    /// Shard-parallel owned-node scatter over a [`ShardPlan`].
+    Sharded {
+        /// Requested shard count (clamped to the element count).
+        shards: usize,
+    },
+    /// [`BackendSelect::Sharded`] numerics plus per-shard accelerator
+    /// cycle emulation.
+    DataflowEmulated {
+        /// Requested shard count (clamped to the element count).
+        shards: usize,
+    },
+}
+
+impl std::fmt::Display for BackendSelect {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendSelect::Reference(s) => write!(f, "reference({s})"),
+            BackendSelect::Sharded { shards } => write!(f, "sharded({shards})"),
+            BackendSelect::DataflowEmulated { shards } => {
+                write!(f, "dataflow-emulated({shards})")
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------ reference
+
+/// The pre-engine host CPU paths behind the backend trait: serial loop,
+/// chunked partials, or color-parallel in-place scatter, selected by the
+/// wrapped [`AssemblyStrategy`].
+#[derive(Debug)]
+pub struct ReferenceBackend {
+    strategy: AssemblyStrategy,
+    coloring: Option<Arc<ElementColoring>>,
+}
+
+impl ReferenceBackend {
+    /// Wraps `strategy`, building the element coloring up front when the
+    /// strategy needs one.
+    pub fn new(strategy: AssemblyStrategy, mesh: &HexMesh) -> ReferenceBackend {
+        let coloring = matches!(strategy, AssemblyStrategy::Colored)
+            .then(|| Arc::new(ElementColoring::greedy(mesh)));
+        ReferenceBackend { strategy, coloring }
+    }
+
+    /// Wraps `strategy` around an already-built coloring — how the driver
+    /// makes repeated strategy switches free (the coloring is built once
+    /// per mesh and shared).
+    pub fn with_coloring(
+        strategy: AssemblyStrategy,
+        coloring: Option<Arc<ElementColoring>>,
+    ) -> ReferenceBackend {
+        ReferenceBackend { strategy, coloring }
+    }
+
+    /// The wrapped assembly strategy.
+    pub fn strategy(&self) -> AssemblyStrategy {
+        self.strategy
+    }
+}
+
+impl ExecutionBackend for ReferenceBackend {
+    fn name(&self) -> String {
+        format!("reference({})", self.strategy)
+    }
+
+    fn capabilities(&self) -> BackendCapabilities {
+        BackendCapabilities {
+            shards: 1,
+            parallel: !matches!(self.strategy, AssemblyStrategy::Serial),
+            // Colored grouping is fixed by the color order, not the
+            // schedule; serial has no decomposition at all.
+            deterministic_across_widths: !matches!(self.strategy, AssemblyStrategy::Chunked { .. }),
+            emulates_accelerator: false,
+        }
+    }
+
+    fn assemble_rhs(
+        &mut self,
+        ctx: &AssemblyContext<'_>,
+        conserved: &Conserved,
+        prim: &Primitives,
+        out: &mut Conserved,
+        profiler: Option<&mut PhaseProfiler>,
+    ) {
+        assemble_rhs_into(
+            ctx.mesh,
+            ctx.basis,
+            ctx.gas,
+            ctx.geometry,
+            conserved,
+            prim,
+            self.strategy,
+            self.coloring.as_deref(),
+            out,
+            profiler,
+        );
+    }
+
+    fn coloring_stats(&self) -> Option<ColoringStats> {
+        self.coloring.as_deref().map(ElementColoring::stats)
+    }
+
+    fn reference_strategy(&self) -> Option<AssemblyStrategy> {
+        Some(self.strategy)
+    }
+}
+
+// -------------------------------------------------------------- sharded
+
+/// One halo contribution: element residual values destined for a node
+/// owned by another shard, forwarded during the cross-shard reduction.
+#[derive(Debug, Clone)]
+struct HaloContribution {
+    node: u32,
+    vals: [f64; NUM_VARS],
+}
+
+/// Shard-parallel assembly over a [`ShardPlan`] (see the module docs for
+/// the bitwise-stability argument).
+#[derive(Debug)]
+pub struct ShardedBackend {
+    plan: ShardPlan,
+    /// Per-owner halo buckets, kept across evaluations so the steady
+    /// state reduction allocates nothing.
+    per_owner: Vec<Vec<HaloContribution>>,
+    /// O(1) fingerprint of the cache the shard plan was built against,
+    /// re-checked on every assembly so a backend installed against the
+    /// wrong mesh/geometry fails loudly instead of applying a foreign
+    /// ownership plan.
+    geometry_fingerprint: (usize, u64, u64),
+}
+
+/// Cheap identity proxy for a geometry cache: element count plus the
+/// first and last quadrature weights' raw bits.
+fn geometry_fingerprint(geometry: &GeometryCache) -> (usize, u64, u64) {
+    let ne = geometry.num_elements();
+    if ne == 0 {
+        return (0, 0, 0);
+    }
+    let first = geometry.det_w(0).first().map_or(0, |v| v.to_bits());
+    let last = geometry.det_w(ne - 1).last().map_or(0, |v| v.to_bits());
+    (ne, first, last)
+}
+
+impl ShardedBackend {
+    /// Decomposes `mesh` into (up to) `shards` shards. The sweep streams
+    /// each shard's contiguous range of the caller's geometry cache
+    /// directly — no staged per-shard copy ([`GeometryCache::shard`]
+    /// exists for device backends that must stage their slice).
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Mesh`] if `shards == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geometry` does not cover `mesh`.
+    pub fn new(
+        mesh: &HexMesh,
+        geometry: &GeometryCache,
+        shards: usize,
+    ) -> Result<ShardedBackend, SolverError> {
+        assert_eq!(
+            geometry.num_elements(),
+            mesh.num_elements(),
+            "geometry cache does not cover the mesh"
+        );
+        let plan = ShardPlan::new(mesh, shards)?;
+        let per_owner = vec![Vec::new(); plan.num_shards()];
+        Ok(ShardedBackend {
+            plan,
+            per_owner,
+            geometry_fingerprint: geometry_fingerprint(geometry),
+        })
+    }
+
+    /// The underlying shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+}
+
+impl ExecutionBackend for ShardedBackend {
+    fn name(&self) -> String {
+        format!("sharded({})", self.plan.num_shards())
+    }
+
+    fn capabilities(&self) -> BackendCapabilities {
+        BackendCapabilities {
+            shards: self.plan.num_shards(),
+            parallel: true,
+            deterministic_across_widths: true,
+            emulates_accelerator: false,
+        }
+    }
+
+    fn shard_plan(&self) -> Option<&ShardPlan> {
+        Some(&self.plan)
+    }
+
+    fn assemble_rhs(
+        &mut self,
+        ctx: &AssemblyContext<'_>,
+        conserved: &Conserved,
+        prim: &Primitives,
+        out: &mut Conserved,
+        profiler: Option<&mut PhaseProfiler>,
+    ) {
+        assert_eq!(conserved.len(), ctx.mesh.num_nodes(), "state size");
+        assert_eq!(out.len(), ctx.mesh.num_nodes(), "output size");
+        assert_eq!(
+            self.plan.num_elements(),
+            ctx.mesh.num_elements(),
+            "shard plan does not cover the mesh"
+        );
+        // det_w sampling cannot tell uniform meshes apart, so the node
+        // count (which separates e.g. periodic from walled boxes of the
+        // same size) is checked alongside the geometry fingerprint.
+        assert_eq!(
+            self.plan.num_nodes(),
+            ctx.mesh.num_nodes(),
+            "shard plan node ownership does not cover the mesh"
+        );
+        assert_eq!(
+            geometry_fingerprint(ctx.geometry),
+            self.geometry_fingerprint,
+            "assembly context geometry does not match the shard plan's mesh"
+        );
+        let npe = ctx.mesh.nodes_per_element();
+        let viscous = ctx.gas.mu > 0.0;
+        let profile = profiler.is_some();
+        let owner = self.plan.owners();
+
+        out.set_zero();
+        let shared = SharedRhs::new(out);
+        let agg = Mutex::new(PhaseProfiler::new());
+
+        // Phase 1 — parallel shard sweep: every shard evaluates its
+        // elements in ascending order against its contiguous geometry
+        // range, scatters owned-node contributions straight into the
+        // shared RHS (owned sets are disjoint ⇒ race-free) and emits its
+        // halo contributions per element. `flat_map` preserves input
+        // order, so the collected stream is sorted by (source shard,
+        // element) — which for contiguous ascending shard ranges IS
+        // ascending global element order.
+        let halo_stream: Vec<HaloContribution> = self
+            .plan
+            .shards()
+            .par_iter()
+            .flat_map(|shard| {
+                let me = shard.index() as u32;
+                let mut ws = ElementWorkspace::new(npe);
+                let mut local = PhaseProfiler::new();
+                let mut halo: Vec<HaloContribution> = Vec::new();
+                for e in shard.element_range() {
+                    eval_element(
+                        ctx.mesh,
+                        ctx.basis,
+                        ctx.gas,
+                        viscous,
+                        conserved,
+                        prim,
+                        e,
+                        &mut ws,
+                        ctx.geometry.element(e),
+                        if profile { Some(&mut local) } else { None },
+                    );
+                    let t0 = profile.then(Instant::now);
+                    for (q, &n) in ctx.mesh.element_nodes(e).iter().enumerate() {
+                        if owner[n as usize] == me {
+                            // SAFETY: node indices come from the mesh
+                            // connectivity (in bounds) and owned-node
+                            // sets are disjoint across shards, so no two
+                            // threads alias.
+                            unsafe { shared.add_node(n as usize, &ws.res, q) };
+                        } else {
+                            halo.push(HaloContribution {
+                                node: n,
+                                vals: [
+                                    ws.res[0][q],
+                                    ws.res[1][q],
+                                    ws.res[2][q],
+                                    ws.res[3][q],
+                                    ws.res[4][q],
+                                ],
+                            });
+                        }
+                    }
+                    if let Some(t0) = t0 {
+                        local.add(Phase::RkOther, t0.elapsed());
+                    }
+                }
+                if profile {
+                    agg.lock().unwrap().merge(&local);
+                }
+                halo
+            })
+            .collect();
+
+        // Phase 2 — deterministic cross-shard reduction. One sequential
+        // pass buckets the stream per owner (stable, so each bucket keeps
+        // the (shard, element) order), then every owner applies its
+        // bucket sequentially; owners target disjoint node sets, so the
+        // fan-out is race-free. The buckets are persistent per-backend
+        // buffers, so the bucketing pass reuses their capacity (the
+        // per-shard halo Vecs and the collected stream still allocate
+        // per evaluation).
+        let t0 = profile.then(Instant::now);
+        for bucket in &mut self.per_owner {
+            bucket.clear();
+        }
+        for rec in halo_stream {
+            self.per_owner[owner[rec.node as usize] as usize].push(rec);
+        }
+        self.per_owner.par_iter().for_each(|bucket| {
+            for rec in bucket {
+                // SAFETY: in-bounds node, and each node has exactly
+                // one owner, so concurrent owners never alias.
+                unsafe { shared.add_vals(rec.node as usize, &rec.vals) };
+            }
+        });
+        if profile {
+            let mut agg = agg.into_inner().unwrap();
+            if let Some(t0) = t0 {
+                agg.add(Phase::RkOther, t0.elapsed());
+            }
+            if let Some(p) = profiler {
+                p.merge(&agg);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------- dataflow-emulated
+
+/// Bytes one AXI beat moves in the emulation (512-bit bus).
+const AXI_BYTES_PER_CYCLE: u64 = 64;
+
+/// [`ShardedBackend`] numerics plus per-shard accelerator cycle
+/// emulation: each shard's element-token stream is routed through a
+/// Load → Compute → Store dataflow network sized from the shard's DDR
+/// traffic, and the resulting [`ShardCycleReport`]s are cached (shard
+/// structure is state-independent, so the DES runs once at construction).
+#[derive(Debug)]
+pub struct DataflowEmulatedBackend {
+    inner: ShardedBackend,
+    reports: Vec<ShardCycleReport>,
+}
+
+impl DataflowEmulatedBackend {
+    /// Builds the sharded backend and runs the per-shard emulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Mesh`] if `shards == 0`, or if a shard network
+    /// fails to simulate (cannot happen for the generated 3-task chains,
+    /// but surfaced rather than panicking).
+    pub fn new(
+        mesh: &HexMesh,
+        geometry: &GeometryCache,
+        shards: usize,
+    ) -> Result<DataflowEmulatedBackend, SolverError> {
+        let inner = ShardedBackend::new(mesh, geometry, shards)?;
+        let npe = mesh.nodes_per_element() as u64;
+        // Every shard of a plan is non-empty (the plan clamps the shard
+        // count), so emulating all of them keeps `reports` index-aligned
+        // with `plan.shards()` by construction.
+        let reports: Vec<Result<ShardCycleReport, hls_dataflow::DataflowError>> = inner
+            .plan()
+            .shards()
+            .par_iter()
+            .map(|s| emulate_shard(s, npe))
+            .collect();
+        let mut out = Vec::with_capacity(reports.len());
+        for r in reports {
+            out.push(r.map_err(|e| {
+                SolverError::Mesh(fem_mesh::MeshError::InvalidParameter(format!(
+                    "shard emulation failed: {e}"
+                )))
+            })?);
+        }
+        Ok(DataflowEmulatedBackend {
+            inner,
+            reports: out,
+        })
+    }
+
+    /// The underlying shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        self.inner.plan()
+    }
+}
+
+/// Routes one shard's element stream through the 3-task pipeline DES.
+fn emulate_shard(
+    shard: &fem_mesh::partition::Shard,
+    npe: u64,
+) -> Result<ShardCycleReport, hls_dataflow::DataflowError> {
+    let elements = shard.num_elements() as u64;
+    let bytes_in_pe = (shard.bytes_in() as u64).div_ceil(elements.max(1));
+    let bytes_out_pe = (shard.bytes_out() as u64).div_ceil(elements.max(1));
+    let load_ii = bytes_in_pe.div_ceil(AXI_BYTES_PER_CYCLE).max(1);
+    // The fused Diffusion ⊕ Convection module retires one element node
+    // per cycle once pipelined (the paper's II=1 node pipeline).
+    let compute_ii = npe.max(1);
+    let store_ii = bytes_out_pe.div_ceil(AXI_BYTES_PER_CYCLE).max(1);
+
+    let mut b = NetworkBuilder::new();
+    let lc = b.channel("load_compute", 8, ChannelKind::Fifo);
+    let cs = b.channel("compute_store", 8, ChannelKind::Fifo);
+    b.task("load_element", load_ii, load_ii + 16, vec![], vec![lc]);
+    b.task(
+        "compute_diff_conv",
+        compute_ii,
+        compute_ii + 32,
+        vec![lc],
+        vec![cs],
+    );
+    b.task("store_contrib", store_ii, store_ii + 8, vec![cs], vec![]);
+    let net = b.build(elements)?;
+    let report = simulate(&net)?;
+    Ok(ShardCycleReport {
+        shard: shard.index(),
+        elements: shard.num_elements(),
+        makespan_cycles: report.makespan,
+        observed_ii: report.observed_ii(elements),
+        bottleneck_ii: net.bottleneck_ii(),
+        load_ii,
+        compute_ii,
+        store_ii,
+    })
+}
+
+impl ExecutionBackend for DataflowEmulatedBackend {
+    fn name(&self) -> String {
+        format!("dataflow-emulated({})", self.inner.plan().num_shards())
+    }
+
+    fn capabilities(&self) -> BackendCapabilities {
+        BackendCapabilities {
+            emulates_accelerator: true,
+            ..self.inner.capabilities()
+        }
+    }
+
+    fn assemble_rhs(
+        &mut self,
+        ctx: &AssemblyContext<'_>,
+        conserved: &Conserved,
+        prim: &Primitives,
+        out: &mut Conserved,
+        profiler: Option<&mut PhaseProfiler>,
+    ) {
+        self.inner.assemble_rhs(ctx, conserved, prim, out, profiler);
+    }
+
+    fn shard_reports(&self) -> &[ShardCycleReport] {
+        &self.reports
+    }
+
+    fn shard_plan(&self) -> Option<&ShardPlan> {
+        Some(self.inner.plan())
+    }
+}
+
+/// Builds a boxed built-in backend for `select` against a mesh/geometry
+/// pair. [`crate::driver::Simulation::set_backend`] calls this for the
+/// sharded selections; `Reference` selections it routes through
+/// `set_assembly_strategy` instead, which reuses the driver's cached
+/// element coloring (this constructor builds a fresh one every call).
+///
+/// # Errors
+///
+/// Propagates shard-plan and emulation failures.
+pub fn build_backend(
+    select: BackendSelect,
+    mesh: &HexMesh,
+    geometry: &GeometryCache,
+) -> Result<Box<dyn ExecutionBackend>, SolverError> {
+    Ok(match select {
+        BackendSelect::Reference(strategy) => Box::new(ReferenceBackend::new(strategy, mesh)),
+        BackendSelect::Sharded { shards } => Box::new(ShardedBackend::new(mesh, geometry, shards)?),
+        BackendSelect::DataflowEmulated { shards } => {
+            Box::new(DataflowEmulatedBackend::new(mesh, geometry, shards)?)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::Simulation;
+    use crate::scenarios::Scenario;
+    use crate::tgv::TgvConfig;
+    use fem_mesh::generator::BoxMeshBuilder;
+    use proptest::prelude::*;
+
+    fn bits(c: &Conserved) -> Vec<u64> {
+        c.to_bit_vec()
+    }
+
+    fn flat(c: &Conserved) -> Vec<f64> {
+        let mut out = Vec::new();
+        c.for_each_field(|f| out.extend_from_slice(f));
+        out
+    }
+
+    #[test]
+    fn backend_select_displays() {
+        assert_eq!(
+            BackendSelect::Reference(AssemblyStrategy::Serial).to_string(),
+            "reference(serial)"
+        );
+        assert_eq!(
+            BackendSelect::Sharded { shards: 4 }.to_string(),
+            "sharded(4)"
+        );
+        assert_eq!(
+            BackendSelect::DataflowEmulated { shards: 2 }.to_string(),
+            "dataflow-emulated(2)"
+        );
+    }
+
+    #[test]
+    fn sharded_trajectory_is_bitwise_identical_across_shard_counts() {
+        let cfg = TgvConfig::standard();
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let initial = cfg.initial_state(&mesh);
+        let mut reference = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        let dt = reference.suggest_dt(0.4);
+        reference.advance(4, dt).unwrap();
+        let ref_bits = bits(reference.conserved());
+
+        for shards in [1usize, 2, 3, 5, 64] {
+            let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+            let initial = cfg.initial_state(&mesh);
+            let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+            sim.set_backend(BackendSelect::Sharded { shards }).unwrap();
+            let caps = sim.backend().capabilities();
+            assert!(caps.deterministic_across_widths);
+            assert_eq!(caps.shards, shards.min(6 * 6 * 6));
+            sim.advance(4, dt).unwrap();
+            assert_eq!(
+                bits(sim.conserved()),
+                ref_bits,
+                "shards={shards} diverged from the serial reference"
+            );
+        }
+    }
+
+    #[test]
+    fn dataflow_emulated_matches_sharded_and_attaches_reports() {
+        let cfg = TgvConfig::standard();
+        let mesh = BoxMeshBuilder::tgv_box(5).build().unwrap();
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        sim.set_backend(BackendSelect::DataflowEmulated { shards: 4 })
+            .unwrap();
+        assert!(sim.backend().capabilities().emulates_accelerator);
+        let reports = sim.backend().shard_reports();
+        assert_eq!(reports.len(), 4);
+        let ne: usize = reports.iter().map(|r| r.elements).sum();
+        assert_eq!(ne, 5 * 5 * 5);
+        for r in reports {
+            assert!(r.makespan_cycles > 0);
+            assert!(r.observed_ii >= r.bottleneck_ii as f64 - 0.5, "{r:?}");
+            assert_eq!(r.bottleneck_ii, r.load_ii.max(r.compute_ii).max(r.store_ii));
+        }
+
+        let dt = sim.suggest_dt(0.4);
+        sim.advance(3, dt).unwrap();
+
+        let mesh = BoxMeshBuilder::tgv_box(5).build().unwrap();
+        let initial = cfg.initial_state(&mesh);
+        let mut sharded = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        sharded
+            .set_backend(BackendSelect::Sharded { shards: 4 })
+            .unwrap();
+        sharded.advance(3, dt).unwrap();
+        assert_eq!(bits(sim.conserved()), bits(sharded.conserved()));
+    }
+
+    #[test]
+    fn sharded_profiling_records_phases() {
+        let cfg = TgvConfig::standard();
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        sim.set_backend(BackendSelect::Sharded { shards: 3 })
+            .unwrap();
+        sim.set_profiling(true);
+        let dt = sim.suggest_dt(0.4);
+        sim.advance(2, dt).unwrap();
+        let p = sim.profiler();
+        assert!(p.total(Phase::RkConvection) > std::time::Duration::ZERO);
+        assert!(p.total(Phase::RkDiffusion) > std::time::Duration::ZERO);
+        assert!(p.total(Phase::RkOther) > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn reference_backend_reports_coloring_only_when_built() {
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let serial = ReferenceBackend::new(AssemblyStrategy::Serial, &mesh);
+        assert!(serial.coloring_stats().is_none());
+        assert!(!serial.capabilities().parallel);
+        let colored = ReferenceBackend::new(AssemblyStrategy::Colored, &mesh);
+        let stats = colored.coloring_stats().expect("coloring built");
+        assert_eq!(stats.num_elements, 64);
+        assert!(colored.capabilities().deterministic_across_widths);
+    }
+
+    #[test]
+    fn zero_shards_is_rejected() {
+        let mesh = BoxMeshBuilder::tgv_box(3).build().unwrap();
+        let basis = HexBasis::new(1).unwrap();
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        assert!(ShardedBackend::new(&mesh, &geometry, 0).is_err());
+        assert!(DataflowEmulatedBackend::new(&mesh, &geometry, 0).is_err());
+    }
+
+    proptest! {
+        /// For every scenario in the registry, the sharded RHS (the full
+        /// composed RKU → RKL → mass → boundary pipeline) matches the
+        /// serial reference at ≤ 1e-12 relative — and in fact bitwise —
+        /// for randomized shard counts.
+        #[test]
+        fn prop_sharded_rhs_matches_reference_on_every_scenario(
+            shards in 1usize..17,
+            edge in 3usize..5,
+        ) {
+            for scenario in Scenario::registry() {
+                let mut reference = scenario.simulation(edge).unwrap();
+                let mut sharded = scenario.simulation(edge).unwrap();
+                sharded.set_backend(BackendSelect::Sharded { shards }).unwrap();
+                let a = reference.eval_rhs();
+                let b = sharded.eval_rhs();
+                let fa = flat(&a);
+                let scale = fa.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+                for (x, y) in fa.iter().zip(&flat(&b)) {
+                    prop_assert!(
+                        (x - y).abs() <= 1e-12 * scale,
+                        "{} shards={}: {} vs {}", scenario.name(), shards, x, y
+                    );
+                }
+                prop_assert_eq!(bits(&a), bits(&b));
+            }
+        }
+    }
+}

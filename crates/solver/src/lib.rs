@@ -15,6 +15,9 @@
 //! * [`kernels`] — the RKL element kernels: gather, gradients, τ,
 //!   convective/viscous fluxes, weak divergence, scatter.
 //! * [`driver`] — the RK4 time loop gluing RKL and RKU together.
+//! * [`engine`] — the shard-parallel execution engine: the pluggable
+//!   [`ExecutionBackend`] trait with reference, sharded (bitwise stable
+//!   across shard counts), and dataflow-emulated implementations.
 //! * [`parallel`] — multi-core residual assembly: chunked partials or
 //!   color-parallel in-place scatter ([`AssemblyStrategy`]).
 //! * [`tgv`] — the Taylor-Green Vortex workload of the evaluation.
@@ -50,6 +53,7 @@ pub mod checkpoint;
 pub mod convergence;
 pub mod diagnostics;
 pub mod driver;
+pub mod engine;
 pub mod gas;
 pub mod kernels;
 pub mod parallel;
@@ -60,6 +64,10 @@ pub mod tgv;
 
 pub use diagnostics::FlowDiagnostics;
 pub use driver::Simulation;
+pub use engine::{
+    AssemblyContext, BackendCapabilities, BackendSelect, DataflowEmulatedBackend, ExecutionBackend,
+    ReferenceBackend, ShardCycleReport, ShardedBackend,
+};
 pub use gas::GasModel;
 pub use parallel::AssemblyStrategy;
 pub use profile::{Phase, PhaseProfiler};

@@ -94,11 +94,14 @@ pub fn available_threads() -> usize {
 }
 
 /// Evaluates element `e`'s residual into `ws.res` with the fused hot
-/// path (gather → fused flux → single contraction, geometry from the
-/// cache), optionally charging per-stage time to `prof` à la Fig 2 (see
-/// the module docs for the fused attribution convention).
+/// path (gather → fused flux → single contraction), optionally charging
+/// per-stage time to `prof` à la Fig 2 (see the module docs for the
+/// fused attribution convention). `geom` carries the element's cached
+/// geometric factors — callers index the whole-mesh [`GeometryCache`]
+/// with `e`, or a shard-local slice with the shard-relative index (the
+/// [`crate::engine`] backends stream contiguous per-shard geometry).
 #[allow(clippy::too_many_arguments)]
-fn eval_element(
+pub(crate) fn eval_element(
     mesh: &HexMesh,
     basis: &HexBasis,
     gas: &GasModel,
@@ -107,10 +110,9 @@ fn eval_element(
     prim: &Primitives,
     e: usize,
     ws: &mut ElementWorkspace,
-    geometry: &GeometryCache,
+    geom: fem_mesh::hex::GeomRef<'_>,
     prof: Option<&mut PhaseProfiler>,
 ) {
-    let geom = geometry.element(e);
     match prof {
         None => {
             ws.gather(mesh.element_nodes(e), conserved, prim);
@@ -224,7 +226,7 @@ pub fn assemble_rhs_chunked_into(
                 prim,
                 e,
                 &mut ws,
-                geometry,
+                geometry.element(e),
                 if profile { Some(&mut local) } else { None },
             );
             if profile {
@@ -263,7 +265,7 @@ pub fn assemble_rhs_chunked_into(
                     prim,
                     e,
                     &mut ws,
-                    geometry,
+                    geometry.element(e),
                     if profile { Some(&mut local) } else { None },
                 );
                 if profile {
@@ -314,14 +316,15 @@ pub fn assemble_rhs_parallel(
 }
 
 /// Raw pointers to the five RHS field arrays, shared across the threads
-/// of one color sweep.
+/// of one parallel scatter sweep.
 ///
-/// Soundness: the only writes through these pointers are
-/// [`SharedRhs::scatter_add`] calls for elements of a *single* color
-/// class. The class is node-disjoint (validated by
-/// [`ElementColoring::is_valid`] in debug builds at construction), so no
-/// two threads ever write the same index concurrently.
-struct SharedRhs {
+/// Soundness: the only writes through these pointers are scatter calls
+/// over **node-disjoint** index sets — elements of a single color class
+/// ([`ElementColoring::is_valid`] is checked in debug builds), or the
+/// owned/halo node sets of a `ShardPlan` (disjoint by construction of
+/// first-toucher ownership). No two threads ever write the same index
+/// concurrently.
+pub(crate) struct SharedRhs {
     rho: *mut f64,
     mom: [*mut f64; 3],
     energy: *mut f64,
@@ -331,7 +334,7 @@ unsafe impl Send for SharedRhs {}
 unsafe impl Sync for SharedRhs {}
 
 impl SharedRhs {
-    fn new(out: &mut Conserved) -> SharedRhs {
+    pub(crate) fn new(out: &mut Conserved) -> SharedRhs {
         SharedRhs {
             rho: out.rho.as_mut_ptr(),
             mom: [
@@ -352,13 +355,35 @@ impl SharedRhs {
     /// scatter to disjoint node sets (guaranteed within one color class).
     unsafe fn scatter_add(&self, nodes: &[u32], res: &[Vec<f64>; NUM_VARS]) {
         for (q, &n) in nodes.iter().enumerate() {
-            let n = n as usize;
-            *self.rho.add(n) += res[0][q];
-            *self.mom[0].add(n) += res[1][q];
-            *self.mom[1].add(n) += res[2][q];
-            *self.mom[2].add(n) += res[3][q];
-            *self.energy.add(n) += res[4][q];
+            self.add_node(n as usize, res, q);
         }
+    }
+
+    /// Adds workspace residual slot `q` to node `n` of the shared RHS.
+    ///
+    /// # Safety
+    ///
+    /// `n` must be in bounds and concurrent callers must target disjoint
+    /// node sets (one color class, or one shard's owned nodes).
+    pub(crate) unsafe fn add_node(&self, n: usize, res: &[Vec<f64>; NUM_VARS], q: usize) {
+        *self.rho.add(n) += res[0][q];
+        *self.mom[0].add(n) += res[1][q];
+        *self.mom[1].add(n) += res[2][q];
+        *self.mom[2].add(n) += res[3][q];
+        *self.energy.add(n) += res[4][q];
+    }
+
+    /// Adds one packed five-variable contribution to node `n`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`SharedRhs::add_node`].
+    pub(crate) unsafe fn add_vals(&self, n: usize, vals: &[f64; NUM_VARS]) {
+        *self.rho.add(n) += vals[0];
+        *self.mom[0].add(n) += vals[1];
+        *self.mom[1].add(n) += vals[2];
+        *self.mom[2].add(n) += vals[3];
+        *self.energy.add(n) += vals[4];
     }
 }
 
@@ -427,7 +452,7 @@ pub fn assemble_rhs_colored_with_chunk(
                     prim,
                     e,
                     &mut ws,
-                    geometry,
+                    geometry.element(e),
                     if profile { Some(&mut local) } else { None },
                 );
                 // SAFETY: indices come from the mesh connectivity (in

@@ -82,6 +82,15 @@ impl Conserved {
         f(&self.mom[2]);
         f(&self.energy);
     }
+
+    /// Flattens every field to its raw IEEE-754 bits in
+    /// [`Conserved::for_each_field`] order — the fingerprint the
+    /// bitwise-equivalence tests and studies compare.
+    pub fn to_bit_vec(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(5 * self.len());
+        self.for_each_field(|f| out.extend(f.iter().map(|x| x.to_bits())));
+        out
+    }
 }
 
 impl StateOps for Conserved {

@@ -3,7 +3,8 @@
 //! Provides the subset of rayon's data-parallel API this workspace uses:
 //! the `par_iter()` / `into_par_iter()` → `map` → `collect` pipeline plus
 //! the side-effect and reduction patterns (`for_each`, `fold`/`reduce`,
-//! `sum`, `zip`, `par_chunks`/`par_chunks_mut`). Unlike a pass-through sequential
+//! `sum`, `zip`, `filter`, `flat_map`, `par_chunks`/`par_chunks_mut`).
+//! Unlike a pass-through sequential
 //! stub, every terminal operation genuinely fans the work out over
 //! `std::thread::scope` threads (one chunk per available core) and
 //! recombines the per-chunk results **in input order**, so:
@@ -216,6 +217,18 @@ pub trait ParallelIterator: Sized {
     fn zip<Z>(self, other: Z) -> ParIter<(Self::Item, Z::Item)>
     where
         Z: IntoParallelIterator;
+    /// Keeps the items satisfying `p`, preserving input order (rayon's
+    /// `filter`; evaluated eagerly across worker threads).
+    fn filter<P>(self, p: P) -> ParIter<Self::Item>
+    where
+        P: Fn(&Self::Item) -> bool + Sync;
+    /// Maps each item to a parallel iterable and flattens the results in
+    /// input order (rayon's `flat_map`; evaluated eagerly across worker
+    /// threads).
+    fn flat_map<PI, F>(self, f: F) -> ParIter<PI::Item>
+    where
+        PI: IntoParallelIterator,
+        F: Fn(Self::Item) -> PI + Sync;
     /// Sums all items: worker chunks sum in parallel, then the per-chunk
     /// sums combine in input order (deterministic for a fixed worker
     /// count, like [`ParallelIterator::reduce`]). Mirrors rayon's `sum`.
@@ -287,6 +300,38 @@ impl<T: Send> ParallelIterator for ParIter<T> {
                 .into_iter()
                 .zip(other.into_par_iter().items)
                 .collect(),
+        }
+    }
+    fn filter<P>(self, p: P) -> ParIter<T>
+    where
+        P: Fn(&T) -> bool + Sync,
+    {
+        let p = &p;
+        ParIter {
+            items: run_chunked(self.items, |chunk| {
+                chunk.into_iter().filter(p).collect::<Vec<T>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+        }
+    }
+    fn flat_map<PI, F>(self, f: F) -> ParIter<PI::Item>
+    where
+        PI: IntoParallelIterator,
+        F: Fn(T) -> PI + Sync,
+    {
+        let f = &f;
+        ParIter {
+            items: run_chunked(self.items, |chunk| {
+                chunk
+                    .into_iter()
+                    .flat_map(|item| f(item).into_par_iter().items)
+                    .collect::<Vec<PI::Item>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
         }
     }
     fn sum<S>(self) -> S
@@ -376,6 +421,47 @@ where
                 .fold(id(), |acc, item| op_ref(acc, f(item)))
         });
         partials.into_iter().fold(identity(), &op)
+    }
+
+    /// Keeps the mapped items satisfying `p`, preserving input order.
+    pub fn filter<P>(self, p: P) -> ParIter<R>
+    where
+        P: Fn(&R) -> bool + Sync,
+    {
+        let ParMap { items, f } = self;
+        let f = &f;
+        let p = &p;
+        ParIter {
+            items: run_chunked(items, |chunk| {
+                chunk.into_iter().map(f).filter(p).collect::<Vec<R>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+        }
+    }
+
+    /// Maps each mapped item to a parallel iterable and flattens the
+    /// results in input order.
+    pub fn flat_map<PI, G>(self, g: G) -> ParIter<PI::Item>
+    where
+        PI: IntoParallelIterator,
+        G: Fn(R) -> PI + Sync,
+    {
+        let ParMap { items, f } = self;
+        let f = &f;
+        let g = &g;
+        ParIter {
+            items: run_chunked(items, |chunk| {
+                chunk
+                    .into_iter()
+                    .flat_map(|item| g(f(item)).into_par_iter().items)
+                    .collect::<Vec<PI::Item>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect(),
+        }
     }
 
     /// Sums the mapped items (per-chunk sums in parallel, combined in
@@ -505,6 +591,53 @@ mod tests {
         assert_eq!(run().to_bits(), run().to_bits());
         let empty: f64 = Vec::<f64>::new().into_par_iter().sum();
         assert_eq!(empty, 0.0);
+    }
+
+    #[test]
+    fn filter_keeps_matching_items_in_order() {
+        let evens: Vec<usize> = (0..1000).into_par_iter().filter(|&i| i % 2 == 0).collect();
+        assert_eq!(evens.len(), 500);
+        assert!(evens.windows(2).all(|w| w[0] < w[1]));
+        assert!(evens.iter().all(|&i| i % 2 == 0));
+        // Mapped variant, and chaining into a terminal op.
+        let sum: usize = (0..100)
+            .into_par_iter()
+            .map(|i| i * 3)
+            .filter(|&x| x % 2 == 1)
+            .into_par_iter()
+            .sum();
+        assert_eq!(sum, (0..100).map(|i| i * 3).filter(|x| x % 2 == 1).sum());
+    }
+
+    #[test]
+    fn flat_map_flattens_in_input_order() {
+        let out: Vec<usize> = (0..100)
+            .into_par_iter()
+            .flat_map(|i| vec![i; i % 3])
+            .collect();
+        let expect: Vec<usize> = (0..100).flat_map(|i| vec![i; i % 3]).collect();
+        assert_eq!(out, expect);
+        // Mapped variant preserves order too (the halo-stream pattern:
+        // per-shard vectors concatenated in shard order).
+        let halo: Vec<(usize, usize)> =
+            vec![vec![(0, 1), (0, 2)], vec![(1, 7)], vec![], vec![(3, 4)]]
+                .into_par_iter()
+                .map(|v| v)
+                .flat_map(|v| v)
+                .collect();
+        assert_eq!(halo, vec![(0, 1), (0, 2), (1, 7), (3, 4)]);
+    }
+
+    #[test]
+    fn filter_then_for_each_visits_only_kept_items() {
+        let count = AtomicUsize::new(0);
+        (0..256)
+            .into_par_iter()
+            .filter(|&i| i >= 200)
+            .for_each(|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+        assert_eq!(count.load(Ordering::Relaxed), 56);
     }
 
     #[test]
