@@ -1,29 +1,37 @@
 //! Shard-count sweep over the scenario registry: `repro sharding`.
 //!
-//! For every entry of the solver's scenario registry and every shard
-//! count of the sweep, the study:
+//! For every entry of the solver's scenario registry and every *effective*
+//! shard count of the sweep (requested counts are clamped to the element
+//! count and deduplicated, so no cell is reported twice under different
+//! labels), the study runs the cell under **both**
+//! [`fem_solver::engine::PartitionStrategy`] variants side by side:
 //!
-//! * reads the backend's [`fem_mesh::partition::ShardPlan`] and reports
-//!   each shard's DDR traffic (bytes in/out), owned/halo node split, and
-//!   the plan-level load imbalance;
+//! * reads each backend's [`fem_mesh::partition::ShardPlan`] and reports
+//!   per-shard DDR traffic (bytes in/out), owned/halo node split, the
+//!   plan-level streamed-bytes load imbalance, the unique-halo fraction
+//!   (`halo_fraction`, a true fraction in `0 ..= 1`) and the cross-shard
+//!   reduction volume (`reduction_entries`, the per-sharing-shard record
+//!   count that can exceed the node count);
 //! * runs the simulation for a few RK4 steps under the
 //!   [`fem_solver::engine::DataflowEmulatedBackend`] and checks the
 //!   trajectory is **bitwise identical** to the serial reference — the
 //!   engine's shard determinism guarantee — and bitwise stable across
-//!   the whole shard-count sweep;
+//!   the whole shard-count sweep, per strategy;
 //! * attaches the per-shard accelerator cycle emulation
 //!   ([`fem_solver::engine::ShardCycleReport`]: DES makespan, observed
 //!   II, bottleneck task II) plus the scenario's DDR roofline bound from
 //!   [`fem_accel::experiments::scenario_workload`].
 //!
 //! The `sharding_json_schema` test in `repro_json.rs` pins the JSON
-//! shape and the CI `sharding` job regenerates and gates the artifact on
-//! every push.
+//! shape — including the gate that the graph partitioner's halo fraction
+//! never exceeds the contiguous one at ≥ 4 shards — and the CI
+//! `sharding` job regenerates and gates the artifact on every push.
 
 use crate::scenarios::max_rel_dev;
 use fem_accel::experiments::scenario_workload;
-use fem_solver::engine::BackendSelect;
+use fem_solver::engine::{BackendSelect, PartitionStrategy};
 use fem_solver::scenarios::Scenario;
+use fem_solver::Simulation;
 use serde::Serialize;
 
 /// Shard counts the study sweeps.
@@ -35,18 +43,20 @@ pub const SHARDING_EDGE: usize = 6;
 /// RK4 steps per (scenario, shard count) cell.
 pub const SHARDING_STEPS: usize = 2;
 
-/// One shard of one (scenario, shard count) cell.
+/// One shard of one (scenario, shard count, strategy) cell.
 #[derive(Debug, Clone, Serialize)]
 pub struct ShardRow {
     /// Scenario identifier.
     pub scenario: String,
-    /// Shard count of the plan this shard belongs to.
+    /// Effective shard count of the plan this shard belongs to.
     pub shard_count: usize,
+    /// Partition strategy of the plan ("contiguous" | "partitioned").
+    pub strategy: String,
     /// Shard index within the plan.
     pub shard: usize,
     /// Elements the shard streams.
     pub elements: usize,
-    /// Nodes the shard owns (scatters directly).
+    /// Nodes the shard owns (accumulates during the reduction).
     pub owned_nodes: usize,
     /// Halo nodes the shard forwards to their owners.
     pub halo_nodes: usize,
@@ -62,21 +72,24 @@ pub struct ShardRow {
     pub bottleneck_ii: u64,
 }
 
-/// Per-(scenario, shard count) verdict.
+/// One partition strategy's metrics for a (scenario, shard count) cell.
 #[derive(Debug, Clone, Serialize)]
-pub struct ShardingSummary {
-    /// Scenario identifier.
-    pub scenario: String,
-    /// Shard count of this cell.
-    pub shard_count: usize,
-    /// Mesh elements.
-    pub elements: usize,
-    /// Mesh nodes.
-    pub nodes: usize,
-    /// Largest shard element count over the mean (1.0 = balanced).
+pub struct StrategyCell {
+    /// Strategy identifier ("contiguous" | "partitioned").
+    pub strategy: String,
+    /// Largest per-shard streamed DDR traffic over the mean (1.0 =
+    /// balanced) — weighted by what the DES actually schedules.
     pub load_imbalance: f64,
-    /// Halo entries (shared-node records) over mesh nodes.
+    /// Largest shard element count over the mean (1.0 = balanced).
+    pub element_imbalance: f64,
+    /// Unique halo (frontier) nodes over mesh nodes — a true fraction,
+    /// always within `0 ..= 1`.
     pub halo_fraction: f64,
+    /// Cross-shard reduction volume: shared-node records summed over
+    /// shards. A node shared by k non-owner shards counts k times, so
+    /// this can exceed the node count (the quantity the pre-fix
+    /// `halo_fraction` mistakenly divided by `nodes`).
+    pub reduction_entries: u64,
     /// Aggregate DDR bytes read per RK stage over all shards.
     pub total_bytes_in: u64,
     /// Aggregate DDR bytes written per RK stage over all shards.
@@ -87,13 +100,33 @@ pub struct ShardingSummary {
     /// Whether the sharded trajectory is bit-for-bit the reference one.
     pub bitwise_vs_reference: bool,
     /// Whether this cell's trajectory is bit-for-bit identical to the
-    /// sweep's first shard count (stability across shard counts).
+    /// sweep's first shard count under the same strategy.
     pub bitwise_across_shard_counts: bool,
     /// Slowest emulated shard makespan (cycles) — the stage critical
     /// path of a shard-parallel device.
     pub max_shard_makespan_cycles: u64,
     /// Worst emulated per-shard II (cycles/element).
     pub emulated_ii_worst: f64,
+}
+
+/// Per-(scenario, shard count) verdict: both strategies side by side.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardingSummary {
+    /// Scenario identifier.
+    pub scenario: String,
+    /// Effective shard count of this cell (`plan.num_shards()`).
+    pub shard_count: usize,
+    /// The shard count the sweep requested (can exceed `shard_count` on
+    /// meshes with fewer elements; such duplicates are swept once).
+    pub requested_shards: usize,
+    /// Mesh elements.
+    pub elements: usize,
+    /// Mesh nodes.
+    pub nodes: usize,
+    /// The contiguous-range baseline.
+    pub contiguous: StrategyCell,
+    /// The halo-minimizing graph partition.
+    pub partitioned: StrategyCell,
     /// The scenario's U200 DDR roofline bound (GFLOP/s) for context.
     pub ddr_bound_gflops: f64,
 }
@@ -107,9 +140,10 @@ pub struct ShardingStudy {
     pub steps: usize,
     /// Worker threads available to the shard scheduler.
     pub threads: usize,
-    /// The swept shard counts.
+    /// The requested shard counts.
     pub shard_counts: Vec<usize>,
-    /// Per-shard rows (scenario-major, then shard count, then shard).
+    /// Per-shard rows (scenario-major, then shard count, then strategy,
+    /// then shard).
     pub rows: Vec<ShardRow>,
     /// Per-(scenario, shard count) verdicts.
     pub summaries: Vec<ShardingSummary>,
@@ -123,40 +157,45 @@ impl std::fmt::Display for ShardingStudy {
             self.edge, self.steps, self.shard_counts, self.threads
         )?;
         for s in &self.summaries {
-            writeln!(
-                f,
-                "  {:>22} ×{:<3} imbalance {:.3}  halo {:>5.1}%  DDR {:>6.2} MB/stage  \
-                 worst II {:>6.1}  {} vs serial, {} across counts",
-                s.scenario,
-                s.shard_count,
-                s.load_imbalance,
-                100.0 * s.halo_fraction,
-                (s.total_bytes_in + s.total_bytes_out) as f64 / 1e6,
-                s.emulated_ii_worst,
-                if s.bitwise_vs_reference {
-                    "bitwise"
-                } else {
-                    "DIVERGED"
-                },
-                if s.bitwise_across_shard_counts {
-                    "bitwise"
-                } else {
-                    "UNSTABLE"
-                },
-            )?;
+            for cell in [&s.contiguous, &s.partitioned] {
+                writeln!(
+                    f,
+                    "  {:>22} ×{:<3} {:<11} DDR-imbalance {:.3}  halo {:>5.1}%  red {:>5}  \
+                     DDR {:>6.2} MB/stage  worst II {:>6.1}  {} vs serial, {} across counts",
+                    s.scenario,
+                    s.shard_count,
+                    cell.strategy,
+                    cell.load_imbalance,
+                    100.0 * cell.halo_fraction,
+                    cell.reduction_entries,
+                    (cell.total_bytes_in + cell.total_bytes_out) as f64 / 1e6,
+                    cell.emulated_ii_worst,
+                    if cell.bitwise_vs_reference {
+                        "bitwise"
+                    } else {
+                        "DIVERGED"
+                    },
+                    if cell.bitwise_across_shard_counts {
+                        "bitwise"
+                    } else {
+                        "UNSTABLE"
+                    },
+                )?;
+            }
         }
         writeln!(f, "  per-shard detail:")?;
         writeln!(
             f,
-            "  {:>22} {:>6} {:>5} {:>6} {:>7} {:>6} {:>10} {:>8}",
-            "scenario", "count", "shard", "elems", "owned", "halo", "makespan", "II"
+            "  {:>22} {:>6} {:>11} {:>5} {:>6} {:>7} {:>6} {:>10} {:>8}",
+            "scenario", "count", "strategy", "shard", "elems", "owned", "halo", "makespan", "II"
         )?;
         for r in &self.rows {
             writeln!(
                 f,
-                "  {:>22} {:>6} {:>5} {:>6} {:>7} {:>6} {:>10} {:>8.1}",
+                "  {:>22} {:>6} {:>11} {:>5} {:>6} {:>7} {:>6} {:>10} {:>8.1}",
                 r.scenario,
                 r.shard_count,
+                r.strategy,
                 r.shard,
                 r.elements,
                 r.owned_nodes,
@@ -169,8 +208,86 @@ impl std::fmt::Display for ShardingStudy {
     }
 }
 
-/// Runs the sweep: every registered scenario × every shard count of
-/// `shard_counts`, `steps` RK4 steps each, on `edge`³-element meshes.
+/// Runs one (scenario, shard count, strategy) cell and appends its
+/// per-shard rows; `first_bits` carries the strategy's first-swept-count
+/// trajectory for the across-counts stability check.
+#[allow(clippy::too_many_arguments)]
+fn run_strategy_cell(
+    scenario: &Scenario,
+    edge: usize,
+    steps: usize,
+    dt: f64,
+    count: usize,
+    strategy: PartitionStrategy,
+    reference: &Simulation,
+    ref_bits: &[u64],
+    first_bits: &mut Option<Vec<u64>>,
+    rows: &mut Vec<ShardRow>,
+) -> StrategyCell {
+    let name = scenario.name();
+    let mut sim = scenario
+        .simulation(edge)
+        .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+    sim.set_backend(BackendSelect::DataflowEmulated {
+        shards: count,
+        strategy,
+    })
+    .unwrap_or_else(|e| panic!("{name}: backend build failed: {e}"));
+    sim.advance(steps, dt)
+        .unwrap_or_else(|e| panic!("{name}: sharded({count}, {strategy}) run failed: {e}"));
+    let bits = sim.conserved().to_bit_vec();
+    let bitwise_vs_reference = bits == ref_bits;
+    let bitwise_across_shard_counts = match &first_bits {
+        Some(b) => **b == bits,
+        None => {
+            *first_bits = Some(bits.clone());
+            true
+        }
+    };
+    let dev = max_rel_dev(reference.conserved(), sim.conserved());
+
+    let plan = sim
+        .backend()
+        .shard_plan()
+        .expect("dataflow-emulated backend carries a shard plan");
+    assert_eq!(plan.num_shards(), count, "{name}: effective count drifted");
+    let reports = sim.shard_reports();
+    assert_eq!(reports.len(), plan.num_shards(), "{name}: report count");
+    for (shard, rep) in plan.shards().iter().zip(reports) {
+        rows.push(ShardRow {
+            scenario: name.to_string(),
+            shard_count: count,
+            strategy: strategy.to_string(),
+            shard: shard.index(),
+            elements: shard.num_elements(),
+            owned_nodes: shard.owned_nodes().len(),
+            halo_nodes: shard.shared_nodes().len(),
+            bytes_in: shard.bytes_in() as u64,
+            bytes_out: shard.bytes_out() as u64,
+            emulated_makespan_cycles: rep.makespan_cycles,
+            emulated_ii: rep.observed_ii,
+            bottleneck_ii: rep.bottleneck_ii,
+        });
+    }
+    StrategyCell {
+        strategy: strategy.to_string(),
+        load_imbalance: plan.load_imbalance(),
+        element_imbalance: plan.element_imbalance(),
+        halo_fraction: plan.halo_fraction(),
+        reduction_entries: plan.halo_entries() as u64,
+        total_bytes_in: plan.total_bytes_in() as u64,
+        total_bytes_out: plan.total_bytes_out() as u64,
+        max_rel_dev_vs_reference: dev,
+        bitwise_vs_reference,
+        bitwise_across_shard_counts,
+        max_shard_makespan_cycles: reports.iter().map(|r| r.makespan_cycles).max().unwrap_or(0),
+        emulated_ii_worst: reports.iter().map(|r| r.observed_ii).fold(0.0, f64::max),
+    }
+}
+
+/// Runs the sweep: every registered scenario × every effective shard
+/// count of `shard_counts` × both partition strategies, `steps` RK4
+/// steps each, on `edge`³-element meshes.
 ///
 /// # Panics
 ///
@@ -192,68 +309,54 @@ pub fn run_sharding_study(edge: usize, steps: usize, shard_counts: &[usize]) -> 
             .advance(steps, dt)
             .unwrap_or_else(|e| panic!("{name}: serial run failed: {e}"));
         let ref_bits = reference.conserved().to_bit_vec();
+        let mesh_elements = reference.core().mesh().num_elements();
+        let mesh_nodes = reference.core().mesh().num_nodes();
         let workload = scenario_workload(name, reference.core().mesh());
 
-        let mut first_bits: Option<Vec<u64>> = None;
-        for &count in shard_counts {
-            let mut sim = scenario
-                .simulation(edge)
-                .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
-            sim.set_backend(BackendSelect::DataflowEmulated { shards: count })
-                .unwrap_or_else(|e| panic!("{name}: backend build failed: {e}"));
-            sim.advance(steps, dt)
-                .unwrap_or_else(|e| panic!("{name}: sharded({count}) run failed: {e}"));
-            let bits = sim.conserved().to_bit_vec();
-            let bitwise_vs_reference = bits == ref_bits;
-            let bitwise_across_shard_counts = match &first_bits {
-                Some(b) => *b == bits,
-                None => {
-                    first_bits = Some(bits.clone());
-                    true
-                }
-            };
-            let dev = max_rel_dev(reference.conserved(), sim.conserved());
-
-            let mesh = sim.core().mesh();
-            let plan = sim
-                .backend()
-                .shard_plan()
-                .expect("dataflow-emulated backend carries a shard plan");
-            let reports = sim.shard_reports();
-            assert_eq!(reports.len(), plan.num_shards(), "{name}: report count");
-            for (shard, rep) in plan.shards().iter().zip(reports) {
-                rows.push(ShardRow {
-                    scenario: name.to_string(),
-                    shard_count: count,
-                    shard: shard.index(),
-                    elements: shard.num_elements(),
-                    owned_nodes: shard.owned_nodes().len(),
-                    halo_nodes: shard.shared_nodes().len(),
-                    bytes_in: shard.bytes_in() as u64,
-                    bytes_out: shard.bytes_out() as u64,
-                    emulated_makespan_cycles: rep.makespan_cycles,
-                    emulated_ii: rep.observed_ii,
-                    bottleneck_ii: rep.bottleneck_ii,
-                });
+        let mut first_contiguous: Option<Vec<u64>> = None;
+        let mut first_partitioned: Option<Vec<u64>> = None;
+        let mut seen_counts: Vec<usize> = Vec::new();
+        for &requested in shard_counts {
+            // The plan clamps the shard count to the element count;
+            // label the cell with the effective value and sweep each
+            // effective count once.
+            let count = requested.min(mesh_elements).max(1);
+            if seen_counts.contains(&count) {
+                continue;
             }
+            seen_counts.push(count);
+            let contiguous = run_strategy_cell(
+                &scenario,
+                edge,
+                steps,
+                dt,
+                count,
+                PartitionStrategy::Contiguous,
+                &reference,
+                &ref_bits,
+                &mut first_contiguous,
+                &mut rows,
+            );
+            let partitioned = run_strategy_cell(
+                &scenario,
+                edge,
+                steps,
+                dt,
+                count,
+                PartitionStrategy::Partitioned,
+                &reference,
+                &ref_bits,
+                &mut first_partitioned,
+                &mut rows,
+            );
             summaries.push(ShardingSummary {
                 scenario: name.to_string(),
                 shard_count: count,
-                elements: mesh.num_elements(),
-                nodes: mesh.num_nodes(),
-                load_imbalance: plan.load_imbalance(),
-                halo_fraction: plan.halo_entries() as f64 / mesh.num_nodes() as f64,
-                total_bytes_in: plan.total_bytes_in() as u64,
-                total_bytes_out: plan.total_bytes_out() as u64,
-                max_rel_dev_vs_reference: dev,
-                bitwise_vs_reference,
-                bitwise_across_shard_counts,
-                max_shard_makespan_cycles: reports
-                    .iter()
-                    .map(|r| r.makespan_cycles)
-                    .max()
-                    .unwrap_or(0),
-                emulated_ii_worst: reports.iter().map(|r| r.observed_ii).fold(0.0, f64::max),
+                requested_shards: requested,
+                elements: mesh_elements,
+                nodes: mesh_nodes,
+                contiguous,
+                partitioned,
                 ddr_bound_gflops: workload.ddr_bound_gflops,
             });
         }
@@ -273,42 +376,74 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sweep_covers_registry_and_stays_bitwise() {
-        let study = run_sharding_study(4, 1, &[1, 3]);
-        assert_eq!(study.summaries.len(), 4 * 2);
+    fn sweep_covers_registry_stays_bitwise_and_dedups() {
+        // 4³ = 64 elements: 100 clamps to 64, and the second 64 request
+        // is a duplicate the sweep must drop.
+        let study = run_sharding_study(4, 1, &[1, 3, 100, 64]);
+        assert_eq!(study.summaries.len(), 4 * 3, "dedup failed");
         for s in &study.summaries {
-            assert!(s.bitwise_vs_reference, "{} ×{}", s.scenario, s.shard_count);
-            assert!(
-                s.bitwise_across_shard_counts,
-                "{} ×{}",
-                s.scenario, s.shard_count
-            );
-            assert_eq!(s.max_rel_dev_vs_reference, 0.0);
-            assert!(s.load_imbalance >= 1.0);
-            assert!(s.ddr_bound_gflops > 0.0);
-            let cell_rows: Vec<&ShardRow> = study
-                .rows
-                .iter()
-                .filter(|r| r.scenario == s.scenario && r.shard_count == s.shard_count)
-                .collect();
-            assert_eq!(cell_rows.len(), s.shard_count.min(s.elements));
-            let covered: usize = cell_rows.iter().map(|r| r.elements).sum();
-            assert_eq!(covered, s.elements, "{}: shards drop elements", s.scenario);
-            let owned: usize = cell_rows.iter().map(|r| r.owned_nodes).sum();
-            assert_eq!(owned, s.nodes, "{}: owned sets incomplete", s.scenario);
-            for r in &cell_rows {
-                assert!(r.emulated_makespan_cycles > 0);
-                assert!(r.emulated_ii > 0.0);
+            assert!(matches!(s.shard_count, 1 | 3 | 64), "{}", s.shard_count);
+            assert!(s.requested_shards >= s.shard_count);
+            for cell in [&s.contiguous, &s.partitioned] {
+                assert!(
+                    cell.bitwise_vs_reference,
+                    "{} ×{} {}",
+                    s.scenario, s.shard_count, cell.strategy
+                );
+                assert!(
+                    cell.bitwise_across_shard_counts,
+                    "{} ×{} {}",
+                    s.scenario, s.shard_count, cell.strategy
+                );
+                assert_eq!(cell.max_rel_dev_vs_reference, 0.0);
+                assert!(cell.load_imbalance >= 1.0);
+                assert!(cell.element_imbalance >= 1.0);
+                assert!((0.0..=1.0).contains(&cell.halo_fraction));
+                let cell_rows: Vec<&ShardRow> = study
+                    .rows
+                    .iter()
+                    .filter(|r| {
+                        r.scenario == s.scenario
+                            && r.shard_count == s.shard_count
+                            && r.strategy == cell.strategy
+                    })
+                    .collect();
+                assert_eq!(cell_rows.len(), s.shard_count);
+                let covered: usize = cell_rows.iter().map(|r| r.elements).sum();
+                assert_eq!(covered, s.elements, "{}: shards drop elements", s.scenario);
+                let owned: usize = cell_rows.iter().map(|r| r.owned_nodes).sum();
+                assert_eq!(owned, s.nodes, "{}: owned sets incomplete", s.scenario);
+                let entries: usize = cell_rows.iter().map(|r| r.halo_nodes).sum();
+                assert_eq!(entries as u64, cell.reduction_entries);
+                for r in &cell_rows {
+                    assert!(r.emulated_makespan_cycles > 0);
+                    assert!(r.emulated_ii > 0.0);
+                }
             }
+            // The tentpole gate: the graph partition never produces a
+            // larger halo than the contiguous baseline.
+            assert!(
+                s.partitioned.halo_fraction <= s.contiguous.halo_fraction,
+                "{} ×{}: partitioned {} > contiguous {}",
+                s.scenario,
+                s.shard_count,
+                s.partitioned.halo_fraction,
+                s.contiguous.halo_fraction
+            );
+            assert!(s.ddr_bound_gflops > 0.0);
         }
         // Single-shard cells carry no halo.
         for s in study.summaries.iter().filter(|s| s.shard_count == 1) {
-            assert_eq!(s.halo_fraction, 0.0, "{}", s.scenario);
+            assert_eq!(s.contiguous.halo_fraction, 0.0, "{}", s.scenario);
+            assert_eq!(s.partitioned.halo_fraction, 0.0, "{}", s.scenario);
+            assert_eq!(s.contiguous.reduction_entries, 0);
         }
         // JSON serializes (the repro --json path) and Display renders.
         let json = serde_json::to_string(&study).unwrap();
         assert!(json.contains("\"summaries\""));
+        assert!(json.contains("\"reduction_entries\""));
         let shown = format!("{study}");
         assert!(shown.contains("acoustic-pulse"), "{shown}");
+        assert!(shown.contains("partitioned"), "{shown}");
     }
 }

@@ -8,10 +8,14 @@
 //! every registered scenario (≥ 4: TGV, cavity, shear layer, pulse) must
 //! pass serial-vs-colored equivalence at ≤ 1e-12 relative plus its
 //! per-scenario invariant checks. The `sharding` test pins the PR-5
-//! acceptance bar: the `Sharded` backend must be bitwise identical to
+//! acceptance bar — the `Sharded` backend must be bitwise identical to
 //! the serial reference and across all swept shard counts on every
 //! registered scenario, with per-shard load-imbalance and
-//! `DataflowEmulated` cycle/II quotes attached. The
+//! `DataflowEmulated` cycle/II quotes attached — and the PR-6 bar:
+//! every cell reports contiguous and graph-partitioned strategies side
+//! by side, both bitwise identical, `halo_fraction` a true `0 ..= 1`
+//! unique-node fraction, and the partitioned halo never above the
+//! contiguous one at ≥ 4 shards. The
 //! `geometry` test also pins the PR-3 acceptance bar: the cached+fused
 //! RHS path must beat the seed recompute+split path by ≥1.5× on the TGV
 //! n=12 viscous benchmark (hard-enforced when `REPRO_PERF_GATE` is set —
@@ -286,8 +290,8 @@ fn sharding_json_schema() {
         .collect();
     assert_eq!(counts, vec![1, 2, 4, 8], "sweep drifted");
 
-    // One summary per (scenario, shard count); the four canonical
-    // scenarios must all be swept.
+    // One summary per (scenario, effective shard count) — no duplicate
+    // labels — and the four canonical scenarios must all be swept.
     let summaries = doc["summaries"].as_array().expect("`summaries` array");
     assert_eq!(summaries.len() % counts.len(), 0);
     for name in [
@@ -296,14 +300,20 @@ fn sharding_json_schema() {
         "double-shear-layer",
         "acoustic-pulse",
     ] {
+        let cells: Vec<u64> = summaries
+            .iter()
+            .filter(|s| s["scenario"].as_str() == Some(name))
+            .map(|s| s["shard_count"].as_u64().expect("shard_count"))
+            .collect();
         assert_eq!(
-            summaries
-                .iter()
-                .filter(|s| s["scenario"].as_str() == Some(name))
-                .count(),
+            cells.len(),
             counts.len(),
             "scenario `{name}` not fully swept"
         );
+        let mut dedup = cells.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), cells.len(), "{name}: duplicate shard counts");
     }
 
     let rows = doc["rows"].as_array().expect("`rows` is an array");
@@ -312,52 +322,89 @@ fn sharding_json_schema() {
         let count = s["shard_count"].as_u64().expect("shard_count");
         let elements = s["elements"].as_u64().expect("elements");
         let nodes = s["nodes"].as_u64().expect("nodes");
-
-        // Acceptance: the sharded trajectory is bitwise identical to the
-        // serial reference AND across shard counts (⇒ ≤1e-12 trivially),
-        // and the per-shard load imbalance is reported.
-        assert_eq!(s["bitwise_vs_reference"].as_bool(), Some(true), "{name}");
-        assert_eq!(
-            s["bitwise_across_shard_counts"].as_bool(),
-            Some(true),
-            "{name}"
-        );
-        let dev = s["max_rel_dev_vs_reference"].as_f64().expect("dev");
-        assert!(dev <= 1e-12, "{name} ×{count}: dev {dev}");
-        let imbalance = s["load_imbalance"].as_f64().expect("load_imbalance");
-        assert!((1.0..2.0).contains(&imbalance), "{name}: {imbalance}");
-        assert!(s["halo_fraction"].as_f64().expect("halo_fraction") >= 0.0);
-        assert!(s["total_bytes_in"].as_u64().expect("bytes_in") > 0);
-        assert!(s["total_bytes_out"].as_u64().expect("bytes_out") > 0);
+        assert!(s["requested_shards"].as_u64().expect("requested") >= count);
+        assert!(count <= elements, "{name}: count not clamped");
         assert!(s["ddr_bound_gflops"].as_f64().expect("roofline") > 0.0);
-        assert!(s["max_shard_makespan_cycles"].as_u64().expect("makespan") > 0);
-        assert!(s["emulated_ii_worst"].as_f64().expect("worst II") > 0.0);
 
-        // The cell's per-shard rows: cover every element exactly once,
-        // owned-node sets complete, each with a DataflowEmulated
-        // cycle/II quote.
-        let cell: Vec<&serde_json::Value> = rows
-            .iter()
-            .filter(|r| {
-                r["scenario"].as_str() == Some(name) && r["shard_count"].as_u64() == Some(count)
-            })
-            .collect();
-        assert_eq!(cell.len() as u64, count.min(elements), "{name} ×{count}");
-        let covered: u64 = cell.iter().map(|r| r["elements"].as_u64().unwrap()).sum();
-        assert_eq!(covered, elements, "{name} ×{count}: elements dropped");
-        let owned: u64 = cell
-            .iter()
-            .map(|r| r["owned_nodes"].as_u64().unwrap())
-            .sum();
-        assert_eq!(owned, nodes, "{name} ×{count}: owned sets incomplete");
-        for r in &cell {
-            assert!(r["shard"].as_u64().is_some());
-            assert!(r["halo_nodes"].as_u64().is_some());
-            assert!(r["bytes_in"].as_u64().expect("shard bytes_in") > 0);
-            assert!(r["bytes_out"].as_u64().expect("shard bytes_out") > 0);
-            assert!(r["emulated_makespan_cycles"].as_u64().expect("makespan") > 0);
-            assert!(r["emulated_ii"].as_f64().expect("emulated II") > 0.0);
-            assert!(r["bottleneck_ii"].as_u64().expect("bottleneck II") > 0);
+        for strategy in ["contiguous", "partitioned"] {
+            let cell = &s[strategy];
+            assert_eq!(cell["strategy"].as_str(), Some(strategy), "{name} ×{count}");
+
+            // Acceptance: both strategies' trajectories are bitwise
+            // identical to the serial reference AND across shard counts
+            // (⇒ ≤1e-12 trivially).
+            assert_eq!(
+                cell["bitwise_vs_reference"].as_bool(),
+                Some(true),
+                "{name} {strategy}"
+            );
+            assert_eq!(
+                cell["bitwise_across_shard_counts"].as_bool(),
+                Some(true),
+                "{name} {strategy}"
+            );
+            let dev = cell["max_rel_dev_vs_reference"].as_f64().expect("dev");
+            assert!(dev <= 1e-12, "{name} ×{count} {strategy}: dev {dev}");
+            let imbalance = cell["load_imbalance"].as_f64().expect("load_imbalance");
+            assert!((1.0..2.0).contains(&imbalance), "{name}: {imbalance}");
+            assert!(cell["element_imbalance"].as_f64().expect("elem imb") >= 1.0);
+            // halo_fraction is a true fraction of unique halo nodes.
+            let halo = cell["halo_fraction"].as_f64().expect("halo_fraction");
+            assert!((0.0..=1.0).contains(&halo), "{name} {strategy}: {halo}");
+            let entries = cell["reduction_entries"].as_u64().expect("entries");
+            assert_eq!(entries == 0, halo == 0.0, "{name} {strategy}");
+            assert!(cell["total_bytes_in"].as_u64().expect("bytes_in") > 0);
+            assert!(cell["total_bytes_out"].as_u64().expect("bytes_out") > 0);
+            assert!(
+                cell["max_shard_makespan_cycles"]
+                    .as_u64()
+                    .expect("makespan")
+                    > 0
+            );
+            assert!(cell["emulated_ii_worst"].as_f64().expect("worst II") > 0.0);
+
+            // The cell's per-shard rows: cover every element exactly
+            // once, owned-node sets complete, each with a
+            // DataflowEmulated cycle/II quote.
+            let cell_rows: Vec<&serde_json::Value> = rows
+                .iter()
+                .filter(|r| {
+                    r["scenario"].as_str() == Some(name)
+                        && r["shard_count"].as_u64() == Some(count)
+                        && r["strategy"].as_str() == Some(strategy)
+                })
+                .collect();
+            assert_eq!(cell_rows.len() as u64, count, "{name} ×{count} {strategy}");
+            let covered: u64 = cell_rows
+                .iter()
+                .map(|r| r["elements"].as_u64().unwrap())
+                .sum();
+            assert_eq!(covered, elements, "{name} ×{count}: elements dropped");
+            let owned: u64 = cell_rows
+                .iter()
+                .map(|r| r["owned_nodes"].as_u64().unwrap())
+                .sum();
+            assert_eq!(owned, nodes, "{name} ×{count}: owned sets incomplete");
+            for r in &cell_rows {
+                assert!(r["shard"].as_u64().is_some());
+                assert!(r["halo_nodes"].as_u64().is_some());
+                assert!(r["bytes_in"].as_u64().expect("shard bytes_in") > 0);
+                assert!(r["bytes_out"].as_u64().expect("shard bytes_out") > 0);
+                assert!(r["emulated_makespan_cycles"].as_u64().expect("makespan") > 0);
+                assert!(r["emulated_ii"].as_f64().expect("emulated II") > 0.0);
+                assert!(r["bottleneck_ii"].as_u64().expect("bottleneck II") > 0);
+            }
+        }
+
+        // The tentpole acceptance gate: at ≥ 4 shards the graph
+        // partition's halo fraction never exceeds the contiguous one.
+        if count >= 4 {
+            let c = s["contiguous"]["halo_fraction"].as_f64().unwrap();
+            let p = s["partitioned"]["halo_fraction"].as_f64().unwrap();
+            assert!(
+                p <= c,
+                "{name} ×{count}: partitioned halo {p} > contiguous {c}"
+            );
         }
     }
 }

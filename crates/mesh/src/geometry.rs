@@ -140,7 +140,9 @@ impl GeometryCache {
 
     /// Extracts the contiguous sub-cache of elements
     /// `[first_element, first_element + count)` — the per-shard geometry
-    /// stream of a [`crate::partition::ShardPlan`] shard. The slice owns
+    /// stream of a contiguous-strategy [`crate::partition::ShardPlan`]
+    /// shard (graph-partitioned shards index the full cache per element
+    /// id instead). The slice owns
     /// its (bitwise-identical) copies of the factors, re-indexed so the
     /// shard's element `k` is `shard_cache.element(k)`, exactly like the
     /// accelerator stages a shard's γ-factors into its own DDR channel.

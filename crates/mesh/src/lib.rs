@@ -18,9 +18,10 @@
 //!   for the CPU baseline and DDR burst efficiency for the accelerator).
 //! * [`quality`] — element quality metrics and mesh statistics.
 //! * [`partition`] — element batching for the accelerator's streaming
-//!   Load-Compute-Store pipeline, and the contiguous [`ShardPlan`] domain
+//!   Load-Compute-Store pipeline, and the [`ShardPlan`] domain
 //!   decomposition (owned/halo node metadata) the shard-parallel
-//!   execution backends run on.
+//!   execution backends run on, with a halo-minimizing graph
+//!   partitioner selectable via [`partition::PartitionStrategy`].
 //! * [`io`] — compact binary serialization.
 //!
 //! # Example
@@ -49,7 +50,7 @@ pub use coloring::{ColoringStats, ElementColoring};
 pub use generator::BoxMeshBuilder;
 pub use geometry::GeometryCache;
 pub use hex::HexMesh;
-pub use partition::{ElementBatch, Shard, ShardPlan};
+pub use partition::{ElementBatch, PartitionStrategy, Shard, ShardPlan};
 pub use quality::MeshStats;
 
 /// Errors produced by the mesh layer.

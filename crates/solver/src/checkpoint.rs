@@ -160,7 +160,7 @@ mod tests {
         // backends (several shard counts) must continue on the *same*
         // bit-exact trajectory as the uninterrupted serial run — restart
         // files written on one executor are valid on any other.
-        use crate::engine::BackendSelect;
+        use crate::engine::{BackendSelect, PartitionStrategy};
         use crate::parallel::AssemblyStrategy;
 
         let mesh = BoxMeshBuilder::tgv_box(5).build().unwrap();
@@ -176,7 +176,10 @@ mod tests {
         // state itself already crossed a backend boundary).
         let mut first = Simulation::new(mesh.clone(), cfg.gas(), initial).unwrap();
         first
-            .set_backend(BackendSelect::Sharded { shards: 3 })
+            .set_backend(BackendSelect::Sharded {
+                shards: 3,
+                strategy: PartitionStrategy::Contiguous,
+            })
             .unwrap();
         first.advance(4, dt).unwrap();
         let ck = Checkpoint {
@@ -187,12 +190,38 @@ mod tests {
         let mut buf = Vec::new();
         ck.write(&mut buf).unwrap();
 
+        let contiguous = PartitionStrategy::Contiguous;
+        let partitioned = PartitionStrategy::Partitioned;
         let backends = [
             BackendSelect::Reference(AssemblyStrategy::Serial),
-            BackendSelect::Sharded { shards: 1 },
-            BackendSelect::Sharded { shards: 2 },
-            BackendSelect::Sharded { shards: 7 },
-            BackendSelect::DataflowEmulated { shards: 4 },
+            BackendSelect::Sharded {
+                shards: 1,
+                strategy: contiguous,
+            },
+            BackendSelect::Sharded {
+                shards: 2,
+                strategy: contiguous,
+            },
+            BackendSelect::Sharded {
+                shards: 7,
+                strategy: contiguous,
+            },
+            BackendSelect::Sharded {
+                shards: 2,
+                strategy: partitioned,
+            },
+            BackendSelect::Sharded {
+                shards: 7,
+                strategy: partitioned,
+            },
+            BackendSelect::DataflowEmulated {
+                shards: 4,
+                strategy: contiguous,
+            },
+            BackendSelect::DataflowEmulated {
+                shards: 4,
+                strategy: partitioned,
+            },
         ];
         for select in backends {
             let restored = Checkpoint::read(buf.as_slice()).unwrap();

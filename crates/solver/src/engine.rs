@@ -11,13 +11,14 @@
 //!   engine landed, wrapping an [`AssemblyStrategy`] (serial loop,
 //!   chunked partials, or color-parallel in-place scatter).
 //! * [`ShardedBackend`] — domain decomposition over a
-//!   [`fem_mesh::partition::ShardPlan`]: each shard streams its
-//!   contiguous range of the element-major [`GeometryCache`] (an offset
-//!   view; a device backend would stage its slice via
-//!   [`GeometryCache::shard`]), scatters **owned** nodes
-//!   directly into the shared RHS (owned sets are disjoint, so the
-//!   parallel sweep is race-free), and forwards **halo** contributions to
-//!   their owner shard through a deterministic cross-shard reduction.
+//!   [`fem_mesh::partition::ShardPlan`] built with either
+//!   [`PartitionStrategy`] (contiguous ranges or the halo-minimizing
+//!   graph partition): each shard streams its elements of the
+//!   element-major [`GeometryCache`] in ascending id order, scatters
+//!   **interior** nodes (touched by this shard alone) straight into the
+//!   shared RHS (race-free by construction), and routes every
+//!   **frontier**-node contribution through a deterministic cross-shard
+//!   reduction on the owner shard.
 //! * [`DataflowEmulatedBackend`] — the same sharded numerics, plus a
 //!   per-shard Load → Compute → Store discrete-event emulation through
 //!   [`hls_dataflow::sim`] that attaches the predicted accelerator cycle
@@ -26,21 +27,27 @@
 //! # The shard determinism guarantee
 //!
 //! [`ShardedBackend`] is **bitwise identical to the serial reference loop
-//! for every shard count**. The argument: shards are contiguous ascending
-//! element ranges and a node is owned by the *lowest*-indexed shard that
-//! touches it, so
+//! for every shard count and both partition strategies** — the argument
+//! holds for *arbitrary* element-to-shard assignments, not just
+//! contiguous ranges:
 //!
-//! 1. the owner's own contributions to a node come from elements that all
-//!    precede any other shard's (ascending ranges), and are applied in
-//!    ascending element order by the shard sweep;
-//! 2. halo contributions are recorded per element (never pre-summed) and
-//!    applied in (source shard, element) order, which — again by range
-//!    contiguity — *is* ascending global element order.
+//! 1. every shard stores its elements sorted ascending by global id and
+//!    sweeps them in that order;
+//! 2. an **interior** node (`plan.frontier()[n] == false`) is touched by
+//!    exactly one shard, so the direct scatter applies its contributions
+//!    in ascending element order — the serial order restricted to that
+//!    node;
+//! 3. a **frontier** node's contributions (the owner's own included) are
+//!    recorded per element, never pre-summed, bucketed to the owning
+//!    shard, and applied after a stable sort by (node, element) — again
+//!    ascending global element order. Within one element a node appears
+//!    once (the generator rejects the degenerate periodic meshes that
+//!    could alias local nodes), so the (node, element) key is unique and
+//!    the order is total.
 //!
 //! Every node therefore accumulates its contributions one at a time in
 //! exactly the serial order: no regrouping, no rounding difference, the
-//! same bits for 1, 2, or 64 shards. The shard sweep leans on the rayon
-//! stub's order-preserving `flat_map` to concatenate the halo streams.
+//! same bits for 1, 2, or 64 shards, contiguous or graph-partitioned.
 //!
 //! # Registering new backends
 //!
@@ -58,6 +65,7 @@ use crate::state::{Conserved, Primitives};
 use crate::SolverError;
 use fem_mesh::coloring::{ColoringStats, ElementColoring};
 use fem_mesh::geometry::GeometryCache;
+pub use fem_mesh::partition::PartitionStrategy;
 use fem_mesh::partition::ShardPlan;
 use fem_mesh::HexMesh;
 use fem_numerics::tensor::HexBasis;
@@ -177,16 +185,21 @@ pub trait ExecutionBackend: std::fmt::Debug + Send {
 pub enum BackendSelect {
     /// The host reference paths, parameterized by [`AssemblyStrategy`].
     Reference(AssemblyStrategy),
-    /// Shard-parallel owned-node scatter over a [`ShardPlan`].
+    /// Shard-parallel interior-scatter / frontier-merge assembly over a
+    /// [`ShardPlan`].
     Sharded {
         /// Requested shard count (clamped to the element count).
         shards: usize,
+        /// How elements are assigned to shards.
+        strategy: PartitionStrategy,
     },
     /// [`BackendSelect::Sharded`] numerics plus per-shard accelerator
     /// cycle emulation.
     DataflowEmulated {
         /// Requested shard count (clamped to the element count).
         shards: usize,
+        /// How elements are assigned to shards.
+        strategy: PartitionStrategy,
     },
 }
 
@@ -194,9 +207,11 @@ impl std::fmt::Display for BackendSelect {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             BackendSelect::Reference(s) => write!(f, "reference({s})"),
-            BackendSelect::Sharded { shards } => write!(f, "sharded({shards})"),
-            BackendSelect::DataflowEmulated { shards } => {
-                write!(f, "dataflow-emulated({shards})")
+            BackendSelect::Sharded { shards, strategy } => {
+                write!(f, "sharded({shards}, {strategy})")
+            }
+            BackendSelect::DataflowEmulated { shards, strategy } => {
+                write!(f, "dataflow-emulated({shards}, {strategy})")
             }
         }
     }
@@ -287,11 +302,14 @@ impl ExecutionBackend for ReferenceBackend {
 
 // -------------------------------------------------------------- sharded
 
-/// One halo contribution: element residual values destined for a node
-/// owned by another shard, forwarded during the cross-shard reduction.
+/// One frontier contribution: element residual values destined for a
+/// node touched by several shards, forwarded to the node's owner during
+/// the cross-shard reduction. The source element id is carried so the
+/// owner can restore ascending global element order before applying.
 #[derive(Debug, Clone)]
 struct HaloContribution {
     node: u32,
+    element: u32,
     vals: [f64; NUM_VARS],
 }
 
@@ -323,10 +341,10 @@ fn geometry_fingerprint(geometry: &GeometryCache) -> (usize, u64, u64) {
 }
 
 impl ShardedBackend {
-    /// Decomposes `mesh` into (up to) `shards` shards. The sweep streams
-    /// each shard's contiguous range of the caller's geometry cache
-    /// directly — no staged per-shard copy ([`GeometryCache::shard`]
-    /// exists for device backends that must stage their slice).
+    /// Decomposes `mesh` into (up to) `shards` shards under `strategy`.
+    /// The sweep indexes the caller's geometry cache per element id —
+    /// no staged per-shard copy ([`GeometryCache::shard`] exists for
+    /// device backends that must stage a contiguous slice).
     ///
     /// # Errors
     ///
@@ -339,13 +357,14 @@ impl ShardedBackend {
         mesh: &HexMesh,
         geometry: &GeometryCache,
         shards: usize,
+        strategy: PartitionStrategy,
     ) -> Result<ShardedBackend, SolverError> {
         assert_eq!(
             geometry.num_elements(),
             mesh.num_elements(),
             "geometry cache does not cover the mesh"
         );
-        let plan = ShardPlan::new(mesh, shards)?;
+        let plan = ShardPlan::with_strategy(mesh, shards, usize::MAX, strategy)?;
         let per_owner = vec![Vec::new(); plan.num_shards()];
         Ok(ShardedBackend {
             plan,
@@ -362,7 +381,11 @@ impl ShardedBackend {
 
 impl ExecutionBackend for ShardedBackend {
     fn name(&self) -> String {
-        format!("sharded({})", self.plan.num_shards())
+        format!(
+            "sharded({}, {})",
+            self.plan.num_shards(),
+            self.plan.strategy()
+        )
     }
 
     fn capabilities(&self) -> BackendCapabilities {
@@ -410,29 +433,29 @@ impl ExecutionBackend for ShardedBackend {
         let viscous = ctx.gas.mu > 0.0;
         let profile = profiler.is_some();
         let owner = self.plan.owners();
+        let frontier = self.plan.frontier();
 
         out.set_zero();
         let shared = SharedRhs::new(out);
         let agg = Mutex::new(PhaseProfiler::new());
 
         // Phase 1 — parallel shard sweep: every shard evaluates its
-        // elements in ascending order against its contiguous geometry
-        // range, scatters owned-node contributions straight into the
-        // shared RHS (owned sets are disjoint ⇒ race-free) and emits its
-        // halo contributions per element. `flat_map` preserves input
-        // order, so the collected stream is sorted by (source shard,
-        // element) — which for contiguous ascending shard ranges IS
-        // ascending global element order.
+        // elements in ascending global-id order, scatters interior-node
+        // contributions straight into the shared RHS (an interior node
+        // has exactly one touching shard ⇒ race-free, and the sweep
+        // order is the serial order restricted to that node) and emits
+        // every frontier-node contribution — the owner's own included —
+        // tagged with its source element.
         let halo_stream: Vec<HaloContribution> = self
             .plan
             .shards()
             .par_iter()
             .flat_map(|shard| {
-                let me = shard.index() as u32;
                 let mut ws = ElementWorkspace::new(npe);
                 let mut local = PhaseProfiler::new();
                 let mut halo: Vec<HaloContribution> = Vec::new();
-                for e in shard.element_range() {
+                for &e32 in shard.elements() {
+                    let e = e32 as usize;
                     eval_element(
                         ctx.mesh,
                         ctx.basis,
@@ -447,15 +470,16 @@ impl ExecutionBackend for ShardedBackend {
                     );
                     let t0 = profile.then(Instant::now);
                     for (q, &n) in ctx.mesh.element_nodes(e).iter().enumerate() {
-                        if owner[n as usize] == me {
+                        if !frontier[n as usize] {
                             // SAFETY: node indices come from the mesh
-                            // connectivity (in bounds) and owned-node
-                            // sets are disjoint across shards, so no two
-                            // threads alias.
+                            // connectivity (in bounds) and an interior
+                            // node is touched by this shard alone, so no
+                            // two threads alias.
                             unsafe { shared.add_node(n as usize, &ws.res, q) };
                         } else {
                             halo.push(HaloContribution {
                                 node: n,
+                                element: e32,
                                 vals: [
                                     ws.res[0][q],
                                     ws.res[1][q],
@@ -478,13 +502,14 @@ impl ExecutionBackend for ShardedBackend {
             .collect();
 
         // Phase 2 — deterministic cross-shard reduction. One sequential
-        // pass buckets the stream per owner (stable, so each bucket keeps
-        // the (shard, element) order), then every owner applies its
-        // bucket sequentially; owners target disjoint node sets, so the
-        // fan-out is race-free. The buckets are persistent per-backend
-        // buffers, so the bucketing pass reuses their capacity (the
-        // per-shard halo Vecs and the collected stream still allocate
-        // per evaluation).
+        // pass buckets the stream per owner, then every owner restores
+        // ascending global element order with a stable sort by
+        // (node, element) — total, since a node appears at most once per
+        // element — and applies its bucket sequentially; owners target
+        // disjoint node sets, so the fan-out is race-free. The buckets
+        // are persistent per-backend buffers, so the bucketing pass
+        // reuses their capacity (the per-shard halo Vecs and the
+        // collected stream still allocate per evaluation).
         let t0 = profile.then(Instant::now);
         for bucket in &mut self.per_owner {
             bucket.clear();
@@ -492,7 +517,9 @@ impl ExecutionBackend for ShardedBackend {
         for rec in halo_stream {
             self.per_owner[owner[rec.node as usize] as usize].push(rec);
         }
-        self.per_owner.par_iter().for_each(|bucket| {
+        self.per_owner.par_chunks_mut(1).for_each(|owner_bucket| {
+            let bucket = &mut owner_bucket[0];
+            bucket.sort_by_key(|rec| (rec.node, rec.element));
             for rec in bucket {
                 // SAFETY: in-bounds node, and each node has exactly
                 // one owner, so concurrent owners never alias.
@@ -539,8 +566,9 @@ impl DataflowEmulatedBackend {
         mesh: &HexMesh,
         geometry: &GeometryCache,
         shards: usize,
+        strategy: PartitionStrategy,
     ) -> Result<DataflowEmulatedBackend, SolverError> {
-        let inner = ShardedBackend::new(mesh, geometry, shards)?;
+        let inner = ShardedBackend::new(mesh, geometry, shards, strategy)?;
         let npe = mesh.nodes_per_element() as u64;
         // Every shard of a plan is non-empty (the plan clamps the shard
         // count), so emulating all of them keeps `reports` index-aligned
@@ -613,7 +641,11 @@ fn emulate_shard(
 
 impl ExecutionBackend for DataflowEmulatedBackend {
     fn name(&self) -> String {
-        format!("dataflow-emulated({})", self.inner.plan().num_shards())
+        format!(
+            "dataflow-emulated({}, {})",
+            self.inner.plan().num_shards(),
+            self.inner.plan().strategy()
+        )
     }
 
     fn capabilities(&self) -> BackendCapabilities {
@@ -659,10 +691,12 @@ pub fn build_backend(
 ) -> Result<Box<dyn ExecutionBackend>, SolverError> {
     Ok(match select {
         BackendSelect::Reference(strategy) => Box::new(ReferenceBackend::new(strategy, mesh)),
-        BackendSelect::Sharded { shards } => Box::new(ShardedBackend::new(mesh, geometry, shards)?),
-        BackendSelect::DataflowEmulated { shards } => {
-            Box::new(DataflowEmulatedBackend::new(mesh, geometry, shards)?)
+        BackendSelect::Sharded { shards, strategy } => {
+            Box::new(ShardedBackend::new(mesh, geometry, shards, strategy)?)
         }
+        BackendSelect::DataflowEmulated { shards, strategy } => Box::new(
+            DataflowEmulatedBackend::new(mesh, geometry, shards, strategy)?,
+        ),
     })
 }
 
@@ -692,12 +726,20 @@ mod tests {
             "reference(serial)"
         );
         assert_eq!(
-            BackendSelect::Sharded { shards: 4 }.to_string(),
-            "sharded(4)"
+            BackendSelect::Sharded {
+                shards: 4,
+                strategy: PartitionStrategy::Contiguous
+            }
+            .to_string(),
+            "sharded(4, contiguous)"
         );
         assert_eq!(
-            BackendSelect::DataflowEmulated { shards: 2 }.to_string(),
-            "dataflow-emulated(2)"
+            BackendSelect::DataflowEmulated {
+                shards: 2,
+                strategy: PartitionStrategy::Partitioned
+            }
+            .to_string(),
+            "dataflow-emulated(2, partitioned)"
         );
     }
 
@@ -711,20 +753,26 @@ mod tests {
         reference.advance(4, dt).unwrap();
         let ref_bits = bits(reference.conserved());
 
-        for shards in [1usize, 2, 3, 5, 64] {
-            let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
-            let initial = cfg.initial_state(&mesh);
-            let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
-            sim.set_backend(BackendSelect::Sharded { shards }).unwrap();
-            let caps = sim.backend().capabilities();
-            assert!(caps.deterministic_across_widths);
-            assert_eq!(caps.shards, shards.min(6 * 6 * 6));
-            sim.advance(4, dt).unwrap();
-            assert_eq!(
-                bits(sim.conserved()),
-                ref_bits,
-                "shards={shards} diverged from the serial reference"
-            );
+        for strategy in [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::Partitioned,
+        ] {
+            for shards in [1usize, 2, 3, 5, 64] {
+                let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+                let initial = cfg.initial_state(&mesh);
+                let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+                sim.set_backend(BackendSelect::Sharded { shards, strategy })
+                    .unwrap();
+                let caps = sim.backend().capabilities();
+                assert!(caps.deterministic_across_widths);
+                assert_eq!(caps.shards, shards.min(6 * 6 * 6));
+                sim.advance(4, dt).unwrap();
+                assert_eq!(
+                    bits(sim.conserved()),
+                    ref_bits,
+                    "shards={shards} strategy={strategy} diverged from the serial reference"
+                );
+            }
         }
     }
 
@@ -734,8 +782,11 @@ mod tests {
         let mesh = BoxMeshBuilder::tgv_box(5).build().unwrap();
         let initial = cfg.initial_state(&mesh);
         let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
-        sim.set_backend(BackendSelect::DataflowEmulated { shards: 4 })
-            .unwrap();
+        sim.set_backend(BackendSelect::DataflowEmulated {
+            shards: 4,
+            strategy: PartitionStrategy::Contiguous,
+        })
+        .unwrap();
         assert!(sim.backend().capabilities().emulates_accelerator);
         let reports = sim.backend().shard_reports();
         assert_eq!(reports.len(), 4);
@@ -754,7 +805,10 @@ mod tests {
         let initial = cfg.initial_state(&mesh);
         let mut sharded = Simulation::new(mesh, cfg.gas(), initial).unwrap();
         sharded
-            .set_backend(BackendSelect::Sharded { shards: 4 })
+            .set_backend(BackendSelect::Sharded {
+                shards: 4,
+                strategy: PartitionStrategy::Contiguous,
+            })
             .unwrap();
         sharded.advance(3, dt).unwrap();
         assert_eq!(bits(sim.conserved()), bits(sharded.conserved()));
@@ -766,8 +820,11 @@ mod tests {
         let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
         let initial = cfg.initial_state(&mesh);
         let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
-        sim.set_backend(BackendSelect::Sharded { shards: 3 })
-            .unwrap();
+        sim.set_backend(BackendSelect::Sharded {
+            shards: 3,
+            strategy: PartitionStrategy::Partitioned,
+        })
+        .unwrap();
         sim.set_profiling(true);
         let dt = sim.suggest_dt(0.4);
         sim.advance(2, dt).unwrap();
@@ -794,24 +851,62 @@ mod tests {
         let mesh = BoxMeshBuilder::tgv_box(3).build().unwrap();
         let basis = HexBasis::new(1).unwrap();
         let geometry = GeometryCache::build(&mesh, &basis).unwrap();
-        assert!(ShardedBackend::new(&mesh, &geometry, 0).is_err());
-        assert!(DataflowEmulatedBackend::new(&mesh, &geometry, 0).is_err());
+        for strategy in [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::Partitioned,
+        ] {
+            assert!(ShardedBackend::new(&mesh, &geometry, 0, strategy).is_err());
+            assert!(DataflowEmulatedBackend::new(&mesh, &geometry, 0, strategy).is_err());
+        }
+    }
+
+    #[test]
+    fn partitioned_trajectory_is_bitwise_identical_per_registry_scenario() {
+        // The tentpole guarantee, end to end: a graph-partitioned sharded
+        // advance stays bitwise identical to the serial reference on
+        // every registry scenario.
+        for scenario in Scenario::registry() {
+            let mut reference = scenario.simulation(4).unwrap();
+            let dt = reference.suggest_dt(0.3);
+            reference.advance(2, dt).unwrap();
+            for shards in [4usize, 7] {
+                let mut sim = scenario.simulation(4).unwrap();
+                sim.set_backend(BackendSelect::Sharded {
+                    shards,
+                    strategy: PartitionStrategy::Partitioned,
+                })
+                .unwrap();
+                sim.advance(2, dt).unwrap();
+                assert_eq!(
+                    bits(sim.conserved()),
+                    bits(reference.conserved()),
+                    "{} shards={shards} partitioned diverged",
+                    scenario.name()
+                );
+            }
+        }
     }
 
     proptest! {
         /// For every scenario in the registry, the sharded RHS (the full
         /// composed RKU → RKL → mass → boundary pipeline) matches the
         /// serial reference at ≤ 1e-12 relative — and in fact bitwise —
-        /// for randomized shard counts.
+        /// for randomized shard counts under both partition strategies.
         #[test]
         fn prop_sharded_rhs_matches_reference_on_every_scenario(
             shards in 1usize..17,
             edge in 3usize..5,
+            partitioned in proptest::bool::ANY,
         ) {
+            let strategy = if partitioned {
+                PartitionStrategy::Partitioned
+            } else {
+                PartitionStrategy::Contiguous
+            };
             for scenario in Scenario::registry() {
                 let mut reference = scenario.simulation(edge).unwrap();
                 let mut sharded = scenario.simulation(edge).unwrap();
-                sharded.set_backend(BackendSelect::Sharded { shards }).unwrap();
+                sharded.set_backend(BackendSelect::Sharded { shards, strategy }).unwrap();
                 let a = reference.eval_rhs();
                 let b = sharded.eval_rhs();
                 let fa = flat(&a);
@@ -819,7 +914,7 @@ mod tests {
                 for (x, y) in fa.iter().zip(&flat(&b)) {
                     prop_assert!(
                         (x - y).abs() <= 1e-12 * scale,
-                        "{} shards={}: {} vs {}", scenario.name(), shards, x, y
+                        "{} shards={} {}: {} vs {}", scenario.name(), shards, strategy, x, y
                     );
                 }
                 prop_assert_eq!(bits(&a), bits(&b));

@@ -66,7 +66,7 @@ pub use diagnostics::FlowDiagnostics;
 pub use driver::Simulation;
 pub use engine::{
     AssemblyContext, BackendCapabilities, BackendSelect, DataflowEmulatedBackend, ExecutionBackend,
-    ReferenceBackend, ShardCycleReport, ShardedBackend,
+    PartitionStrategy, ReferenceBackend, ShardCycleReport, ShardedBackend,
 };
 pub use gas::GasModel;
 pub use parallel::AssemblyStrategy;
