@@ -12,6 +12,7 @@
 //! repro geometry    cached-vs-recompute + fused-vs-split RHS ladder
 //! repro scenarios   cross-strategy regression matrix over the registry
 //! repro sharding    shard sweep, contiguous vs graph-partitioned, with emulated II quotes
+//! repro ensemble    ensemble serving: throughput sweep, context sharing, registry x backend
 //! repro all         everything above
 //!
 //! options: --json   machine-readable output
@@ -85,6 +86,14 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
             ),
             mode,
         ),
+        "ensemble" => emit(
+            &fem_bench::ensemble::run_ensemble_study(
+                fem_bench::ensemble::ENSEMBLE_EDGE,
+                fem_bench::ensemble::ENSEMBLE_STEPS,
+                &fem_bench::ensemble::ENSEMBLE_MEMBER_COUNTS,
+            ),
+            mode,
+        ),
         "all" => {
             for c in [
                 "fig2",
@@ -98,6 +107,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
                 "geometry",
                 "scenarios",
                 "sharding",
+                "ensemble",
             ] {
                 run(c, mode)?;
             }
@@ -106,7 +116,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|geometry|scenarios|sharding|all> [--json]"
+                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|geometry|scenarios|sharding|ensemble|all> [--json]"
             );
             std::process::exit(2);
         }

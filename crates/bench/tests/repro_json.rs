@@ -2,9 +2,9 @@
 //!
 //! Downstream tooling (plot scripts, CI dashboards) parses this output;
 //! these tests run the actual binary and assert the JSON document shape
-//! for the `fig5`, `assembly`, `geometry`, `scenarios`, `sharding` and
-//! `table1` subcommands, so schema drift is caught at test time rather
-//! than by consumers. The `scenarios` test pins the PR-4 acceptance bar:
+//! for the `fig5`, `assembly`, `geometry`, `scenarios`, `sharding`,
+//! `ensemble` and `table1` subcommands, so schema drift is caught at
+//! test time rather than by consumers. The `scenarios` test pins the PR-4 acceptance bar:
 //! every registered scenario (≥ 4: TGV, cavity, shear layer, pulse) must
 //! pass serial-vs-colored equivalence at ≤ 1e-12 relative plus its
 //! per-scenario invariant checks. The `sharding` test pins the PR-5
@@ -21,7 +21,13 @@
 //! n=12 viscous benchmark (hard-enforced when `REPRO_PERF_GATE` is set —
 //! the CI `repro-artifacts` job gates the release build — and a warning
 //! otherwise, since wall-clock ratios are noisy on loaded runners), with
-//! a bitwise schedule-independent `Colored` strategy.
+//! a bitwise schedule-independent `Colored` strategy. The `ensemble`
+//! test pins the PR-7 acceptance bar: the 8-member same-mesh sweep must
+//! share its [`fem_mesh::SharedMeshContext`] at a measured ≥ 2× memory
+//! savings (in fact exactly 8×), serve every registry scenario under
+//! three backends from two shared contexts with all invariants passing,
+//! and the declarative spec path must reproduce the imperative setter
+//! path bitwise.
 
 use std::process::Command;
 
@@ -36,7 +42,7 @@ fn repro_json(subcommand: &str) -> serde_json::Value {
         String::from_utf8_lossy(&out.stderr)
     );
     let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
-    serde_json::from_str(&stdout)
+    serde_json::from_str::<serde_json::Value>(&stdout)
         .unwrap_or_else(|e| panic!("repro {subcommand} --json is not valid JSON: {e}\n{stdout}"))
 }
 
@@ -407,6 +413,97 @@ fn sharding_json_schema() {
             );
         }
     }
+}
+
+#[test]
+fn ensemble_json_schema() {
+    let doc = repro_json("ensemble");
+
+    assert!(doc["edge"].as_u64().is_some(), "missing `edge`");
+    assert!(doc["steps"].as_u64().is_some(), "missing `steps`");
+    assert!(doc["threads"].as_u64().is_some(), "missing `threads`");
+    let counts: Vec<u64> = doc["member_counts"]
+        .as_array()
+        .expect("`member_counts` is an array")
+        .iter()
+        .map(|c| c.as_u64().expect("member count"))
+        .collect();
+    assert_eq!(counts, vec![1, 2, 4, 8], "member sweep drifted");
+
+    // Throughput sweep: one row per member count, every member passing,
+    // with the same-mesh savings ratio equal to the member count (N
+    // members on one shared context hold its bytes exactly once).
+    let scaling = doc["scaling"].as_array().expect("`scaling` is an array");
+    assert_eq!(scaling.len(), counts.len());
+    for (row, &members) in scaling.iter().zip(&counts) {
+        assert_eq!(row["members"].as_u64(), Some(members));
+        assert!(row["workers"].as_u64().expect("workers") >= 1);
+        assert_eq!(row["contexts"].as_u64(), Some(1), "same-mesh sweep split");
+        assert!(row["wall_s"].as_f64().expect("wall_s") >= 0.0);
+        assert!(
+            row["members_per_sec"].as_f64().expect("members_per_sec") > 0.0,
+            "throughput must be positive"
+        );
+        let shared = row["shared_context_bytes"].as_u64().expect("shared bytes");
+        let unshared = row["unshared_context_bytes"]
+            .as_u64()
+            .expect("unshared bytes");
+        assert!(shared > 0);
+        assert_eq!(unshared, shared * members, "memory accounting drifted");
+        let ratio = row["memory_savings_ratio"].as_f64().expect("ratio");
+        assert!(
+            (ratio - members as f64).abs() < 1e-9,
+            "savings ratio {ratio} != member count {members}"
+        );
+        assert_eq!(row["all_passed"].as_bool(), Some(true), "×{members}");
+    }
+
+    // Acceptance: the 8-member same-mesh sweep shares ≥ 2× memory.
+    assert_eq!(doc["same_mesh_members"].as_u64(), Some(8));
+    let savings = doc["same_mesh_savings_ratio"].as_f64().expect("savings");
+    assert!(savings >= 2.0, "8-member sweep saved only {savings}x");
+
+    // Registry × backend matrix: every scenario under the reference,
+    // sharded, and dataflow-emulated backends, grouped onto exactly two
+    // shared contexts (the periodic box and the walled cavity box).
+    assert_eq!(doc["backend_contexts"].as_u64(), Some(2));
+    let rows = doc["backend_rows"].as_array().expect("`backend_rows`");
+    assert_eq!(rows.len() % 3, 0, "rows come in backend triples");
+    for name in [
+        "taylor-green-vortex",
+        "lid-driven-cavity",
+        "double-shear-layer",
+        "acoustic-pulse",
+    ] {
+        let backends: Vec<&str> = rows
+            .iter()
+            .filter(|r| r["scenario"].as_str() == Some(name))
+            .map(|r| r["backend"].as_str().expect("backend name"))
+            .collect();
+        assert_eq!(backends.len(), 3, "scenario `{name}` not fully served");
+        assert!(backends.contains(&"reference(serial)"), "{backends:?}");
+        assert!(
+            backends.contains(&"sharded(4, partitioned)"),
+            "{backends:?}"
+        );
+        assert!(
+            backends.contains(&"dataflow-emulated(2, contiguous)"),
+            "{backends:?}"
+        );
+    }
+    for r in rows {
+        let name = r["scenario"].as_str().expect("scenario");
+        assert!(r["dt"].as_f64().expect("dt") > 0.0, "{name}");
+        assert!(r["kinetic_energy"].as_f64().expect("KE") > 0.0, "{name}");
+        assert!(r["enstrophy"].as_f64().is_some(), "{name}");
+        assert!(r["wall_ms"].as_f64().expect("wall_ms") >= 0.0, "{name}");
+        assert_eq!(r["invariants_passed"].as_bool(), Some(true), "{name}");
+    }
+
+    // Acceptance: the declarative spec path is a description of the
+    // imperative API, not a second code path — trajectories match
+    // bitwise.
+    assert_eq!(doc["spec_vs_setters_bitwise"].as_bool(), Some(true));
 }
 
 #[test]

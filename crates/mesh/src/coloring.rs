@@ -175,6 +175,14 @@ impl ElementColoring {
         (0..self.num_colors).map(|c| self.class(c))
     }
 
+    /// Approximate resident bytes of the coloring (the per-element color
+    /// map plus the CSR class lists).
+    pub fn memory_bytes(&self) -> usize {
+        self.colors.len() * std::mem::size_of::<u32>()
+            + self.class_offsets.len() * std::mem::size_of::<usize>()
+            + self.class_elems.len() * std::mem::size_of::<u32>()
+    }
+
     /// Class-size statistics (see [`ColoringStats`]).
     pub fn stats(&self) -> ColoringStats {
         let sizes: Vec<usize> = self.classes().map(<[u32]>::len).collect();

@@ -432,6 +432,16 @@ impl HexMesh {
         // rho, mom(x3), E, u(x3), T, p, mu  →  11 doubles
         11 * std::mem::size_of::<f64>()
     }
+
+    /// Approximate resident bytes of the mesh container (coordinates,
+    /// connectivity, boundary tags) — what one more private copy costs
+    /// an ensemble member that does not share the mesh through a
+    /// [`crate::context::SharedMeshContext`].
+    pub fn memory_bytes(&self) -> usize {
+        self.coords.len() * std::mem::size_of::<Vec3>()
+            + self.connectivity.len() * std::mem::size_of::<u32>()
+            + self.boundary_tags.len() * std::mem::size_of::<BoundaryTag>()
+    }
 }
 
 /// Reusable scratch buffers for [`HexMesh::fill_element_geometry`].

@@ -22,6 +22,10 @@
 //!   decomposition (owned/halo node metadata) the shard-parallel
 //!   execution backends run on, with a halo-minimizing graph
 //!   partitioner selectable via [`partition::PartitionStrategy`].
+//! * [`context`] — the immutable [`SharedMeshContext`] handle bundling a
+//!   mesh with its basis, geometry cache, lumped mass, and lazily built
+//!   coloring/shard plans, so ensemble members on one mesh share a
+//!   single copy instead of each rebuilding and holding their own.
 //! * [`io`] — compact binary serialization.
 //!
 //! # Example
@@ -38,6 +42,7 @@
 #![deny(missing_docs)]
 
 pub mod coloring;
+pub mod context;
 pub mod generator;
 pub mod geometry;
 pub mod hex;
@@ -47,6 +52,7 @@ pub mod quality;
 pub mod reorder;
 
 pub use coloring::{ColoringStats, ElementColoring};
+pub use context::SharedMeshContext;
 pub use generator::BoxMeshBuilder;
 pub use geometry::GeometryCache;
 pub use hex::HexMesh;

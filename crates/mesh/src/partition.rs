@@ -566,6 +566,23 @@ impl ShardPlan {
     pub fn total_bytes_out(&self) -> usize {
         self.shards.iter().map(Shard::bytes_out).sum()
     }
+
+    /// Approximate resident bytes of the plan: per-shard element/node id
+    /// lists and batch metadata plus the plan-wide owner/frontier maps.
+    pub fn memory_bytes(&self) -> usize {
+        let per_shard: usize = self
+            .shards
+            .iter()
+            .map(|s| {
+                (s.elements.len() + s.owned_nodes.len() + s.shared_nodes.len())
+                    * std::mem::size_of::<u32>()
+                    + s.batches.len() * std::mem::size_of::<ElementBatch>()
+            })
+            .sum();
+        per_shard
+            + self.owner.len() * std::mem::size_of::<u32>()
+            + self.frontier.len() * std::mem::size_of::<bool>()
+    }
 }
 
 /// Balanced contiguous ascending element ranges: the first `rem` parts

@@ -1,6 +1,10 @@
 //! The time-stepping driver: RK4 over the FEM semi-discretization.
 //!
-//! [`Simulation`] owns the mesh, state, and workspaces and advances the
+//! [`Simulation`] — constructed through the [`SimulationBuilder`], the
+//! one configuration path — holds the state and workspaces, shares the
+//! immutable mesh-derived data through an
+//! `Arc<`[`SharedMeshContext`]`>` (so ensemble members on one mesh hold
+//! a single geometry cache / coloring / shard-plan set), and advances the
 //! compressible Navier-Stokes system in time. Its right-hand side is the
 //! paper's **RKL** kernel (the fused diffusion ⊕ convection residual over
 //! the precomputed [`GeometryCache`]) preceded by the **RKU** primitive
@@ -19,17 +23,17 @@
 use crate::boundary::DirichletBc;
 use crate::diagnostics::FlowDiagnostics;
 use crate::engine::{
-    build_backend, AssemblyContext, BackendSelect, ExecutionBackend, ReferenceBackend,
-    ShardCycleReport,
+    AssemblyContext, BackendSelect, DataflowEmulatedBackend, ExecutionBackend, ReferenceBackend,
+    ShardCycleReport, ShardedBackend,
 };
 use crate::gas::GasModel;
 use crate::parallel::AssemblyStrategy;
 use crate::profile::{Phase, PhaseProfiler};
 use crate::state::{Conserved, Primitives};
 use crate::SolverError;
-use fem_mesh::coloring::{ColoringStats, ElementColoring};
+use fem_mesh::coloring::ColoringStats;
 use fem_mesh::geometry::GeometryCache;
-use fem_mesh::HexMesh;
+use fem_mesh::{HexMesh, SharedMeshContext};
 use fem_numerics::rk::{ButcherTableau, ExplicitRk, OdeSystem};
 use fem_numerics::tensor::HexBasis;
 use rayon::prelude::*;
@@ -37,21 +41,19 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Everything the RHS evaluation needs besides the conserved state.
+///
+/// All mesh-derived immutable data (mesh, basis, geometry cache, lumped
+/// mass, coloring, shard plans) lives behind one
+/// [`SharedMeshContext`] handle, so many simulations — e.g. the members
+/// of an ensemble sweep — can share a single copy.
 #[derive(Debug)]
 pub struct SolverCore {
-    mesh: HexMesh,
-    basis: HexBasis,
+    ctx: Arc<SharedMeshContext>,
     gas: GasModel,
     primitives: Primitives,
-    geometry: GeometryCache,
-    lumped_mass: Vec<f64>,
-    min_spacing: f64,
     bc: Option<DirichletBc>,
     profiler: PhaseProfiler,
     profiling: bool,
-    /// The greedy element coloring, built on first `Colored` selection
-    /// and shared with reference backends so strategy switches are free.
-    coloring: Option<Arc<ElementColoring>>,
     /// The active execution backend the RK stages assemble through.
     backend: Box<dyn ExecutionBackend>,
 }
@@ -59,12 +61,12 @@ pub struct SolverCore {
 impl SolverCore {
     /// The mesh being solved on.
     pub fn mesh(&self) -> &HexMesh {
-        &self.mesh
+        self.ctx.mesh()
     }
 
     /// The element basis.
     pub fn basis(&self) -> &HexBasis {
-        &self.basis
+        self.ctx.basis()
     }
 
     /// The gas model.
@@ -79,18 +81,25 @@ impl SolverCore {
 
     /// The assembled lumped mass vector.
     pub fn lumped_mass(&self) -> &[f64] {
-        &self.lumped_mass
+        self.ctx.lumped_mass()
     }
 
     /// The precomputed per-element geometry cache the RHS hot path
-    /// streams from (built once at [`Simulation::new`]).
+    /// streams from (built once per [`SharedMeshContext`]).
     pub fn geometry(&self) -> &GeometryCache {
-        &self.geometry
+        self.ctx.geometry()
     }
 
     /// Smallest node spacing (CFL length scale).
     pub fn min_spacing(&self) -> f64 {
-        self.min_spacing
+        self.ctx.min_spacing()
+    }
+
+    /// The shared mesh context this simulation solves on. Pass the clone
+    /// to [`Simulation::builder_shared`] to construct further
+    /// simulations that share it.
+    pub fn shared_context(&self) -> &Arc<SharedMeshContext> {
+        &self.ctx
     }
 
     /// The active host assembly strategy, reported by the backend itself
@@ -124,10 +133,10 @@ impl OdeSystem for SolverCore {
 
         // ---- RKL: element assembly through the active backend. ----
         let ctx = AssemblyContext {
-            mesh: &self.mesh,
-            basis: &self.basis,
+            mesh: self.ctx.mesh(),
+            basis: self.ctx.basis(),
             gas: &self.gas,
-            geometry: &self.geometry,
+            geometry: self.ctx.geometry(),
         };
         self.backend.assemble_rhs(
             &ctx,
@@ -143,7 +152,7 @@ impl OdeSystem for SolverCore {
 
         // ---- Lumped-mass solve + boundary conditions: RK(Other). ----
         let t0 = Instant::now();
-        let inv = &self.lumped_mass;
+        let inv = self.ctx.lumped_mass();
         if !self.backend.capabilities().parallel {
             let apply = |dst: &mut [f64]| {
                 for (v, &m) in dst.iter_mut().zip(inv) {
@@ -214,97 +223,199 @@ pub struct Simulation {
     steps_taken: usize,
 }
 
-impl Simulation {
-    /// Builds a simulation from a mesh, gas model and initial conserved
-    /// state.
+/// What a [`SimulationBuilder`] constructs its [`SharedMeshContext`]
+/// from: a freshly owned mesh, or an existing shared handle.
+#[derive(Debug)]
+enum MeshSource {
+    Mesh(HexMesh),
+    Shared(Arc<SharedMeshContext>),
+}
+
+/// The one construction path for [`Simulation`]s.
+///
+/// Collects every configuration choice — boundary condition, execution
+/// backend, profiling — and applies them in a fixed order at
+/// [`SimulationBuilder::build`], so a spec-driven ensemble member and a
+/// hand-configured simulation with the same choices are *bitwise*
+/// identical. Obtain one from [`Simulation::builder`] (owns its mesh) or
+/// [`Simulation::builder_shared`] (shares an existing
+/// [`SharedMeshContext`] with other simulations).
+///
+/// # Example
+///
+/// ```
+/// use fem_mesh::generator::BoxMeshBuilder;
+/// use fem_solver::{driver::Simulation, tgv::TgvConfig, AssemblyStrategy};
+///
+/// # fn main() -> Result<(), fem_solver::SolverError> {
+/// let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+/// let cfg = TgvConfig::standard();
+/// let initial = cfg.initial_state(&mesh);
+/// let mut sim = Simulation::builder(mesh, cfg.gas(), initial)
+///     .assembly(AssemblyStrategy::Colored)
+///     .profiling(true)
+///     .build()?;
+/// let dt = sim.suggest_dt(0.4);
+/// sim.advance(2, dt)?;
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SimulationBuilder {
+    source: MeshSource,
+    gas: GasModel,
+    initial: Conserved,
+    bc: Option<DirichletBc>,
+    backend: Option<BackendSelect>,
+    profiling: bool,
+}
+
+impl SimulationBuilder {
+    fn from_source(source: MeshSource, gas: GasModel, initial: Conserved) -> SimulationBuilder {
+        SimulationBuilder {
+            source,
+            gas,
+            initial,
+            bc: None,
+            backend: None,
+            profiling: false,
+        }
+    }
+
+    /// Attaches a Dirichlet boundary condition (applied to the initial
+    /// state at build time and enforced after every RK step).
+    pub fn bc(mut self, bc: DirichletBc) -> Self {
+        self.bc = Some(bc);
+        self
+    }
+
+    /// Selects the execution backend (default:
+    /// [`BackendSelect::Reference`] with [`AssemblyStrategy::Serial`]).
+    pub fn backend(mut self, select: BackendSelect) -> Self {
+        self.backend = Some(select);
+        self
+    }
+
+    /// Selects a host reference assembly strategy — sugar for
+    /// [`SimulationBuilder::backend`] with [`BackendSelect::Reference`].
+    pub fn assembly(mut self, strategy: AssemblyStrategy) -> Self {
+        self.backend = Some(BackendSelect::Reference(strategy));
+        self
+    }
+
+    /// Enables phase profiling from the first step (default: off).
+    pub fn profiling(mut self, on: bool) -> Self {
+        self.profiling = on;
+        self
+    }
+
+    /// Validates the configuration and constructs the simulation.
     ///
-    /// Precomputes the [`GeometryCache`] (validating every element's
-    /// Jacobians exactly once — the hot path never rebuilds them), then
-    /// assembles the lumped mass matrix (the paper's diagonal `K`) and
-    /// the CFL length scale from it. The cache build time is charged to
-    /// the `Non-RK` phase as setup amortization.
+    /// A fresh mesh gets its [`SharedMeshContext`] built here (Jacobians
+    /// validated once, lumped mass assembled, CFL length scale derived),
+    /// with the build time charged to the `Non-RK` phase; a shared
+    /// context is reused as-is with no `Non-RK` charge — the sharing is
+    /// what an ensemble amortizes.
     ///
     /// # Errors
     ///
-    /// * [`SolverError::NodeCountMismatch`] if the state does not match the
-    ///   mesh.
+    /// * [`SolverError::NodeCountMismatch`] if the state does not match
+    ///   the mesh.
     /// * [`SolverError::UnphysicalState`] if the initial state has
     ///   non-positive density or internal energy.
-    /// * [`SolverError::Mesh`] for inverted elements or a bad basis order.
-    pub fn new(mesh: HexMesh, gas: GasModel, initial: Conserved) -> Result<Self, SolverError> {
-        if initial.len() != mesh.num_nodes() {
+    /// * [`SolverError::Mesh`] for inverted elements, a bad basis order,
+    ///   or an invalid backend selection (zero shards).
+    pub fn build(self) -> Result<Simulation, SolverError> {
+        let mesh_nodes = match &self.source {
+            MeshSource::Mesh(m) => m.num_nodes(),
+            MeshSource::Shared(c) => c.mesh().num_nodes(),
+        };
+        if self.initial.len() != mesh_nodes {
             return Err(SolverError::NodeCountMismatch {
-                state_nodes: initial.len(),
-                mesh_nodes: mesh.num_nodes(),
+                state_nodes: self.initial.len(),
+                mesh_nodes,
             });
         }
-        if !initial.is_physical() {
+        if !self.initial.is_physical() {
             return Err(SolverError::UnphysicalState { step: 0 });
         }
-        let basis = HexBasis::new(mesh.order()).map_err(fem_mesh::MeshError::from)?;
-        let npe = mesh.nodes_per_element();
-        let t_build = Instant::now();
-        let geometry = GeometryCache::build(&mesh, &basis)?;
         let mut profiler = PhaseProfiler::new();
-        profiler.add(Phase::NonRk, t_build.elapsed());
-        let mut lumped_mass = vec![0.0; mesh.num_nodes()];
-        let mut min_spacing = f64::INFINITY;
-        let n = basis.nodes_per_dim();
-        let mut coords = vec![fem_numerics::linalg::Vec3::ZERO; npe];
-        for e in 0..mesh.num_elements() {
-            let det_w = geometry.det_w(e);
-            for (q, &node) in mesh.element_nodes(e).iter().enumerate() {
-                lumped_mass[node as usize] += det_w[q];
+        let ctx = match self.source {
+            MeshSource::Mesh(mesh) => {
+                let t_build = Instant::now();
+                let ctx = SharedMeshContext::build(mesh)?;
+                profiler.add(Phase::NonRk, t_build.elapsed());
+                ctx
             }
-            mesh.element_coords(e, &mut coords);
-            // Node spacing along the i/j/k lines.
-            for k in 0..n {
-                for j in 0..n {
-                    for i in 0..n {
-                        let q = i + n * (j + n * k);
-                        if i + 1 < n {
-                            let d = (coords[q + 1] - coords[q]).norm();
-                            min_spacing = min_spacing.min(d);
-                        }
-                        if j + 1 < n {
-                            let d = (coords[q + n] - coords[q]).norm();
-                            min_spacing = min_spacing.min(d);
-                        }
-                        if k + 1 < n {
-                            let d = (coords[q + n * n] - coords[q]).norm();
-                            min_spacing = min_spacing.min(d);
-                        }
-                    }
-                }
-            }
-        }
-        let mut primitives = Primitives::zeros(mesh.num_nodes());
-        primitives.update_from(&initial, &gas);
-        let rk = ExplicitRk::new(ButcherTableau::rk4(), &initial);
-        let backend = Box::new(ReferenceBackend::new(AssemblyStrategy::Serial, &mesh));
-        Ok(Simulation {
+            MeshSource::Shared(ctx) => ctx,
+        };
+        let mut primitives = Primitives::zeros(mesh_nodes);
+        primitives.update_from(&self.initial, &self.gas);
+        let rk = ExplicitRk::new(ButcherTableau::rk4(), &self.initial);
+        let backend = Box::new(ReferenceBackend::with_coloring(
+            AssemblyStrategy::Serial,
+            ctx.coloring_if_built(),
+        ));
+        let mut sim = Simulation {
             core: SolverCore {
-                mesh,
-                basis,
-                gas,
+                ctx,
+                gas: self.gas,
                 primitives,
-                geometry,
-                lumped_mass,
-                min_spacing,
                 bc: None,
                 profiler,
-                profiling: false,
-                coloring: None,
+                profiling: self.profiling,
                 backend,
             },
-            conserved: initial,
+            conserved: self.initial,
             rk,
             time: 0.0,
             steps_taken: 0,
-        })
+        };
+        if let Some(select) = self.backend {
+            sim.set_backend(select)?;
+        }
+        if let Some(bc) = self.bc {
+            sim = sim.with_bc(bc);
+        }
+        Ok(sim)
+    }
+}
+
+impl Simulation {
+    /// Starts a [`SimulationBuilder`] that owns `mesh` (its
+    /// [`SharedMeshContext`] is built at
+    /// [`SimulationBuilder::build`]).
+    pub fn builder(mesh: HexMesh, gas: GasModel, initial: Conserved) -> SimulationBuilder {
+        SimulationBuilder::from_source(MeshSource::Mesh(mesh), gas, initial)
     }
 
-    /// Attaches a Dirichlet boundary condition (builder style).
+    /// Starts a [`SimulationBuilder`] on an existing shared mesh context
+    /// — how ensemble members on one mesh share a single geometry
+    /// cache, lumped mass, coloring, and shard-plan set.
+    pub fn builder_shared(
+        ctx: Arc<SharedMeshContext>,
+        gas: GasModel,
+        initial: Conserved,
+    ) -> SimulationBuilder {
+        SimulationBuilder::from_source(MeshSource::Shared(ctx), gas, initial)
+    }
+
+    /// Builds a simulation from a mesh, gas model and initial conserved
+    /// state with the default configuration — shorthand for
+    /// [`Simulation::builder`] followed by
+    /// [`SimulationBuilder::build`], which see for the errors.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimulationBuilder::build`].
+    pub fn new(mesh: HexMesh, gas: GasModel, initial: Conserved) -> Result<Self, SolverError> {
+        Simulation::builder(mesh, gas, initial).build()
+    }
+
+    /// Attaches a Dirichlet boundary condition.
+    ///
+    /// Prefer [`SimulationBuilder::bc`]; this remains for incremental
+    /// reconfiguration of an existing simulation.
     pub fn with_bc(mut self, bc: DirichletBc) -> Self {
         bc.apply_state(&mut self.conserved);
         self.core.bc = Some(bc);
@@ -331,6 +442,9 @@ impl Simulation {
 
     /// Enables or disables phase profiling (disabled by default; timer
     /// reads add a few percent overhead to the element loop).
+    ///
+    /// Prefer [`SimulationBuilder::profiling`] at construction; this
+    /// remains for toggling profiling around a measured window.
     pub fn set_profiling(&mut self, on: bool) {
         self.core.profiling = on;
     }
@@ -339,22 +453,24 @@ impl Simulation {
     /// path (default: [`AssemblyStrategy::Serial`]) — sugar for
     /// [`Simulation::set_backend`] with [`BackendSelect::Reference`].
     ///
+    /// Prefer [`SimulationBuilder::assembly`] at construction; this
+    /// remains for switching strategies mid-run.
+    ///
     /// The first [`AssemblyStrategy::Colored`] selection builds the
-    /// greedy element coloring and caches it, so subsequent switches
-    /// between strategies are free. See the [`crate::parallel`] module
-    /// docs for the determinism guarantees of each strategy.
+    /// greedy element coloring in the [`SharedMeshContext`] — shared by
+    /// every simulation on the context, so subsequent switches (and
+    /// sibling ensemble members) get it free. See the
+    /// [`crate::parallel`] module docs for the determinism guarantees of
+    /// each strategy.
     pub fn set_assembly_strategy(&mut self, strategy: AssemblyStrategy) {
-        if matches!(strategy, AssemblyStrategy::Colored) {
-            self.core
-                .coloring
-                .get_or_insert_with(|| Arc::new(ElementColoring::greedy(&self.core.mesh)));
-        }
-        // The cached coloring rides along whatever the strategy, so
+        // The context's coloring rides along whatever the strategy, so
         // `coloring_stats()` keeps reporting once it has been built.
-        self.core.backend = Box::new(ReferenceBackend::with_coloring(
-            strategy,
-            self.core.coloring.clone(),
-        ));
+        let coloring = if matches!(strategy, AssemblyStrategy::Colored) {
+            Some(self.core.ctx.coloring())
+        } else {
+            self.core.ctx.coloring_if_built()
+        };
+        self.core.backend = Box::new(ReferenceBackend::with_coloring(strategy, coloring));
     }
 
     /// The active host assembly strategy, reported by the backend itself
@@ -368,16 +484,35 @@ impl Simulation {
     /// owned-node scatter, or the sharded path with per-shard accelerator
     /// cycle emulation.
     ///
+    /// Prefer [`SimulationBuilder::backend`] at construction; this
+    /// remains for switching backends mid-run.
+    ///
+    /// Shard plans are built through (and memoized in) the
+    /// [`SharedMeshContext`], so repeated selections — and sibling
+    /// ensemble members choosing the same decomposition — reuse one
+    /// plan.
+    ///
     /// # Errors
     ///
     /// Propagates shard-plan construction failures (e.g. a zero shard
     /// count).
     pub fn set_backend(&mut self, select: BackendSelect) -> Result<(), SolverError> {
-        if let BackendSelect::Reference(strategy) = select {
-            self.set_assembly_strategy(strategy);
-            return Ok(());
+        match select {
+            BackendSelect::Reference(strategy) => self.set_assembly_strategy(strategy),
+            BackendSelect::Sharded { shards, strategy } => {
+                let plan = self.core.ctx.shard_plan(shards, strategy)?;
+                self.core.backend =
+                    Box::new(ShardedBackend::with_plan(plan, self.core.ctx.geometry()));
+            }
+            BackendSelect::DataflowEmulated { shards, strategy } => {
+                let plan = self.core.ctx.shard_plan(shards, strategy)?;
+                self.core.backend = Box::new(DataflowEmulatedBackend::with_plan(
+                    plan,
+                    self.core.ctx.mesh(),
+                    self.core.ctx.geometry(),
+                )?);
+            }
         }
-        self.core.backend = build_backend(select, &self.core.mesh, &self.core.geometry)?;
         Ok(())
     }
 
@@ -453,7 +588,7 @@ impl Simulation {
         let max_c = (0..self.core.primitives.len())
             .map(|n| self.core.gas.sound_speed(self.core.primitives.temp[n]))
             .fold(0.0, f64::max);
-        cfl * self.core.min_spacing / (max_u + max_c)
+        cfl * self.core.min_spacing() / (max_u + max_c)
     }
 
     /// Advances one RK4 step of size `dt`.
@@ -499,13 +634,13 @@ impl Simulation {
             .update_from(&self.conserved, &self.core.gas);
         let d = FlowDiagnostics::compute(
             self.time,
-            &self.core.mesh,
-            &self.core.basis,
+            self.core.ctx.mesh(),
+            self.core.ctx.basis(),
             &self.core.gas,
-            &self.core.geometry,
+            self.core.ctx.geometry(),
             &self.conserved,
             &self.core.primitives,
-            &self.core.lumped_mass,
+            self.core.ctx.lumped_mass(),
         );
         if self.core.profiling {
             self.core.profiler.add(Phase::NonRk, t0.elapsed());

@@ -317,7 +317,7 @@ struct HaloContribution {
 /// the bitwise-stability argument).
 #[derive(Debug)]
 pub struct ShardedBackend {
-    plan: ShardPlan,
+    plan: Arc<ShardPlan>,
     /// Per-owner halo buckets, kept across evaluations so the steady
     /// state reduction allocates nothing.
     per_owner: Vec<Vec<HaloContribution>>,
@@ -364,13 +364,34 @@ impl ShardedBackend {
             mesh.num_elements(),
             "geometry cache does not cover the mesh"
         );
-        let plan = ShardPlan::with_strategy(mesh, shards, usize::MAX, strategy)?;
+        let plan = Arc::new(ShardPlan::with_strategy(
+            mesh,
+            shards,
+            usize::MAX,
+            strategy,
+        )?);
+        Ok(ShardedBackend::with_plan(plan, geometry))
+    }
+
+    /// Wraps an already-built (possibly shared) shard plan — how ensemble
+    /// members on one [`fem_mesh::SharedMeshContext`] reuse a single plan
+    /// instead of each re-partitioning the mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geometry` does not cover the plan's mesh.
+    pub fn with_plan(plan: Arc<ShardPlan>, geometry: &GeometryCache) -> ShardedBackend {
+        assert_eq!(
+            geometry.num_elements(),
+            plan.num_elements(),
+            "geometry cache does not cover the shard plan's mesh"
+        );
         let per_owner = vec![Vec::new(); plan.num_shards()];
-        Ok(ShardedBackend {
+        ShardedBackend {
             plan,
             per_owner,
             geometry_fingerprint: geometry_fingerprint(geometry),
-        })
+        }
     }
 
     /// The underlying shard plan.
@@ -398,7 +419,7 @@ impl ExecutionBackend for ShardedBackend {
     }
 
     fn shard_plan(&self) -> Option<&ShardPlan> {
-        Some(&self.plan)
+        Some(self.plan.as_ref())
     }
 
     fn assemble_rhs(
@@ -568,7 +589,33 @@ impl DataflowEmulatedBackend {
         shards: usize,
         strategy: PartitionStrategy,
     ) -> Result<DataflowEmulatedBackend, SolverError> {
-        let inner = ShardedBackend::new(mesh, geometry, shards, strategy)?;
+        let plan = Arc::new(ShardPlan::with_strategy(
+            mesh,
+            shards,
+            usize::MAX,
+            strategy,
+        )?);
+        DataflowEmulatedBackend::with_plan(plan, mesh, geometry)
+    }
+
+    /// Wraps an already-built (possibly shared) shard plan and runs the
+    /// per-shard emulation — the shared-plan counterpart of
+    /// [`DataflowEmulatedBackend::new`], used by ensemble members on one
+    /// [`fem_mesh::SharedMeshContext`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Mesh`] if a shard network fails to simulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geometry` does not cover the plan's mesh.
+    pub fn with_plan(
+        plan: Arc<ShardPlan>,
+        mesh: &HexMesh,
+        geometry: &GeometryCache,
+    ) -> Result<DataflowEmulatedBackend, SolverError> {
+        let inner = ShardedBackend::with_plan(plan, geometry);
         let npe = mesh.nodes_per_element() as u64;
         // Every shard of a plan is non-empty (the plan clamps the shard
         // count), so emulating all of them keeps `reports` index-aligned

@@ -23,6 +23,13 @@
 //! * [`tgv`] — the Taylor-Green Vortex workload of the evaluation.
 //! * [`scenarios`] — the workload registry (TGV, lid-driven cavity,
 //!   double shear layer, acoustic pulse) with per-scenario invariants.
+//! * [`spec`] — declarative [`SimulationSpec`]/[`SweepSpec`] descriptions
+//!   (serde round-trippable, unknown fields rejected) that expand into
+//!   ensemble members.
+//! * [`ensemble`] — the [`EnsembleDriver`] serving engine: N members
+//!   through one worker pool, same-mesh members sharing one
+//!   [`fem_mesh::SharedMeshContext`], results streamed into an
+//!   [`EnsembleReport`].
 //! * [`boundary`] — Dirichlet conditions for wall-bounded examples.
 //! * [`diagnostics`] — conservation checks, kinetic energy, enstrophy.
 //! * [`profile`] — the Fig 2 execution-time breakdown instrumentation.
@@ -54,24 +61,28 @@ pub mod convergence;
 pub mod diagnostics;
 pub mod driver;
 pub mod engine;
+pub mod ensemble;
 pub mod gas;
 pub mod kernels;
 pub mod parallel;
 pub mod profile;
 pub mod scenarios;
+pub mod spec;
 pub mod state;
 pub mod tgv;
 
 pub use diagnostics::FlowDiagnostics;
-pub use driver::Simulation;
+pub use driver::{Simulation, SimulationBuilder, SolverCore};
 pub use engine::{
     AssemblyContext, BackendCapabilities, BackendSelect, DataflowEmulatedBackend, ExecutionBackend,
     PartitionStrategy, ReferenceBackend, ShardCycleReport, ShardedBackend,
 };
+pub use ensemble::{EnsembleDriver, EnsembleReport, MemberResult};
 pub use gas::GasModel;
 pub use parallel::AssemblyStrategy;
 pub use profile::{Phase, PhaseProfiler};
 pub use scenarios::{InvariantCheck, InvariantReport, Scenario, ScenarioKind};
+pub use spec::{BackendSpec, SimulationSpec, SweepSpec};
 pub use state::{Conserved, Primitives};
 pub use tgv::TgvConfig;
 
@@ -93,6 +104,10 @@ pub enum SolverError {
     },
     /// A mesh-layer failure (inverted element, bad order, ...).
     Mesh(fem_mesh::MeshError),
+    /// A declarative simulation/sweep spec could not be realized
+    /// (unknown scenario or backend kind, unsupported parameter
+    /// override, empty sweep, ...).
+    InvalidSpec(String),
 }
 
 impl std::fmt::Display for SolverError {
@@ -107,6 +122,7 @@ impl std::fmt::Display for SolverError {
                 "unphysical state (negative density or internal energy) at step {step}"
             ),
             SolverError::Mesh(e) => write!(f, "mesh error: {e}"),
+            SolverError::InvalidSpec(msg) => write!(f, "invalid spec: {msg}"),
         }
     }
 }

@@ -465,6 +465,12 @@ impl Scenario {
         ]
     }
 
+    /// Looks up a registry entry by its stable name (`None` for names
+    /// not in [`Scenario::registry`]).
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::registry().into_iter().find(|s| s.name() == name)
+    }
+
     /// Stable scenario identifier.
     pub fn name(&self) -> &'static str {
         self.name
@@ -483,6 +489,85 @@ impl Scenario {
     /// Whether the scenario pins boundary nodes with a [`DirichletBc`].
     pub fn is_wall_bounded(&self) -> bool {
         matches!(self.kind, ScenarioKind::LidCavity(_))
+    }
+
+    /// Whether a Reynolds-number override is meaningful for this
+    /// scenario (`false` for the inviscid acoustic pulse, which has no
+    /// viscosity to set — sweeps collapse its Reynolds axis).
+    pub fn supports_reynolds(&self) -> bool {
+        !matches!(self.kind, ScenarioKind::AcousticPulse(_))
+    }
+
+    /// Returns a copy with declarative parameter overrides applied — the
+    /// hook [`crate::spec::SimulationSpec`] varies ensemble members
+    /// through.
+    ///
+    /// `reynolds` replaces the scenario's Reynolds number: directly for
+    /// the TGV and shear layer, via `μ = ρ0·U·L/Re` (unit box, `L = 1`)
+    /// for the cavity. `amplitude` scales the initial-condition
+    /// strength: the TGV reference velocity, the cavity lid speed, the
+    /// shear-layer perturbation `ε`, the pulse amplitude. The lid-speed
+    /// scale is applied *before* a cavity Reynolds override, so the
+    /// requested Reynolds number is exact for the scaled lid.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::SolverError::InvalidSpec`] for non-positive overrides,
+    /// or a Reynolds override on a scenario where
+    /// [`Scenario::supports_reynolds`] is `false`.
+    pub fn with_overrides(
+        &self,
+        reynolds: Option<f64>,
+        amplitude: Option<f64>,
+    ) -> Result<Scenario, SolverError> {
+        for (what, v) in [("reynolds", reynolds), ("amplitude", amplitude)] {
+            if let Some(v) = v {
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err(SolverError::InvalidSpec(format!(
+                        "{what} override must be positive and finite, got {v}"
+                    )));
+                }
+            }
+        }
+        if reynolds.is_some() && !self.supports_reynolds() {
+            return Err(SolverError::InvalidSpec(format!(
+                "scenario `{}` is inviscid: a reynolds override is meaningless",
+                self.name
+            )));
+        }
+        let mut out = self.clone();
+        match &mut out.kind {
+            ScenarioKind::TaylorGreen(c) => {
+                if let Some(a) = amplitude {
+                    c.v0 *= a;
+                }
+                if let Some(re) = reynolds {
+                    c.reynolds = re;
+                }
+            }
+            ScenarioKind::LidCavity(c) => {
+                if let Some(a) = amplitude {
+                    c.lid_speed *= a;
+                }
+                if let Some(re) = reynolds {
+                    c.mu = c.rho0 * c.lid_speed / re;
+                }
+            }
+            ScenarioKind::DoubleShearLayer(c) => {
+                if let Some(a) = amplitude {
+                    c.eps *= a;
+                }
+                if let Some(re) = reynolds {
+                    c.reynolds = re;
+                }
+            }
+            ScenarioKind::AcousticPulse(c) => {
+                if let Some(a) = amplitude {
+                    c.amplitude *= a;
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// CFL number the scenario is stable and accurate at.
@@ -553,11 +638,12 @@ impl Scenario {
     pub fn simulation(&self, edge: usize) -> Result<Simulation, SolverError> {
         let mesh = self.mesh(edge)?;
         let initial = self.initial_state(&mesh);
-        let mut sim = Simulation::new(mesh, self.gas(), initial)?;
-        if let Some(bc) = self.boundary(sim.core().mesh()) {
-            sim = sim.with_bc(bc);
+        let bc = self.boundary(&mesh);
+        let mut builder = Simulation::builder(mesh, self.gas(), initial);
+        if let Some(bc) = bc {
+            builder = builder.bc(bc);
         }
-        Ok(sim)
+        builder.build()
     }
 
     /// Velocity scale used to normalize momentum-drift checks.

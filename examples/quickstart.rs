@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. Run the reference solver for a few steps.
-    let mut sim = Simulation::new(mesh.clone(), cfg.gas(), initial.clone())?;
+    let mut sim = Simulation::builder(mesh.clone(), cfg.gas(), initial.clone()).build()?;
     let dt = sim.suggest_dt(0.4);
     let d0 = sim.diagnostics();
     sim.advance(20, dt)?;

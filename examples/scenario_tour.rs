@@ -2,14 +2,16 @@
 //! lid-driven cavity, double shear layer, acoustic pulse) for a short
 //! burst under the colored assembly strategy and prints each scenario's
 //! invariant report — the quickest way to see the solver handle more
-//! than one flow.
+//! than one flow. Each member is described declaratively as a
+//! `SimulationSpec` (the same JSON-round-trippable value the ensemble
+//! engine serves) and built from it.
 //!
 //! ```sh
 //! cargo run --release --example scenario_tour [edge] [steps]
 //! ```
 
 use fem_cfd_accel::solver::scenarios::Scenario;
-use fem_cfd_accel::solver::AssemblyStrategy;
+use fem_cfd_accel::solver::{BackendSpec, SimulationSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
@@ -17,8 +19,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let steps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(20);
 
     for scenario in Scenario::registry() {
-        let mut sim = scenario.simulation(edge)?;
-        sim.set_assembly_strategy(AssemblyStrategy::Colored);
+        let spec = SimulationSpec {
+            scenario: scenario.name().to_string(),
+            edge,
+            steps,
+            reynolds: None,
+            amplitude: None,
+            cfl: None,
+            backend: BackendSpec {
+                kind: "reference".to_string(),
+                strategy: Some("colored".to_string()),
+                shards: None,
+            },
+        };
+        let mut sim = spec.build()?;
         let dt = sim.suggest_dt(scenario.default_cfl());
         let start = sim.diagnostics();
         sim.advance(steps, dt)?;

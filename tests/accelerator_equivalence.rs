@@ -75,7 +75,9 @@ fn accelerated_trajectory_tracks_reference_for_many_steps() {
     let gas = cfg.gas();
     let initial = cfg.initial_state(&mesh);
 
-    let mut reference = Simulation::new(mesh.clone(), gas, initial.clone()).unwrap();
+    let mut reference = Simulation::builder(mesh.clone(), gas, initial.clone())
+        .build()
+        .unwrap();
     let dt = reference.suggest_dt(0.35);
     reference.advance(15, dt).unwrap();
 

@@ -10,7 +10,9 @@ fn tgv_runs_conserves_and_decays() {
     let mesh = BoxMeshBuilder::tgv_box(10).build().unwrap();
     let cfg = TgvConfig::new(0.1, 200.0);
     let initial = cfg.initial_state(&mesh);
-    let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+    let mut sim = Simulation::builder(mesh, cfg.gas(), initial)
+        .build()
+        .unwrap();
     let dt = sim.suggest_dt(0.4);
     let d0 = sim.diagnostics();
     sim.advance(40, dt).unwrap();
@@ -33,7 +35,9 @@ fn tgv_second_order_elements_run() {
     assert_eq!(mesh.nodes_per_element(), 27);
     let cfg = TgvConfig::new(0.1, 100.0);
     let initial = cfg.initial_state(&mesh);
-    let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+    let mut sim = Simulation::builder(mesh, cfg.gas(), initial)
+        .build()
+        .unwrap();
     let dt = sim.suggest_dt(0.3);
     let d0 = sim.diagnostics();
     sim.advance(10, dt).unwrap();
@@ -50,7 +54,9 @@ fn kinetic_energy_decay_rate_scales_with_viscosity() {
         let mesh = BoxMeshBuilder::tgv_box(8).build().unwrap();
         let cfg = TgvConfig::new(0.1, re);
         let initial = cfg.initial_state(&mesh);
-        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        let mut sim = Simulation::builder(mesh, cfg.gas(), initial)
+            .build()
+            .unwrap();
         let dt = 1.0e-3;
         let ke0 = sim.diagnostics().kinetic_energy;
         sim.advance(200, dt).unwrap();
@@ -71,7 +77,9 @@ fn timestep_above_cfl_limit_blows_up_and_is_caught() {
     let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
     let cfg = TgvConfig::standard();
     let initial = cfg.initial_state(&mesh);
-    let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+    let mut sim = Simulation::builder(mesh, cfg.gas(), initial)
+        .build()
+        .unwrap();
     let dt = sim.suggest_dt(40.0);
     assert!(sim.advance(200, dt).is_err());
 }

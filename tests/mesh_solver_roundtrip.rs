@@ -24,7 +24,7 @@ fn solution_is_identical_on_io_roundtripped_mesh() {
     let cfg = TgvConfig::standard();
     let run = |m: fem_cfd_accel::mesh::HexMesh| {
         let initial = cfg.initial_state(&m);
-        let mut sim = Simulation::new(m, cfg.gas(), initial).unwrap();
+        let mut sim = Simulation::builder(m, cfg.gas(), initial).build().unwrap();
         let dt = 5.0e-3;
         sim.advance(8, dt).unwrap();
         bits(sim.conserved())
@@ -42,13 +42,17 @@ fn solution_is_equivariant_under_rcm_renumbering() {
 
     // Original run.
     let initial = cfg.initial_state(&mesh);
-    let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+    let mut sim = Simulation::builder(mesh, cfg.gas(), initial)
+        .build()
+        .unwrap();
     sim.advance(6, dt).unwrap();
     let original = sim.conserved().clone();
 
     // Renumbered run (ICs generated on the renumbered coordinates).
     let initial_r = cfg.initial_state(&renumbered);
-    let mut sim_r = Simulation::new(renumbered, cfg.gas(), initial_r).unwrap();
+    let mut sim_r = Simulation::builder(renumbered, cfg.gas(), initial_r)
+        .build()
+        .unwrap();
     sim_r.advance(6, dt).unwrap();
     let renumbered_result = sim_r.conserved();
 

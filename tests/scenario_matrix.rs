@@ -20,7 +20,7 @@
 use fem_bench::scenarios::{run_scenario_matrix, STRATEGY_EQUIVALENCE_TOL};
 use fem_bench::{SCENARIO_MATRIX_EDGE, SCENARIO_MATRIX_STEPS};
 use fem_cfd_accel::solver::scenarios::Scenario;
-use fem_cfd_accel::solver::AssemblyStrategy;
+use fem_cfd_accel::solver::{AssemblyStrategy, Simulation};
 
 const GOLDEN_PATH: &str = concat!(
     env!("CARGO_MANIFEST_DIR"),
@@ -121,7 +121,7 @@ fn golden_tgv_trace_matches() {
              `cargo test --test scenario_matrix -- --ignored`"
         )
     });
-    let doc = serde_json::from_str(&text).expect("golden trace parses");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("golden trace parses");
     assert_eq!(doc["scenario"].as_str(), Some("taylor-green-vortex"));
     assert_eq!(doc["edge"].as_u64(), Some(GOLDEN_EDGE as u64));
     let dt = doc["dt"].as_f64().expect("dt");
@@ -183,8 +183,14 @@ fn cavity_pinned_nodes_stay_bitwise_fixed_under_every_strategy() {
         AssemblyStrategy::chunked_auto(),
         AssemblyStrategy::Colored,
     ] {
-        let mut sim = scenario.simulation(5).expect("cavity builds");
-        sim.set_assembly_strategy(strategy);
+        let mesh = scenario.mesh(5).expect("cavity mesh builds");
+        let initial = scenario.initial_state(&mesh);
+        let bc = scenario.boundary(&mesh).expect("cavity is wall-bounded");
+        let mut sim = Simulation::builder(mesh, scenario.gas(), initial)
+            .bc(bc)
+            .assembly(strategy)
+            .build()
+            .expect("cavity builds");
         let targets: Vec<(u32, [f64; 5])> = sim.bc().expect("cavity has a BC").targets().to_vec();
         assert!(!targets.is_empty());
 

@@ -2,16 +2,22 @@
 //!
 //! The real serde drives a `Serializer` visitor; this stub instead has
 //! every `Serialize` type produce an owned [`Content`] tree that data
-//! formats (here: the sibling `serde_json` stub) render. The subset is
-//! exactly what this workspace uses: `#[derive(Serialize)]` on plain
-//! structs plus impls for primitives, strings, options, sequences,
-//! arrays, tuples, and string-keyed maps.
+//! formats (here: the sibling `serde_json` stub) render, and every
+//! [`Deserialize`] type rebuild itself from such a tree. The subset is
+//! exactly what this workspace uses: `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` on plain structs plus impls for primitives,
+//! strings, options, sequences, arrays, tuples, and string-keyed maps.
+//!
+//! Unlike the real serde, the derived `Deserialize` **always rejects
+//! unknown fields** (as if `#[serde(deny_unknown_fields)]` were present)
+//! — declarative configs are the only deserialization consumer in this
+//! workspace and they want strict validation.
 
 // Let the derive-generated `serde::...` paths resolve inside this crate
 // too (the real serde does the same).
 extern crate self as serde;
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 /// A self-describing serialized value — the stub's wire-independent tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -186,6 +192,267 @@ impl Serialize for Content {
     }
 }
 
+// --------------------------------------------------------- deserialization
+
+/// Deserialization error: a human-readable message naming the offending
+/// field or type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// Builds an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deserialize: {}", self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A data structure that can be rebuilt from a [`Content`] tree — the
+/// stub's counterpart of serde's `Deserialize`.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the content tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] on a type/shape mismatch.
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
+
+fn type_name(c: &Content) -> &'static str {
+    match c {
+        Content::Null => "null",
+        Content::Bool(_) => "bool",
+        Content::I64(_) | Content::U64(_) | Content::F64(_) => "number",
+        Content::Str(_) => "string",
+        Content::Seq(_) => "sequence",
+        Content::Map(_) => "map",
+    }
+}
+
+fn integral(c: &Content) -> Option<i128> {
+    match c {
+        Content::I64(n) => Some(i128::from(*n)),
+        Content::U64(n) => Some(i128::from(*n)),
+        // JSON numbers arrive as f64; accept exact integral values.
+        Content::F64(n) if n.fract() == 0.0 && n.abs() < 2f64.powi(53) => Some(*n as i128),
+        _ => None,
+    }
+}
+
+macro_rules! impl_de_int {
+    ($($t:ty),* $(,)?) => {
+        $(impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let n = integral(content).ok_or_else(|| {
+                    DeError::new(format!(
+                        "expected an integer, found {}", type_name(content)
+                    ))
+                })?;
+                <$t>::try_from(n).map_err(|_| {
+                    DeError::new(format!(
+                        "integer {n} out of range for {}", stringify!($t)
+                    ))
+                })
+            }
+        })*
+    };
+}
+
+impl_de_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(n) => Ok(*n),
+            Content::I64(n) => Ok(*n as f64),
+            Content::U64(n) => Ok(*n as f64),
+            other => Err(DeError::new(format!(
+                "expected a number, found {}",
+                type_name(other)
+            ))),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize_content(content).map(|n| n as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::new(format!(
+                "expected a bool, found {}",
+                type_name(other)
+            ))),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::new(format!(
+                "expected a string, found {}",
+                type_name(other)
+            ))),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(()),
+            other => Err(DeError::new(format!(
+                "expected null, found {}",
+                type_name(other)
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(DeError::new(format!(
+                "expected a sequence, found {}",
+                type_name(other)
+            ))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(content).map(Box::new)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(DeError::new(format!(
+                "expected a map, found {}",
+                type_name(other)
+            ))),
+        }
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+/// Field-by-field reader over a [`Content::Map`] — the runtime the
+/// derived `Deserialize` impls drive. Every [`MapReader::field`] call
+/// claims one key; [`MapReader::finish`] then rejects any unclaimed
+/// (unknown) keys, duplicates included.
+#[derive(Debug)]
+pub struct MapReader<'a> {
+    type_name: &'static str,
+    entries: &'a [(String, Content)],
+    claimed: Vec<bool>,
+}
+
+impl<'a> MapReader<'a> {
+    /// Opens `content` as a map for struct `type_name`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] if `content` is not a map.
+    pub fn new(content: &'a Content, type_name: &'static str) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => Ok(MapReader {
+                type_name,
+                entries,
+                claimed: vec![false; entries.len()],
+            }),
+            other => Err(DeError::new(format!(
+                "expected a map for struct {type_name}, found {}",
+                type_name_of(other)
+            ))),
+        }
+    }
+
+    /// Reads and claims field `name`. A missing key deserializes from
+    /// [`Content::Null`], so `Option` fields default to `None` while any
+    /// other type reports the field as missing (serde's behavior for
+    /// plain derives).
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] if the field is missing (non-`Option` types) or its
+    /// value has the wrong shape.
+    pub fn field<T: Deserialize>(&mut self, name: &str) -> Result<T, DeError> {
+        match self.entries.iter().position(|(k, _)| k == name) {
+            Some(i) => {
+                self.claimed[i] = true;
+                T::deserialize_content(&self.entries[i].1)
+                    .map_err(|e| DeError::new(format!("field `{}.{name}`: {e}", self.type_name)))
+            }
+            None => T::deserialize_content(&Content::Null).map_err(|_| {
+                DeError::new(format!(
+                    "missing field `{name}` in struct {}",
+                    self.type_name
+                ))
+            }),
+        }
+    }
+
+    /// Rejects every key no [`MapReader::field`] call claimed.
+    ///
+    /// # Errors
+    ///
+    /// [`DeError`] naming the first unknown field.
+    pub fn finish(self) -> Result<(), DeError> {
+        for (i, (k, _)) in self.entries.iter().enumerate() {
+            if !self.claimed[i] {
+                return Err(DeError::new(format!(
+                    "unknown field `{k}` in struct {}",
+                    self.type_name
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+// `MapReader::new` shadows `type_name` with its parameter; re-expose the
+// helper under a distinct name for its error message.
+fn type_name_of(c: &Content) -> &'static str {
+    type_name(c)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +491,63 @@ mod tests {
                 ("v".into(), Content::U64(7)),
             ])
         );
+    }
+
+    #[test]
+    fn deserialize_rebuilds_primitives() {
+        assert_eq!(u32::deserialize_content(&Content::U64(3)), Ok(3));
+        assert_eq!(u32::deserialize_content(&Content::F64(3.0)), Ok(3));
+        assert!(u8::deserialize_content(&Content::I64(-1)).is_err());
+        assert!(usize::deserialize_content(&Content::F64(1.5)).is_err());
+        assert_eq!(f64::deserialize_content(&Content::I64(-2)), Ok(-2.0));
+        assert_eq!(Option::<f64>::deserialize_content(&Content::Null), Ok(None));
+        assert_eq!(
+            Vec::<u8>::deserialize_content(&Content::Seq(vec![Content::U64(1), Content::U64(2)])),
+            Ok(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn derived_deserialize_roundtrips_and_rejects_unknown_fields() {
+        #[derive(Debug, PartialEq, Serialize, Deserialize)]
+        struct P {
+            x: f64,
+            name: String,
+            count: Option<usize>,
+        }
+        let p = P {
+            x: 2.5,
+            name: "a".into(),
+            count: None,
+        };
+        let back = P::deserialize_content(&p.serialize_content()).unwrap();
+        assert_eq!(back, p);
+
+        // Missing Option field defaults to None; missing non-Option errors.
+        let partial = Content::Map(vec![
+            ("x".into(), Content::F64(1.0)),
+            ("name".into(), Content::Str("b".into())),
+        ]);
+        assert_eq!(
+            P::deserialize_content(&partial).unwrap(),
+            P {
+                x: 1.0,
+                name: "b".into(),
+                count: None
+            }
+        );
+        let missing = Content::Map(vec![("x".into(), Content::F64(1.0))]);
+        let err = P::deserialize_content(&missing).unwrap_err();
+        assert!(err.to_string().contains("missing field `name`"), "{err}");
+
+        // Unknown fields are rejected (deny_unknown_fields semantics).
+        let unknown = Content::Map(vec![
+            ("x".into(), Content::F64(1.0)),
+            ("name".into(), Content::Str("b".into())),
+            ("bogus".into(), Content::Bool(true)),
+        ]);
+        let err = P::deserialize_content(&unknown).unwrap_err();
+        assert!(err.to_string().contains("unknown field `bogus`"), "{err}");
     }
 
     #[test]

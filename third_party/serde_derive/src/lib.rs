@@ -1,10 +1,13 @@
 //! Offline stub of `serde_derive` (see `third_party/README.md`).
 //!
-//! Implements `#[derive(Serialize)]` for non-generic structs with named
-//! fields, without `syn`/`quote`: the input token stream is walked with
-//! the bare `proc_macro` API and the impl is emitted as a parsed string.
-//! `#[serde(...)]` attributes are not supported and fields are emitted
-//! in declaration order, matching the real derive's default behavior.
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! non-generic structs with named fields, without `syn`/`quote`: the
+//! input token stream is walked with the bare `proc_macro` API and the
+//! impl is emitted as a parsed string. `#[serde(...)]` attributes are not
+//! supported and fields are handled in declaration order, matching the
+//! real derive's default behavior — except that the derived
+//! `Deserialize` always rejects unknown fields (see the `serde` stub's
+//! crate docs).
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -22,6 +25,33 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         "impl serde::Serialize for {name} {{\n\
              fn serialize_content(&self) -> serde::Content {{\n\
                  serde::Content::Map(vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    output
+        .parse()
+        .expect("serde_derive stub generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` by reading the struct's fields back out
+/// of a `Content::Map` through `serde::MapReader`, which rejects unknown
+/// fields after every declared field has been claimed.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (name, fields) = parse_struct(&tokens);
+    let reads: String = fields
+        .iter()
+        .map(|f| format!("{f}: map.field(\"{f}\")?,"))
+        .collect();
+    let output = format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn deserialize_content(content: &serde::Content)\n\
+                 -> Result<Self, serde::DeError> {{\n\
+                 let mut map = serde::MapReader::new(content, \"{name}\")?;\n\
+                 let out = {name} {{ {reads} }};\n\
+                 map.finish()?;\n\
+                 Ok(out)\n\
              }}\n\
          }}"
     );

@@ -1,14 +1,13 @@
 //! Offline stub of `serde_json` (see `third_party/README.md`).
 //!
 //! Renders the `serde` stub's `Content` tree to JSON text, parses JSON
-//! text back into a [`Value`], and provides a one-level [`json!`] macro.
+//! text back into any [`Deserialize`] type (including the dynamic
+//! [`Value`]), and provides a one-level [`json!`] macro.
 
-use serde::{Content, Serialize};
+use serde::{Content, Deserialize, Serialize};
 use std::fmt;
 
 mod parse;
-
-pub use parse::from_str;
 
 /// A parsed or constructed JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -125,6 +124,12 @@ impl fmt::Display for Value {
     }
 }
 
+impl Deserialize for Value {
+    fn deserialize_content(content: &Content) -> Result<Self, serde::DeError> {
+        Ok(content_to_value(content.clone()))
+    }
+}
+
 impl Serialize for Value {
     fn serialize_content(&self) -> Content {
         match self {
@@ -168,6 +173,26 @@ impl std::error::Error for Error {}
 /// Converts any `Serialize` value into a [`Value`].
 pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
     content_to_value(value.serialize_content())
+}
+
+/// Parses JSON text into any [`Deserialize`] type (like the real
+/// `serde_json::from_str`; deserialize to [`Value`] for dynamic access).
+///
+/// # Errors
+///
+/// Fails on malformed JSON, trailing garbage, or a shape mismatch with
+/// `T` (including unknown fields for derived struct types).
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    from_value(&parse::parse_str(s)?)
+}
+
+/// Rebuilds any [`Deserialize`] type from an already-parsed [`Value`].
+///
+/// # Errors
+///
+/// Fails on a shape mismatch with `T`.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize_content(&value.serialize_content()).map_err(|e| Error::new(e.to_string()))
 }
 
 fn content_to_value(c: Content) -> Value {
@@ -316,12 +341,32 @@ mod tests {
             "none": json!(null),
         });
         let text = to_string_pretty(&v).unwrap();
-        let back = from_str(&text).unwrap();
+        let back: Value = from_str(&text).unwrap();
         assert_eq!(back["name"].as_str(), Some("tgv"));
         assert_eq!(back["nodes"].as_u64(), Some(4_200_000));
         assert_eq!(back["ratio"].as_f64(), Some(1.5));
         assert_eq!(back["tags"][1].as_str(), Some("b"));
         assert!(back["none"].is_null());
+    }
+
+    #[test]
+    fn generic_from_str_roundtrips_derived_structs() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Cfg {
+            name: String,
+            edge: usize,
+            cfl: Option<f64>,
+        }
+        let cfg = Cfg {
+            name: "tgv".into(),
+            edge: 8,
+            cfl: Some(0.4),
+        };
+        let text = to_string(&cfg).unwrap();
+        assert_eq!(from_str::<Cfg>(&text).unwrap(), cfg);
+        // Unknown fields in the text are rejected, not silently dropped.
+        let err = from_str::<Cfg>(r#"{"name":"a","edge":1,"cfl":null,"x":0}"#).unwrap_err();
+        assert!(err.to_string().contains("unknown field `x`"), "{err}");
     }
 
     #[test]
@@ -340,6 +385,9 @@ mod tests {
     fn escapes_control_and_quote_chars() {
         let text = to_string(&"a\"b\\c\nd").unwrap();
         assert_eq!(text, r#""a\"b\\c\nd""#);
-        assert_eq!(from_str(&text).unwrap().as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(
+            from_str::<Value>(&text).unwrap().as_str(),
+            Some("a\"b\\c\nd")
+        );
     }
 }

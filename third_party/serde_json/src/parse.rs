@@ -2,12 +2,13 @@
 
 use crate::{Error, Value};
 
-/// Parses JSON text into a [`Value`].
+/// Parses JSON text into a [`Value`] (the backend of the crate-level
+/// generic `from_str`).
 ///
 /// # Errors
 ///
 /// Returns a positioned message on malformed input or trailing garbage.
-pub fn from_str(s: &str) -> Result<Value, Error> {
+pub(crate) fn parse_str(s: &str) -> Result<Value, Error> {
     let mut p = Parser {
         bytes: s.as_bytes(),
         pos: 0,
@@ -211,7 +212,7 @@ mod tests {
 
     #[test]
     fn parses_nested_document() {
-        let v = from_str(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}}"#).unwrap();
+        let v = parse_str(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}}"#).unwrap();
         assert_eq!(v["a"][2].as_f64(), Some(-300.0));
         assert!(v["b"]["c"].is_null());
         assert_eq!(v["b"]["d"].as_bool(), Some(true));
@@ -219,8 +220,8 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        assert!(from_str("{} x").is_err());
-        assert!(from_str("[1,]").is_err());
-        assert!(from_str("").is_err());
+        assert!(parse_str("{} x").is_err());
+        assert!(parse_str("[1,]").is_err());
+        assert!(parse_str("").is_err());
     }
 }
