@@ -11,7 +11,7 @@
 //! repro assembly    host-CPU chunked-vs-colored assembly scaling
 //! repro geometry    cached-vs-recompute + fused-vs-split RHS ladder
 //! repro scenarios   cross-strategy regression matrix over the registry
-//! repro sharding    shard sweep, contiguous vs graph-partitioned, with emulated II quotes
+//! repro sharding    shard + device sweep, contiguous vs graph-partitioned, with emulated II quotes and multi-device overlap timings
 //! repro ensemble    ensemble serving: throughput sweep, context sharing, registry x backend
 //! repro all         everything above
 //!

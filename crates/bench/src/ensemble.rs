@@ -10,7 +10,7 @@
 //!   savings (N same-mesh members on one [`fem_mesh::SharedMeshContext`]
 //!   hold its bytes once, so the savings ratio equals the member count).
 //! * **Per-backend rows over the registry** — every scenario of
-//!   [`fem_solver::Scenario::registry`] under the reference, sharded,
+//!   [`fem_solver::Scenario::registry`] under the reference, multidevice,
 //!   and dataflow-emulated backends, all served as *one* ensemble (two
 //!   shared contexts: the periodic box and the walled cavity box), with
 //!   per-member invariant verdicts and final KE/enstrophy.
@@ -190,16 +190,19 @@ fn same_mesh_specs(edge: usize, steps: usize, members: usize) -> Vec<SimulationS
             kind: "reference".to_string(),
             strategy: Some("colored".to_string()),
             shards: None,
+            devices: None,
         },
         BackendSpec {
             kind: "sharded".to_string(),
             strategy: Some("contiguous".to_string()),
             shards: Some(2),
+            devices: None,
         },
         BackendSpec {
-            kind: "sharded".to_string(),
+            kind: "multidevice".to_string(),
             strategy: Some("partitioned".to_string()),
-            shards: Some(4),
+            shards: None,
+            devices: Some(4),
         },
     ];
     (0..members)
@@ -235,6 +238,7 @@ fn spec_vs_setters_bitwise(edge: usize, steps: usize) -> bool {
             kind: "sharded".to_string(),
             strategy: Some("partitioned".to_string()),
             shards: Some(2),
+            devices: None,
         },
     };
     let mut from_spec = spec.build().expect("spec member builds");
@@ -299,14 +303,16 @@ pub fn run_ensemble_study(edge: usize, steps: usize, member_counts: &[usize]) ->
     let backends = [
         BackendSpec::reference_serial(),
         BackendSpec {
-            kind: "sharded".to_string(),
+            kind: "multidevice".to_string(),
             strategy: Some("partitioned".to_string()),
-            shards: Some(4),
+            shards: None,
+            devices: Some(4),
         },
         BackendSpec {
             kind: "dataflow-emulated".to_string(),
             strategy: Some("contiguous".to_string()),
             shards: Some(2),
+            devices: None,
         },
     ];
     let registry_specs: Vec<SimulationSpec> = Scenario::registry()
@@ -408,7 +414,7 @@ mod tests {
         assert!(json.contains("\"spec_vs_setters_bitwise\""));
         let shown = format!("{study}");
         assert!(shown.contains("bitwise identical"), "{shown}");
-        assert!(shown.contains("sharded(4, partitioned)"), "{shown}");
+        assert!(shown.contains("multidevice(4, partitioned)"), "{shown}");
         assert!(shown.contains("memory savings"), "{shown}");
     }
 }

@@ -16,6 +16,12 @@
 //! by side, both bitwise identical, `halo_fraction` a true `0 ..= 1`
 //! unique-node fraction, and the partitioned halo never above the
 //! contiguous one at ≥ 4 shards. The
+//! The `sharding` test also pins the PR-8 bar: the study's MultiDevice
+//! overlap sweep must report per-(scenario, devices) phase timings with
+//! every cell bitwise identical to the serial reference, positive
+//! emulated overlap efficiency on ≥ 4 devices, a consistent
+//! compute-bound vs comm-bound classification, and an explicit skip log
+//! for any device count that did not run as its own cell. The
 //! `geometry` test also pins the PR-3 acceptance bar: the cached+fused
 //! RHS path must beat the seed recompute+split path by ≥1.5× on the TGV
 //! n=12 viscous benchmark (hard-enforced when `REPRO_PERF_GATE` is set —
@@ -413,6 +419,124 @@ fn sharding_json_schema() {
             );
         }
     }
+
+    // PR-8: the MultiDevice overlap sweep. Same counts, both
+    // strategies, per-(scenario, devices) phase timings.
+    let dev_counts: Vec<u64> = doc["device_counts"]
+        .as_array()
+        .expect("`device_counts` is an array")
+        .iter()
+        .map(|c| c.as_u64().expect("device count"))
+        .collect();
+    assert_eq!(dev_counts, vec![1, 2, 4, 8], "device sweep drifted");
+    let cells = doc["overlap_cells"].as_array().expect("`overlap_cells`");
+    // 4 scenarios × 4 effective counts × 2 strategies on the 6³ meshes.
+    assert_eq!(cells.len(), 4 * dev_counts.len() * 2, "overlap coverage");
+    let overlap_rows = doc["overlap_rows"].as_array().expect("`overlap_rows`");
+    for c in cells {
+        let name = c["scenario"].as_str().expect("scenario");
+        let devices = c["device_count"].as_u64().expect("device_count");
+        let strategy = c["strategy"].as_str().expect("strategy");
+        assert!(c["requested_devices"].as_u64().expect("requested") >= devices);
+
+        // Acceptance: the overlapped exchange is bitwise identical to
+        // the serial reference at every device count and strategy.
+        assert_eq!(
+            c["bitwise_vs_reference"].as_bool(),
+            Some(true),
+            "{name} ×{devices} {strategy}"
+        );
+        assert!(c["max_rel_dev_vs_reference"].as_f64().expect("dev") <= 1e-12);
+
+        let frontier = c["frontier_cycles_total"].as_u64().expect("frontier");
+        let interior = c["interior_cycles_total"].as_u64().expect("interior");
+        let exchange = c["exchange_cycles_total"].as_u64().expect("exchange");
+        let exposed = c["exposed_cycles_total"].as_u64().expect("exposed");
+        assert!(frontier > 0 && interior > 0, "{name} ×{devices}");
+        assert!(c["max_device_makespan_cycles"].as_u64().expect("makespan") > 0);
+        let eff = c["emulated_overlap_efficiency"].as_f64().expect("eff");
+        assert!((0.0..=1.0).contains(&eff), "{name} ×{devices}: {eff}");
+        let measured_eff = c["measured_overlap_efficiency"].as_f64().expect("m-eff");
+        assert!((0.0..=1.0).contains(&measured_eff));
+        for key in [
+            "measured_frontier_s",
+            "measured_interior_s",
+            "measured_wait_s",
+            "measured_apply_s",
+        ] {
+            assert!(c[key].as_f64().expect(key) >= 0.0, "{name}: `{key}`");
+        }
+
+        // The classification is derived, not free-form: comm-bound iff
+        // the exposed link cycles exceed the interior sweep.
+        let bound = c["bound"].as_str().expect("bound");
+        assert_eq!(
+            bound,
+            if exposed > interior {
+                "comm-bound"
+            } else {
+                "compute-bound"
+            },
+            "{name} ×{devices} {strategy}"
+        );
+
+        if devices == 1 {
+            assert_eq!(exchange, 0, "{name}: solo device crossed a link");
+            assert_eq!(exposed, 0);
+            assert_eq!(eff, 1.0);
+            assert_eq!(bound, "compute-bound");
+        } else {
+            assert!(exchange > 0, "{name} ×{devices}: no link traffic");
+            assert!(c["halo_records_total"].as_u64().expect("records") > 0);
+        }
+        // Acceptance: measurable overlap on ≥ 4 devices — the interior
+        // sweep hides part of the halo exchange.
+        if devices >= 4 {
+            assert!(
+                eff > 0.0,
+                "{name} ×{devices} {strategy}: overlap efficiency {eff}"
+            );
+        }
+
+        // Per-device rows: every element assembled exactly once, as
+        // either frontier or interior.
+        let cell_rows: Vec<&serde_json::Value> = overlap_rows
+            .iter()
+            .filter(|r| {
+                r["scenario"].as_str() == Some(name)
+                    && r["device_count"].as_u64() == Some(devices)
+                    && r["strategy"].as_str() == Some(strategy)
+            })
+            .collect();
+        assert_eq!(cell_rows.len() as u64, devices, "{name} ×{devices}");
+        let covered: u64 = cell_rows
+            .iter()
+            .map(|r| {
+                r["frontier_elements"].as_u64().unwrap() + r["interior_elements"].as_u64().unwrap()
+            })
+            .sum();
+        assert_eq!(covered, 6 * 6 * 6, "{name} ×{devices}: elements dropped");
+        for r in &cell_rows {
+            assert!(r["device"].as_u64().is_some());
+            assert!(r["neighbors"].as_u64().is_some());
+            let sent = r["halo_records_sent"].as_u64().expect("records sent");
+            assert_eq!(r["halo_bytes_sent"].as_u64(), Some(48 * sent));
+            let makespan = r["makespan_cycles"].as_u64().expect("makespan");
+            assert!(makespan >= r["exposed_cycles"].as_u64().unwrap());
+            assert!(makespan >= r["apply_cycles"].as_u64().unwrap());
+        }
+    }
+
+    // No silent truncation: the default sweep fits the 6³ meshes, so
+    // the skip log must exist and be empty (entries, when present,
+    // carry scenario/requested/effective/reason).
+    let skipped = doc["skipped_device_sweeps"]
+        .as_array()
+        .expect("`skipped_device_sweeps`");
+    assert!(
+        skipped.is_empty(),
+        "default sweep should run every cell: {skipped:?}"
+    );
 }
 
 #[test]
@@ -483,7 +607,7 @@ fn ensemble_json_schema() {
         assert_eq!(backends.len(), 3, "scenario `{name}` not fully served");
         assert!(backends.contains(&"reference(serial)"), "{backends:?}");
         assert!(
-            backends.contains(&"sharded(4, partitioned)"),
+            backends.contains(&"multidevice(4, partitioned)"),
             "{backends:?}"
         );
         assert!(

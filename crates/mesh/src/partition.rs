@@ -39,6 +39,11 @@
 //!   whether two or more shards touch it. Only frontier nodes need the
 //!   deterministic cross-shard merge; everything else can be scattered
 //!   directly by its single toucher.
+//! * **neighbor lists** ([`Shard::neighbors`]) — the shards sharing at
+//!   least one frontier node with this one, the peers a multi-device
+//!   executor exchanges halo buffers with. The relation is symmetric
+//!   and every sends-to target is contained in it, so a device posting
+//!   one buffer per neighbor and draining one per neighbor terminates.
 //! * **streaming batches** — the shard's element list re-batched for the
 //!   Load-Element pipeline, with the same DDR-traffic accounting as
 //!   [`partition_elements`].
@@ -61,6 +66,14 @@
 //! Every node therefore accumulates its contributions one at a time in
 //! exactly the serial order: no regrouping, no rounding difference, the
 //! same bits for any shard count and either [`PartitionStrategy`].
+//!
+//! The same argument keeps a decentralized halo *exchange* bitwise: it
+//! never constrains **where** a frontier contribution travels, only the
+//! (node, element) order in which the owner applies what arrives. A
+//! multi-device executor may route contributions through per-neighbor
+//! mailboxes instead of a central reduction — as long as every owner
+//! sorts its drained records by (node, element) before applying, the
+//! accumulation order (and therefore every bit) is identical.
 
 use crate::hex::HexMesh;
 use crate::reorder::rcm_permutation;
@@ -211,6 +224,7 @@ pub struct Shard {
     elements: Vec<u32>,
     owned_nodes: Vec<u32>,
     shared_nodes: Vec<u32>,
+    neighbors: Vec<u32>,
     unique_nodes: usize,
     batches: Vec<ElementBatch>,
 }
@@ -246,6 +260,18 @@ impl Shard {
     /// shard (sorted ascending).
     pub fn shared_nodes(&self) -> &[u32] {
         &self.shared_nodes
+    }
+
+    /// Neighboring shard indices (sorted ascending, never containing the
+    /// shard itself): shards sharing at least one frontier node with this
+    /// one. The relation is symmetric by construction, which is what lets
+    /// a neighbor-to-neighbor halo exchange terminate: a device expecting
+    /// one message per neighbor is expected by each of those neighbors in
+    /// turn. The set of shards a device *sends* to (neighbors owning one
+    /// of its shared nodes) is a subset of this list, so posting one —
+    /// possibly empty — buffer per neighbor covers every send.
+    pub fn neighbors(&self) -> &[u32] {
+        &self.neighbors
     }
 
     /// Unique nodes the shard's elements touch (gather footprint,
@@ -421,6 +447,39 @@ impl ShardPlan {
         }
         let frontier: Vec<bool> = touch.iter().map(|&t| t >= 2).collect();
 
+        // Neighbor lists: shards a, b are neighbors iff some frontier
+        // node is touched by both. Collect the distinct touching shards
+        // of every frontier node (stamp-deduplicated, like the touch
+        // counts above), then make every toucher pair mutual — the
+        // symmetry the exchange protocol's termination leans on.
+        stamp.fill(u32::MAX);
+        let mut touchers: Vec<Vec<u32>> = vec![Vec::new(); nn];
+        for (s, part) in parts.iter().enumerate() {
+            for &e in part {
+                for &n in mesh.element_nodes(e as usize) {
+                    let ni = n as usize;
+                    if frontier[ni] && stamp[ni] != s as u32 {
+                        stamp[ni] = s as u32;
+                        touchers[ni].push(s as u32);
+                    }
+                }
+            }
+        }
+        let mut neighbor_sets: Vec<Vec<u32>> = vec![Vec::new(); nshards];
+        for list in &touchers {
+            for &a in list {
+                for &b in list {
+                    if a != b {
+                        neighbor_sets[a as usize].push(b);
+                    }
+                }
+            }
+        }
+        for set in &mut neighbor_sets {
+            set.sort_unstable();
+            set.dedup();
+        }
+
         let mut owned: Vec<Vec<u32>> = vec![Vec::new(); nshards];
         for (n, &s) in owner.iter().enumerate() {
             owned[s as usize].push(n as u32);
@@ -446,6 +505,7 @@ impl ShardPlan {
                 index: s,
                 owned_nodes: std::mem::take(&mut owned[s]),
                 shared_nodes,
+                neighbors: std::mem::take(&mut neighbor_sets[s]),
                 unique_nodes: touched.len(),
                 batches,
                 elements: part,
@@ -574,7 +634,7 @@ impl ShardPlan {
             .shards
             .iter()
             .map(|s| {
-                (s.elements.len() + s.owned_nodes.len() + s.shared_nodes.len())
+                (s.elements.len() + s.owned_nodes.len() + s.shared_nodes.len() + s.neighbors.len())
                     * std::mem::size_of::<u32>()
                     + s.batches.len() * std::mem::size_of::<ElementBatch>()
             })
@@ -1087,6 +1147,88 @@ mod tests {
             }
             prop_assert!(plan.load_imbalance() >= 1.0 - 1e-12);
             prop_assert!(plan.element_imbalance() >= 1.0 - 1e-12);
+        }
+
+        /// Neighbor lists are symmetric, self-free, and cover exactly the
+        /// frontier: every pair of shards touching a common frontier node
+        /// lists each other, and every listed pair shares at least one
+        /// frontier node — under BOTH partition strategies.
+        #[test]
+        fn prop_neighbor_lists_symmetric_and_cover_the_frontier(
+            nx in 2usize..6,
+            ny in 2usize..6,
+            nz in 2usize..6,
+            periodic in proptest::bool::ANY,
+            shards in 1usize..12,
+            partitioned in proptest::bool::ANY,
+        ) {
+            let mut b = BoxMeshBuilder::new();
+            b.elements(nx, ny, nz).periodic(periodic, periodic, periodic);
+            let mesh = match b.build() {
+                Ok(m) => m,
+                Err(_) => return Ok(()),
+            };
+            let strategy = if partitioned {
+                PartitionStrategy::Partitioned
+            } else {
+                PartitionStrategy::Contiguous
+            };
+            let plan = ShardPlan::with_strategy(&mesh, shards, usize::MAX, strategy).unwrap();
+            let ns = plan.num_shards();
+
+            // Model: distinct touching shards of every frontier node.
+            let mut touchers: Vec<Vec<u32>> = vec![Vec::new(); mesh.num_nodes()];
+            for s in plan.shards() {
+                for &e in s.elements() {
+                    for &n in mesh.element_nodes(e as usize) {
+                        if plan.frontier()[n as usize] {
+                            let list = &mut touchers[n as usize];
+                            if !list.contains(&(s.index() as u32)) {
+                                list.push(s.index() as u32);
+                            }
+                        }
+                    }
+                }
+            }
+            let mut expect: Vec<Vec<u32>> = vec![Vec::new(); ns];
+            for list in &touchers {
+                for &a in list {
+                    for &b in list {
+                        if a != b && !expect[a as usize].contains(&b) {
+                            expect[a as usize].push(b);
+                        }
+                    }
+                }
+            }
+            for e in &mut expect {
+                e.sort_unstable();
+            }
+
+            for s in plan.shards() {
+                // Sorted, self-free, in range.
+                prop_assert!(s.neighbors().windows(2).all(|w| w[0] < w[1]));
+                for &t in s.neighbors() {
+                    prop_assert!((t as usize) < ns);
+                    prop_assert!(t as usize != s.index());
+                    // Symmetry.
+                    prop_assert!(
+                        plan.shards()[t as usize].neighbors().contains(&(s.index() as u32)),
+                        "shard {} lists {} but not vice versa", s.index(), t
+                    );
+                }
+                // Exactly the frontier-sharing pairs — no more, no less.
+                prop_assert_eq!(s.neighbors(), expect[s.index()].as_slice());
+                // Sends-to targets (owners of this shard's shared nodes)
+                // are a subset of the neighbor list.
+                for &n in s.shared_nodes() {
+                    let o = plan.owners()[n as usize];
+                    prop_assert!(s.neighbors().contains(&o));
+                }
+            }
+            // A single-shard plan has no frontier and no neighbors.
+            if ns == 1 {
+                prop_assert!(plan.shards()[0].neighbors().is_empty());
+            }
         }
 
         /// The partitioned strategy is never worse than contiguous on the

@@ -42,9 +42,11 @@ impl HexBasis {
     /// Returns [`NumericsError::OrderTooLow`] if `order == 0`.
     pub fn new(order: usize) -> Result<Self, NumericsError> {
         if order == 0 {
+            // Report the order actually requested and the order floor —
+            // not the node counts GllRule/LagrangeBasis would quote.
             return Err(NumericsError::OrderTooLow {
-                requested: 1,
-                minimum: 2,
+                requested: 0,
+                minimum: 1,
             });
         }
         let rule = GllRule::new(order + 1)?;
@@ -161,6 +163,35 @@ mod tests {
     #[test]
     fn order_zero_is_rejected() {
         assert!(HexBasis::new(0).is_err());
+    }
+
+    #[test]
+    fn order_zero_error_reports_the_actual_request() {
+        // Regression: the error used to quote the node counts of the
+        // downstream GllRule check (requested 1, minimum 2) instead of
+        // the order the caller actually asked for.
+        match HexBasis::new(0) {
+            Err(NumericsError::OrderTooLow { requested, minimum }) => {
+                assert_eq!(requested, 0);
+                assert_eq!(minimum, 1);
+            }
+            other => panic!("expected OrderTooLow, got {other:?}"),
+        }
+        // GllRule and LagrangeBasis already report their actual inputs.
+        match crate::quadrature::GllRule::new(1) {
+            Err(NumericsError::OrderTooLow { requested, minimum }) => {
+                assert_eq!(requested, 1);
+                assert_eq!(minimum, 2);
+            }
+            other => panic!("expected OrderTooLow, got {other:?}"),
+        }
+        match crate::lagrange::LagrangeBasis::new(vec![0.5]) {
+            Err(NumericsError::OrderTooLow { requested, minimum }) => {
+                assert_eq!(requested, 1);
+                assert_eq!(minimum, 2);
+            }
+            other => panic!("expected OrderTooLow, got {other:?}"),
+        }
     }
 
     #[test]

@@ -156,10 +156,11 @@ mod tests {
 
     #[test]
     fn restored_trajectory_is_bitwise_identical_across_backends_and_shard_counts() {
-        // A mid-run checkpoint restored under Reference and Sharded
-        // backends (several shard counts) must continue on the *same*
-        // bit-exact trajectory as the uninterrupted serial run — restart
-        // files written on one executor are valid on any other.
+        // A mid-run checkpoint restored under Reference, Sharded, and
+        // MultiDevice backends (several shard/device counts) must
+        // continue on the *same* bit-exact trajectory as the
+        // uninterrupted serial run — restart files written on one
+        // executor are valid on any other.
         use crate::engine::{BackendSelect, PartitionStrategy};
         use crate::parallel::AssemblyStrategy;
 
@@ -220,6 +221,14 @@ mod tests {
             },
             BackendSelect::DataflowEmulated {
                 shards: 4,
+                strategy: partitioned,
+            },
+            BackendSelect::MultiDevice {
+                devices: 2,
+                strategy: contiguous,
+            },
+            BackendSelect::MultiDevice {
+                devices: 3,
                 strategy: partitioned,
             },
         ];

@@ -23,8 +23,9 @@
 use crate::boundary::DirichletBc;
 use crate::diagnostics::FlowDiagnostics;
 use crate::engine::{
-    AssemblyContext, BackendSelect, DataflowEmulatedBackend, ExecutionBackend, ReferenceBackend,
-    ShardCycleReport, ShardedBackend,
+    AssemblyContext, BackendSelect, DataflowEmulatedBackend, DeviceExchangeReport,
+    DevicePhaseSeconds, ExecutionBackend, MultiDeviceBackend, ReferenceBackend, ShardCycleReport,
+    ShardedBackend,
 };
 use crate::gas::GasModel;
 use crate::parallel::AssemblyStrategy;
@@ -512,6 +513,14 @@ impl Simulation {
                     self.core.ctx.geometry(),
                 )?);
             }
+            BackendSelect::MultiDevice { devices, strategy } => {
+                let plan = self.core.ctx.shard_plan(devices, strategy)?;
+                self.core.backend = Box::new(MultiDeviceBackend::with_plan(
+                    plan,
+                    self.core.ctx.mesh(),
+                    self.core.ctx.geometry(),
+                )?);
+            }
         }
         Ok(())
     }
@@ -533,6 +542,20 @@ impl Simulation {
     /// custom backend providing reports — is installed).
     pub fn shard_reports(&self) -> &[ShardCycleReport] {
         self.core.backend.shard_reports()
+    }
+
+    /// Per-device halo-exchange emulation of the active backend (empty
+    /// unless a [`BackendSelect::MultiDevice`] backend — or a custom
+    /// backend providing reports — is installed).
+    pub fn exchange_reports(&self) -> &[DeviceExchangeReport] {
+        self.core.backend.exchange_reports()
+    }
+
+    /// Measured wall-clock seconds each device worker of the active
+    /// backend has spent per exchange phase, accumulated across
+    /// assemblies (empty for backends without device workers).
+    pub fn measured_device_phases(&self) -> Vec<DevicePhaseSeconds> {
+        self.core.backend.measured_device_phases()
     }
 
     /// Read access to the profiler.

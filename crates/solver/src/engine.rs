@@ -5,7 +5,7 @@
 //! module turns that decomposition into the solver's execution model: the
 //! [`ExecutionBackend`] trait abstracts *how* the RKL residual is
 //! assembled, and the driver ([`crate::driver::Simulation`]) integrates
-//! through whichever backend is selected. Three implementations ship:
+//! through whichever backend is selected. Four implementations ship:
 //!
 //! * [`ReferenceBackend`] — the host CPU paths that existed before the
 //!   engine landed, wrapping an [`AssemblyStrategy`] (serial loop,
@@ -23,6 +23,17 @@
 //!   per-shard Load → Compute → Store discrete-event emulation through
 //!   [`hls_dataflow::sim`] that attaches the predicted accelerator cycle
 //!   count and steady-state II of each shard ([`ShardCycleReport`]).
+//! * [`MultiDeviceBackend`] — one long-lived worker thread per simulated
+//!   device (the vendored rayon stub's [`rayon::scope`] threads are real
+//!   OS threads), replacing the central reduction with a decentralized
+//!   neighbor-to-neighbor halo **exchange**: each device posts its
+//!   frontier contributions to per-neighbor mailboxes as soon as its
+//!   frontier elements are assembled, overlaps its interior sweep with
+//!   the neighbors' posts in flight, and finalizes its owned frontier
+//!   nodes last, after draining its inbox. A companion DES models the
+//!   inter-device links from [`fpga_platform::pcie`] numbers and
+//!   separates compute, exchange, and *exposed* (non-overlapped)
+//!   communication per device ([`DeviceExchangeReport`]).
 //!
 //! # The shard determinism guarantee
 //!
@@ -49,6 +60,23 @@
 //! exactly the serial order: no regrouping, no rounding difference, the
 //! same bits for 1, 2, or 64 shards, contiguous or graph-partitioned.
 //!
+//! The argument never says *where* a frontier contribution must travel —
+//! only the (node, element) order in which the owner applies what
+//! arrives. That is why the decentralized exchange of
+//! [`MultiDeviceBackend`] stays bitwise too: routing records through
+//! per-neighbor mailboxes instead of one central stream changes the
+//! transport, not the applied order, because every owner sorts its
+//! drained records by the same total (node, element) key before the
+//! sequential apply. The one extra care the *split* sweep needs is
+//! interior nodes shared between a frontier element and an interior
+//! element of the same device: evaluating frontier elements early but
+//! scattering their interior-node contributions immediately would
+//! reorder those accumulations (floating-point addition commutes but
+//! `(x + a) + b ≠ (x + b) + a`), so the frontier sweep *buffers* its
+//! interior-node results and the interior sweep replays them in the
+//! ascending-element walk — each element evaluated once, every node
+//! accumulated in exactly the serial order.
+//!
 //! # Registering new backends
 //!
 //! Anything implementing [`ExecutionBackend`] plugs into the driver via
@@ -72,7 +100,7 @@ use fem_numerics::tensor::HexBasis;
 use hls_dataflow::network::{ChannelKind, NetworkBuilder};
 use hls_dataflow::sim::simulate;
 use rayon::prelude::*;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Everything an RHS assembly needs besides the conserved state: the
@@ -177,6 +205,19 @@ pub trait ExecutionBackend: std::fmt::Debug + Send {
     fn shard_plan(&self) -> Option<&ShardPlan> {
         None
     }
+
+    /// Per-device halo-exchange emulation, if the backend models an
+    /// inter-device link (empty otherwise).
+    fn exchange_reports(&self) -> &[DeviceExchangeReport] {
+        &[]
+    }
+
+    /// Measured wall-clock seconds each device worker has spent per
+    /// exchange phase, accumulated across assemblies (empty for backends
+    /// without device workers).
+    fn measured_device_phases(&self) -> Vec<DevicePhaseSeconds> {
+        Vec::new()
+    }
 }
 
 /// Value-level selector for the built-in backends (what
@@ -201,6 +242,15 @@ pub enum BackendSelect {
         /// How elements are assigned to shards.
         strategy: PartitionStrategy,
     },
+    /// One worker thread per simulated device with a decentralized,
+    /// overlapped neighbor-to-neighbor halo exchange plus an
+    /// inter-device link DES ([`MultiDeviceBackend`]).
+    MultiDevice {
+        /// Requested device count (clamped to the element count).
+        devices: usize,
+        /// How elements are assigned to devices.
+        strategy: PartitionStrategy,
+    },
 }
 
 impl std::fmt::Display for BackendSelect {
@@ -212,6 +262,9 @@ impl std::fmt::Display for BackendSelect {
             }
             BackendSelect::DataflowEmulated { shards, strategy } => {
                 write!(f, "dataflow-emulated({shards}, {strategy})")
+            }
+            BackendSelect::MultiDevice { devices, strategy } => {
+                write!(f, "multidevice({devices}, {strategy})")
             }
         }
     }
@@ -722,6 +775,680 @@ impl ExecutionBackend for DataflowEmulatedBackend {
     }
 }
 
+// --------------------------------------------------------- multi-device
+
+/// Clock the inter-device link DES is normalized to: link seconds from
+/// [`fpga_platform::pcie`] convert to cycles at the accelerator's
+/// 300 MHz fabric clock, so compute and communication share a time base.
+const LINK_CLOCK_HZ: f64 = 300.0e6;
+
+/// DMA burst granularity of one posted halo buffer: each started chunk
+/// pays the link round-trip latency once
+/// ([`fpga_platform::pcie::chunked_transfer_seconds`]).
+const LINK_CHUNK_BYTES: u64 = 64 * 1024;
+
+/// Wire size of one halo record on the inter-device link.
+const HALO_RECORD_BYTES: u64 = std::mem::size_of::<HaloContribution>() as u64;
+
+/// Emulated timing of one device's halo-exchange step, from routing the
+/// per-device frontier → interior → apply chains and every directed
+/// neighbor link through one [`hls_dataflow::sim`] network. The link DES
+/// starts a device's outbound transfers the moment its frontier sweep
+/// finishes and lets them fly *while* the interior sweep runs — so
+/// `exposed_cycles` is exactly the communication the overlap failed to
+/// hide.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceExchangeReport {
+    /// Device (= shard) index within the plan.
+    pub device: usize,
+    /// Neighbor devices this device exchanges halo buffers with.
+    pub neighbors: usize,
+    /// Elements touching at least one frontier node (assembled first).
+    pub frontier_elements: usize,
+    /// Elements touching no frontier node (overlapped with the exchange).
+    pub interior_elements: usize,
+    /// Halo records posted to *other* devices per assembly.
+    pub halo_records_sent: usize,
+    /// Bytes those records put on the inter-device links.
+    pub halo_bytes_sent: u64,
+    /// Records the device applies to its owned frontier nodes (its own
+    /// self-owned records plus everything received).
+    pub halo_records_applied: usize,
+    /// Frontier-sweep compute cycles (latency before the posts go out).
+    pub frontier_cycles: u64,
+    /// Interior-sweep compute cycles (the overlap window).
+    pub interior_cycles: u64,
+    /// Total inbound link cycles (latency + chunked bandwidth per
+    /// neighbor post, summed over inbound links).
+    pub exchange_cycles: u64,
+    /// Exchange cycles *not* hidden behind the interior sweep: how long
+    /// the apply stage waited after interior compute finished.
+    pub exposed_cycles: u64,
+    /// Owner-apply cycles (one applied record per cycle).
+    pub apply_cycles: u64,
+    /// Cycle at which this device's apply stage retires — the device's
+    /// contribution to the step makespan.
+    pub makespan_cycles: u64,
+}
+
+/// Measured wall-clock seconds one device worker has spent per exchange
+/// phase, accumulated across assemblies. `wait_s` is time blocked on the
+/// mailbox *after* the interior sweep — the measured analogue of
+/// [`DeviceExchangeReport::exposed_cycles`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DevicePhaseSeconds {
+    /// Frontier-element assembly and record routing.
+    pub frontier_s: f64,
+    /// Interior sweep (overlapped with the neighbors' posts in flight).
+    pub interior_s: f64,
+    /// Blocked draining the inbox after the interior sweep.
+    pub wait_s: f64,
+    /// Sorting and applying owned frontier records.
+    pub apply_s: f64,
+}
+
+impl DevicePhaseSeconds {
+    /// Fraction of the post-frontier window spent computing rather than
+    /// waiting: `interior / (interior + wait)`, 1.0 when both are zero.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let busy = self.interior_s + self.wait_s;
+        if busy <= 0.0 {
+            1.0
+        } else {
+            self.interior_s / busy
+        }
+    }
+}
+
+/// A device's inbox: neighbors post exactly one (possibly empty) halo
+/// buffer each per assembly, so the receiver knows it has drained the
+/// full halo once `expected` posts arrived — no central barrier.
+#[derive(Debug)]
+struct Mailbox {
+    posted: Mutex<Vec<(u32, Vec<HaloContribution>)>>,
+    ready: Condvar,
+    expected: usize,
+}
+
+impl Mailbox {
+    fn new(expected: usize) -> Mailbox {
+        Mailbox {
+            posted: Mutex::new(Vec::with_capacity(expected)),
+            ready: Condvar::new(),
+            expected,
+        }
+    }
+
+    fn post(&self, sender: u32, records: Vec<HaloContribution>) {
+        let mut posted = self.posted.lock().unwrap();
+        posted.push((sender, records));
+        self.ready.notify_one();
+    }
+
+    /// Blocks until every neighbor has posted, then takes the inbox.
+    fn drain(&self) -> Vec<(u32, Vec<HaloContribution>)> {
+        let mut posted = self.posted.lock().unwrap();
+        while posted.len() < self.expected {
+            posted = self.ready.wait(posted).unwrap();
+        }
+        std::mem::take(&mut *posted)
+    }
+}
+
+/// The shared (cross-thread) half of one device: its inbox plus the
+/// return path for emptied send buffers.
+#[derive(Debug)]
+struct DeviceShared {
+    mailbox: Mailbox,
+    /// Emptied send buffers receivers hand back after applying, reclaimed
+    /// by this device on its next exchange — the steady state allocates
+    /// nothing.
+    recycle: Mutex<Vec<Vec<HaloContribution>>>,
+}
+
+/// The private (single-worker) half of one device.
+#[derive(Debug)]
+struct DeviceState {
+    index: usize,
+    /// Global ids of this device's frontier elements, ascending.
+    frontier_elements: Vec<u32>,
+    /// Double-banked per-neighbor send buffers, indexed by the position
+    /// of the destination in the shard's sorted neighbor list; the bank
+    /// parity flips every assembly, so a buffer still in flight at a
+    /// receiver is never refilled.
+    send: Vec<[Vec<HaloContribution>; 2]>,
+    /// Contributions to frontier nodes this device itself owns (they
+    /// never cross a link, but are applied with the received ones).
+    pending: Vec<HaloContribution>,
+    /// Buffered residuals of the frontier sweep (`npe × NUM_VARS` floats
+    /// per frontier element), replayed in the ascending-element interior
+    /// walk so interior nodes accumulate in exact serial order.
+    replay: Vec<f64>,
+    measured: DevicePhaseSeconds,
+}
+
+/// One worker thread per simulated device with a decentralized,
+/// overlapped halo exchange (see the module docs for the protocol and
+/// the bitwise argument) plus a cached per-device link DES
+/// ([`DeviceExchangeReport`]).
+#[derive(Debug)]
+pub struct MultiDeviceBackend {
+    plan: Arc<ShardPlan>,
+    geometry_fingerprint: (usize, u64, u64),
+    devices: Vec<DeviceState>,
+    shared: Vec<DeviceShared>,
+    reports: Vec<DeviceExchangeReport>,
+    /// Send-bank parity of the *next* assembly.
+    parity: usize,
+}
+
+impl MultiDeviceBackend {
+    /// Decomposes `mesh` into (up to) `devices` devices under `strategy`
+    /// and runs the link DES.
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Mesh`] if `devices == 0` or the exchange network
+    /// fails to simulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geometry` does not cover `mesh`.
+    pub fn new(
+        mesh: &HexMesh,
+        geometry: &GeometryCache,
+        devices: usize,
+        strategy: PartitionStrategy,
+    ) -> Result<MultiDeviceBackend, SolverError> {
+        assert_eq!(
+            geometry.num_elements(),
+            mesh.num_elements(),
+            "geometry cache does not cover the mesh"
+        );
+        let plan = Arc::new(ShardPlan::with_strategy(
+            mesh,
+            devices,
+            usize::MAX,
+            strategy,
+        )?);
+        MultiDeviceBackend::with_plan(plan, mesh, geometry)
+    }
+
+    /// Wraps an already-built (possibly shared) shard plan — the
+    /// shared-plan counterpart of [`MultiDeviceBackend::new`], used by
+    /// ensemble members on one [`fem_mesh::SharedMeshContext`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Mesh`] if the exchange network fails to simulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geometry` or `mesh` does not cover the plan.
+    pub fn with_plan(
+        plan: Arc<ShardPlan>,
+        mesh: &HexMesh,
+        geometry: &GeometryCache,
+    ) -> Result<MultiDeviceBackend, SolverError> {
+        assert_eq!(
+            plan.num_elements(),
+            mesh.num_elements(),
+            "shard plan does not cover the mesh"
+        );
+        assert_eq!(
+            geometry.num_elements(),
+            plan.num_elements(),
+            "geometry cache does not cover the shard plan's mesh"
+        );
+        let frontier = plan.frontier();
+        let owner = plan.owners();
+        let nd = plan.num_shards();
+
+        // Classify each device's elements and count the halo records per
+        // directed (sender, owner) pair — the diagonal holds records to
+        // self-owned frontier nodes, which never cross a link.
+        let mut frontier_elements: Vec<Vec<u32>> = Vec::with_capacity(nd);
+        let mut records = vec![vec![0u64; nd]; nd];
+        for shard in plan.shards() {
+            let s = shard.index();
+            let mut fe = Vec::new();
+            for &e32 in shard.elements() {
+                let mut touches_frontier = false;
+                for &n in mesh.element_nodes(e32 as usize) {
+                    if frontier[n as usize] {
+                        touches_frontier = true;
+                        records[s][owner[n as usize] as usize] += 1;
+                    }
+                }
+                if touches_frontier {
+                    fe.push(e32);
+                }
+            }
+            frontier_elements.push(fe);
+        }
+
+        let reports = emulate_exchange(&plan, mesh, &frontier_elements, &records).map_err(|e| {
+            SolverError::Mesh(fem_mesh::MeshError::InvalidParameter(format!(
+                "device exchange emulation failed: {e}"
+            )))
+        })?;
+
+        let devices = plan
+            .shards()
+            .iter()
+            .zip(frontier_elements)
+            .map(|(shard, fe)| DeviceState {
+                index: shard.index(),
+                frontier_elements: fe,
+                send: shard
+                    .neighbors()
+                    .iter()
+                    .map(|_| [Vec::new(), Vec::new()])
+                    .collect(),
+                pending: Vec::new(),
+                replay: Vec::new(),
+                measured: DevicePhaseSeconds::default(),
+            })
+            .collect();
+        let shared = plan
+            .shards()
+            .iter()
+            .map(|shard| DeviceShared {
+                mailbox: Mailbox::new(shard.neighbors().len()),
+                recycle: Mutex::new(Vec::new()),
+            })
+            .collect();
+        Ok(MultiDeviceBackend {
+            plan,
+            geometry_fingerprint: geometry_fingerprint(geometry),
+            devices,
+            shared,
+            reports,
+            parity: 0,
+        })
+    }
+
+    /// The underlying shard plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+}
+
+/// Routes the per-device compute chains and every directed neighbor link
+/// through one DES. Per device `d`: `frontier_d → interior_d → apply_d`;
+/// per directed neighbor pair `(s, d)`: `frontier_s → link_s_d →
+/// apply_d`, with the link latency from [`fpga_platform::pcie`]. With a
+/// single token, `apply_d` fires only once interior compute *and* every
+/// inbound post landed — its start minus the interior finish is the
+/// exposed (non-overlapped) communication.
+fn emulate_exchange(
+    plan: &ShardPlan,
+    mesh: &HexMesh,
+    frontier_elements: &[Vec<u32>],
+    records: &[Vec<u64>],
+) -> Result<Vec<DeviceExchangeReport>, hls_dataflow::DataflowError> {
+    let npe = mesh.nodes_per_element() as u64;
+    let nd = plan.num_shards();
+    let mut b = NetworkBuilder::new();
+
+    // All channels first: tasks take fully-formed endpoint lists.
+    let chain: Vec<(usize, usize)> = (0..nd)
+        .map(|d| {
+            (
+                b.channel(format!("f{d}_i{d}"), 1, ChannelKind::Fifo),
+                b.channel(format!("i{d}_a{d}"), 1, ChannelKind::Fifo),
+            )
+        })
+        .collect();
+    // Directed links: (sender, receiver, frontier→link ch, link→apply ch,
+    // link cycles).
+    let mut links: Vec<(usize, usize, usize, usize, u64)> = Vec::new();
+    for shard in plan.shards() {
+        let s = shard.index();
+        for &t32 in shard.neighbors() {
+            let t = t32 as usize;
+            let bytes = records[s][t] * HALO_RECORD_BYTES;
+            let chunks = bytes.div_ceil(LINK_CHUNK_BYTES).max(1);
+            let seconds = fpga_platform::pcie::chunked_transfer_seconds(bytes, chunks);
+            let cycles = (seconds * LINK_CLOCK_HZ).ceil() as u64;
+            let c_fl = b.channel(format!("f{s}_l{s}_{t}"), 1, ChannelKind::Fifo);
+            let c_la = b.channel(format!("l{s}_{t}_a{t}"), 1, ChannelKind::Fifo);
+            links.push((s, t, c_fl, c_la, cycles));
+        }
+    }
+
+    let mut frontier_tasks = Vec::with_capacity(nd);
+    let mut interior_tasks = Vec::with_capacity(nd);
+    let mut apply_tasks = Vec::with_capacity(nd);
+    for d in 0..nd {
+        let frontier_cycles = (frontier_elements[d].len() as u64 * npe).max(1);
+        let interior_count =
+            plan.shards()[d].num_elements() as u64 - frontier_elements[d].len() as u64;
+        let interior_cycles = (interior_count * npe).max(1);
+        // The owner applies one record per cycle: everything inbound plus
+        // its own self-owned records.
+        let applied: u64 = (0..nd).map(|s| records[s][d]).sum();
+
+        let f_out: Vec<usize> = std::iter::once(chain[d].0)
+            .chain(links.iter().filter(|l| l.0 == d).map(|l| l.2))
+            .collect();
+        let a_in: Vec<usize> = std::iter::once(chain[d].1)
+            .chain(links.iter().filter(|l| l.1 == d).map(|l| l.3))
+            .collect();
+        frontier_tasks.push(b.task(format!("frontier_{d}"), 1, frontier_cycles, vec![], f_out));
+        interior_tasks.push(b.task(
+            format!("interior_{d}"),
+            1,
+            interior_cycles,
+            vec![chain[d].0],
+            vec![chain[d].1],
+        ));
+        apply_tasks.push(b.task(format!("apply_{d}"), 1, applied.max(1), a_in, vec![]));
+    }
+    for &(s, t, c_fl, c_la, cycles) in &links {
+        b.task(format!("link_{s}_{t}"), 1, cycles, vec![c_fl], vec![c_la]);
+    }
+
+    let net = b.build(1)?;
+    let report = simulate(&net)?;
+    let stats = &report.task_stats;
+
+    Ok((0..nd)
+        .map(|d| {
+            let interior_finish = stats[interior_tasks[d]].last_finish;
+            let apply = &stats[apply_tasks[d]];
+            let sent: u64 = (0..nd).filter(|&t| t != d).map(|t| records[d][t]).sum();
+            let applied: u64 = (0..nd).map(|s| records[s][d]).sum();
+            DeviceExchangeReport {
+                device: d,
+                neighbors: plan.shards()[d].neighbors().len(),
+                frontier_elements: frontier_elements[d].len(),
+                interior_elements: plan.shards()[d].num_elements() - frontier_elements[d].len(),
+                halo_records_sent: sent as usize,
+                halo_bytes_sent: sent * HALO_RECORD_BYTES,
+                halo_records_applied: applied as usize,
+                frontier_cycles: stats[frontier_tasks[d]].last_finish
+                    - stats[frontier_tasks[d]].first_start,
+                interior_cycles: interior_finish - stats[interior_tasks[d]].first_start,
+                exchange_cycles: links.iter().filter(|l| l.1 == d).map(|l| l.4).sum(),
+                exposed_cycles: apply.first_start.saturating_sub(interior_finish),
+                apply_cycles: apply.last_finish - apply.first_start,
+                makespan_cycles: apply.last_finish,
+            }
+        })
+        .collect())
+}
+
+/// The body one device worker runs per assembly (one spawned thread per
+/// device — the vendored rayon [`rayon::scope`] guarantees a real OS
+/// thread per spawn, so blocking on the mailbox cannot deadlock the
+/// pool).
+#[allow(clippy::too_many_arguments)]
+fn run_device(
+    dev: &mut DeviceState,
+    shard: &fem_mesh::partition::Shard,
+    plan: &ShardPlan,
+    boxes: &[DeviceShared],
+    ctx: &AssemblyContext<'_>,
+    conserved: &Conserved,
+    prim: &Primitives,
+    rhs: &SharedRhs,
+    viscous: bool,
+    parity: usize,
+    profile: bool,
+    agg: &Mutex<PhaseProfiler>,
+) {
+    let npe = ctx.mesh.nodes_per_element();
+    let owner = plan.owners();
+    let frontier = plan.frontier();
+    let neighbors = shard.neighbors();
+    let mut ws = ElementWorkspace::new(npe);
+    let mut local = PhaseProfiler::new();
+
+    // Reclaim the emptied send buffers receivers returned earlier.
+    {
+        let mut pool = boxes[dev.index].recycle.lock().unwrap();
+        for banks in dev.send.iter_mut() {
+            let bank = &mut banks[parity];
+            if bank.capacity() == 0 {
+                if let Some(v) = pool.pop() {
+                    *bank = v;
+                }
+            }
+        }
+    }
+
+    // Phase 1 — frontier sweep: assemble every element touching a
+    // frontier node, route frontier-node records to their owner (the
+    // send bank of the owning neighbor, or `pending` when self-owned)
+    // and *buffer* interior-node results for the replay below.
+    let t0 = Instant::now();
+    dev.replay.clear();
+    for &e32 in &dev.frontier_elements {
+        let e = e32 as usize;
+        eval_element(
+            ctx.mesh,
+            ctx.basis,
+            ctx.gas,
+            viscous,
+            conserved,
+            prim,
+            e,
+            &mut ws,
+            ctx.geometry.element(e),
+            if profile { Some(&mut local) } else { None },
+        );
+        for (q, &n) in ctx.mesh.element_nodes(e).iter().enumerate() {
+            let vals = [
+                ws.res[0][q],
+                ws.res[1][q],
+                ws.res[2][q],
+                ws.res[3][q],
+                ws.res[4][q],
+            ];
+            dev.replay.extend_from_slice(&vals);
+            if frontier[n as usize] {
+                let o = owner[n as usize];
+                let rec = HaloContribution {
+                    node: n,
+                    element: e32,
+                    vals,
+                };
+                if o as usize == dev.index {
+                    dev.pending.push(rec);
+                } else {
+                    let j = neighbors
+                        .binary_search(&o)
+                        .expect("owner of a shared node is a neighbor");
+                    dev.send[j][parity].push(rec);
+                }
+            }
+        }
+    }
+    dev.measured.frontier_s += t0.elapsed().as_secs_f64();
+
+    // Post one buffer to every neighbor — empty ones included, so every
+    // receiver can detect completion by counting posts.
+    for (j, &nb) in neighbors.iter().enumerate() {
+        let buf = std::mem::take(&mut dev.send[j][parity]);
+        boxes[nb as usize].mailbox.post(dev.index as u32, buf);
+    }
+
+    // Phase 2 — interior sweep, overlapped with the posts in flight:
+    // walk ALL of the shard's elements ascending; frontier elements
+    // replay their buffered interior-node scatters, interior elements
+    // evaluate fresh. Interior nodes are touched by this device alone,
+    // so the direct scatter is race-free and in serial order.
+    let t0 = Instant::now();
+    let stride = npe * NUM_VARS;
+    let mut fcur = 0usize;
+    for &e32 in shard.elements() {
+        if fcur < dev.frontier_elements.len() && dev.frontier_elements[fcur] == e32 {
+            let base = fcur * stride;
+            for (q, &n) in ctx.mesh.element_nodes(e32 as usize).iter().enumerate() {
+                if !frontier[n as usize] {
+                    let o = base + q * NUM_VARS;
+                    let vals = [
+                        dev.replay[o],
+                        dev.replay[o + 1],
+                        dev.replay[o + 2],
+                        dev.replay[o + 3],
+                        dev.replay[o + 4],
+                    ];
+                    // SAFETY: in-bounds node; an interior node is
+                    // touched by this device alone, so no two threads
+                    // alias.
+                    unsafe { rhs.add_vals(n as usize, &vals) };
+                }
+            }
+            fcur += 1;
+        } else {
+            let e = e32 as usize;
+            eval_element(
+                ctx.mesh,
+                ctx.basis,
+                ctx.gas,
+                viscous,
+                conserved,
+                prim,
+                e,
+                &mut ws,
+                ctx.geometry.element(e),
+                if profile { Some(&mut local) } else { None },
+            );
+            for (q, &n) in ctx.mesh.element_nodes(e).iter().enumerate() {
+                // An interior element touches no frontier node.
+                debug_assert!(!frontier[n as usize]);
+                // SAFETY: as above — interior nodes never alias.
+                unsafe { rhs.add_node(n as usize, &ws.res, q) };
+            }
+        }
+    }
+    dev.measured.interior_s += t0.elapsed().as_secs_f64();
+
+    // Phase 3 — wait for the neighbors' posts (the exposed, i.e.
+    // non-overlapped, part of the exchange).
+    let t0 = Instant::now();
+    let inbox = boxes[dev.index].mailbox.drain();
+    let wait = t0.elapsed();
+    dev.measured.wait_s += wait.as_secs_f64();
+
+    // Phase 4 — owner apply: merge received records with the self-owned
+    // ones, restore ascending global element order, apply sequentially.
+    // Owners target disjoint node sets, so devices never alias.
+    let t0 = Instant::now();
+    for (sender, mut buf) in inbox {
+        dev.pending.append(&mut buf);
+        // `buf` is empty now; hand its capacity back to the sender.
+        boxes[sender as usize].recycle.lock().unwrap().push(buf);
+    }
+    // The (node, element) key is total (a node appears at most once per
+    // element), so the unstable sort is deterministic and equal to the
+    // sharded backend's stable sort.
+    dev.pending
+        .sort_unstable_by_key(|rec| (rec.node, rec.element));
+    for rec in &dev.pending {
+        // SAFETY: in-bounds node; each frontier node has exactly one
+        // owner and only the owner applies, so devices never alias.
+        unsafe { rhs.add_vals(rec.node as usize, &rec.vals) };
+    }
+    dev.pending.clear();
+    let apply = t0.elapsed();
+    dev.measured.apply_s += apply.as_secs_f64();
+
+    if profile {
+        local.add(Phase::RkOther, wait + apply);
+        agg.lock().unwrap().merge(&local);
+    }
+}
+
+impl ExecutionBackend for MultiDeviceBackend {
+    fn name(&self) -> String {
+        format!(
+            "multidevice({}, {})",
+            self.plan.num_shards(),
+            self.plan.strategy()
+        )
+    }
+
+    fn capabilities(&self) -> BackendCapabilities {
+        BackendCapabilities {
+            shards: self.plan.num_shards(),
+            parallel: true,
+            deterministic_across_widths: true,
+            emulates_accelerator: true,
+        }
+    }
+
+    fn shard_plan(&self) -> Option<&ShardPlan> {
+        Some(self.plan.as_ref())
+    }
+
+    fn exchange_reports(&self) -> &[DeviceExchangeReport] {
+        &self.reports
+    }
+
+    fn measured_device_phases(&self) -> Vec<DevicePhaseSeconds> {
+        self.devices.iter().map(|d| d.measured).collect()
+    }
+
+    fn assemble_rhs(
+        &mut self,
+        ctx: &AssemblyContext<'_>,
+        conserved: &Conserved,
+        prim: &Primitives,
+        out: &mut Conserved,
+        profiler: Option<&mut PhaseProfiler>,
+    ) {
+        assert_eq!(conserved.len(), ctx.mesh.num_nodes(), "state size");
+        assert_eq!(out.len(), ctx.mesh.num_nodes(), "output size");
+        assert_eq!(
+            self.plan.num_elements(),
+            ctx.mesh.num_elements(),
+            "shard plan does not cover the mesh"
+        );
+        assert_eq!(
+            self.plan.num_nodes(),
+            ctx.mesh.num_nodes(),
+            "shard plan node ownership does not cover the mesh"
+        );
+        assert_eq!(
+            geometry_fingerprint(ctx.geometry),
+            self.geometry_fingerprint,
+            "assembly context geometry does not match the shard plan's mesh"
+        );
+        let viscous = ctx.gas.mu > 0.0;
+        let profile = profiler.is_some();
+        let parity = self.parity;
+        self.parity ^= 1;
+
+        out.set_zero();
+        let rhs = SharedRhs::new(out);
+        let agg = Mutex::new(PhaseProfiler::new());
+        let plan: &ShardPlan = &self.plan;
+        let boxes: &[DeviceShared] = &self.shared;
+        rayon::scope(|scope| {
+            for (dev, shard) in self.devices.iter_mut().zip(plan.shards()) {
+                let rhs = &rhs;
+                let agg = &agg;
+                scope.spawn(move |_| {
+                    run_device(
+                        dev, shard, plan, boxes, ctx, conserved, prim, rhs, viscous, parity,
+                        profile, agg,
+                    );
+                });
+            }
+        });
+
+        if profile {
+            let agg = agg.into_inner().unwrap();
+            if let Some(p) = profiler {
+                p.merge(&agg);
+            }
+        }
+    }
+}
+
 /// Builds a boxed built-in backend for `select` against a mesh/geometry
 /// pair. [`crate::driver::Simulation::set_backend`] calls this for the
 /// sharded selections; `Reference` selections it routes through
@@ -744,6 +1471,9 @@ pub fn build_backend(
         BackendSelect::DataflowEmulated { shards, strategy } => Box::new(
             DataflowEmulatedBackend::new(mesh, geometry, shards, strategy)?,
         ),
+        BackendSelect::MultiDevice { devices, strategy } => {
+            Box::new(MultiDeviceBackend::new(mesh, geometry, devices, strategy)?)
+        }
     })
 }
 
@@ -787,6 +1517,14 @@ mod tests {
             }
             .to_string(),
             "dataflow-emulated(2, partitioned)"
+        );
+        assert_eq!(
+            BackendSelect::MultiDevice {
+                devices: 4,
+                strategy: PartitionStrategy::Contiguous
+            }
+            .to_string(),
+            "multidevice(4, contiguous)"
         );
     }
 
@@ -904,7 +1642,139 @@ mod tests {
         ] {
             assert!(ShardedBackend::new(&mesh, &geometry, 0, strategy).is_err());
             assert!(DataflowEmulatedBackend::new(&mesh, &geometry, 0, strategy).is_err());
+            assert!(MultiDeviceBackend::new(&mesh, &geometry, 0, strategy).is_err());
         }
+    }
+
+    #[test]
+    fn multidevice_trajectory_is_bitwise_identical_per_registry_scenario() {
+        // The tentpole guarantee: the decentralized overlapped exchange
+        // stays bitwise identical to the serial reference on every
+        // registry scenario, at every device count, under both
+        // partition strategies.
+        for scenario in Scenario::registry() {
+            let mut reference = scenario.simulation(4).unwrap();
+            let dt = reference.suggest_dt(0.3);
+            reference.advance(2, dt).unwrap();
+            for strategy in [
+                PartitionStrategy::Contiguous,
+                PartitionStrategy::Partitioned,
+            ] {
+                for devices in [1usize, 2, 3, 4, 8] {
+                    let mut sim = scenario.simulation(4).unwrap();
+                    sim.set_backend(BackendSelect::MultiDevice { devices, strategy })
+                        .unwrap();
+                    let caps = sim.backend().capabilities();
+                    assert!(caps.deterministic_across_widths);
+                    assert!(caps.parallel);
+                    sim.advance(2, dt).unwrap();
+                    assert_eq!(
+                        bits(sim.conserved()),
+                        bits(reference.conserved()),
+                        "{} devices={devices} {strategy} diverged from the serial reference",
+                        scenario.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn multidevice_exchange_reports_model_the_overlap() {
+        let cfg = TgvConfig::standard();
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        sim.set_backend(BackendSelect::MultiDevice {
+            devices: 4,
+            strategy: PartitionStrategy::Contiguous,
+        })
+        .unwrap();
+        assert!(sim.backend().capabilities().emulates_accelerator);
+        assert_eq!(sim.backend().name(), "multidevice(4, contiguous)");
+
+        let reports = sim.exchange_reports();
+        assert_eq!(reports.len(), 4);
+        let ne: usize = reports
+            .iter()
+            .map(|r| r.frontier_elements + r.interior_elements)
+            .sum();
+        assert_eq!(ne, 6 * 6 * 6);
+        for r in reports {
+            // A 4-device split of a periodic box has halo everywhere.
+            assert!(r.neighbors >= 1, "{r:?}");
+            assert!(r.frontier_elements > 0, "{r:?}");
+            assert_eq!(r.halo_bytes_sent, 48 * r.halo_records_sent as u64);
+            assert!(r.frontier_cycles > 0 && r.interior_cycles > 0, "{r:?}");
+            // Each inbound post pays at least the PCIe round-trip
+            // latency (15 µs at 300 MHz = 4500 cycles).
+            assert!(r.exchange_cycles >= 4500 * r.neighbors as u64, "{r:?}");
+            assert!(r.apply_cycles >= r.halo_records_applied as u64, "{r:?}");
+            // The apply stage retires after frontier + interior compute.
+            assert!(
+                r.makespan_cycles >= r.frontier_cycles + r.interior_cycles + r.apply_cycles,
+                "{r:?}"
+            );
+            // These small interior sweeps cannot hide a 15 µs link
+            // round-trip — some communication stays exposed.
+            assert!(r.exposed_cycles > 0, "{r:?}");
+        }
+        // Ownership decides who *sends* (a first-touch owner only
+        // receives), so records are conserved in aggregate, not per
+        // device: everything sent or self-owned is applied exactly once.
+        let sent: usize = reports.iter().map(|r| r.halo_records_sent).sum();
+        let applied: usize = reports.iter().map(|r| r.halo_records_applied).sum();
+        assert!(sent > 0);
+        assert!(applied > sent, "self-owned records are applied too");
+
+        // Measured phases accumulate once the simulation advances.
+        assert!(sim
+            .measured_device_phases()
+            .iter()
+            .all(|m| m.frontier_s == 0.0 && m.interior_s == 0.0));
+        let dt = sim.suggest_dt(0.4);
+        sim.advance(2, dt).unwrap();
+        let measured = sim.measured_device_phases();
+        assert_eq!(measured.len(), 4);
+        for m in &measured {
+            assert!(m.frontier_s > 0.0 && m.interior_s > 0.0);
+            assert!(m.wait_s >= 0.0 && m.apply_s >= 0.0);
+            let eff = m.overlap_efficiency();
+            assert!((0.0..=1.0).contains(&eff), "{eff}");
+        }
+
+        // Single device: no neighbors, no links, nothing exposed.
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let basis = HexBasis::new(1).unwrap();
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        let solo =
+            MultiDeviceBackend::new(&mesh, &geometry, 1, PartitionStrategy::Contiguous).unwrap();
+        let r = &solo.exchange_reports()[0];
+        assert_eq!(r.neighbors, 0);
+        assert_eq!(r.frontier_elements, 0);
+        assert_eq!(r.halo_records_sent, 0);
+        assert_eq!(r.exchange_cycles, 0);
+        assert_eq!(r.exposed_cycles, 0);
+    }
+
+    #[test]
+    fn multidevice_profiling_records_phases() {
+        let cfg = TgvConfig::standard();
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let initial = cfg.initial_state(&mesh);
+        let mut sim = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        sim.set_backend(BackendSelect::MultiDevice {
+            devices: 3,
+            strategy: PartitionStrategy::Partitioned,
+        })
+        .unwrap();
+        sim.set_profiling(true);
+        let dt = sim.suggest_dt(0.4);
+        sim.advance(2, dt).unwrap();
+        let p = sim.profiler();
+        assert!(p.total(Phase::RkConvection) > std::time::Duration::ZERO);
+        assert!(p.total(Phase::RkDiffusion) > std::time::Duration::ZERO);
+        assert!(p.total(Phase::RkOther) > std::time::Duration::ZERO);
     }
 
     #[test]

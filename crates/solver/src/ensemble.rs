@@ -364,6 +364,7 @@ mod tests {
                 kind: "sharded".to_string(),
                 strategy: None,
                 shards: Some(2),
+                devices: None,
             },
         );
         let report = EnsembleDriver::with_workers(2)

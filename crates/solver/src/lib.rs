@@ -74,7 +74,8 @@ pub mod tgv;
 pub use diagnostics::FlowDiagnostics;
 pub use driver::{Simulation, SimulationBuilder, SolverCore};
 pub use engine::{
-    AssemblyContext, BackendCapabilities, BackendSelect, DataflowEmulatedBackend, ExecutionBackend,
+    AssemblyContext, BackendCapabilities, BackendSelect, DataflowEmulatedBackend,
+    DeviceExchangeReport, DevicePhaseSeconds, ExecutionBackend, MultiDeviceBackend,
     PartitionStrategy, ReferenceBackend, ShardCycleReport, ShardedBackend,
 };
 pub use ensemble::{EnsembleDriver, EnsembleReport, MemberResult};

@@ -28,20 +28,24 @@ use std::sync::Arc;
 
 /// Declarative execution-backend selection.
 ///
-/// | `kind`               | `strategy`                              | `shards`                          |
+/// | `kind`               | `strategy`                              | count field                       |
 /// |----------------------|-----------------------------------------|-----------------------------------|
-/// | `reference`          | `serial` (default), `chunked`, `colored`| chunk count for `chunked` only    |
-/// | `sharded`            | `contiguous` (default), `partitioned`   | shard count (default 4)           |
-/// | `dataflow-emulated`  | `contiguous` (default), `partitioned`   | shard count (default 4)           |
+/// | `reference`          | `serial` (default), `chunked`, `colored`| `shards` = chunk count (`chunked` only) |
+/// | `sharded`            | `contiguous` (default), `partitioned`   | `shards` (default 4)              |
+/// | `dataflow-emulated`  | `contiguous` (default), `partitioned`   | `shards` (default 4)              |
+/// | `multidevice`        | `contiguous` (default), `partitioned`   | `devices` (default 4)             |
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BackendSpec {
-    /// Backend family: `reference`, `sharded`, or `dataflow-emulated`.
+    /// Backend family: `reference`, `sharded`, `dataflow-emulated`, or
+    /// `multidevice`.
     pub kind: String,
     /// Family-specific strategy name (see the table above).
     pub strategy: Option<String>,
     /// Shard count (`sharded`/`dataflow-emulated`) or chunk count
     /// (`reference` + `chunked`); meaningless combinations are rejected.
     pub shards: Option<usize>,
+    /// Device count (`multidevice` only); rejected elsewhere.
+    pub devices: Option<usize>,
 }
 
 impl BackendSpec {
@@ -51,6 +55,7 @@ impl BackendSpec {
             kind: "reference".to_string(),
             strategy: None,
             shards: None,
+            devices: None,
         }
     }
 
@@ -66,14 +71,19 @@ impl BackendSpec {
             "reference" => match strategy {
                 None | Some("serial") => {
                     self.reject_shards("reference(serial)")?;
+                    self.reject_devices("reference(serial)")?;
                     Ok(BackendSelect::Reference(AssemblyStrategy::Serial))
                 }
-                Some("chunked") => Ok(BackendSelect::Reference(match self.shards {
-                    Some(chunks) => AssemblyStrategy::Chunked { chunks },
-                    None => AssemblyStrategy::chunked_auto(),
-                })),
+                Some("chunked") => {
+                    self.reject_devices("reference(chunked)")?;
+                    Ok(BackendSelect::Reference(match self.shards {
+                        Some(chunks) => AssemblyStrategy::Chunked { chunks },
+                        None => AssemblyStrategy::chunked_auto(),
+                    }))
+                }
                 Some("colored") => {
                     self.reject_shards("reference(colored)")?;
+                    self.reject_devices("reference(colored)")?;
                     Ok(BackendSelect::Reference(AssemblyStrategy::Colored))
                 }
                 Some(other) => Err(SolverError::InvalidSpec(format!(
@@ -81,16 +91,8 @@ impl BackendSpec {
                 ))),
             },
             "sharded" | "dataflow-emulated" => {
-                let strategy = match strategy {
-                    None | Some("contiguous") => PartitionStrategy::Contiguous,
-                    Some("partitioned") => PartitionStrategy::Partitioned,
-                    Some(other) => {
-                        return Err(SolverError::InvalidSpec(format!(
-                            "unknown {} strategy `{other}` (contiguous, partitioned)",
-                            self.kind
-                        )))
-                    }
-                };
+                let strategy = self.partition_strategy()?;
+                self.reject_devices(&self.kind)?;
                 let shards = self.shards.unwrap_or(4);
                 Ok(if self.kind == "sharded" {
                     BackendSelect::Sharded { shards, strategy }
@@ -98,8 +100,27 @@ impl BackendSpec {
                     BackendSelect::DataflowEmulated { shards, strategy }
                 })
             }
+            "multidevice" => {
+                let strategy = self.partition_strategy()?;
+                self.reject_shards("multidevice (use `devices`)")?;
+                Ok(BackendSelect::MultiDevice {
+                    devices: self.devices.unwrap_or(4),
+                    strategy,
+                })
+            }
             other => Err(SolverError::InvalidSpec(format!(
-                "unknown backend kind `{other}` (reference, sharded, dataflow-emulated)"
+                "unknown backend kind `{other}` (reference, sharded, dataflow-emulated, multidevice)"
+            ))),
+        }
+    }
+
+    fn partition_strategy(&self) -> Result<PartitionStrategy, SolverError> {
+        match self.strategy.as_deref() {
+            None | Some("contiguous") => Ok(PartitionStrategy::Contiguous),
+            Some("partitioned") => Ok(PartitionStrategy::Partitioned),
+            Some(other) => Err(SolverError::InvalidSpec(format!(
+                "unknown {} strategy `{other}` (contiguous, partitioned)",
+                self.kind
             ))),
         }
     }
@@ -108,6 +129,15 @@ impl BackendSpec {
         match self.shards {
             Some(n) => Err(SolverError::InvalidSpec(format!(
                 "`shards: {n}` is meaningless for {what}"
+            ))),
+            None => Ok(()),
+        }
+    }
+
+    fn reject_devices(&self, what: &str) -> Result<(), SolverError> {
+        match self.devices {
+            Some(n) => Err(SolverError::InvalidSpec(format!(
+                "`devices: {n}` is meaningless for {what}"
             ))),
             None => Ok(()),
         }
@@ -313,7 +343,7 @@ mod tests {
         #[test]
         fn prop_spec_built_matches_setter_built_bitwise(
             scenario_idx in 0usize..4,
-            backend_idx in 0usize..4,
+            backend_idx in 0usize..5,
             edge in 4usize..6,
             amp_scale in 1usize..4,
         ) {
@@ -325,16 +355,25 @@ mod tests {
                     kind: "reference".to_string(),
                     strategy: Some("colored".to_string()),
                     shards: None,
+                    devices: None,
                 },
                 2 => BackendSpec {
                     kind: "sharded".to_string(),
                     strategy: Some("contiguous".to_string()),
                     shards: Some(2),
+                    devices: None,
                 },
-                _ => BackendSpec {
+                3 => BackendSpec {
                     kind: "sharded".to_string(),
                     strategy: Some("partitioned".to_string()),
                     shards: Some(3),
+                    devices: None,
+                },
+                _ => BackendSpec {
+                    kind: "multidevice".to_string(),
+                    strategy: Some("partitioned".to_string()),
+                    shards: None,
+                    devices: Some(3),
                 },
             };
             let spec = SimulationSpec {
@@ -388,6 +427,7 @@ mod tests {
                     kind: "sharded".to_string(),
                     strategy: Some("partitioned".to_string()),
                     shards: Some(2),
+                    devices: None,
                 },
             ],
             cfl: Some(0.3),
@@ -417,14 +457,30 @@ mod tests {
             kind: "gpu".to_string(),
             strategy: None,
             shards: None,
+            devices: None,
         };
         assert!(matches!(bad.to_select(), Err(SolverError::InvalidSpec(_))));
         let bad = BackendSpec {
             kind: "reference".to_string(),
             strategy: Some("colored".to_string()),
             shards: Some(8),
+            devices: None,
         };
         assert!(bad.to_select().is_err(), "shards on colored must fail");
+        let bad = BackendSpec {
+            kind: "multidevice".to_string(),
+            strategy: None,
+            shards: Some(4),
+            devices: None,
+        };
+        assert!(bad.to_select().is_err(), "shards on multidevice must fail");
+        let bad = BackendSpec {
+            kind: "sharded".to_string(),
+            strategy: None,
+            shards: None,
+            devices: Some(4),
+        };
+        assert!(bad.to_select().is_err(), "devices on sharded must fail");
 
         let mut sweep = sweep();
         sweep.scenarios.push("warp-drive".to_string());

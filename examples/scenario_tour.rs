@@ -30,6 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 kind: "reference".to_string(),
                 strategy: Some("colored".to_string()),
                 shards: None,
+                devices: None,
             },
         };
         let mut sim = spec.build()?;

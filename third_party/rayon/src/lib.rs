@@ -3,7 +3,9 @@
 //! Provides the subset of rayon's data-parallel API this workspace uses:
 //! the `par_iter()` / `into_par_iter()` → `map` → `collect` pipeline plus
 //! the side-effect and reduction patterns (`for_each`, `fold`/`reduce`,
-//! `sum`, `zip`, `filter`, `flat_map`, `par_chunks`/`par_chunks_mut`).
+//! `sum`, `zip`, `filter`, `flat_map`, `par_chunks`/`par_chunks_mut`),
+//! and the explicit task API [`scope`]/[`Scope::spawn`] the solver's
+//! multi-device exchange workers run on.
 //! Unlike a pass-through sequential
 //! stub, every terminal operation genuinely fans the work out over
 //! `std::thread::scope` threads (one chunk per available core) and
@@ -71,6 +73,46 @@ where
         }
     });
     out
+}
+
+/// A scope for spawning borrowed worker tasks, mirroring `rayon::Scope`.
+///
+/// Backed by [`std::thread::scope`]: every [`Scope::spawn`] starts its
+/// own OS thread (no pool, no work stealing). That is a deliberately
+/// *stronger* guarantee than real rayon's: spawned tasks here always run
+/// concurrently, so a task may block waiting on another spawned task
+/// (e.g. a mailbox handshake between device workers) without risk of the
+/// scheduler deadlocking — a pattern that could starve on a fixed-size
+/// work-stealing pool. Callers should spawn O(devices) long-lived
+/// workers, not O(elements) fine-grained tasks.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `f` on a fresh scoped OS thread. The closure may borrow
+    /// from the environment (`'env` outlives the scope) and may spawn
+    /// further tasks through the scope handle it receives.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+/// Runs `op` inside a task scope, mirroring `rayon::scope`: every task
+/// spawned through the handle completes before `scope` returns, and a
+/// panic in any spawned task propagates to the caller (via
+/// [`std::thread::scope`]'s join-on-exit). See [`Scope`] for the
+/// one-thread-per-spawn execution guarantee.
+pub fn scope<'env, OP, R>(op: OP) -> R
+where
+    OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|s| op(&Scope { inner: s }))
 }
 
 /// A "parallel" iterator over an eagerly collected item list.
@@ -690,5 +732,63 @@ mod tests {
     fn zero_chunk_size_panics() {
         let data = [1, 2, 3];
         let _ = data.par_chunks(0);
+    }
+
+    #[test]
+    fn scope_spawns_genuinely_concurrent_tasks() {
+        // Every spawn gets its own OS thread, so N tasks can all wait on
+        // one barrier — with a shared pool smaller than N this would
+        // deadlock rather than pass.
+        const N: usize = 8;
+        let barrier = std::sync::Barrier::new(N);
+        let passed = AtomicUsize::new(0);
+        crate::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|_| {
+                    barrier.wait();
+                    passed.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(passed.load(Ordering::Relaxed), N);
+    }
+
+    #[test]
+    fn scope_tasks_write_disjoint_result_slots() {
+        // The device-worker pattern: hand each task a disjoint &mut slot,
+        // join at scope exit, read the results.
+        let mut results = vec![0usize; 6];
+        crate::scope(|s| {
+            for (i, slot) in results.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = (i + 1) * 10);
+            }
+        });
+        assert_eq!(results, vec![10, 20, 30, 40, 50, 60]);
+    }
+
+    #[test]
+    fn scope_returns_op_result_and_supports_nested_spawn() {
+        let sum = AtomicUsize::new(0);
+        let r = crate::scope(|s| {
+            s.spawn(|s| {
+                sum.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    sum.fetch_add(2, Ordering::Relaxed);
+                });
+            });
+            42usize
+        });
+        assert_eq!(r, 42);
+        assert_eq!(sum.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn scope_propagates_spawned_panics() {
+        let caught = std::panic::catch_unwind(|| {
+            crate::scope(|s| {
+                s.spawn(|_| panic!("worker died"));
+            });
+        });
+        assert!(caught.is_err());
     }
 }
