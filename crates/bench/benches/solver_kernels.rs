@@ -9,7 +9,8 @@ use fem_mesh::geometry::GeometryCache;
 use fem_mesh::hex::{ElementGeometry, GeometryScratch};
 use fem_numerics::tensor::HexBasis;
 use fem_solver::kernels::{
-    convective_flux, fused_flux, viscous_flux, weak_divergence, ElementWorkspace,
+    convective_flux, fused_flux, viscous_flux, weak_divergence, ElementWorkspace, KernelOps,
+    KernelPath,
 };
 use fem_solver::parallel::{assemble_rhs_chunked_into, assemble_rhs_colored_into};
 use fem_solver::state::{Conserved, Primitives};
@@ -101,21 +102,48 @@ fn bench_assembly_strategies(c: &mut Criterion) {
     group.bench_function("serial", |b| {
         b.iter(|| {
             assemble_rhs_chunked_into(
-                &mesh, &basis, &gas, &geometry, &conserved, &prim, 1, &mut out, None,
+                &mesh,
+                &basis,
+                &gas,
+                &geometry,
+                &conserved,
+                &prim,
+                1,
+                KernelPath::SumFactored,
+                &mut out,
+                None,
             )
         });
     });
     group.bench_function("chunked", |b| {
         b.iter(|| {
             assemble_rhs_chunked_into(
-                &mesh, &basis, &gas, &geometry, &conserved, &prim, threads, &mut out, None,
+                &mesh,
+                &basis,
+                &gas,
+                &geometry,
+                &conserved,
+                &prim,
+                threads,
+                KernelPath::SumFactored,
+                &mut out,
+                None,
             )
         });
     });
     group.bench_function("colored", |b| {
         b.iter(|| {
             assemble_rhs_colored_into(
-                &mesh, &basis, &gas, &geometry, &conserved, &prim, &coloring, &mut out, None,
+                &mesh,
+                &basis,
+                &gas,
+                &geometry,
+                &conserved,
+                &prim,
+                &coloring,
+                KernelPath::SumFactored,
+                &mut out,
+                None,
             )
         });
     });
@@ -179,10 +207,51 @@ fn bench_geometry_cache(c: &mut Criterion) {
     group.bench_function("rhs_cached_fused", |b| {
         b.iter(|| {
             assemble_rhs_chunked_into(
-                &mesh, &basis, &gas, &geometry, &conserved, &prim, 1, &mut out, None,
+                &mesh,
+                &basis,
+                &gas,
+                &geometry,
+                &conserved,
+                &prim,
+                1,
+                KernelPath::SumFactored,
+                &mut out,
+                None,
             )
         });
     });
+    group.finish();
+}
+
+/// The PR-9 order ladder at single-element granularity: the O(p⁴)
+/// sum-factored weak divergence vs the O(p⁶) dense full-matrix reference
+/// at basis orders p = 1..4 (dense operators materialized outside the
+/// timed loop, as `KernelOps::resolve` does per assembly sweep).
+fn bench_kernel_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_paths");
+    group.throughput(Throughput::Elements(1));
+    for order in 1..=4usize {
+        let mesh = BoxMeshBuilder::tgv_box(3).order(order).build().unwrap();
+        let basis = HexBasis::new(order).unwrap();
+        let cfg = TgvConfig::standard();
+        let gas = cfg.gas();
+        let conserved = cfg.initial_state(&mesh);
+        let mut prim = Primitives::zeros(mesh.num_nodes());
+        prim.update_from(&conserved, &gas);
+        let cache = GeometryCache::build(&mesh, &basis).unwrap();
+        let mut ws = ElementWorkspace::new(mesh.nodes_per_element());
+        ws.gather(mesh.element_nodes(0), &conserved, &prim);
+        fused_flux(&mut ws, &gas, &basis, cache.element(0));
+        for path in KernelPath::ALL {
+            let ops = KernelOps::resolve(path, &basis);
+            group.bench_function(format!("p{order}_{path}"), |b| {
+                b.iter(|| {
+                    ws.zero_residuals();
+                    ops.weak_divergence(&mut ws, &basis, cache.element(0), 1.0);
+                });
+            });
+        }
+    }
     group.finish();
 }
 
@@ -190,6 +259,7 @@ criterion_group!(
     benches,
     bench_kernels,
     bench_assembly_strategies,
-    bench_geometry_cache
+    bench_geometry_cache,
+    bench_kernel_paths
 );
 criterion_main!(benches);

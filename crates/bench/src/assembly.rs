@@ -12,6 +12,7 @@ use fem_mesh::generator::BoxMeshBuilder;
 use fem_mesh::geometry::GeometryCache;
 use fem_numerics::rk::StateOps;
 use fem_numerics::tensor::HexBasis;
+use fem_solver::kernels::KernelPath;
 use fem_solver::parallel::{
     assemble_rhs_chunked_into, assemble_rhs_colored_into, AssemblyStrategy,
 };
@@ -128,13 +129,40 @@ pub fn run_assembly_scaling(edges: &[usize], reps: usize) -> AssemblyScalingTabl
         for strategy in strategies {
             let assemble = |out: &mut Conserved| match strategy {
                 AssemblyStrategy::Serial => assemble_rhs_chunked_into(
-                    &mesh, &basis, &gas, &geometry, &conserved, &prim, 1, out, None,
+                    &mesh,
+                    &basis,
+                    &gas,
+                    &geometry,
+                    &conserved,
+                    &prim,
+                    1,
+                    KernelPath::SumFactored,
+                    out,
+                    None,
                 ),
                 AssemblyStrategy::Chunked { chunks } => assemble_rhs_chunked_into(
-                    &mesh, &basis, &gas, &geometry, &conserved, &prim, chunks, out, None,
+                    &mesh,
+                    &basis,
+                    &gas,
+                    &geometry,
+                    &conserved,
+                    &prim,
+                    chunks,
+                    KernelPath::SumFactored,
+                    out,
+                    None,
                 ),
                 AssemblyStrategy::Colored => assemble_rhs_colored_into(
-                    &mesh, &basis, &gas, &geometry, &conserved, &prim, &coloring, out, None,
+                    &mesh,
+                    &basis,
+                    &gas,
+                    &geometry,
+                    &conserved,
+                    &prim,
+                    &coloring,
+                    KernelPath::SumFactored,
+                    out,
+                    None,
                 ),
             };
             // Warm-up (also produces the correctness snapshot).

@@ -9,7 +9,7 @@
 //! repro optimizer   §III-D optimization trace on the proposed design
 //! repro scaling     future-work study: RKL units across SLRs
 //! repro assembly    host-CPU chunked-vs-colored assembly scaling
-//! repro geometry    cached-vs-recompute + fused-vs-split RHS ladder
+//! repro geometry    cached-vs-recompute, fused-vs-split, and the sum-factored vs full-matrix order ladder
 //! repro scenarios   cross-strategy regression matrix over the registry
 //! repro sharding    shard + device sweep, contiguous vs graph-partitioned, with emulated II quotes and multi-device overlap timings
 //! repro ensemble    ensemble serving: throughput sweep, context sharing, registry x backend

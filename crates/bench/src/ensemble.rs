@@ -191,18 +191,21 @@ fn same_mesh_specs(edge: usize, steps: usize, members: usize) -> Vec<SimulationS
             strategy: Some("colored".to_string()),
             shards: None,
             devices: None,
+            kernel: None,
         },
         BackendSpec {
             kind: "sharded".to_string(),
             strategy: Some("contiguous".to_string()),
             shards: Some(2),
             devices: None,
+            kernel: None,
         },
         BackendSpec {
             kind: "multidevice".to_string(),
             strategy: Some("partitioned".to_string()),
             shards: None,
             devices: Some(4),
+            kernel: None,
         },
     ];
     (0..members)
@@ -239,6 +242,7 @@ fn spec_vs_setters_bitwise(edge: usize, steps: usize) -> bool {
             strategy: Some("partitioned".to_string()),
             shards: Some(2),
             devices: None,
+            kernel: None,
         },
     };
     let mut from_spec = spec.build().expect("spec member builds");
@@ -307,12 +311,14 @@ pub fn run_ensemble_study(edge: usize, steps: usize, member_counts: &[usize]) ->
             strategy: Some("partitioned".to_string()),
             shards: None,
             devices: Some(4),
+            kernel: None,
         },
         BackendSpec {
             kind: "dataflow-emulated".to_string(),
             strategy: Some("contiguous".to_string()),
             shards: Some(2),
             devices: None,
+            kernel: None,
         },
     ];
     let registry_specs: Vec<SimulationSpec> = Scenario::registry()

@@ -19,6 +19,14 @@
 //! granularities (the knob that subsumes thread count in the in-order
 //! rayon stub), and the table reports the cache's memory footprint — the
 //! space the optimization trades for the per-stage Jacobian rebuild.
+//!
+//! The study also climbs the **order ladder**: at basis orders `p = 1..=4`
+//! it times one serial RHS assembly under each [`KernelPath`] — the
+//! O(p⁴) sum-factored three-sweep contraction vs the O(p⁶) dense
+//! full-matrix reference — locating the order where the factored path
+//! overtakes, checking both paths' colored schedules bitwise against
+//! their serial references, and bounding the full-vs-factored residual
+//! deviation at 1e-12.
 
 use fem_mesh::coloring::ElementColoring;
 use fem_mesh::generator::BoxMeshBuilder;
@@ -27,7 +35,9 @@ use fem_mesh::hex::{ElementGeometry, GeometryScratch};
 use fem_mesh::HexMesh;
 use fem_numerics::rk::StateOps;
 use fem_numerics::tensor::HexBasis;
-use fem_solver::kernels::{convective_flux, viscous_flux, weak_divergence, ElementWorkspace};
+use fem_solver::kernels::{
+    convective_flux, viscous_flux, weak_divergence, ElementWorkspace, KernelOpCounts, KernelPath,
+};
 use fem_solver::parallel::{
     assemble_rhs_colored_with_chunk, assemble_rhs_into, assemble_rhs_split_into, AssemblyStrategy,
 };
@@ -76,6 +86,37 @@ pub struct GeometrySummary {
     pub colored_bitwise_stable: bool,
 }
 
+/// One order-ladder rung: sum-factored vs full-matrix weak divergence at
+/// basis order `p` on a fixed TGV box.
+#[derive(Debug, Clone, Serialize)]
+pub struct OrderLadderRung {
+    /// Basis order `p`.
+    pub order: usize,
+    /// Nodes per element, `(p+1)³`.
+    pub nodes_per_element: usize,
+    /// Elements in the ladder mesh.
+    pub elements: usize,
+    /// Mean wall-clock ms per serial RHS assembly, full-matrix path.
+    pub millis_full_matrix: f64,
+    /// Mean wall-clock ms per serial RHS assembly, sum-factored path.
+    pub millis_sum_factored: f64,
+    /// Full-matrix time over sum-factored time (> 1 ⇒ factored wins).
+    pub factored_speedup: f64,
+    /// Modeled weak-divergence flops per element, sum-factored: O(p⁴).
+    pub factored_divergence_flops: usize,
+    /// Modeled weak-divergence flops per element, full-matrix: O(p⁶).
+    pub full_matrix_divergence_flops: usize,
+    /// The colored sum-factored assembly reproduced the serial
+    /// sum-factored reference bitwise at this order.
+    pub factored_bitwise_vs_reference: bool,
+    /// The colored full-matrix assembly reproduced the serial full-matrix
+    /// result bitwise at this order.
+    pub full_matrix_bitwise_vs_reference: bool,
+    /// Max deviation of the full-matrix residual from the sum-factored
+    /// reference, relative to the reference max-norm (floored at 1).
+    pub max_rel_error_full_vs_factored: f64,
+}
+
 /// The full study plus the environment it was measured in.
 #[derive(Debug, Clone, Serialize)]
 pub struct GeometryStudy {
@@ -85,6 +126,11 @@ pub struct GeometryStudy {
     pub rows: Vec<GeometryRow>,
     /// Per-edge derived speedups and the cache footprint.
     pub summaries: Vec<GeometrySummary>,
+    /// Sum-factored vs full-matrix timings at `p = 1..=4`.
+    pub order_ladder: Vec<OrderLadderRung>,
+    /// Lowest order at which the sum-factored path beat the full-matrix
+    /// path (`None` if it never did — a performance regression).
+    pub factored_crossover_order: Option<usize>,
 }
 
 impl std::fmt::Display for GeometryStudy {
@@ -122,6 +168,39 @@ impl std::fmt::Display for GeometryStudy {
                 s.cached_fused_over_seed,
                 s.colored_bitwise_stable
             )?;
+        }
+        writeln!(f, "Order ladder: sum-factored vs full-matrix contraction:")?;
+        writeln!(
+            f,
+            "  {:>2} {:>5} {:>10} {:>10} {:>8} {:>10} {:>10} {:>8} {:>12}",
+            "p",
+            "npe",
+            "ms full",
+            "ms fact",
+            "speedup",
+            "fl flops",
+            "fm flops",
+            "bitwise",
+            "max rel err"
+        )?;
+        for r in &self.order_ladder {
+            writeln!(
+                f,
+                "  {:>2} {:>5} {:>10.3} {:>10.3} {:>7.2}x {:>10} {:>10} {:>8} {:>12.2e}",
+                r.order,
+                r.nodes_per_element,
+                r.millis_full_matrix,
+                r.millis_sum_factored,
+                r.factored_speedup,
+                r.factored_divergence_flops,
+                r.full_matrix_divergence_flops,
+                r.factored_bitwise_vs_reference && r.full_matrix_bitwise_vs_reference,
+                r.max_rel_error_full_vs_factored
+            )?;
+        }
+        match self.factored_crossover_order {
+            Some(p) => writeln!(f, "  factored path ahead from p = {p}")?,
+            None => writeln!(f, "  factored path never overtook full-matrix")?,
         }
         Ok(())
     }
@@ -178,6 +257,77 @@ fn bits(c: &Conserved) -> Vec<u64> {
 
 /// One labeled RHS-assembly path under measurement.
 type AssemblyPath<'a> = (&'a str, Box<dyn Fn(&mut Conserved) + 'a>);
+
+/// Elements per axis of the order-ladder box — small, because the
+/// full-matrix side grows as O(p⁶) per element.
+const LADDER_EDGE: usize = 3;
+/// Highest basis order on the ladder.
+const LADDER_MAX_ORDER: usize = 4;
+
+/// Times one serial RHS assembly under each [`KernelPath`] at orders
+/// `p = 1..=4` on a viscous TGV box, cross-checking the full-matrix
+/// residual against the sum-factored reference and both colored
+/// schedules bitwise against their serial counterparts.
+fn run_order_ladder(reps: usize) -> Vec<OrderLadderRung> {
+    let mut rungs = Vec::new();
+    for order in 1..=LADDER_MAX_ORDER {
+        let mesh = BoxMeshBuilder::tgv_box(LADDER_EDGE)
+            .order(order)
+            .build()
+            .expect("valid ladder box");
+        let basis = HexBasis::new(order).expect("valid ladder basis");
+        let cfg = TgvConfig::standard();
+        let gas = cfg.gas();
+        let conserved = cfg.initial_state(&mesh);
+        let mut prim = Primitives::zeros(mesh.num_nodes());
+        prim.update_from(&conserved, &gas);
+        let geometry = GeometryCache::build(&mesh, &basis).expect("valid ladder geometry");
+        let coloring = ElementColoring::greedy(&mesh);
+        let counts = KernelOpCounts::for_basis(&basis);
+
+        let mut serial = [
+            Conserved::zeros(mesh.num_nodes()),
+            Conserved::zeros(mesh.num_nodes()),
+        ];
+        let mut millis = [0.0f64; 2];
+        let mut bitwise = [false; 2];
+        for (i, path) in KernelPath::ALL.into_iter().enumerate() {
+            let assemble = |strategy, coloring, out: &mut Conserved| {
+                assemble_rhs_into(
+                    &mesh, &basis, &gas, &geometry, &conserved, &prim, strategy, coloring, path,
+                    out, None,
+                )
+            };
+            // Warm-up doubles as the correctness snapshot.
+            assemble(AssemblyStrategy::Serial, None, &mut serial[i]);
+            let t0 = Instant::now();
+            let mut out = Conserved::zeros(mesh.num_nodes());
+            for _ in 0..reps {
+                assemble(AssemblyStrategy::Serial, None, &mut out);
+            }
+            millis[i] = t0.elapsed().as_secs_f64() * 1e3 / reps as f64;
+            // Schedule independence: the colored scatter must reproduce
+            // the serial result bitwise on this path too.
+            assemble(AssemblyStrategy::Colored, Some(&coloring), &mut out);
+            bitwise[i] = bits(&out) == bits(&serial[i]);
+        }
+        let [millis_factored, millis_full] = millis;
+        rungs.push(OrderLadderRung {
+            order,
+            nodes_per_element: basis.nodes_per_element(),
+            elements: mesh.num_elements(),
+            millis_full_matrix: millis_full,
+            millis_sum_factored: millis_factored,
+            factored_speedup: millis_full / millis_factored.max(f64::MIN_POSITIVE),
+            factored_divergence_flops: counts.divergence_flops_for(KernelPath::SumFactored),
+            full_matrix_divergence_flops: counts.divergence_flops_for(KernelPath::FullMatrix),
+            factored_bitwise_vs_reference: bitwise[0],
+            full_matrix_bitwise_vs_reference: bitwise[1],
+            max_rel_error_full_vs_factored: max_rel_error(&serial[0], &serial[1]),
+        });
+    }
+    rungs
+}
 
 /// Runs the study: `reps` timed assemblies per path on a viscous TGV box
 /// of each `edges` entry.
@@ -240,6 +390,7 @@ pub fn run_geometry_study(edges: &[usize], reps: usize) -> GeometryStudy {
                         &prim,
                         AssemblyStrategy::Serial,
                         None,
+                        KernelPath::SumFactored,
                         out,
                         None,
                     )
@@ -257,6 +408,7 @@ pub fn run_geometry_study(edges: &[usize], reps: usize) -> GeometryStudy {
                         &prim,
                         AssemblyStrategy::Colored,
                         Some(&coloring),
+                        KernelPath::SumFactored,
                         out,
                         None,
                     )
@@ -294,7 +446,17 @@ pub fn run_geometry_study(edges: &[usize], reps: usize) -> GeometryStudy {
         for chunk in [1usize, 7, 4096] {
             let mut c = Conserved::zeros(mesh.num_nodes());
             assemble_rhs_colored_with_chunk(
-                &mesh, &basis, &gas, &geometry, &conserved, &prim, &coloring, chunk, &mut c, None,
+                &mesh,
+                &basis,
+                &gas,
+                &geometry,
+                &conserved,
+                &prim,
+                &coloring,
+                chunk,
+                KernelPath::SumFactored,
+                &mut c,
+                None,
             );
             let b = bits(&c);
             match &colored_bits {
@@ -313,10 +475,17 @@ pub fn run_geometry_study(edges: &[usize], reps: usize) -> GeometryStudy {
             colored_bitwise_stable: stable,
         });
     }
+    let order_ladder = run_order_ladder(reps);
+    let factored_crossover_order = order_ladder
+        .iter()
+        .find(|r| r.factored_speedup > 1.0)
+        .map(|r| r.order);
     GeometryStudy {
         threads,
         rows,
         summaries,
+        order_ladder,
+        factored_crossover_order,
     }
 }
 
@@ -349,7 +518,44 @@ mod tests {
         // The table serializes (the repro --json path).
         let json = serde_json::to_string(&study).unwrap();
         assert!(json.contains("\"summaries\""), "{json}");
+        assert!(json.contains("\"order_ladder\""), "{json}");
         let shown = format!("{study}");
         assert!(shown.contains("cached+fused colored"), "{shown}");
+        assert!(shown.contains("Order ladder"), "{shown}");
+    }
+
+    #[test]
+    fn order_ladder_spans_the_orders_with_verified_rungs() {
+        let study = run_geometry_study(&[4], 1);
+        let ladder = &study.order_ladder;
+        assert_eq!(
+            ladder.iter().map(|r| r.order).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+        for r in ladder {
+            assert_eq!(r.nodes_per_element, (r.order + 1).pow(3));
+            assert!(r.elements > 0);
+            assert!(r.millis_sum_factored > 0.0, "p={}: no time", r.order);
+            assert!(r.millis_full_matrix > 0.0, "p={}: no time", r.order);
+            // Both contraction paths compute the same integrals...
+            assert!(
+                r.max_rel_error_full_vs_factored < 1e-12,
+                "p={}: rel err {}",
+                r.order,
+                r.max_rel_error_full_vs_factored
+            );
+            // ...and both colored schedules are bitwise-deterministic.
+            assert!(r.factored_bitwise_vs_reference, "p={}", r.order);
+            assert!(r.full_matrix_bitwise_vs_reference, "p={}", r.order);
+            // The flop model: factored O(p⁴) vs full-matrix O(p⁶), with
+            // the contraction-term ratio exactly n² = (p+1)².
+            let n = r.order + 1;
+            let npe = n * n * n;
+            assert_eq!(r.factored_divergence_flops, 90 * npe + 30 * n.pow(4));
+            assert_eq!(r.full_matrix_divergence_flops, 90 * npe + 30 * npe * npe);
+        }
+        // Hard perf gates live behind REPRO_PERF_GATE in the repro tests;
+        // here just sanity-check the derived speedups are finite.
+        assert!(ladder.iter().all(|r| r.factored_speedup.is_finite()));
     }
 }

@@ -27,7 +27,12 @@
 //! n=12 viscous benchmark (hard-enforced when `REPRO_PERF_GATE` is set —
 //! the CI `repro-artifacts` job gates the release build — and a warning
 //! otherwise, since wall-clock ratios are noisy on loaded runners), with
-//! a bitwise schedule-independent `Colored` strategy. The `ensemble`
+//! a bitwise schedule-independent `Colored` strategy — and the PR-9
+//! bar: the geometry study's sum-factored vs full-matrix order ladder
+//! spans p = 1..4, pins the exact O(p⁴)/O(p⁶) flop models, holds both
+//! kernel paths to ≤ 1e-12 mutual agreement with per-path bitwise
+//! colored-vs-serial flags, and (under `REPRO_PERF_GATE`) requires the
+//! factored path ahead of the dense path from p = 3. The `ensemble`
 //! test pins the PR-7 acceptance bar: the 8-member same-mesh sweep must
 //! share its [`fem_mesh::SharedMeshContext`] at a measured ≥ 2× memory
 //! savings (in fact exactly 8×), serve every registry scenario under
@@ -200,6 +205,74 @@ fn geometry_json_schema() {
         }
     }
     assert!(saw_edge_12, "study must include the TGV n=12 mesh");
+
+    // PR-9: the sum-factored vs full-matrix order ladder. One rung per
+    // polynomial order 1..=4, each carrying both kernel-path timings,
+    // the exact flop model, a ≤1e-12 cross-path agreement bound, and
+    // per-path colored-vs-serial bitwise flags.
+    let ladder = doc["order_ladder"].as_array().expect("`order_ladder`");
+    let orders: Vec<u64> = ladder
+        .iter()
+        .map(|r| r["order"].as_u64().expect("order"))
+        .collect();
+    assert_eq!(orders, vec![1, 2, 3, 4], "ladder rungs drifted");
+    for r in ladder {
+        let p = r["order"].as_u64().unwrap();
+        let n = p + 1;
+        let npe = n * n * n;
+        assert_eq!(r["nodes_per_element"].as_u64(), Some(npe), "p={p}");
+        assert!(r["elements"].as_u64().expect("elements") > 0);
+        for key in ["millis_full_matrix", "millis_sum_factored"] {
+            let ms = r[key].as_f64().unwrap_or_else(|| panic!("missing {key}"));
+            assert!(ms > 0.0, "p={p}: `{key}` not positive: {ms}");
+        }
+        assert!(r["factored_speedup"].as_f64().expect("speedup") > 0.0);
+        // The flop model is exact: factored 90·npe + 30·n⁴ (three 1D
+        // sweeps), full-matrix 90·npe + 30·npe² (dense per direction).
+        assert_eq!(
+            r["factored_divergence_flops"].as_u64(),
+            Some(90 * npe + 30 * n.pow(4)),
+            "p={p}: factored flop model drifted"
+        );
+        assert_eq!(
+            r["full_matrix_divergence_flops"].as_u64(),
+            Some(90 * npe + 30 * npe * npe),
+            "p={p}: full-matrix flop model drifted"
+        );
+        // Both paths are schedule-independent at every order ...
+        for key in [
+            "factored_bitwise_vs_reference",
+            "full_matrix_bitwise_vs_reference",
+        ] {
+            assert_eq!(r[key].as_bool(), Some(true), "p={p}: `{key}`");
+        }
+        // ... and agree with each other to rounding.
+        let err = r["max_rel_error_full_vs_factored"].as_f64().expect("err");
+        assert!(err <= 1e-12, "p={p}: paths diverge: {err}");
+        // Acceptance: the factored path is ahead of the dense reference
+        // from p=3 up. Wall-clock gated like the n=12 ladder above.
+        if p >= 3 {
+            let speedup = r["factored_speedup"].as_f64().unwrap();
+            if std::env::var("REPRO_PERF_GATE").is_ok() {
+                assert!(
+                    speedup >= 1.0,
+                    "sum-factored only {speedup:.2}x over full-matrix at p={p}"
+                );
+            } else if speedup < 1.0 {
+                eprintln!(
+                    "warning: sum-factored only {speedup:.2}x over full-matrix at \
+                     p={p} (not enforced without REPRO_PERF_GATE)"
+                );
+            }
+        }
+    }
+    // The crossover marker is derived from the rungs and must land by
+    // p=3 under the perf gate.
+    let crossover = doc["factored_crossover_order"].as_u64();
+    if std::env::var("REPRO_PERF_GATE").is_ok() {
+        let p = crossover.expect("factored path never overtook full-matrix");
+        assert!(p <= 3, "factored crossover only at p={p}");
+    }
 }
 
 #[test]

@@ -14,7 +14,9 @@ use fem_numerics::rk::OdeSystem;
 use fem_numerics::tensor::HexBasis;
 use fem_solver::engine::{AssemblyContext, BackendCapabilities, ExecutionBackend};
 use fem_solver::gas::GasModel;
-use fem_solver::kernels::{convective_flux, fused_flux, weak_divergence, ElementWorkspace};
+use fem_solver::kernels::{
+    convective_flux, fused_flux, weak_divergence, ElementWorkspace, KernelOps, KernelPath,
+};
 use fem_solver::profile::{Phase, PhaseProfiler};
 use fem_solver::state::{Conserved, Primitives};
 use hls_dataflow::functional::StagedPipeline;
@@ -37,12 +39,16 @@ pub struct ElementToken {
 /// Contribution), assembling the RHS into `out` (overwriting it; not yet
 /// mass-scaled). Geometry streams from `geometry` — the pipeline never
 /// rebuilds it. The stages *borrow* the sweep context and the output
-/// buffer (no per-sweep allocation of the result).
+/// buffer (no per-sweep allocation of the result). The weak-divergence
+/// contraction dispatches on `kernel`, resolved once per sweep like every
+/// host backend does (the full-matrix path materializes its dense
+/// operators here, before any token flows).
 ///
 /// # Panics
 ///
 /// Panics if the state, geometry cache or output does not match the
 /// mesh.
+#[allow(clippy::too_many_arguments)]
 pub fn staged_stage_residual_into(
     mesh: &HexMesh,
     basis: &HexBasis,
@@ -50,12 +56,14 @@ pub fn staged_stage_residual_into(
     geometry: &GeometryCache,
     conserved: &Conserved,
     primitives: &Primitives,
+    kernel: KernelPath,
     out: &mut Conserved,
 ) {
     assert_eq!(conserved.len(), mesh.num_nodes());
     assert_eq!(geometry.num_elements(), mesh.num_elements());
     assert_eq!(out.len(), mesh.num_nodes());
     let npe = mesh.nodes_per_element();
+    let kernel = KernelOps::resolve(kernel, basis);
     out.set_zero();
     let rhs = RefCell::new(out);
 
@@ -77,7 +85,7 @@ pub fn staged_stage_residual_into(
         } else {
             convective_flux(&mut tok.ws);
         }
-        weak_divergence(&mut tok.ws, basis, geom, 1.0);
+        kernel.weak_divergence(&mut tok.ws, basis, geom, 1.0);
         tok
     });
     // STORE Element Contribution (paper step 3).
@@ -97,8 +105,8 @@ pub fn staged_stage_residual_into(
     }
 }
 
-/// Allocating wrapper over [`staged_stage_residual_into`], returning the
-/// assembled RHS.
+/// Allocating wrapper over [`staged_stage_residual_into`] on the default
+/// sum-factored kernel path, returning the assembled RHS.
 ///
 /// # Panics
 ///
@@ -112,7 +120,16 @@ pub fn staged_stage_residual(
     primitives: &Primitives,
 ) -> Conserved {
     let mut rhs = Conserved::zeros(mesh.num_nodes());
-    staged_stage_residual_into(mesh, basis, gas, geometry, conserved, primitives, &mut rhs);
+    staged_stage_residual_into(
+        mesh,
+        basis,
+        gas,
+        geometry,
+        conserved,
+        primitives,
+        KernelPath::SumFactored,
+        &mut rhs,
+    );
     rhs
 }
 
@@ -200,6 +217,7 @@ impl OdeSystem for StagedRhs {
             &self.geometry,
             y,
             &self.primitives,
+            KernelPath::SumFactored,
             dydt,
         );
         let apply = |dst: &mut [f64], mass: &[f64]| {
@@ -256,6 +274,7 @@ impl ExecutionBackend for StagedBackend {
             ctx.geometry,
             conserved,
             prim,
+            ctx.kernel,
             out,
         );
         if let (Some(t0), Some(p)) = (t0, profiler) {
@@ -368,6 +387,46 @@ mod tests {
             accelerated.conserved().to_bit_vec(),
             reference.conserved().to_bit_vec(),
             "staged backend diverged from the reference driver"
+        );
+    }
+
+    #[test]
+    fn staged_backend_honors_the_full_matrix_kernel_path() {
+        // The staged pipeline dispatches `ctx.kernel` like every host
+        // backend: under the full-matrix path it must track the reference
+        // driver's full-matrix trajectory bitwise (same serial element
+        // order, same dense contraction), and that trajectory must
+        // actually differ in bits from the sum-factored one (the knob is
+        // live, not decorative).
+        let mesh = BoxMeshBuilder::tgv_box(4).build().unwrap();
+        let cfg = TgvConfig::new(0.2, 400.0);
+        let initial = cfg.initial_state(&mesh);
+
+        let mut reference = Simulation::builder(mesh.clone(), cfg.gas(), initial.clone())
+            .kernel_path(KernelPath::FullMatrix)
+            .build()
+            .unwrap();
+        let dt = reference.suggest_dt(0.4);
+        reference.advance(3, dt).unwrap();
+
+        let mut accelerated = Simulation::builder(mesh.clone(), cfg.gas(), initial.clone())
+            .kernel_path(KernelPath::FullMatrix)
+            .build()
+            .unwrap();
+        accelerated.set_custom_backend(Box::new(StagedBackend));
+        accelerated.advance(3, dt).unwrap();
+        assert_eq!(
+            accelerated.conserved().to_bit_vec(),
+            reference.conserved().to_bit_vec(),
+            "staged full-matrix run diverged from the reference driver"
+        );
+
+        let mut factored = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        factored.advance(3, dt).unwrap();
+        assert_ne!(
+            accelerated.conserved().to_bit_vec(),
+            factored.conserved().to_bit_vec(),
+            "full-matrix and sum-factored trajectories should differ in bits"
         );
     }
 

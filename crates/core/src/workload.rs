@@ -24,7 +24,11 @@ pub const OUTPUT_ARRAYS: [&str; 5] = ["res_rho", "res_mx", "res_my", "res_mz", "
 /// single-contraction element kernels: tensor-product gradients,
 /// Jacobian transforms, τ, the net `F_c − F_v` flux and ONE
 /// weak-divergence contraction (the paper's Fig-1 fusion, which the host
-/// hot path mirrors since the fused kernel landed).
+/// hot path mirrors since the fused kernel landed). The contraction term
+/// is the **sum-factored** three-sweep schedule — `3n` MACs per output
+/// node (one 1D line per direction), O(p⁴) per element — not the dense
+/// full-matrix count, which only the validation path pays (see
+/// `fem_solver::kernels::KernelOpCounts::divergence_flops_for`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NodeOpCounts {
     /// Fused multiply-adds.

@@ -59,6 +59,13 @@ pub enum NumericsError {
         /// The minimum number of nodes supported.
         minimum: usize,
     },
+    /// A quadrature rule or basis was requested beyond the supported range.
+    OrderTooHigh {
+        /// The order (or node count) requested.
+        requested: usize,
+        /// The maximum supported by the implementation.
+        maximum: usize,
+    },
     /// Newton iteration for quadrature nodes failed to converge.
     NewtonDiverged {
         /// Index of the node that failed to converge.
@@ -78,6 +85,10 @@ impl std::fmt::Display for NumericsError {
             NumericsError::OrderTooLow { requested, minimum } => write!(
                 f,
                 "requested {requested} nodes but at least {minimum} are required"
+            ),
+            NumericsError::OrderTooHigh { requested, maximum } => write!(
+                f,
+                "requested {requested} but at most {maximum} is supported"
             ),
             NumericsError::NewtonDiverged { node, residual } => write!(
                 f,

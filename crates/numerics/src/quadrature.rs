@@ -35,18 +35,33 @@ pub struct GllRule {
 }
 
 impl GllRule {
+    /// Largest supported point count. The Newton solve and the Legendre
+    /// recurrences stay well-conditioned far beyond any order the solver
+    /// uses, but the weight formula `2/(n(n-1)P²)` starts losing digits as
+    /// `P_{n-1}(±1) = 1` meets interior values of order `1/√n`; 32 points
+    /// (order 31) leaves a wide safety margin over the p ≤ 4 ladder.
+    pub const MAX_POINTS: usize = 32;
+
     /// Builds the `n`-point GLL rule.
     ///
     /// # Errors
     ///
     /// Returns [`NumericsError::OrderTooLow`] if `n < 2` (Lobatto rules need
-    /// both endpoints) and [`NumericsError::NewtonDiverged`] if root finding
-    /// fails (not observed for any practical order).
+    /// both endpoints), [`NumericsError::OrderTooHigh`] if
+    /// `n > `[`MAX_POINTS`](Self::MAX_POINTS) — the error names the actual
+    /// maximum, not a generic failure — and [`NumericsError::NewtonDiverged`]
+    /// if root finding fails (not observed for any supported order).
     pub fn new(n: usize) -> Result<Self, NumericsError> {
         if n < 2 {
             return Err(NumericsError::OrderTooLow {
                 requested: n,
                 minimum: 2,
+            });
+        }
+        if n > Self::MAX_POINTS {
+            return Err(NumericsError::OrderTooHigh {
+                requested: n,
+                maximum: Self::MAX_POINTS,
             });
         }
         let mut points = vec![0.0; n];
@@ -153,6 +168,22 @@ mod tests {
             GllRule::new(0),
             Err(NumericsError::OrderTooLow { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_order_above_the_cap_naming_the_maximum() {
+        // Regression: there used to be no upper bound at all — absurd
+        // requests ground through the Newton solve instead of failing
+        // with a diagnosable error naming the supported range.
+        match GllRule::new(GllRule::MAX_POINTS + 1) {
+            Err(NumericsError::OrderTooHigh { requested, maximum }) => {
+                assert_eq!(requested, GllRule::MAX_POINTS + 1);
+                assert_eq!(maximum, GllRule::MAX_POINTS);
+            }
+            other => panic!("expected OrderTooHigh, got {other:?}"),
+        }
+        // The boundary itself still constructs.
+        assert!(GllRule::new(GllRule::MAX_POINTS).is_ok());
     }
 
     #[test]

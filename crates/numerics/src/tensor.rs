@@ -35,11 +35,20 @@ pub struct HexBasis {
 }
 
 impl HexBasis {
+    /// Largest supported polynomial order, pinned by the quadrature layer:
+    /// an order-`p` basis needs a `(p+1)`-point GLL rule, so the ceiling is
+    /// [`GllRule::MAX_POINTS`]` - 1`.
+    pub const MAX_ORDER: usize = GllRule::MAX_POINTS - 1;
+
     /// Builds the hex basis of polynomial order `order ≥ 1` on GLL nodes.
     ///
     /// # Errors
     ///
-    /// Returns [`NumericsError::OrderTooLow`] if `order == 0`.
+    /// Returns [`NumericsError::OrderTooLow`] if `order == 0` and
+    /// [`NumericsError::OrderTooHigh`] if
+    /// `order > `[`MAX_ORDER`](Self::MAX_ORDER). Both speak in *order*
+    /// terms — what the caller asked for — not the node counts the
+    /// downstream `GllRule`/`LagrangeBasis` checks would quote.
     pub fn new(order: usize) -> Result<Self, NumericsError> {
         if order == 0 {
             // Report the order actually requested and the order floor —
@@ -47,6 +56,14 @@ impl HexBasis {
             return Err(NumericsError::OrderTooLow {
                 requested: 0,
                 minimum: 1,
+            });
+        }
+        if order > Self::MAX_ORDER {
+            // Same principle for the ceiling: name the order maximum, not
+            // the (order+1)-node quadrature cap GllRule would report.
+            return Err(NumericsError::OrderTooHigh {
+                requested: order,
+                maximum: Self::MAX_ORDER,
             });
         }
         let rule = GllRule::new(order + 1)?;
@@ -89,6 +106,24 @@ impl HexBasis {
     /// The 1D differentiation matrix, row-major.
     pub fn dmat(&self) -> &[f64] {
         &self.dmat
+    }
+
+    /// The 1D GLL points — one factor of the tensor-product node layout.
+    ///
+    /// Together with [`weights_1d`](Self::weights_1d),
+    /// [`dmat`](Self::dmat), and the
+    /// [`flat_index`](Self::flat_index)/[`ijk`](Self::ijk) map, this is the
+    /// complete tensor-product structure a sum-factorized kernel needs: the
+    /// 3D operator never has to be materialized, because every directional
+    /// derivative is the 1D matrix applied along one index line.
+    pub fn points_1d(&self) -> &[f64] {
+        self.rule.points()
+    }
+
+    /// The 1D GLL quadrature weights; the 3D weight at `(i, j, k)` is the
+    /// product `w_i w_j w_k` (see [`weight_3d`](Self::weight_3d)).
+    pub fn weights_1d(&self) -> &[f64] {
+        self.rule.weights()
     }
 
     /// Lexicographic flattening `(i, j, k) → flat`.
@@ -191,6 +226,46 @@ mod tests {
                 assert_eq!(minimum, 2);
             }
             other => panic!("expected OrderTooLow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_above_maximum_error_reports_the_actual_maximum() {
+        // Regression, mirror of the order-zero fix: before the cap landed,
+        // an over-order request either ran unbounded or would have quoted
+        // the downstream GllRule node-count limit. The error must speak in
+        // order terms: the order requested and the order maximum.
+        match HexBasis::new(HexBasis::MAX_ORDER + 1) {
+            Err(NumericsError::OrderTooHigh { requested, maximum }) => {
+                assert_eq!(requested, HexBasis::MAX_ORDER + 1);
+                assert_eq!(maximum, HexBasis::MAX_ORDER);
+            }
+            other => panic!("expected OrderTooHigh, got {other:?}"),
+        }
+        // Far past the cap the message still names the same maximum.
+        match HexBasis::new(10_000) {
+            Err(NumericsError::OrderTooHigh { requested, maximum }) => {
+                assert_eq!(requested, 10_000);
+                assert_eq!(maximum, HexBasis::MAX_ORDER);
+            }
+            other => panic!("expected OrderTooHigh, got {other:?}"),
+        }
+        // The boundary order itself constructs.
+        assert!(HexBasis::new(HexBasis::MAX_ORDER).is_ok());
+    }
+
+    #[test]
+    fn tensor_structure_accessors_expose_the_1d_factors() {
+        let hex = HexBasis::new(3).unwrap();
+        assert_eq!(hex.points_1d(), hex.rule().points());
+        assert_eq!(hex.weights_1d(), hex.rule().weights());
+        let w = hex.weights_1d();
+        for k in 0..hex.nodes_per_dim() {
+            for j in 0..hex.nodes_per_dim() {
+                for i in 0..hex.nodes_per_dim() {
+                    assert_eq!(hex.weight_3d(i, j, k), w[i] * w[j] * w[k]);
+                }
+            }
         }
     }
 

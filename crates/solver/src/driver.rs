@@ -28,6 +28,7 @@ use crate::engine::{
     ShardedBackend,
 };
 use crate::gas::GasModel;
+use crate::kernels::KernelPath;
 use crate::parallel::AssemblyStrategy;
 use crate::profile::{Phase, PhaseProfiler};
 use crate::state::{Conserved, Primitives};
@@ -57,6 +58,8 @@ pub struct SolverCore {
     profiling: bool,
     /// The active execution backend the RK stages assemble through.
     backend: Box<dyn ExecutionBackend>,
+    /// The weak-divergence contraction algorithm every backend dispatches.
+    kernel: KernelPath,
 }
 
 impl SolverCore {
@@ -114,6 +117,12 @@ impl SolverCore {
         self.backend.as_ref()
     }
 
+    /// The active weak-divergence kernel path (see
+    /// [`crate::kernels::KernelPath`]).
+    pub fn kernel_path(&self) -> KernelPath {
+        self.kernel
+    }
+
     /// Class statistics of the element coloring, if the active backend
     /// built one (i.e. after selecting [`AssemblyStrategy::Colored`]).
     pub fn coloring_stats(&self) -> Option<ColoringStats> {
@@ -138,6 +147,7 @@ impl OdeSystem for SolverCore {
             basis: self.ctx.basis(),
             gas: &self.gas,
             geometry: self.ctx.geometry(),
+            kernel: self.kernel,
         };
         self.backend.assemble_rhs(
             &ctx,
@@ -268,6 +278,7 @@ pub struct SimulationBuilder {
     initial: Conserved,
     bc: Option<DirichletBc>,
     backend: Option<BackendSelect>,
+    kernel: KernelPath,
     profiling: bool,
 }
 
@@ -279,6 +290,7 @@ impl SimulationBuilder {
             initial,
             bc: None,
             backend: None,
+            kernel: KernelPath::default(),
             profiling: false,
         }
     }
@@ -301,6 +313,16 @@ impl SimulationBuilder {
     /// [`SimulationBuilder::backend`] with [`BackendSelect::Reference`].
     pub fn assembly(mut self, strategy: AssemblyStrategy) -> Self {
         self.backend = Some(BackendSelect::Reference(strategy));
+        self
+    }
+
+    /// Selects the weak-divergence kernel path every backend dispatches
+    /// (default: [`KernelPath::SumFactored`], the O(p⁴) production
+    /// contraction; [`KernelPath::FullMatrix`] is the O(p⁶) dense
+    /// validation reference). See [`crate::kernels`] for the three-sweep
+    /// schedule and the equivalence guarantee between the two.
+    pub fn kernel_path(mut self, path: KernelPath) -> Self {
+        self.kernel = path;
         self
     }
 
@@ -366,6 +388,7 @@ impl SimulationBuilder {
                 profiler,
                 profiling: self.profiling,
                 backend,
+                kernel: self.kernel,
             },
             conserved: self.initial,
             rk,
@@ -439,6 +462,21 @@ impl Simulation {
         let mut out = Conserved::zeros(self.conserved.len());
         self.core.rhs(self.time, &self.conserved, &mut out);
         out
+    }
+
+    /// Selects the weak-divergence kernel path for subsequent RHS
+    /// evaluations (default: [`KernelPath::SumFactored`]).
+    ///
+    /// Prefer [`SimulationBuilder::kernel_path`] at construction; this
+    /// remains for switching paths mid-run (e.g. the order-ladder study
+    /// timing both paths on one simulation).
+    pub fn set_kernel_path(&mut self, path: KernelPath) {
+        self.core.kernel = path;
+    }
+
+    /// The active weak-divergence kernel path.
+    pub fn kernel_path(&self) -> KernelPath {
+        self.core.kernel
     }
 
     /// Enables or disables phase profiling (disabled by default; timer

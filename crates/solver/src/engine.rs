@@ -86,7 +86,7 @@
 //! [`BackendSelect`] and [`crate::driver::Simulation::set_backend`].
 
 use crate::gas::GasModel;
-use crate::kernels::{ElementWorkspace, NUM_VARS};
+use crate::kernels::{ElementWorkspace, KernelOps, KernelPath, NUM_VARS};
 use crate::parallel::{assemble_rhs_into, eval_element, AssemblyStrategy, SharedRhs};
 use crate::profile::{Phase, PhaseProfiler};
 use crate::state::{Conserved, Primitives};
@@ -105,7 +105,9 @@ use std::time::Instant;
 
 /// Everything an RHS assembly needs besides the conserved state: the
 /// solver core's mesh, basis, gas model and whole-mesh geometry cache,
-/// borrowed for the duration of one evaluation.
+/// borrowed for the duration of one evaluation, plus the [`KernelPath`]
+/// the contraction should run on (every backend honors it, so the
+/// factored ≡ full-matrix guarantee holds across the whole engine).
 #[derive(Debug, Clone, Copy)]
 pub struct AssemblyContext<'a> {
     /// The mesh being solved on.
@@ -116,6 +118,8 @@ pub struct AssemblyContext<'a> {
     pub gas: &'a GasModel,
     /// The whole-mesh precomputed geometry cache.
     pub geometry: &'a GeometryCache,
+    /// The weak-divergence contraction algorithm to dispatch.
+    pub kernel: KernelPath,
 }
 
 /// Static capability metadata a backend reports about itself.
@@ -339,6 +343,7 @@ impl ExecutionBackend for ReferenceBackend {
             prim,
             self.strategy,
             self.coloring.as_deref(),
+            ctx.kernel,
             out,
             profiler,
         );
@@ -506,6 +511,7 @@ impl ExecutionBackend for ShardedBackend {
         let npe = ctx.mesh.nodes_per_element();
         let viscous = ctx.gas.mu > 0.0;
         let profile = profiler.is_some();
+        let kernel = KernelOps::resolve(ctx.kernel, ctx.basis);
         let owner = self.plan.owners();
         let frontier = self.plan.frontier();
 
@@ -540,6 +546,7 @@ impl ExecutionBackend for ShardedBackend {
                         e,
                         &mut ws,
                         ctx.geometry.element(e),
+                        &kernel,
                         if profile { Some(&mut local) } else { None },
                     );
                     let t0 = profile.then(Instant::now);
@@ -708,8 +715,13 @@ fn emulate_shard(
     let bytes_in_pe = (shard.bytes_in() as u64).div_ceil(elements.max(1));
     let bytes_out_pe = (shard.bytes_out() as u64).div_ceil(elements.max(1));
     let load_ii = bytes_in_pe.div_ceil(AXI_BYTES_PER_CYCLE).max(1);
-    // The fused Diffusion ⊕ Convection module retires one element node
-    // per cycle once pipelined (the paper's II=1 node pipeline).
+    // The fused Diffusion ⊕ Convection module retires one element node per
+    // cycle once pipelined. Under the sum-factorized schedule each output
+    // node needs 5 · 3n MACs — three 1D sweeps of n MACs per variable —
+    // which an unrolled 3n-wide MAC tree (n ≤ 5 on the p ≤ 4 ladder)
+    // retires in one II=1 issue per node, so the element-level II stays
+    // npe cycles. The full-matrix schedule would need 3·npe MACs per node
+    // (n² wider) — the HLS quote assumes the factored hot path.
     let compute_ii = npe.max(1);
     let store_ii = bytes_out_pe.div_ceil(AXI_BYTES_PER_CYCLE).max(1);
 
@@ -1204,6 +1216,9 @@ fn run_device(
     let neighbors = shard.neighbors();
     let mut ws = ElementWorkspace::new(npe);
     let mut local = PhaseProfiler::new();
+    // Per-device resolution: each worker materializes its own operators
+    // (full-matrix) or none (factored) — no cross-device sharing needed.
+    let kernel = KernelOps::resolve(ctx.kernel, ctx.basis);
 
     // Reclaim the emptied send buffers receivers returned earlier.
     {
@@ -1236,6 +1251,7 @@ fn run_device(
             e,
             &mut ws,
             ctx.geometry.element(e),
+            &kernel,
             if profile { Some(&mut local) } else { None },
         );
         for (q, &n) in ctx.mesh.element_nodes(e).iter().enumerate() {
@@ -1314,6 +1330,7 @@ fn run_device(
                 e,
                 &mut ws,
                 ctx.geometry.element(e),
+                &kernel,
                 if profile { Some(&mut local) } else { None },
             );
             for (q, &n) in ctx.mesh.element_nodes(e).iter().enumerate() {

@@ -365,6 +365,7 @@ mod tests {
                 strategy: None,
                 shards: Some(2),
                 devices: None,
+                kernel: None,
             },
         );
         let report = EnsembleDriver::with_workers(2)

@@ -30,6 +30,55 @@
 //! conserved variable `U` with flux `F` obeys `M dU/dt = R`,
 //! `R_i = ∫ ∇N_i · F dV`, evaluated with GLL quadrature collocated at the
 //! element nodes.
+//!
+//! # Kernel paths: sum-factored vs full-matrix
+//!
+//! The contraction algorithm itself is selectable via [`KernelPath`]
+//! (resolved once per assembly sweep into [`KernelOps`]):
+//!
+//! * **[`KernelPath::SumFactored`]** (the default, and the solver's hot
+//!   path) exploits the tensor-product structure of the hex basis: the 3D
+//!   gradient of a test function factors into the three Kronecker sweeps
+//!   `D ⊗ I ⊗ I`, `I ⊗ D ⊗ I`, `I ⊗ I ⊗ D` over the **1D**
+//!   differentiation matrix `D` ([`HexBasis::dmat`]), so the weak
+//!   divergence of all five variables costs `5 · 3n` MACs per output node
+//!   — O(n⁴) = O(p⁴) per element — instead of a dense
+//!   `(npe × npe)` contraction. The three directional sweeps are fused
+//!   into one loop nest over output nodes `(i1, i2, i3)`:
+//!
+//!   ```text
+//!   for i3, i2, i1:                          # every output node
+//!       acc = 0
+//!       for m in 0..n:                       # ONE 1D line per direction
+//!           acc += D[m][i1] · G(m, i2, i3).x     # ξ sweep   D ⊗ I ⊗ I
+//!           acc += D[m][i2] · G(i1, m, i3).y     # η sweep   I ⊗ D ⊗ I
+//!           acc += D[m][i3] · G(i1, i2, m).z     # ζ sweep   I ⊗ I ⊗ D
+//!       res(i1, i2, i3) += sign · acc        # ONE store per node
+//!   ```
+//!
+//!   where `G(q) = w_q det(J_q) · J⁻¹ F_q` is the quadrature-weighted,
+//!   Jacobian-transformed flux.
+//!
+//! * **[`KernelPath::FullMatrix`]** materializes the three dense
+//!   `(npe × npe)` directional operators ([`FullMatrixOperator`]) that the
+//!   Kronecker products expand to, and contracts `G` against them —
+//!   O(npe²) = O(p⁶) MACs per element. It computes the same integrals with
+//!   a different floating-point summation order (flat `q`-major instead of
+//!   per-direction line-major), so it serves as the *validation reference*:
+//!   the proptests pin `sum_factored ≡ full_matrix` to ≤1e-12 relative
+//!   over randomized meshes, orders, gas models, and backends.
+//!
+//! **Determinism.** Both paths accumulate each output node into a private
+//! scalar `acc` in a fixed iteration order (ascending `m` with the
+//! x/y/z terms interleaved for the factored path; ascending flat `q` for
+//! the full-matrix path) and touch `res` exactly once per node. No
+//! cross-node or cross-element accumulation order leaks into the kernel,
+//! so for a given path the element residual is a pure function of the
+//! element data — which is what lets every backend (serial, chunked,
+//! colored, sharded, multi-device) reproduce the serial answer bitwise as
+//! long as its *scatter* order is canonical. The sum-factored path is
+//! bit-identical to the pre-knob kernel (it *is* that loop), so all golden
+//! traces and cross-backend bitwise guarantees are unchanged by default.
 
 use crate::gas::GasModel;
 use crate::state::{Conserved, Primitives};
@@ -290,6 +339,187 @@ pub fn weak_divergence(ws: &mut ElementWorkspace, basis: &HexBasis, geom: GeomRe
     }
 }
 
+/// Selectable contraction algorithm for the weak-divergence stage — the
+/// `KernelPath` knob on `SimulationBuilder`/`BackendSpec`.
+///
+/// See the module docs for the two loop nests and the determinism
+/// argument. The default is [`KernelPath::SumFactored`], which is
+/// bit-identical to the pre-knob kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPath {
+    /// Three directional 1D sweeps against the 1D differentiation matrix —
+    /// O(p⁴) MACs per element. The hot path and the default.
+    #[default]
+    SumFactored,
+    /// Dense `(npe × npe)` directional operators — O(p⁶) MACs per
+    /// element. The proptest-pinned validation reference.
+    FullMatrix,
+}
+
+impl KernelPath {
+    /// Every path, in ladder order (factored first — the default).
+    pub const ALL: [KernelPath; 2] = [KernelPath::SumFactored, KernelPath::FullMatrix];
+
+    /// The spec-file name of the path (`sum-factored` / `full-matrix`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            KernelPath::SumFactored => "sum-factored",
+            KernelPath::FullMatrix => "full-matrix",
+        }
+    }
+
+    /// Parses a spec-file name; `None` for anything else.
+    pub fn parse(name: &str) -> Option<KernelPath> {
+        match name {
+            "sum-factored" => Some(KernelPath::SumFactored),
+            "full-matrix" => Some(KernelPath::FullMatrix),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for KernelPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The three dense `(npe × npe)` directional weak-divergence operators —
+/// the explicit Kronecker expansions `C_x = D ⊗ I ⊗ I`, `C_y = I ⊗ D ⊗ I`,
+/// `C_z = I ⊗ I ⊗ D` (in the transposed application the contraction uses).
+///
+/// Built once per assembly sweep by [`KernelOps::resolve`]; at order `p`
+/// this is `3 · (p+1)⁶` doubles, which is why the factored path exists.
+#[derive(Debug, Clone)]
+pub struct FullMatrixOperator {
+    npe: usize,
+    /// Row-major `npe × npe`: coefficient of `G(q).x` in `res[i]`.
+    cx: Vec<f64>,
+    /// Row-major `npe × npe`: coefficient of `G(q).y` in `res[i]`.
+    cy: Vec<f64>,
+    /// Row-major `npe × npe`: coefficient of `G(q).z` in `res[i]`.
+    cz: Vec<f64>,
+}
+
+impl FullMatrixOperator {
+    /// Expands the basis' 1D differentiation matrix into the three dense
+    /// directional operators.
+    pub fn for_basis(basis: &HexBasis) -> Self {
+        let n = basis.nodes_per_dim();
+        let npe = basis.nodes_per_element();
+        let d = basis.dmat();
+        let mut cx = vec![0.0; npe * npe];
+        let mut cy = vec![0.0; npe * npe];
+        let mut cz = vec![0.0; npe * npe];
+        for i3 in 0..n {
+            for i2 in 0..n {
+                for i1 in 0..n {
+                    let i = i1 + n * (i2 + n * i3);
+                    for m in 0..n {
+                        // Nonzeros of each Kronecker factor: the source
+                        // node shares the two off-direction indices.
+                        cx[i * npe + (m + n * (i2 + n * i3))] = d[m * n + i1];
+                        cy[i * npe + (i1 + n * (m + n * i3))] = d[m * n + i2];
+                        cz[i * npe + (i1 + n * (i2 + n * m))] = d[m * n + i3];
+                    }
+                }
+            }
+        }
+        FullMatrixOperator { npe, cx, cy, cz }
+    }
+
+    /// Nodes per element the operator was built for.
+    pub fn nodes_per_element(&self) -> usize {
+        self.npe
+    }
+}
+
+/// Accumulates `sign · ∫ ∇N_i · F dV` with the dense full-matrix
+/// operators — the O(p⁶) validation reference for [`weak_divergence`].
+///
+/// Computes the same integrals as the factored kernel but sums in flat
+/// `q`-major order, so it matches to rounding (≤1e-12 relative), not
+/// bitwise.
+///
+/// # Panics
+///
+/// Panics if the operator was built for a different element size.
+pub fn weak_divergence_full_matrix(
+    ws: &mut ElementWorkspace,
+    op: &FullMatrixOperator,
+    geom: GeomRef,
+    sign: f64,
+) {
+    let npe = ws.npe;
+    assert_eq!(op.npe, npe, "operator element size");
+    for v in 0..NUM_VARS {
+        for q in 0..npe {
+            let f = ws.flux[v][q];
+            let inv_jt = geom.inv_jt[q];
+            let w = geom.det_w[q];
+            ws.g[v][q] = Vec3::new(
+                w * f.dot(inv_jt.col(0)),
+                w * f.dot(inv_jt.col(1)),
+                w * f.dot(inv_jt.col(2)),
+            );
+        }
+        for i in 0..npe {
+            let row = i * npe;
+            let mut acc = 0.0;
+            for q in 0..npe {
+                let g = ws.g[v][q];
+                acc += op.cx[row + q] * g.x + op.cy[row + q] * g.y + op.cz[row + q] * g.z;
+            }
+            ws.res[v][i] += sign * acc;
+        }
+    }
+}
+
+/// A [`KernelPath`] resolved against a basis — what the assembly loops
+/// actually dispatch on. Resolving the full-matrix path materializes the
+/// dense operators once per sweep so the per-element cost is contraction
+/// only.
+#[derive(Debug, Clone)]
+pub enum KernelOps {
+    /// The factored three-sweep kernel ([`weak_divergence`]); carries no
+    /// state beyond the basis every caller already has.
+    SumFactored,
+    /// The dense reference kernel with its materialized operators.
+    FullMatrix(FullMatrixOperator),
+}
+
+impl KernelOps {
+    /// Resolves a path for a basis.
+    pub fn resolve(path: KernelPath, basis: &HexBasis) -> KernelOps {
+        match path {
+            KernelPath::SumFactored => KernelOps::SumFactored,
+            KernelPath::FullMatrix => KernelOps::FullMatrix(FullMatrixOperator::for_basis(basis)),
+        }
+    }
+
+    /// The path this resolution came from.
+    pub fn path(&self) -> KernelPath {
+        match self {
+            KernelOps::SumFactored => KernelPath::SumFactored,
+            KernelOps::FullMatrix(_) => KernelPath::FullMatrix,
+        }
+    }
+
+    /// Dispatches the weak-divergence contraction to the resolved kernel.
+    pub fn weak_divergence(
+        &self,
+        ws: &mut ElementWorkspace,
+        basis: &HexBasis,
+        geom: GeomRef,
+        sign: f64,
+    ) {
+        match self {
+            KernelOps::SumFactored => weak_divergence(ws, basis, geom, sign),
+            KernelOps::FullMatrix(op) => weak_divergence_full_matrix(ws, op, geom, sign),
+        }
+    }
+}
+
 /// Floating-point operation counts of the element kernels, used by the
 /// performance models (CPU roofline and HLS op scheduling).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -298,8 +528,20 @@ pub struct KernelOpCounts {
     pub convection_flops: usize,
     /// FLOPs in the viscous stage (gradients + τ + fluxes) per element.
     pub diffusion_flops: usize,
-    /// FLOPs in one weak-divergence contraction per element (all 5 vars).
+    /// FLOPs in one weak-divergence contraction per element (all 5 vars)
+    /// on the **sum-factored** path — the hot-path count the roofline and
+    /// HLS models consume. Three 1D sweeps: O(p⁴) per element.
     pub divergence_flops: usize,
+    /// FLOPs in one weak-divergence contraction per element on the
+    /// **full-matrix** reference path: dense `(npe × npe)` directional
+    /// operators, O(p⁶) per element.
+    pub full_matrix_divergence_flops: usize,
+    /// Bytes of contraction operator the factored path streams per
+    /// element sweep: the single 1D differentiation matrix (`8 n²`).
+    pub factored_operator_bytes: usize,
+    /// Bytes of contraction operator the full-matrix path streams: three
+    /// dense `(npe × npe)` matrices (`3 · 8 npe²`).
+    pub full_matrix_operator_bytes: usize,
     /// FLOPs the fused stage spends subtracting `F_v` from `F_c` per
     /// element (4 variables × 3 components per node; mass is untouched).
     pub fusion_flops: usize,
@@ -317,8 +559,12 @@ impl KernelOpCounts {
         // gradients: 4 fields × 3n⁴ MACs (2 flops each) + per-node
         // transform (3 mat-vec ≈ 45) + τ (~40) + energy flux (~30).
         let diffusion_flops = 4 * 2 * 3 * n * n * n * n + npe * (45 + 15 + 40 + 30);
-        // G: 5 vars × npe × (3 dots ≈ 18); contraction: 5 × npe × 3n MACs.
+        // G: 5 vars × npe × (3 dots ≈ 18); factored contraction:
+        // 5 × npe × 3n MACs (three 1D sweeps, O(n⁴) per element).
         let divergence_flops = 5 * npe * 18 + 5 * 2 * 3 * n * npe;
+        // Full-matrix reference: same G transform, then 5 × npe × 3·npe
+        // MACs against the dense directional operators (O(npe²) = O(n⁶)).
+        let full_matrix_divergence_flops = 5 * npe * 18 + 5 * 2 * 3 * npe * npe;
         // fused_flux: F_c − F_v for momentum ×3 and energy, 3 comps each.
         let fusion_flops = 4 * 3 * npe;
         // RKU per node: division, dot, energy split, T, p ≈ 15 flops.
@@ -326,9 +572,29 @@ impl KernelOpCounts {
             convection_flops,
             diffusion_flops,
             divergence_flops,
+            full_matrix_divergence_flops,
+            factored_operator_bytes: 8 * n * n,
+            full_matrix_operator_bytes: 3 * 8 * npe * npe,
             fusion_flops,
             rku_flops_per_node: 15,
         }
+    }
+
+    /// The weak-divergence flop count of the given [`KernelPath`].
+    pub fn divergence_flops_for(&self, path: KernelPath) -> usize {
+        match path {
+            KernelPath::SumFactored => self.divergence_flops,
+            KernelPath::FullMatrix => self.full_matrix_divergence_flops,
+        }
+    }
+
+    /// [`rkl_flops_per_element`](Self::rkl_flops_per_element) with the
+    /// contraction term taken from the given [`KernelPath`].
+    pub fn rkl_flops_per_element_for(&self, path: KernelPath) -> usize {
+        self.convection_flops
+            + self.diffusion_flops
+            + self.fusion_flops
+            + self.divergence_flops_for(path)
     }
 
     /// Total RKL flops per element of the **fused** hot path (convection
@@ -615,6 +881,159 @@ mod tests {
         let mut b = Vec::new();
         recompute.for_each_field(|f| b.extend(f.iter().map(|x| x.to_bits())));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_matrix_divergence_matches_factored_to_rounding() {
+        // Same workspace state, same geometry: the dense reference and the
+        // factored hot path are the same integral summed in different
+        // orders, so they must agree to ≤1e-12 relative at every order.
+        for order in 1..=4 {
+            let mesh = BoxMeshBuilder::tgv_box(3).order(order).build().unwrap();
+            let basis = HexBasis::new(order).unwrap();
+            let gas = GasModel::air(2.0e-2);
+            let (c, p) = make_state(&mesh, &gas, |x| {
+                (
+                    1.0 + 0.07 * x.x.sin() * x.y.cos(),
+                    Vec3::new(9.0 * x.y.sin(), -5.0 * x.z.cos(), 3.0 * x.x.sin()),
+                    300.0 + 8.0 * x.z.sin(),
+                )
+            });
+            let cache = fem_mesh::geometry::GeometryCache::build(&mesh, &basis).unwrap();
+            let op = FullMatrixOperator::for_basis(&basis);
+            let npe = mesh.nodes_per_element();
+            let mut ws_a = ElementWorkspace::new(npe);
+            let mut ws_b = ElementWorkspace::new(npe);
+            for e in 0..mesh.num_elements() {
+                let geom = cache.element(e);
+                for ws in [&mut ws_a, &mut ws_b] {
+                    ws.gather(mesh.element_nodes(e), &c, &p);
+                    ws.zero_residuals();
+                    fused_flux(ws, &gas, &basis, geom);
+                }
+                weak_divergence(&mut ws_a, &basis, geom, 1.0);
+                weak_divergence_full_matrix(&mut ws_b, &op, geom, 1.0);
+                let mut scale = 0.0f64;
+                for v in 0..NUM_VARS {
+                    for q in 0..npe {
+                        scale = scale.max(ws_a.res[v][q].abs());
+                    }
+                }
+                for v in 0..NUM_VARS {
+                    for q in 0..npe {
+                        let (x, y) = (ws_a.res[v][q], ws_b.res[v][q]);
+                        assert!(
+                            (x - y).abs() <= 1e-12 * scale.max(1.0),
+                            "order {order} element {e} var {v} node {q}: {x} vs {y}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_ops_dispatch_matches_the_free_functions() {
+        let (mesh, basis) = setup(3);
+        let gas = GasModel::air(1.5e-2);
+        let (c, p) = make_state(&mesh, &gas, |x| {
+            (
+                1.0 + 0.05 * x.x.sin(),
+                Vec3::new(8.0, 2.0 * x.y.cos(), 0.0),
+                295.0,
+            )
+        });
+        let cache = fem_mesh::geometry::GeometryCache::build(&mesh, &basis).unwrap();
+        for path in KernelPath::ALL {
+            let ops = KernelOps::resolve(path, &basis);
+            assert_eq!(ops.path(), path);
+            let npe = mesh.nodes_per_element();
+            let mut via_ops = ElementWorkspace::new(npe);
+            let mut via_free = ElementWorkspace::new(npe);
+            let geom = cache.element(0);
+            for ws in [&mut via_ops, &mut via_free] {
+                ws.gather(mesh.element_nodes(0), &c, &p);
+                ws.zero_residuals();
+                fused_flux(ws, &gas, &basis, geom);
+            }
+            ops.weak_divergence(&mut via_ops, &basis, geom, 1.0);
+            match path {
+                KernelPath::SumFactored => weak_divergence(&mut via_free, &basis, geom, 1.0),
+                KernelPath::FullMatrix => {
+                    let op = FullMatrixOperator::for_basis(&basis);
+                    weak_divergence_full_matrix(&mut via_free, &op, geom, 1.0);
+                }
+            }
+            for v in 0..NUM_VARS {
+                for q in 0..npe {
+                    assert_eq!(
+                        via_ops.res[v][q].to_bits(),
+                        via_free.res[v][q].to_bits(),
+                        "{path} dispatch must be the same code"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_path_names_round_trip() {
+        for path in KernelPath::ALL {
+            assert_eq!(KernelPath::parse(path.as_str()), Some(path));
+            assert_eq!(format!("{path}"), path.as_str());
+        }
+        assert_eq!(KernelPath::parse("tensor"), None);
+        assert_eq!(KernelPath::default(), KernelPath::SumFactored);
+    }
+
+    #[test]
+    fn factored_flops_are_p4_and_full_matrix_p6() {
+        // Exact per-element counts from KernelOpCounts: the factored
+        // contraction term is 30 n⁴ (three 1D sweeps, 5 vars × 3n MACs
+        // per node), the full-matrix term is 30 npe² = 30 n⁶; both share
+        // the 90 npe G-transform.
+        for order in 1..=4usize {
+            let basis = HexBasis::new(order).unwrap();
+            let n = order + 1;
+            let npe = n * n * n;
+            let c = KernelOpCounts::for_basis(&basis);
+            assert_eq!(c.divergence_flops, 90 * npe + 30 * n * n * n * n);
+            assert_eq!(c.full_matrix_divergence_flops, 90 * npe + 30 * npe * npe);
+            assert_eq!(c.factored_operator_bytes, 8 * n * n);
+            assert_eq!(c.full_matrix_operator_bytes, 3 * 8 * npe * npe);
+            assert_eq!(
+                c.divergence_flops_for(KernelPath::SumFactored),
+                c.divergence_flops
+            );
+            assert_eq!(
+                c.divergence_flops_for(KernelPath::FullMatrix),
+                c.full_matrix_divergence_flops
+            );
+            assert_eq!(
+                c.rkl_flops_per_element_for(KernelPath::SumFactored),
+                c.rkl_flops_per_element()
+            );
+            // The dense contraction costs npe/n = n² times the factored
+            // one — the O(p⁶) vs O(p⁴) gap, exactly.
+            let factored_contraction = c.divergence_flops - 90 * npe;
+            let full_contraction = c.full_matrix_divergence_flops - 90 * npe;
+            assert_eq!(full_contraction, factored_contraction * n * n);
+            assert!(c.full_matrix_divergence_flops > c.divergence_flops);
+        }
+        // Growth-rate check across the ladder: scaling the order from 1
+        // to 3 doubles n, so the factored term grows 2⁴ = 16× and the
+        // full-matrix term 2⁶ = 64×.
+        let c1 = KernelOpCounts::for_basis(&HexBasis::new(1).unwrap());
+        let c3 = KernelOpCounts::for_basis(&HexBasis::new(3).unwrap());
+        assert_eq!(
+            (c3.divergence_flops - 90 * 64) / (c1.divergence_flops - 90 * 8),
+            16
+        );
+        assert_eq!(
+            (c3.full_matrix_divergence_flops - 90 * 64)
+                / (c1.full_matrix_divergence_flops - 90 * 8),
+            64
+        );
     }
 
     #[test]

@@ -13,7 +13,8 @@
 //! * [`gas`] — constitutive relations (ideal gas law, μ, κ).
 //! * [`state`] — conserved state + the RKU primitive update.
 //! * [`kernels`] — the RKL element kernels: gather, gradients, τ,
-//!   convective/viscous fluxes, weak divergence, scatter.
+//!   convective/viscous fluxes, weak divergence (sum-factored or
+//!   full-matrix, selected by [`KernelPath`]), scatter.
 //! * [`driver`] — the RK4 time loop gluing RKL and RKU together.
 //! * [`engine`] — the shard-parallel execution engine: the pluggable
 //!   [`ExecutionBackend`] trait with reference, sharded (bitwise stable
@@ -80,6 +81,7 @@ pub use engine::{
 };
 pub use ensemble::{EnsembleDriver, EnsembleReport, MemberResult};
 pub use gas::GasModel;
+pub use kernels::KernelPath;
 pub use parallel::AssemblyStrategy;
 pub use profile::{Phase, PhaseProfiler};
 pub use scenarios::{InvariantCheck, InvariantReport, Scenario, ScenarioKind};

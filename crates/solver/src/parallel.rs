@@ -34,7 +34,8 @@
 
 use crate::gas::GasModel;
 use crate::kernels::{
-    convective_flux, fused_flux, viscous_flux, weak_divergence, ElementWorkspace, NUM_VARS,
+    convective_flux, fused_flux, viscous_flux, weak_divergence, ElementWorkspace, KernelOps,
+    KernelPath, NUM_VARS,
 };
 use crate::profile::{Phase, PhaseProfiler};
 use crate::state::{Conserved, Primitives};
@@ -100,6 +101,8 @@ pub fn available_threads() -> usize {
 /// geometric factors — callers index the whole-mesh [`GeometryCache`]
 /// with `e`, or a shard-local slice with the shard-relative index (the
 /// [`crate::engine`] backends stream contiguous per-shard geometry).
+/// The contraction dispatches on `kernel` — the [`KernelPath`] resolved
+/// once per sweep (see the `kernels` module docs).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn eval_element(
     mesh: &HexMesh,
@@ -111,6 +114,7 @@ pub(crate) fn eval_element(
     e: usize,
     ws: &mut ElementWorkspace,
     geom: fem_mesh::hex::GeomRef<'_>,
+    kernel: &KernelOps,
     prof: Option<&mut PhaseProfiler>,
 ) {
     match prof {
@@ -122,7 +126,7 @@ pub(crate) fn eval_element(
             } else {
                 convective_flux(ws);
             }
-            weak_divergence(ws, basis, geom, 1.0);
+            kernel.weak_divergence(ws, basis, geom, 1.0);
         }
         Some(p) => {
             let t0 = Instant::now();
@@ -134,14 +138,14 @@ pub(crate) fn eval_element(
                 fused_flux(ws, gas, basis, geom);
                 p.add(Phase::RkDiffusion, t0.elapsed());
                 let t0 = Instant::now();
-                weak_divergence(ws, basis, geom, 1.0);
+                kernel.weak_divergence(ws, basis, geom, 1.0);
                 let half = t0.elapsed() / 2;
                 p.add(Phase::RkConvection, half);
                 p.add(Phase::RkDiffusion, half);
             } else {
                 let t0 = Instant::now();
                 convective_flux(ws);
-                weak_divergence(ws, basis, geom, 1.0);
+                kernel.weak_divergence(ws, basis, geom, 1.0);
                 p.add(Phase::RkConvection, t0.elapsed());
             }
         }
@@ -193,6 +197,7 @@ pub fn assemble_rhs_chunked_into(
     conserved: &Conserved,
     prim: &Primitives,
     chunks: usize,
+    kernel: KernelPath,
     out: &mut Conserved,
     mut profiler: Option<&mut PhaseProfiler>,
 ) {
@@ -208,6 +213,9 @@ pub fn assemble_rhs_chunked_into(
     let npe = mesh.nodes_per_element();
     let viscous = gas.mu > 0.0;
     let profile = profiler.is_some();
+    // Resolve once per sweep: the full-matrix path materializes its dense
+    // operators here, outside the element loop.
+    let kernel = KernelOps::resolve(kernel, basis);
     if chunks == 1 {
         // Serial fast path: scatter straight into `out` — bitwise
         // identical to the one-partial reduction (a single chunk's
@@ -227,6 +235,7 @@ pub fn assemble_rhs_chunked_into(
                 e,
                 &mut ws,
                 geometry.element(e),
+                &kernel,
                 if profile { Some(&mut local) } else { None },
             );
             if profile {
@@ -266,6 +275,7 @@ pub fn assemble_rhs_chunked_into(
                     e,
                     &mut ws,
                     geometry.element(e),
+                    &kernel,
                     if profile { Some(&mut local) } else { None },
                 );
                 if profile {
@@ -310,7 +320,16 @@ pub fn assemble_rhs_parallel(
 ) -> Conserved {
     let mut out = Conserved::zeros(mesh.num_nodes());
     assemble_rhs_chunked_into(
-        mesh, basis, gas, geometry, conserved, prim, chunks, &mut out, None,
+        mesh,
+        basis,
+        gas,
+        geometry,
+        conserved,
+        prim,
+        chunks,
+        KernelPath::SumFactored,
+        &mut out,
+        None,
     );
     out
 }
@@ -408,6 +427,7 @@ pub fn assemble_rhs_colored_with_chunk(
     prim: &Primitives,
     coloring: &ElementColoring,
     chunk_elems: usize,
+    kernel: KernelPath,
     out: &mut Conserved,
     profiler: Option<&mut PhaseProfiler>,
 ) {
@@ -434,6 +454,7 @@ pub fn assemble_rhs_colored_with_chunk(
     let npe = mesh.nodes_per_element();
     let viscous = gas.mu > 0.0;
     let profile = profiler.is_some();
+    let kernel = KernelOps::resolve(kernel, basis);
     out.set_zero();
     let shared = SharedRhs::new(out);
     let agg = Mutex::new(PhaseProfiler::new());
@@ -453,6 +474,7 @@ pub fn assemble_rhs_colored_with_chunk(
                     e,
                     &mut ws,
                     geometry.element(e),
+                    &kernel,
                     if profile { Some(&mut local) } else { None },
                 );
                 // SAFETY: indices come from the mesh connectivity (in
@@ -496,6 +518,7 @@ pub fn assemble_rhs_colored_into(
     conserved: &Conserved,
     prim: &Primitives,
     coloring: &ElementColoring,
+    kernel: KernelPath,
     out: &mut Conserved,
     profiler: Option<&mut PhaseProfiler>,
 ) {
@@ -504,7 +527,7 @@ pub fn assemble_rhs_colored_into(
     let max_class = coloring.max_class_size().max(1);
     let chunk = max_class.div_ceil(available_threads()).max(1);
     assemble_rhs_colored_with_chunk(
-        mesh, basis, gas, geometry, conserved, prim, coloring, chunk, out, profiler,
+        mesh, basis, gas, geometry, conserved, prim, coloring, chunk, kernel, out, profiler,
     );
 }
 
@@ -527,24 +550,25 @@ pub fn assemble_rhs_into(
     prim: &Primitives,
     strategy: AssemblyStrategy,
     coloring: Option<&ElementColoring>,
+    kernel: KernelPath,
     out: &mut Conserved,
     profiler: Option<&mut PhaseProfiler>,
 ) {
     match strategy {
         AssemblyStrategy::Serial => {
             assemble_rhs_chunked_into(
-                mesh, basis, gas, geometry, conserved, prim, 1, out, profiler,
+                mesh, basis, gas, geometry, conserved, prim, 1, kernel, out, profiler,
             );
         }
         AssemblyStrategy::Chunked { chunks } => {
             assemble_rhs_chunked_into(
-                mesh, basis, gas, geometry, conserved, prim, chunks, out, profiler,
+                mesh, basis, gas, geometry, conserved, prim, chunks, kernel, out, profiler,
             );
         }
         AssemblyStrategy::Colored => {
             let coloring = coloring.expect("Colored strategy requires an ElementColoring");
             assemble_rhs_colored_into(
-                mesh, basis, gas, geometry, conserved, prim, coloring, out, profiler,
+                mesh, basis, gas, geometry, conserved, prim, coloring, kernel, out, profiler,
             );
         }
     }
@@ -758,6 +782,7 @@ mod tests {
             &state,
             &prim,
             &coloring,
+            KernelPath::SumFactored,
             &mut colored,
             None,
         );
@@ -771,7 +796,17 @@ mod tests {
         for chunk in [1usize, 2, 5, 16, 1024] {
             let mut again = Conserved::zeros(mesh.num_nodes());
             assemble_rhs_colored_with_chunk(
-                &mesh, &basis, &gas, &geometry, &state, &prim, &coloring, chunk, &mut again, None,
+                &mesh,
+                &basis,
+                &gas,
+                &geometry,
+                &state,
+                &prim,
+                &coloring,
+                chunk,
+                KernelPath::SumFactored,
+                &mut again,
+                None,
             );
             assert_eq!(auto_bits, bits(&again), "chunk={chunk} changed bits");
         }
@@ -804,6 +839,7 @@ mod tests {
                 &prim,
                 strategy,
                 Some(&coloring),
+                KernelPath::SumFactored,
                 &mut out,
                 None,
             );
@@ -832,6 +868,7 @@ mod tests {
                 &prim,
                 strategy,
                 Some(&coloring),
+                KernelPath::SumFactored,
                 &mut out,
                 Some(&mut prof),
             );
@@ -928,7 +965,8 @@ mod tests {
 
             let mut colored = Conserved::zeros(mesh.num_nodes());
             assemble_rhs_colored_into(
-                &mesh, &basis, &gas, &geometry, &state, &prim, &coloring, &mut colored, None,
+                &mesh, &basis, &gas, &geometry, &state, &prim, &coloring,
+                KernelPath::SumFactored, &mut colored, None,
             );
             for (a, b) in ref_flat.iter().zip(&flat(&colored)) {
                 prop_assert!((a - b).abs() <= 1e-12 * scale, "colored: {} vs {}", a, b);
@@ -938,8 +976,8 @@ mod tests {
             // chunk granularities give bitwise-equal results.
             let mut again = Conserved::zeros(mesh.num_nodes());
             assemble_rhs_colored_with_chunk(
-                &mesh, &basis, &gas, &geometry, &state, &prim, &coloring, chunks, &mut again,
-                None,
+                &mesh, &basis, &gas, &geometry, &state, &prim, &coloring, chunks,
+                KernelPath::SumFactored, &mut again, None,
             );
             prop_assert_eq!(bits(&colored), bits(&again));
         }
@@ -982,7 +1020,7 @@ mod tests {
                 let mut fused = Conserved::zeros(mesh.num_nodes());
                 assemble_rhs_into(
                     &mesh, &basis, &gas, &geometry, &state, &prim, strategy,
-                    Some(&coloring), &mut fused, None,
+                    Some(&coloring), KernelPath::SumFactored, &mut fused, None,
                 );
                 let mut split = Conserved::zeros(mesh.num_nodes());
                 assemble_rhs_split_into(
@@ -995,6 +1033,63 @@ mod tests {
                     prop_assert!(
                         (a - b).abs() <= 1e-12 * scale,
                         "{}: fused {} vs split {}", strategy, a, b
+                    );
+                }
+            }
+        }
+
+        /// The sum-factored hot path matches the full-matrix validation
+        /// reference at ≤1e-12 relative error on randomized meshes,
+        /// polynomial orders 1..4, viscous *and* inviscid gas models,
+        /// under all three assembly strategies — the tentpole's factored ≡
+        /// full guarantee at the assembly level.
+        #[test]
+        fn prop_sum_factored_matches_full_matrix_across_strategies(
+            nx in 3usize..5,
+            ny in 3usize..5,
+            nz in 3usize..5,
+            order in 1usize..5,
+            periodic in proptest::bool::ANY,
+            chunks in 2usize..7,
+            mach in 0.05f64..0.4,
+            reynolds in 50.0f64..5000.0,
+            viscous in proptest::bool::ANY,
+        ) {
+            let mut b = BoxMeshBuilder::new();
+            b.elements(nx, ny, nz)
+                .order(order)
+                .periodic(periodic, periodic, periodic);
+            let mesh = b.build().unwrap();
+            let basis = HexBasis::new(order).unwrap();
+            let cfg = TgvConfig::new(mach, reynolds);
+            let gas = if viscous { cfg.gas() } else { GasModel::air(0.0) };
+            let state = cfg.initial_state(&mesh);
+            let mut prim = Primitives::zeros(mesh.num_nodes());
+            prim.update_from(&state, &gas);
+            let coloring = ElementColoring::greedy(&mesh);
+            let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+
+            for strategy in [
+                AssemblyStrategy::Serial,
+                AssemblyStrategy::Chunked { chunks },
+                AssemblyStrategy::Colored,
+            ] {
+                let mut factored = Conserved::zeros(mesh.num_nodes());
+                assemble_rhs_into(
+                    &mesh, &basis, &gas, &geometry, &state, &prim, strategy,
+                    Some(&coloring), KernelPath::SumFactored, &mut factored, None,
+                );
+                let mut full = Conserved::zeros(mesh.num_nodes());
+                assemble_rhs_into(
+                    &mesh, &basis, &gas, &geometry, &state, &prim, strategy,
+                    Some(&coloring), KernelPath::FullMatrix, &mut full, None,
+                );
+                let full_flat = flat(&full);
+                let scale = full_flat.iter().fold(1.0f64, |m, &v| m.max(v.abs()));
+                for (a, b) in flat(&factored).iter().zip(&full_flat) {
+                    prop_assert!(
+                        (a - b).abs() <= 1e-12 * scale,
+                        "{} order {}: factored {} vs full {}", strategy, order, a, b
                     );
                 }
             }

@@ -599,14 +599,27 @@ impl Scenario {
     /// Propagates mesh-generation failures (e.g. `edge` too small for a
     /// periodic axis).
     pub fn mesh(&self, edge: usize) -> Result<HexMesh, SolverError> {
+        self.mesh_with_order(edge, 1)
+    }
+
+    /// Like [`Scenario::mesh`], but with `order`-th degree elements —
+    /// the high-order entry point the sum-factorized kernel study runs
+    /// through.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh-generation failures (e.g. `edge` too small for a
+    /// periodic axis, or an unsupported order).
+    pub fn mesh_with_order(&self, edge: usize, order: usize) -> Result<HexMesh, SolverError> {
         let mesh = match &self.kind {
             ScenarioKind::LidCavity(_) => BoxMeshBuilder::new()
                 .elements(edge, edge, edge)
                 .periodic(false, false, false)
                 .origin(0.0, 0.0, 0.0)
                 .extent(1.0, 1.0, 1.0)
+                .order(order)
                 .build()?,
-            _ => BoxMeshBuilder::tgv_box(edge).build()?,
+            _ => BoxMeshBuilder::tgv_box(edge).order(order).build()?,
         };
         Ok(mesh)
     }
@@ -636,7 +649,23 @@ impl Scenario {
     ///
     /// Propagates mesh and simulation construction failures.
     pub fn simulation(&self, edge: usize) -> Result<Simulation, SolverError> {
-        let mesh = self.mesh(edge)?;
+        self.simulation_with_order(edge, 1)
+    }
+
+    /// Like [`Scenario::simulation`], but on an `order`-th degree mesh —
+    /// initial state and boundary condition are sampled on the
+    /// high-order nodes, so the golden high-order traces and the kernel
+    /// order ladder both start from the exact nodal fields.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mesh and simulation construction failures.
+    pub fn simulation_with_order(
+        &self,
+        edge: usize,
+        order: usize,
+    ) -> Result<Simulation, SolverError> {
+        let mesh = self.mesh_with_order(edge, order)?;
         let initial = self.initial_state(&mesh);
         let bc = self.boundary(&mesh);
         let mut builder = Simulation::builder(mesh, self.gas(), initial);

@@ -19,6 +19,7 @@
 
 use crate::driver::Simulation;
 use crate::engine::BackendSelect;
+use crate::kernels::KernelPath;
 use crate::parallel::AssemblyStrategy;
 use crate::scenarios::Scenario;
 use crate::SolverError;
@@ -34,6 +35,11 @@ use std::sync::Arc;
 /// | `sharded`            | `contiguous` (default), `partitioned`   | `shards` (default 4)              |
 /// | `dataflow-emulated`  | `contiguous` (default), `partitioned`   | `shards` (default 4)              |
 /// | `multidevice`        | `contiguous` (default), `partitioned`   | `devices` (default 4)             |
+///
+/// Orthogonally to the family, `kernel` selects the weak-divergence
+/// contraction every backend dispatches: `sum-factored` (default — the
+/// O(p⁴) three-sweep hot path) or `full-matrix` (the O(p⁶) dense
+/// validation reference).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BackendSpec {
     /// Backend family: `reference`, `sharded`, `dataflow-emulated`, or
@@ -46,6 +52,9 @@ pub struct BackendSpec {
     pub shards: Option<usize>,
     /// Device count (`multidevice` only); rejected elsewhere.
     pub devices: Option<usize>,
+    /// Weak-divergence kernel path: `sum-factored` (default) or
+    /// `full-matrix`; honored by every backend family.
+    pub kernel: Option<String>,
 }
 
 impl BackendSpec {
@@ -56,6 +65,23 @@ impl BackendSpec {
             strategy: None,
             shards: None,
             devices: None,
+            kernel: None,
+        }
+    }
+
+    /// Resolves the `kernel` field to a [`KernelPath`].
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::InvalidSpec`] for an unknown kernel name.
+    pub fn kernel_path(&self) -> Result<KernelPath, SolverError> {
+        match self.kernel.as_deref() {
+            None => Ok(KernelPath::default()),
+            Some(name) => KernelPath::parse(name).ok_or_else(|| {
+                SolverError::InvalidSpec(format!(
+                    "unknown kernel path `{name}` (sum-factored, full-matrix)"
+                ))
+            }),
         }
     }
 
@@ -205,8 +231,9 @@ impl SimulationSpec {
         let mesh = scenario.mesh(self.edge)?;
         let initial = scenario.initial_state(&mesh);
         let bc = scenario.boundary(&mesh);
-        let mut builder =
-            Simulation::builder(mesh, scenario.gas(), initial).backend(self.backend.to_select()?);
+        let mut builder = Simulation::builder(mesh, scenario.gas(), initial)
+            .backend(self.backend.to_select()?)
+            .kernel_path(self.backend.kernel_path()?);
         if let Some(bc) = bc {
             builder = builder.bc(bc);
         }
@@ -228,7 +255,8 @@ impl SimulationSpec {
         let initial = scenario.initial_state(ctx.mesh());
         let bc = scenario.boundary(ctx.mesh());
         let mut builder = Simulation::builder_shared(ctx, scenario.gas(), initial)
-            .backend(self.backend.to_select()?);
+            .backend(self.backend.to_select()?)
+            .kernel_path(self.backend.kernel_path()?);
         if let Some(bc) = bc {
             builder = builder.bc(bc);
         }
@@ -319,6 +347,7 @@ impl SweepSpec {
                             // Fail at expansion, not mid-ensemble.
                             spec.resolve_scenario()?;
                             spec.backend.to_select()?;
+                            spec.backend.kernel_path()?;
                             spec.effective_cfl()?;
                             members.push(spec);
                         }
@@ -346,34 +375,43 @@ mod tests {
             backend_idx in 0usize..5,
             edge in 4usize..6,
             amp_scale in 1usize..4,
+            full_matrix in proptest::bool::ANY,
         ) {
             let scenario = Scenario::registry()[scenario_idx].clone();
             let amplitude = Some(0.5 * amp_scale as f64);
+            let kernel = full_matrix.then(|| "full-matrix".to_string());
             let backend = match backend_idx {
-                0 => BackendSpec::reference_serial(),
+                0 => BackendSpec {
+                    kernel: kernel.clone(),
+                    ..BackendSpec::reference_serial()
+                },
                 1 => BackendSpec {
                     kind: "reference".to_string(),
                     strategy: Some("colored".to_string()),
                     shards: None,
                     devices: None,
+                    kernel: kernel.clone(),
                 },
                 2 => BackendSpec {
                     kind: "sharded".to_string(),
                     strategy: Some("contiguous".to_string()),
                     shards: Some(2),
                     devices: None,
+                    kernel: kernel.clone(),
                 },
                 3 => BackendSpec {
                     kind: "sharded".to_string(),
                     strategy: Some("partitioned".to_string()),
                     shards: Some(3),
                     devices: None,
+                    kernel: kernel.clone(),
                 },
                 _ => BackendSpec {
                     kind: "multidevice".to_string(),
                     strategy: Some("partitioned".to_string()),
                     shards: None,
                     devices: Some(3),
+                    kernel: kernel.clone(),
                 },
             };
             let spec = SimulationSpec {
@@ -402,6 +440,7 @@ mod tests {
                 by_hand = by_hand.with_bc(bc);
             }
             by_hand.set_backend(spec.backend.to_select().unwrap()).unwrap();
+            by_hand.set_kernel_path(spec.backend.kernel_path().unwrap());
             by_hand.advance(2, dt).unwrap();
 
             let a = from_spec.conserved().to_bit_vec();
@@ -428,6 +467,7 @@ mod tests {
                     strategy: Some("partitioned".to_string()),
                     shards: Some(2),
                     devices: None,
+                    kernel: Some("full-matrix".to_string()),
                 },
             ],
             cfl: Some(0.3),
@@ -458,6 +498,7 @@ mod tests {
             strategy: None,
             shards: None,
             devices: None,
+            kernel: None,
         };
         assert!(matches!(bad.to_select(), Err(SolverError::InvalidSpec(_))));
         let bad = BackendSpec {
@@ -465,6 +506,7 @@ mod tests {
             strategy: Some("colored".to_string()),
             shards: Some(8),
             devices: None,
+            kernel: None,
         };
         assert!(bad.to_select().is_err(), "shards on colored must fail");
         let bad = BackendSpec {
@@ -472,6 +514,7 @@ mod tests {
             strategy: None,
             shards: Some(4),
             devices: None,
+            kernel: None,
         };
         assert!(bad.to_select().is_err(), "shards on multidevice must fail");
         let bad = BackendSpec {
@@ -479,12 +522,47 @@ mod tests {
             strategy: None,
             shards: None,
             devices: Some(4),
+            kernel: None,
         };
         assert!(bad.to_select().is_err(), "devices on sharded must fail");
+        let bad = BackendSpec {
+            kernel: Some("tensor-core".to_string()),
+            ..BackendSpec::reference_serial()
+        };
+        assert!(
+            matches!(bad.kernel_path(), Err(SolverError::InvalidSpec(_))),
+            "unknown kernel name must fail"
+        );
 
         let mut sweep = sweep();
         sweep.scenarios.push("warp-drive".to_string());
         assert!(matches!(sweep.expand(), Err(SolverError::InvalidSpec(_))));
+
+        let mut sweep = self::sweep();
+        sweep.backends[0].kernel = Some("blocked".to_string());
+        assert!(
+            matches!(sweep.expand(), Err(SolverError::InvalidSpec(_))),
+            "expansion must reject an unknown kernel name"
+        );
+    }
+
+    #[test]
+    fn kernel_names_resolve_and_round_trip() {
+        // The three accepted spellings resolve...
+        let mut spec = BackendSpec::reference_serial();
+        assert_eq!(spec.kernel_path().unwrap(), KernelPath::SumFactored);
+        spec.kernel = Some("sum-factored".to_string());
+        assert_eq!(spec.kernel_path().unwrap(), KernelPath::SumFactored);
+        spec.kernel = Some("full-matrix".to_string());
+        assert_eq!(spec.kernel_path().unwrap(), KernelPath::FullMatrix);
+        // ...and the field survives serde both present and absent.
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"kernel\""), "{json}");
+        let back: BackendSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        let absent: BackendSpec = serde_json::from_str(r#"{"kind": "reference"}"#).unwrap();
+        assert_eq!(absent.kernel, None);
+        assert_eq!(absent.kernel_path().unwrap(), KernelPath::SumFactored);
     }
 
     #[test]

@@ -31,6 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 strategy: Some("colored".to_string()),
                 shards: None,
                 devices: None,
+                kernel: None,
             },
         };
         let mut sim = spec.build()?;
