@@ -12,6 +12,7 @@
 //! repro geometry    cached-vs-recompute, fused-vs-split, and the sum-factored vs full-matrix order ladder
 //! repro scenarios   cross-strategy regression matrix over the registry
 //! repro sharding    shard + device sweep, contiguous vs graph-partitioned, with emulated II quotes and multi-device overlap timings
+//! repro banking     banked-memory frontier: shard x batch x memory-system x assignment policy, flat vs DDR4 vs HBM2
 //! repro ensemble    ensemble serving: throughput sweep, context sharing, registry x backend
 //! repro all         everything above
 //!
@@ -86,6 +87,14 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
             ),
             mode,
         ),
+        "banking" => emit(
+            &fem_bench::banking::run_banking_study(
+                fem_bench::banking::BANKING_EDGE,
+                &fem_bench::banking::BANKING_SHARD_SWEEP,
+                &fem_bench::banking::BANKING_BATCH_SWEEP,
+            ),
+            mode,
+        ),
         "ensemble" => emit(
             &fem_bench::ensemble::run_ensemble_study(
                 fem_bench::ensemble::ENSEMBLE_EDGE,
@@ -107,6 +116,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
                 "geometry",
                 "scenarios",
                 "sharding",
+                "banking",
                 "ensemble",
             ] {
                 run(c, mode)?;
@@ -116,7 +126,7 @@ fn run(cmd: &str, mode: OutputMode) -> Result<(), ExpError> {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|geometry|scenarios|sharding|ensemble|all> [--json]"
+                "usage: repro <fig2|fig5|table1|table2|ablations|optimizer|scaling|assembly|geometry|scenarios|sharding|banking|ensemble|all> [--json]"
             );
             std::process::exit(2);
         }

@@ -8,6 +8,7 @@
 #![deny(missing_docs)]
 
 pub mod assembly;
+pub mod banking;
 pub mod ensemble;
 pub mod geometry;
 pub mod scenarios;

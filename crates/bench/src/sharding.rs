@@ -263,6 +263,9 @@ pub struct ShardingStudy {
     pub steps: usize,
     /// Worker threads available to the shard scheduler.
     pub threads: usize,
+    /// Memory system whose channels priced the DDR-traffic quotes and
+    /// roofline bounds (`repro banking` sweeps the alternatives).
+    pub memory_system: String,
     /// The requested shard counts.
     pub shard_counts: Vec<usize>,
     /// The requested device counts of the MultiDevice overlap sweep.
@@ -284,8 +287,8 @@ impl std::fmt::Display for ShardingStudy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "Shard-count sweep ({}³-element meshes, {} steps, shards {:?}, {} threads):",
-            self.edge, self.steps, self.shard_counts, self.threads
+            "Shard-count sweep ({}³-element meshes, {} steps, shards {:?}, {} threads, {} memory):",
+            self.edge, self.steps, self.shard_counts, self.threads, self.memory_system
         )?;
         for s in &self.summaries {
             for cell in [&s.contiguous, &s.partitioned] {
@@ -713,6 +716,10 @@ pub fn run_sharding_study(edge: usize, steps: usize, shard_counts: &[usize]) -> 
         edge,
         steps,
         threads,
+        memory_system: fpga_platform::u200::U200::new()
+            .memory_system()
+            .name()
+            .to_string(),
         shard_counts: shard_counts.to_vec(),
         device_counts: shard_counts.to_vec(),
         rows,
@@ -872,8 +879,11 @@ mod tests {
             .overlap_cells
             .iter()
             .any(|c| c.requested_devices == 100 && c.device_count == 64));
+        // The study records which memory system priced its DDR quotes.
+        assert_eq!(study.memory_system, "u200-ddr4");
         // JSON serializes (the repro --json path) and Display renders.
         let json = serde_json::to_string(&study).unwrap();
+        assert!(json.contains("\"memory_system\""));
         assert!(json.contains("\"summaries\""));
         assert!(json.contains("\"reduction_entries\""));
         assert!(json.contains("\"overlap_cells\""));

@@ -3,7 +3,8 @@
 //! Downstream tooling (plot scripts, CI dashboards) parses this output;
 //! these tests run the actual binary and assert the JSON document shape
 //! for the `fig5`, `assembly`, `geometry`, `scenarios`, `sharding`,
-//! `ensemble` and `table1` subcommands, so schema drift is caught at
+//! `banking`, `ensemble` and `table1` subcommands, so schema drift is
+//! caught at
 //! test time rather than by consumers. The `scenarios` test pins the PR-4 acceptance bar:
 //! every registered scenario (≥ 4: TGV, cavity, shear layer, pulse) must
 //! pass serial-vs-colored equivalence at ≤ 1e-12 relative plus its
@@ -38,7 +39,12 @@
 //! savings (in fact exactly 8×), serve every registry scenario under
 //! three backends from two shared contexts with all invariants passing,
 //! and the declarative spec path must reproduce the imperative setter
-//! path bitwise.
+//! path bitwise. The `banking` test pins the PR-10 acceptance bar: the
+//! banked-memory frontier study must show the optimized bank assignment
+//! strictly beating round-robin on DES makespan at 8 shards on the
+//! 32-bank HBM2 system for ≥ 2 registry scenarios, and every 1-bank
+//! degenerate row must reproduce the unbanked flat quote
+//! cycle-for-cycle.
 
 use std::process::Command;
 
@@ -367,6 +373,8 @@ fn sharding_json_schema() {
     assert!(doc["edge"].as_u64().is_some(), "missing `edge`");
     assert!(doc["steps"].as_u64().is_some(), "missing `steps`");
     assert!(doc["threads"].as_u64().is_some(), "missing `threads`");
+    // PR-10: the study names the memory system that priced its quotes.
+    assert_eq!(doc["memory_system"].as_str(), Some("u200-ddr4"));
     let counts: Vec<u64> = doc["shard_counts"]
         .as_array()
         .expect("`shard_counts` is an array")
@@ -610,6 +618,129 @@ fn sharding_json_schema() {
         skipped.is_empty(),
         "default sweep should run every cell: {skipped:?}"
     );
+}
+
+#[test]
+fn banking_json_schema() {
+    let doc = repro_json("banking");
+
+    assert!(doc["edge"].as_u64().is_some(), "missing `edge`");
+    let counts: Vec<u64> = doc["shard_counts"]
+        .as_array()
+        .expect("`shard_counts` is an array")
+        .iter()
+        .map(|c| c.as_u64().expect("shard count"))
+        .collect();
+    assert_eq!(counts, vec![1, 2, 4, 8], "sweep drifted");
+    let batches = doc["batch_sizes"].as_array().expect("`batch_sizes`");
+    assert!(!batches.is_empty());
+    let systems: Vec<&str> = doc["systems"]
+        .as_array()
+        .expect("`systems`")
+        .iter()
+        .map(|s| s.as_str().expect("system name"))
+        .collect();
+    assert_eq!(systems, vec!["flat", "u200-ddr4", "u280-hbm2"]);
+    let policies: Vec<&str> = doc["policies"]
+        .as_array()
+        .expect("`policies`")
+        .iter()
+        .map(|p| p.as_str().expect("policy name"))
+        .collect();
+    assert_eq!(policies, vec!["round-robin", "greedy", "optimized"]);
+
+    // Full cross product: 4 scenarios × 4 counts × batches × 3 systems
+    // × 3 policies on the 6³ meshes (216 elements, nothing clamps).
+    let rows = doc["rows"].as_array().expect("`rows` is an array");
+    assert_eq!(
+        rows.len(),
+        4 * counts.len() * batches.len() * systems.len() * policies.len(),
+        "banking sweep coverage drifted"
+    );
+    for r in rows {
+        let name = r["scenario"].as_str().expect("scenario");
+        let banks = r["banks"].as_u64().expect("banks");
+        assert!(r["shard_count"].as_u64().expect("shard_count") >= 1);
+        assert!(r["batch_elements"].as_u64().is_some());
+        assert!(r["banks_used"].as_u64().expect("banks_used") <= banks);
+        assert_eq!(r["capacity_respected"].as_bool(), Some(true), "{name}");
+        assert!(r["modeled_makespan_cycles"].as_u64().expect("modeled") > 0);
+        let emulated = r["emulated_makespan_cycles"].as_u64().expect("emulated");
+        assert!(emulated > 0, "{name}");
+
+        // Acceptance gate 1: every 1-bank degenerate row reproduces the
+        // unbanked backend's flat quote exactly — banking is a
+        // scheduling overlay, and its degenerate case is the old model.
+        if banks == 1 {
+            assert_eq!(r["memory_system"].as_str(), Some("flat"));
+            assert_eq!(
+                r["matches_flat_quote"].as_bool(),
+                Some(true),
+                "{name}: 1-bank {} diverged from the flat quote ({emulated} vs {:?})",
+                r["policy"],
+                r["flat_quote_cycles"]
+            );
+            assert_eq!(r["bank_stall_cycles_total"].as_u64(), Some(0));
+        }
+    }
+
+    // Acceptance gate 2: at 8 shards on the 32-bank HBM system the
+    // optimized assignment strictly beats round-robin on DES makespan
+    // for at least two registry scenarios.
+    let wins = doc["hbm_win_scenarios"]
+        .as_array()
+        .expect("`hbm_win_scenarios`");
+    assert!(
+        wins.len() >= 2,
+        "optimized beats round-robin in only {} scenarios: {wins:?}",
+        wins.len()
+    );
+    for name in [
+        "taylor-green-vortex",
+        "lid-driven-cavity",
+        "double-shear-layer",
+        "acoustic-pulse",
+    ] {
+        let cycles = |policy: &str| -> u64 {
+            rows.iter()
+                .filter(|r| {
+                    r["scenario"].as_str() == Some(name)
+                        && r["shard_count"].as_u64() == Some(8)
+                        && r["memory_system"].as_str() == Some("u280-hbm2")
+                        && r["policy"].as_str() == Some(policy)
+                })
+                .map(|r| r["emulated_makespan_cycles"].as_u64().unwrap())
+                .max()
+                .unwrap_or_else(|| panic!("{name}: no 8-shard HBM rows"))
+        };
+        assert!(
+            cycles("optimized") <= cycles("round-robin"),
+            "{name}: optimized {} worse than round-robin {}",
+            cycles("optimized"),
+            cycles("round-robin")
+        );
+    }
+
+    // The Pareto frontier exists, ranks only the physical multi-bank
+    // systems (the contention-free flat baseline would trivially
+    // dominate), and is truly non-dominated per cell.
+    let frontier = doc["frontier"].as_array().expect("`frontier`");
+    assert!(!frontier.is_empty());
+    for p in frontier {
+        assert!(p["banks"].as_u64().expect("banks") >= 2);
+        assert!(p["aggregate_bw_gbps"].as_f64().expect("bw") > 0.0);
+        let p_make = p["emulated_makespan_cycles"].as_u64().expect("makespan");
+        for q in frontier {
+            let same_cell = p["scenario"] == q["scenario"]
+                && p["shard_count"] == q["shard_count"]
+                && p["batch_elements"] == q["batch_elements"];
+            if same_cell && !std::ptr::eq(p, q) {
+                let dominates = q["banks"].as_u64().unwrap() <= p["banks"].as_u64().unwrap()
+                    && q["emulated_makespan_cycles"].as_u64().unwrap() < p_make;
+                assert!(!dominates, "{q:?} dominates frontier point {p:?}");
+            }
+        }
+    }
 }
 
 #[test]

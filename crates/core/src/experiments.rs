@@ -617,8 +617,10 @@ pub struct ScenarioWorkload {
 pub fn scenario_workload(name: &str, mesh: &fem_mesh::HexMesh) -> ScenarioWorkload {
     let w = RklWorkload::from_mesh(mesh);
     let device = U200::new();
-    let bw =
-        device.ddr_channels() as f64 * device.ddr_peak_bw() * fpga_platform::axi::DDR_EFFICIENCY;
+    // Aggregate off-chip bandwidth from the platform's banked memory
+    // system (no hard-coded channel count — a device model with a
+    // different bank layout reprices every roofline quote).
+    let bw = device.memory_system().total_peak_bw() * fpga_platform::axi::DDR_EFFICIENCY;
     let batch = STREAM_BATCH_ELEMENTS.min(mesh.num_elements()).max(1);
     let footprint = fem_mesh::partition::streaming_footprint(mesh, batch)
         .expect("positive batch size cannot fail");

@@ -109,13 +109,11 @@ pub fn run_scaling_study(
         // Per-stage kernel time: the shard's cycle count at the new clock.
         let shard_cycles = shard_perf.rkl_cycles_per_stage + shard_perf.rku_cycles_per_stage;
         let kernel_seconds = shard_cycles as f64 / (fmax * 1.0e6);
-        // DDR ceiling: all units share the four channels.
+        // DDR ceiling: all units share the memory system's banks.
         let w_total = RklWorkload::with_nodes(nodes, 1);
         let total_bytes = w_total.rkl_bytes_per_stage() + w_total.rku_bytes_per_stage();
         let ddr_seconds = total_bytes as f64
-            / (device.ddr_peak_bw()
-                * device.ddr_channels() as f64
-                * fpga_platform::axi::DDR_EFFICIENCY);
+            / (device.memory_system().total_peak_bw() * fpga_platform::axi::DDR_EFFICIENCY);
         let stage_seconds = kernel_seconds.max(ddr_seconds);
         let rk_method_seconds = stage_seconds
             * crate::calibration::RK_STAGES as f64

@@ -14,6 +14,25 @@
 //!   (SPSC, bypass detection, §III-B).
 //! * [`sim`] — the discrete-event engine: exact start/finish times,
 //!   stalls, channel occupancy, deadlock detection, optional trace.
+//!
+//! # Memory-bank port conflicts
+//!
+//! Channels can carry an optional *bank* id
+//! ([`network::ChannelSpec::bank`], declared via
+//! [`network::NetworkBuilder::banked_channel`]) marking traffic that
+//! goes through one port of a banked memory system (a DDR channel or an
+//! HBM2 pseudo-channel). The conflict rule: when a task starts a token,
+//! it reserves the port of every distinct bank among its *banked output
+//! channels* for its full II (the burst issues back-to-back beats); a
+//! task cannot start while any port it needs is reserved. Same-cycle
+//! contenders are resolved in ascending task-declaration order — the
+//! same order the engine's fixed-point start loop already scans, so
+//! banked simulation stays fully deterministic: no randomness, no
+//! iteration over unordered containers, ties broken by a total order
+//! fixed at build time. A network with no banked channels takes none of
+//! these paths and reports byte-identical results to the pre-banking
+//! engine; per-bank reserved/stall/token counters appear in
+//! [`sim::SimulationReport::bank_stats`] otherwise.
 //! * [`analytic`] — closed-form steady-state model
 //!   (`makespan ≈ fill + N · max II`), cross-validated against the DES by
 //!   property tests.
@@ -51,7 +70,7 @@ pub mod network;
 pub mod sim;
 
 pub use network::{ChannelKind, Network, NetworkBuilder};
-pub use sim::{simulate, SimulationReport};
+pub use sim::{simulate, BankStats, SimulationReport};
 
 /// Errors produced by the dataflow layer.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -22,6 +22,12 @@ pub struct ChannelSpec {
     pub capacity: usize,
     /// Buffer discipline.
     pub kind: ChannelKind,
+    /// Memory bank the channel's *producer* writes through, if the
+    /// channel models off-chip traffic. Banked channels share their
+    /// bank's single port: two producers cannot start same-cycle tokens
+    /// on the same bank (see the simulator's conflict rule). `None`
+    /// (the default) is an on-chip channel with no port contention.
+    pub bank: Option<usize>,
 }
 
 /// A pipelined task: accepts one token from every input, `latency` cycles
@@ -39,6 +45,11 @@ pub struct TaskSpec {
     pub inputs: Vec<usize>,
     /// Output channel ids (one token produced to each per invocation).
     pub outputs: Vec<usize>,
+    /// Per-task token target overriding the network-wide count — lets
+    /// disjoint subgraphs (e.g. one pipeline per shard) process
+    /// different element counts in one simulation. `None` inherits
+    /// [`Network::tokens`].
+    pub tokens: Option<u64>,
 }
 
 /// A validated dataflow network with a fixed token count.
@@ -61,9 +72,20 @@ impl Network {
         &self.tasks
     }
 
-    /// Tokens every task must process.
+    /// Tokens every task must process (unless overridden per task).
     pub fn tokens(&self) -> u64 {
         self.tokens
+    }
+
+    /// Token target of one task: its override, or the network count.
+    pub fn task_tokens(&self, tid: usize) -> u64 {
+        self.tasks[tid].tokens.unwrap_or(self.tokens)
+    }
+
+    /// Largest bank id referenced by any channel, if any channel is
+    /// banked.
+    pub fn max_bank(&self) -> Option<usize> {
+        self.channels.iter().filter_map(|c| c.bank).max()
     }
 
     /// Topological level of each task (sources at level 0).
@@ -127,6 +149,25 @@ impl NetworkBuilder {
             name: name.into(),
             capacity,
             kind,
+            bank: None,
+        });
+        self.channels.len() - 1
+    }
+
+    /// Declares a channel whose producer issues its beats through
+    /// memory bank `bank`; returns its id.
+    pub fn banked_channel(
+        &mut self,
+        name: impl Into<String>,
+        capacity: usize,
+        kind: ChannelKind,
+        bank: usize,
+    ) -> usize {
+        self.channels.push(ChannelSpec {
+            name: name.into(),
+            capacity,
+            kind,
+            bank: Some(bank),
         });
         self.channels.len() - 1
     }
@@ -146,8 +187,17 @@ impl NetworkBuilder {
             latency: latency.max(1),
             inputs,
             outputs,
+            tokens: None,
         });
         self.tasks.len() - 1
+    }
+
+    /// Overrides the token target of task `tid` (see
+    /// [`TaskSpec::tokens`]). Targets must agree within a connected
+    /// component — a mismatch starves a consumer and surfaces as
+    /// [`DataflowError::Deadlock`] at simulation time.
+    pub fn task_tokens(&mut self, tid: usize, tokens: u64) {
+        self.tasks[tid].tokens = Some(tokens);
     }
 
     /// Validates and freezes the network for `tokens` tokens.

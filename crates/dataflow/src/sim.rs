@@ -46,6 +46,21 @@ pub struct ChannelStats {
     pub tokens_transferred: u64,
 }
 
+/// Per-bank simulation statistics (present only when the network has
+/// banked channels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankStats {
+    /// Bank index.
+    pub bank: usize,
+    /// Cycles the bank's port was reserved by producer bursts.
+    pub reserved_cycles: u64,
+    /// Cycles tasks sat ready-to-start waiting only for this bank's
+    /// port (attributed to every bank the waiting task issues through).
+    pub stall_cycles: u64,
+    /// Tokens issued through the bank.
+    pub tokens: u64,
+}
+
 /// One row of the execution trace: task `task` started token `token` at
 /// cycle `start`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +84,10 @@ pub struct SimulationReport {
     pub task_stats: Vec<TaskStats>,
     /// Per-channel statistics.
     pub channel_stats: Vec<ChannelStats>,
+    /// Per-bank statistics (empty unless the network has banked
+    /// channels, so unbanked reports are unchanged by the banking
+    /// overlay).
+    pub bank_stats: Vec<BankStats>,
     /// Optional full trace (when requested).
     pub trace: Vec<TraceEvent>,
 }
@@ -130,8 +149,31 @@ pub fn simulate_with_trace(
     net: &Network,
     trace_on: bool,
 ) -> Result<SimulationReport, DataflowError> {
-    let tokens = net.tokens();
     let nt = net.tasks().len();
+    // Per-task token targets (per-task overrides, or the network count).
+    let targets: Vec<u64> = (0..nt).map(|tid| net.task_tokens(tid)).collect();
+    // Bank arbitration state: the distinct banks each task issues its
+    // output bursts through, and per-bank port bookkeeping.
+    let nbanks = net.max_bank().map_or(0, |b| b + 1);
+    let task_banks: Vec<Vec<usize>> = net
+        .tasks()
+        .iter()
+        .map(|t| {
+            let mut banks: Vec<usize> = t
+                .outputs
+                .iter()
+                .filter_map(|&c| net.channels()[c].bank)
+                .collect();
+            banks.sort_unstable();
+            banks.dedup();
+            banks
+        })
+        .collect();
+    let mut bank_free_at = vec![0u64; nbanks];
+    let mut bank_reserved = vec![0u64; nbanks];
+    let mut bank_stall = vec![0u64; nbanks];
+    let mut bank_tokens = vec![0u64; nbanks];
+    let mut bank_block_since: Vec<Option<u64>> = vec![None; nt];
     let mut channels: Vec<ChannelState> = net
         .channels()
         .iter()
@@ -177,7 +219,7 @@ pub fn simulate_with_trace(
 
     let mut now = 0u64;
     events.push(Ev(0));
-    let total_needed: u64 = tokens * nt as u64;
+    let total_needed: u64 = targets.iter().sum();
     let mut total_done = 0u64;
 
     while total_done < total_needed {
@@ -189,8 +231,9 @@ pub fn simulate_with_trace(
                     .tasks()
                     .iter()
                     .zip(&tasks)
-                    .filter(|(_, s)| s.started < tokens)
-                    .map(|(t, _)| t.name.clone())
+                    .zip(&targets)
+                    .filter(|((_, s), &target)| s.started < target)
+                    .map(|((t, _), _)| t.name.clone())
                     .collect(),
             });
         };
@@ -240,7 +283,7 @@ pub fn simulate_with_trace(
             changed = false;
             for (tid, spec) in net.tasks().iter().enumerate() {
                 let st = &tasks[tid];
-                if st.started >= tokens || st.next_allowed_start > now {
+                if st.started >= targets[tid] || st.next_allowed_start > now {
                     continue;
                 }
                 // Inputs ready?
@@ -253,9 +296,18 @@ pub fn simulate_with_trace(
                     .outputs
                     .iter()
                     .all(|&c| channels[c].occupancy < net.channels()[c].capacity);
-                if !(inputs_ready && outputs_free) {
+                // Bank ports free? Same-cycle contenders serialize in
+                // ascending task index: the first task in declaration
+                // order wins the port and the rest re-test at the
+                // bank's release event.
+                let banks_free = task_banks[tid].iter().all(|&b| bank_free_at[b] <= now);
+                if !(inputs_ready && outputs_free && banks_free) {
                     if tasks[tid].ready_since.is_none() {
                         tasks[tid].ready_since = Some(now);
+                    }
+                    if inputs_ready && outputs_free && bank_block_since[tid].is_none() {
+                        // Blocked *only* by bank ports.
+                        bank_block_since[tid] = Some(now);
                     }
                     continue;
                 }
@@ -263,6 +315,17 @@ pub fn simulate_with_trace(
                 let st = &mut tasks[tid];
                 if let Some(since) = st.ready_since.take() {
                     st.stall += now - since;
+                }
+                if let Some(since) = bank_block_since[tid].take() {
+                    for &b in &task_banks[tid] {
+                        bank_stall[b] += now - since;
+                    }
+                }
+                // Reserve this token's burst on every output bank.
+                for &b in &task_banks[tid] {
+                    bank_free_at[b] = now + spec.ii;
+                    bank_reserved[b] += spec.ii;
+                    bank_tokens[b] += 1;
                 }
                 let token = st.started;
                 st.started += 1;
@@ -333,6 +396,14 @@ pub fn simulate_with_trace(
                 name: spec.name.clone(),
                 peak_occupancy: st.peak,
                 tokens_transferred: st.transferred,
+            })
+            .collect(),
+        bank_stats: (0..nbanks)
+            .map(|b| BankStats {
+                bank: b,
+                reserved_cycles: bank_reserved[b],
+                stall_cycles: bank_stall[b],
+                tokens: bank_tokens[b],
             })
             .collect(),
         trace,
@@ -476,7 +547,109 @@ mod tests {
         assert_eq!(r.task_stats[3].invocations, 300);
     }
 
+    /// Two independent producer→consumer pipelines; producers optionally
+    /// share one memory bank for their output bursts.
+    fn two_pipes(banks: [Option<usize>; 2], tokens: u64) -> Network {
+        let mut b = NetworkBuilder::new();
+        let mut mk = |i: usize, bank: Option<usize>| {
+            let c = match bank {
+                Some(bk) => b.banked_channel(format!("c{i}"), 2, ChannelKind::Fifo, bk),
+                None => b.channel(format!("c{i}"), 2, ChannelKind::Fifo),
+            };
+            b.task(format!("p{i}"), 4, 8, vec![], vec![c]);
+            b.task(format!("s{i}"), 1, 2, vec![c], vec![]);
+        };
+        mk(0, banks[0]);
+        mk(1, banks[1]);
+        b.build(tokens).unwrap()
+    }
+
+    #[test]
+    fn unbanked_networks_report_no_bank_stats() {
+        let net = chain(&[2, 3], &[4, 4], 2, ChannelKind::Fifo, 25);
+        let r = simulate(&net).unwrap();
+        assert!(r.bank_stats.is_empty());
+    }
+
+    #[test]
+    fn shared_bank_serializes_and_distinct_banks_do_not() {
+        let tokens = 100;
+        let shared = simulate(&two_pipes([Some(0), Some(0)], tokens)).unwrap();
+        let split = simulate(&two_pipes([Some(0), Some(1)], tokens)).unwrap();
+        let unbanked = simulate(&two_pipes([None, None], tokens)).unwrap();
+        // Two II-4 producers on one port: the bank is saturated and the
+        // pair takes ~2x the unbanked time.
+        assert!(
+            shared.makespan > unbanked.makespan + tokens,
+            "shared {} vs unbanked {}",
+            shared.makespan,
+            unbanked.makespan
+        );
+        // Distinct banks never conflict: identical to the unbanked run.
+        assert_eq!(split.makespan, unbanked.makespan);
+        // The shared bank's port is reserved 2·tokens·II cycles and saw
+        // every token; some task waited on it.
+        let b0 = &shared.bank_stats[0];
+        assert_eq!(b0.tokens, 2 * tokens);
+        assert_eq!(b0.reserved_cycles, 2 * tokens * 4);
+        assert!(b0.stall_cycles > 0);
+        // Split run: each bank carries one pipe, no stalls.
+        assert!(split.bank_stats.iter().all(|b| b.stall_cycles == 0));
+    }
+
+    #[test]
+    fn bank_arbitration_is_deterministic() {
+        let a = simulate_with_trace(&two_pipes([Some(0), Some(0)], 64), true).unwrap();
+        let b = simulate_with_trace(&two_pipes([Some(0), Some(0)], 64), true).unwrap();
+        assert_eq!(a, b);
+        // Ascending task index wins the first same-cycle conflict.
+        let first_p0 = a.trace.iter().find(|e| e.task == 0).unwrap().start;
+        let first_p1 = a.trace.iter().find(|e| e.task == 2).unwrap().start;
+        assert!(first_p0 < first_p1);
+    }
+
+    #[test]
+    fn per_task_token_overrides_run_disjoint_components() {
+        // Pipe 0 processes 10 tokens, pipe 1 processes 40.
+        let mut b = NetworkBuilder::new();
+        let c0 = b.channel("c0", 2, ChannelKind::Fifo);
+        let p0 = b.task("p0", 2, 4, vec![], vec![c0]);
+        let s0 = b.task("s0", 1, 2, vec![c0], vec![]);
+        let c1 = b.channel("c1", 2, ChannelKind::Fifo);
+        let p1 = b.task("p1", 2, 4, vec![], vec![c1]);
+        let s1 = b.task("s1", 1, 2, vec![c1], vec![]);
+        b.task_tokens(p0, 10);
+        b.task_tokens(s0, 10);
+        b.task_tokens(p1, 40);
+        b.task_tokens(s1, 40);
+        let net = b.build(999).unwrap();
+        let r = simulate(&net).unwrap();
+        assert_eq!(r.task_stats[0].invocations, 10);
+        assert_eq!(r.task_stats[1].invocations, 10);
+        assert_eq!(r.task_stats[2].invocations, 40);
+        assert_eq!(r.task_stats[3].invocations, 40);
+        // Makespan is the long pipe's: fill + 2·(40−1) + drain.
+        assert_eq!(r.makespan, 4 + 2 * 39 + 2);
+    }
+
     proptest! {
+        /// Banking only ever delays: a banked run is never faster than
+        /// the same network unbanked, and putting every producer on its
+        /// own bank is exactly the unbanked schedule.
+        #[test]
+        fn prop_banked_never_faster(
+            tokens in 1u64..120,
+            shared in proptest::bool::ANY,
+        ) {
+            let banks = if shared { [Some(0), Some(0)] } else { [Some(0), Some(1)] };
+            let banked = simulate(&two_pipes(banks, tokens)).unwrap();
+            let flat = simulate(&two_pipes([None, None], tokens)).unwrap();
+            prop_assert!(banked.makespan >= flat.makespan);
+            if !shared {
+                prop_assert_eq!(banked.makespan, flat.makespan);
+            }
+        }
+
         /// Makespan is bounded below by the bottleneck and above by fully
         /// sequential execution.
         #[test]

@@ -12,6 +12,8 @@
 //!   both kernels into one SLR costs the paper's baseline a 100 MHz
 //!   ceiling while the SLR-split design closes at 150 MHz (§III-A, §IV-A).
 //! * [`axi`] — DDR channel bandwidth and transfer-time model.
+//! * [`memory`] — banked memory systems (U200 DDR4, U280-style HBM2)
+//!   and bank-assignment planning for the dataflow emulator.
 //! * [`pcie`] — host↔card transfer model.
 //! * [`power`] — FPGA power breakdown (core / peripherals / rest, §IV-B).
 //! * [`cpu`] — roofline-style timing and measured package power of the
@@ -23,11 +25,13 @@ pub mod axi;
 pub mod cpu;
 pub mod energy;
 pub mod fmax;
+pub mod memory;
 pub mod pcie;
 pub mod power;
 pub mod u200;
 
 pub use cpu::CpuModel;
 pub use fmax::achievable_fmax_mhz;
+pub use memory::{BankAssignment, MemoryBank, MemoryStream, MemorySystem};
 pub use power::{FpgaPowerBreakdown, FpgaPowerModel};
 pub use u200::{Placement, SlrId, U200};

@@ -5,6 +5,7 @@
 //! Lines (SLLs), plus four 16 GB DDR4-2400 channels. The XDMA shell
 //! (PCIe/DMA static region) permanently occupies part of SLR1.
 
+use crate::memory::MemorySystem;
 use hls_kernel::resources::ResourceUsage;
 
 /// One of the three Super Logic Regions.
@@ -48,9 +49,7 @@ pub struct Placement {
 pub struct U200 {
     per_slr: ResourceUsage,
     shell: ResourceUsage,
-    ddr_channels: usize,
-    ddr_bytes_per_channel: u64,
-    ddr_peak_bw: f64,
+    memory: MemorySystem,
     sll_count: u32,
 }
 
@@ -81,9 +80,7 @@ impl U200 {
                 bram18k: 200,
                 uram: 0,
             },
-            ddr_channels: 4,
-            ddr_bytes_per_channel: 16 << 30,
-            ddr_peak_bw: 19.2e9,
+            memory: MemorySystem::u200_ddr(),
             sll_count: 17_280,
         }
     }
@@ -129,19 +126,26 @@ impl U200 {
         }
     }
 
-    /// Number of DDR channels.
+    /// The card's banked memory system (4 × DDR4 on the production
+    /// model). Roofline and transfer quotes derive from this rather
+    /// than hard-coded channel counts.
+    pub fn memory_system(&self) -> &MemorySystem {
+        &self.memory
+    }
+
+    /// Number of DDR channels (banks of [`U200::memory_system`]).
     pub fn ddr_channels(&self) -> usize {
-        self.ddr_channels
+        self.memory.num_banks()
     }
 
     /// Capacity of one DDR channel in bytes.
     pub fn ddr_bytes_per_channel(&self) -> u64 {
-        self.ddr_bytes_per_channel
+        self.memory.bank(0).capacity_bytes
     }
 
     /// Peak bandwidth of one DDR channel (bytes/second).
     pub fn ddr_peak_bw(&self) -> f64 {
-        self.ddr_peak_bw
+        self.memory.bank(0).peak_bw
     }
 
     /// SLL wires per SLR crossing.
@@ -224,6 +228,17 @@ mod tests {
         assert_eq!(t.dsp, 6_840);
         assert_eq!(t.bram18k, 4_320);
         assert_eq!(t.uram, 960);
+    }
+
+    #[test]
+    fn flat_ddr_quote_preserved_through_memory_system() {
+        // The pre-banking hard-coded quotes must survive the routing
+        // through MemorySystem bit-for-bit.
+        let dev = U200::new();
+        assert_eq!(dev.ddr_channels(), 4);
+        assert_eq!(dev.ddr_bytes_per_channel(), 16 << 30);
+        assert_eq!(dev.ddr_peak_bw(), 19.2e9);
+        assert_eq!(dev.memory_system().name(), "u200-ddr4");
     }
 
     #[test]

@@ -97,6 +97,7 @@ pub use fem_mesh::partition::PartitionStrategy;
 use fem_mesh::partition::ShardPlan;
 use fem_mesh::HexMesh;
 use fem_numerics::tensor::HexBasis;
+use fpga_platform::{BankAssignment, MemorySystem};
 use hls_dataflow::network::{ChannelKind, NetworkBuilder};
 use hls_dataflow::sim::simulate;
 use rayon::prelude::*;
@@ -633,6 +634,7 @@ const AXI_BYTES_PER_CYCLE: u64 = 64;
 pub struct DataflowEmulatedBackend {
     inner: ShardedBackend,
     reports: Vec<ShardCycleReport>,
+    banked: Option<BankedEmulation>,
 }
 
 impl DataflowEmulatedBackend {
@@ -697,7 +699,46 @@ impl DataflowEmulatedBackend {
         Ok(DataflowEmulatedBackend {
             inner,
             reports: out,
+            banked: None,
         })
+    }
+
+    /// Like [`DataflowEmulatedBackend::with_plan`], but additionally
+    /// routes the plan's memory streams onto `system`'s banks under
+    /// `assignment` and runs the banked DES. The banked emulation is a
+    /// scheduling overlay only — `assemble_rhs` is byte-identical to
+    /// the unbanked backend (pinned by test).
+    ///
+    /// # Errors
+    ///
+    /// [`SolverError::Mesh`] if a network fails to simulate, or if
+    /// `assignment` does not cover the plan's streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geometry` does not cover the plan's mesh.
+    pub fn with_banking(
+        plan: Arc<ShardPlan>,
+        mesh: &HexMesh,
+        geometry: &GeometryCache,
+        system: &MemorySystem,
+        assignment: &BankAssignment,
+    ) -> Result<DataflowEmulatedBackend, SolverError> {
+        let mut backend = DataflowEmulatedBackend::with_plan(plan, mesh, geometry)?;
+        let npe = mesh.nodes_per_element() as u64;
+        let banked = emulate_plan_banked(backend.plan(), npe, system, assignment).map_err(|e| {
+            SolverError::Mesh(fem_mesh::MeshError::InvalidParameter(format!(
+                "banked emulation failed: {e}"
+            )))
+        })?;
+        backend.banked = Some(banked);
+        Ok(backend)
+    }
+
+    /// The banked emulation, when constructed via
+    /// [`DataflowEmulatedBackend::with_banking`].
+    pub fn banked_report(&self) -> Option<&BankedEmulation> {
+        self.banked.as_ref()
     }
 
     /// The underlying shard plan.
@@ -785,6 +826,226 @@ impl ExecutionBackend for DataflowEmulatedBackend {
     fn shard_plan(&self) -> Option<&ShardPlan> {
         Some(self.inner.plan())
     }
+}
+
+// ------------------------------------------------------ banked emulation
+
+/// State-array gather streams per shard — one per DDR-resident input
+/// array (5 conserved + T/p/E/μ + 3 coordinates + connectivity, matching
+/// `fem_accel`'s roofline accounting).
+pub const GATHER_STREAMS_PER_SHARD: usize = 12;
+
+/// Residual scatter streams per shard (the 5 RHS arrays).
+pub const SCATTER_STREAMS_PER_SHARD: usize = 5;
+
+/// Memory streams per shard: the gathers, one geometry-cache slice, and
+/// the scatters.
+pub const STREAMS_PER_SHARD: usize = GATHER_STREAMS_PER_SHARD + 1 + SCATTER_STREAMS_PER_SHARD;
+
+/// Decomposes a plan's DDR traffic into per-shard memory streams, in a
+/// fixed order: for each shard (ascending index), the
+/// [`GATHER_STREAMS_PER_SHARD`] state gathers, the geometry-cache slice,
+/// then the [`SCATTER_STREAMS_PER_SHARD`] RHS scatters. Bank assignments
+/// index this order. Gather/scatter sizes come from the shard's
+/// [`fem_mesh::partition::Shard::bytes_in`]/`bytes_out` accounting
+/// (inter-batch re-reads included); the geometry slice streams
+/// [`GeometryCache::BYTES_PER_ELEMENT_NODE`] bytes per element node and
+/// is typically the heaviest stream — the one worth a private bank.
+pub fn shard_streams(plan: &ShardPlan, npe: u64) -> Vec<fpga_platform::MemoryStream> {
+    let mut out = Vec::with_capacity(plan.num_shards() * STREAMS_PER_SHARD);
+    for shard in plan.shards() {
+        let g = shard.index();
+        let elements = shard.num_elements() as u64;
+        let bytes_in_pe = (shard.bytes_in() as u64).div_ceil(elements.max(1));
+        let bytes_out_pe = (shard.bytes_out() as u64).div_ceil(elements.max(1));
+        let gather_pe = bytes_in_pe.div_ceil(GATHER_STREAMS_PER_SHARD as u64);
+        let scatter_pe = bytes_out_pe.div_ceil(SCATTER_STREAMS_PER_SHARD as u64);
+        for i in 0..GATHER_STREAMS_PER_SHARD {
+            out.push(fpga_platform::MemoryStream {
+                label: format!("s{g}:gather{i}"),
+                group: g,
+                beats_per_token: gather_pe.div_ceil(AXI_BYTES_PER_CYCLE).max(1),
+                tokens: elements,
+                resident_bytes: (shard.bytes_in() as u64).div_ceil(GATHER_STREAMS_PER_SHARD as u64),
+            });
+        }
+        let geom_bytes_pe = npe * GeometryCache::BYTES_PER_ELEMENT_NODE as u64;
+        out.push(fpga_platform::MemoryStream {
+            label: format!("s{g}:geometry"),
+            group: g,
+            beats_per_token: geom_bytes_pe.div_ceil(AXI_BYTES_PER_CYCLE).max(1),
+            tokens: elements,
+            resident_bytes: elements * geom_bytes_pe,
+        });
+        for j in 0..SCATTER_STREAMS_PER_SHARD {
+            out.push(fpga_platform::MemoryStream {
+                label: format!("s{g}:scatter{j}"),
+                group: g,
+                beats_per_token: scatter_pe.div_ceil(AXI_BYTES_PER_CYCLE).max(1),
+                tokens: elements,
+                resident_bytes: (shard.bytes_out() as u64)
+                    .div_ceil(SCATTER_STREAMS_PER_SHARD as u64),
+            });
+        }
+    }
+    out
+}
+
+/// Per-shard bank-independent makespan floors for
+/// [`fpga_platform::memory::modeled_makespan_cycles`]: the compute task
+/// retires one element per `npe` cycles, so shard `g` can never finish
+/// in fewer than `elements · npe` cycles no matter the bank layout.
+pub fn shard_compute_floors(plan: &ShardPlan, npe: u64) -> Vec<u64> {
+    plan.shards()
+        .iter()
+        .map(|s| s.num_elements() as u64 * npe.max(1))
+        .collect()
+}
+
+/// The outcome of routing a plan's streams through a banked memory
+/// system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankedEmulation {
+    /// Memory-system identifier (`u200-ddr4`, `u280-hbm2`, `flat`).
+    pub system: String,
+    /// Banks in the system.
+    pub banks: usize,
+    /// Banks carrying at least one stream.
+    pub banks_used: usize,
+    /// DES makespan of the slowest shard pipeline, in cycles.
+    pub makespan_cycles: u64,
+    /// Per-bank port occupancy/stall counters (empty in the 1-bank
+    /// degenerate mode, which runs the flat pre-banking networks).
+    pub bank_stats: Vec<hls_dataflow::BankStats>,
+    /// Per-shard flat reports — populated only in the 1-bank degenerate
+    /// mode, where they are cycle-for-cycle identical to the unbanked
+    /// backend's [`ShardCycleReport`]s (pinned by test).
+    pub shard_reports: Vec<ShardCycleReport>,
+}
+
+/// Runs the banked dataflow emulation of a whole plan.
+///
+/// With a 1-bank `system` (the degenerate flat model) this builds
+/// exactly the pre-banking per-shard Load → Compute → Store chains — no
+/// bank tags, no port arbitration — so the result reproduces the flat
+/// `SimulationReport` cycle-for-cycle. With a multi-bank system each
+/// shard becomes one pipeline of [`STREAMS_PER_SHARD`] banked endpoints
+/// (gather and geometry producers feeding the compute task, scatter
+/// tasks draining it) in a single network whose banked channels share
+/// ports per the [`hls_dataflow`] conflict rule; per-shard token counts
+/// ride the per-task overrides.
+///
+/// # Errors
+///
+/// [`hls_dataflow::DataflowError`] if a network fails to validate or
+/// simulate (an `assignment` that does not cover the plan's streams
+/// surfaces as an unknown-bank panic upstream; callers build assignments
+/// from [`shard_streams`]).
+pub fn emulate_plan_banked(
+    plan: &ShardPlan,
+    npe: u64,
+    system: &fpga_platform::MemorySystem,
+    assignment: &fpga_platform::BankAssignment,
+) -> Result<BankedEmulation, hls_dataflow::DataflowError> {
+    let streams = shard_streams(plan, npe);
+    assert_eq!(
+        assignment.bank_of.len(),
+        streams.len(),
+        "assignment must cover every stream of the plan"
+    );
+    if system.num_banks() == 1 {
+        let mut shard_reports = Vec::with_capacity(plan.num_shards());
+        for shard in plan.shards() {
+            shard_reports.push(emulate_shard(shard, npe)?);
+        }
+        let makespan_cycles = shard_reports
+            .iter()
+            .map(|r| r.makespan_cycles)
+            .max()
+            .unwrap_or(0);
+        return Ok(BankedEmulation {
+            system: system.name().to_string(),
+            banks: 1,
+            banks_used: 1,
+            makespan_cycles,
+            bank_stats: Vec::new(),
+            shard_reports,
+        });
+    }
+
+    let mut b = NetworkBuilder::new();
+    let mut si = 0usize;
+    for shard in plan.shards() {
+        let g = shard.index();
+        let elements = shard.num_elements() as u64;
+        let mut shard_tasks = Vec::with_capacity(STREAMS_PER_SHARD + 2);
+        // Gather + geometry producers, each issuing through its bank.
+        let mut compute_inputs = Vec::with_capacity(GATHER_STREAMS_PER_SHARD + 1);
+        for _ in 0..GATHER_STREAMS_PER_SHARD + 1 {
+            let s = &streams[si];
+            let c = b.banked_channel(
+                s.label.clone(),
+                8,
+                ChannelKind::Fifo,
+                assignment.bank_of[si],
+            );
+            shard_tasks.push(b.task(
+                format!("ld:{}", s.label),
+                s.beats_per_token,
+                s.beats_per_token + 16,
+                vec![],
+                vec![c],
+            ));
+            compute_inputs.push(c);
+            si += 1;
+        }
+        // Fused compute, fanning out to the scatter tasks.
+        let store_chans: Vec<usize> = (0..SCATTER_STREAMS_PER_SHARD)
+            .map(|j| b.channel(format!("s{g}:cs{j}"), 8, ChannelKind::Fifo))
+            .collect();
+        shard_tasks.push(b.task(
+            format!("s{g}:compute"),
+            npe.max(1),
+            npe.max(1) + 32,
+            compute_inputs,
+            store_chans.clone(),
+        ));
+        // Scatter tasks writing through their banks into the shard sink.
+        let mut sink_inputs = Vec::with_capacity(SCATTER_STREAMS_PER_SHARD);
+        for &cs in &store_chans {
+            let s = &streams[si];
+            let oc = b.banked_channel(
+                s.label.clone(),
+                8,
+                ChannelKind::Fifo,
+                assignment.bank_of[si],
+            );
+            shard_tasks.push(b.task(
+                format!("st:{}", s.label),
+                s.beats_per_token,
+                s.beats_per_token + 8,
+                vec![cs],
+                vec![oc],
+            ));
+            sink_inputs.push(oc);
+            si += 1;
+        }
+        shard_tasks.push(b.task(format!("s{g}:sink"), 1, 1, sink_inputs, vec![]));
+        for t in shard_tasks {
+            b.task_tokens(t, elements);
+        }
+    }
+    // Every task carries an override, so the network-wide count is inert.
+    let net = b.build(0)?;
+    let report = simulate(&net)?;
+    Ok(BankedEmulation {
+        system: system.name().to_string(),
+        banks: system.num_banks(),
+        banks_used: assignment.banks_used(),
+        makespan_cycles: report.makespan,
+        bank_stats: report.bank_stats,
+        shard_reports: Vec::new(),
+    })
 }
 
 // --------------------------------------------------------- multi-device
@@ -1661,6 +1922,130 @@ mod tests {
             assert!(DataflowEmulatedBackend::new(&mesh, &geometry, 0, strategy).is_err());
             assert!(MultiDeviceBackend::new(&mesh, &geometry, 0, strategy).is_err());
         }
+    }
+
+    #[test]
+    fn one_bank_banked_emulation_reproduces_flat_reports() {
+        // The degenerate 1-bank system must reproduce the pre-banking
+        // flat emulation cycle-for-cycle at every shard count and both
+        // strategies.
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let basis = HexBasis::new(1).unwrap();
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        let npe = mesh.nodes_per_element() as u64;
+        let flat_sys = MemorySystem::u200_flat();
+        for strategy in [
+            PartitionStrategy::Contiguous,
+            PartitionStrategy::Partitioned,
+        ] {
+            for shards in [1usize, 2, 4, 8] {
+                let plain =
+                    DataflowEmulatedBackend::new(&mesh, &geometry, shards, strategy).unwrap();
+                let streams = shard_streams(plain.plan(), npe);
+                let a = BankAssignment::round_robin(&streams, &flat_sys);
+                let banked = emulate_plan_banked(plain.plan(), npe, &flat_sys, &a).unwrap();
+                assert_eq!(banked.shard_reports, plain.shard_reports());
+                assert_eq!(
+                    banked.makespan_cycles,
+                    plain
+                        .shard_reports()
+                        .iter()
+                        .map(|r| r.makespan_cycles)
+                        .max()
+                        .unwrap()
+                );
+                assert!(banked.bank_stats.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_streams_cover_the_plan_traffic() {
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let plan =
+            ShardPlan::with_strategy(&mesh, 4, usize::MAX, PartitionStrategy::Contiguous).unwrap();
+        let npe = mesh.nodes_per_element() as u64;
+        let streams = shard_streams(&plan, npe);
+        assert_eq!(streams.len(), 4 * STREAMS_PER_SHARD);
+        for (g, shard) in plan.shards().iter().enumerate() {
+            let mine: Vec<_> = streams.iter().filter(|s| s.group == g).collect();
+            assert_eq!(mine.len(), STREAMS_PER_SHARD);
+            assert!(mine.iter().all(|s| s.tokens == shard.num_elements() as u64));
+            // The geometry slice is the heaviest stream at p = 1:
+            // 8 nodes × 80 B = 10 beats/element vs ~1 for the others.
+            let geom = mine.iter().max_by_key(|s| s.beats_per_token).unwrap();
+            assert!(geom.label.ends_with("geometry"), "{}", geom.label);
+            assert_eq!(geom.beats_per_token, 10);
+        }
+        let floors = shard_compute_floors(&plan, npe);
+        assert_eq!(floors.len(), 4);
+        assert_eq!(floors.iter().sum::<u64>(), mesh.num_elements() as u64 * npe);
+    }
+
+    #[test]
+    fn banked_hbm_emulation_beats_round_robin_with_a_better_layout() {
+        // On the 32-bank HBM model at 8 shards, round-robin co-locates
+        // geometry slices with state streams; the greedy planner spreads
+        // them and the DES makespan strictly improves.
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let plan =
+            ShardPlan::with_strategy(&mesh, 8, usize::MAX, PartitionStrategy::Contiguous).unwrap();
+        let npe = mesh.nodes_per_element() as u64;
+        let hbm = MemorySystem::u280_hbm2();
+        let streams = shard_streams(&plan, npe);
+        let rr = BankAssignment::round_robin(&streams, &hbm);
+        let greedy = BankAssignment::greedy(&streams, &hbm);
+        let r_rr = emulate_plan_banked(&plan, npe, &hbm, &rr).unwrap();
+        let r_gr = emulate_plan_banked(&plan, npe, &hbm, &greedy).unwrap();
+        assert!(
+            r_gr.makespan_cycles < r_rr.makespan_cycles,
+            "greedy {} !< round-robin {}",
+            r_gr.makespan_cycles,
+            r_rr.makespan_cycles
+        );
+        // Round-robin's contention shows up as bank port stalls.
+        assert!(r_rr.bank_stats.iter().any(|b| b.stall_cycles > 0));
+        assert_eq!(r_rr.banks, 32);
+        assert!(r_rr.banks_used <= 32);
+    }
+
+    #[test]
+    fn banking_overlay_leaves_the_numerics_bitwise_untouched() {
+        // The banked backend must be a scheduling overlay only: the
+        // trajectory is bit-identical to the plain dataflow backend.
+        let cfg = TgvConfig::standard();
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let initial = cfg.initial_state(&mesh);
+        let mut plain = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        plain
+            .set_backend(BackendSelect::DataflowEmulated {
+                shards: 4,
+                strategy: PartitionStrategy::Contiguous,
+            })
+            .unwrap();
+        let dt = plain.suggest_dt(0.4);
+        plain.advance(3, dt).unwrap();
+
+        let mesh = BoxMeshBuilder::tgv_box(6).build().unwrap();
+        let basis = HexBasis::new(1).unwrap();
+        let geometry = GeometryCache::build(&mesh, &basis).unwrap();
+        let plan = Arc::new(
+            ShardPlan::with_strategy(&mesh, 4, usize::MAX, PartitionStrategy::Contiguous).unwrap(),
+        );
+        let npe = mesh.nodes_per_element() as u64;
+        let hbm = MemorySystem::u280_hbm2();
+        let streams = shard_streams(&plan, npe);
+        let greedy = BankAssignment::greedy(&streams, &hbm);
+        let backend =
+            DataflowEmulatedBackend::with_banking(plan, &mesh, &geometry, &hbm, &greedy).unwrap();
+        assert!(backend.banked_report().is_some());
+        assert_eq!(backend.banked_report().unwrap().system, "u280-hbm2");
+
+        let initial = cfg.initial_state(&mesh);
+        let mut banked = Simulation::new(mesh, cfg.gas(), initial).unwrap();
+        banked.set_custom_backend(Box::new(backend));
+        banked.advance(3, dt).unwrap();
+        assert_eq!(bits(banked.conserved()), bits(plain.conserved()));
     }
 
     #[test]
